@@ -1,0 +1,204 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out:
+
+1. analyzer trace equivalence: subset vs strict (§5.5);
+2. input entropy masking vs input effectiveness (§5.2, CH2);
+3. priming-swap verification vs false positives (§5.3);
+4. diversity feedback vs detection effort (§5.6);
+5. repetition + outlier filtering vs measurement noise (§5.3, CH5).
+"""
+
+import statistics
+
+from repro.isa.assembler import parse_program
+from repro.emulator.state import InputData, SandboxLayout
+from repro.contracts import get_contract
+from repro.core.analyzer import RelationalAnalyzer
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import TestingPipeline, fuzz
+from repro.core.input_gen import InputGenerator
+from repro.executor.executor import Executor, ExecutorConfig
+from repro.executor.modes import PRIME_PROBE
+from repro.executor.noise import NoiseModel
+from repro.traces import HTrace
+from repro.uarch.config import skylake
+
+from conftest import print_table
+
+V1_GADGET = """
+    JNS .end
+    AND RBX, 0b111111000000
+    MOV RCX, qword ptr [R14 + RBX]
+.end: NOP
+"""
+
+
+def test_ablation_analyzer_equivalence(benchmark):
+    """Subset equivalence filters inconsistent-speculation noise that the
+    strict mode reports: fewer candidates, same confirmed violations."""
+    def run_both():
+        counts = {}
+        for mode in ("subset", "strict"):
+            pipeline = TestingPipeline(
+                FuzzerConfig(contract_name="CT-SEQ",
+                             cpu_preset="skylake-v4-patched",
+                             analyzer_mode=mode, seed=11)
+            )
+            inputs = InputGenerator(seed=42, layout=pipeline.layout).generate(50)
+            outcome = pipeline.test_program(parse_program(V1_GADGET), inputs)
+            counts[mode] = len(outcome.analysis.candidates)
+        return counts
+
+    counts = benchmark(run_both)
+    print_table(
+        "Ablation: analyzer equivalence",
+        ("mode", "candidate pairs"),
+        [(mode, count) for mode, count in counts.items()],
+    )
+    assert counts["strict"] >= counts["subset"]
+    assert counts["subset"] >= 1  # the real violation survives filtering
+
+
+def test_ablation_input_entropy(benchmark):
+    """CH2: lower PRNG entropy raises input effectiveness."""
+    layout = SandboxLayout()
+    program = parse_program(
+        "AND RBX, 0b111111000000\nMOV RAX, qword ptr [R14 + RBX]"
+    )
+    contract = get_contract("CT-SEQ")
+    analyzer = RelationalAnalyzer()
+
+    def run_sweep():
+        scores = {}
+        for bits in (1, 2, 4, 8, 16):
+            generator = InputGenerator(seed=5, entropy_bits=bits, layout=layout)
+            inputs = generator.generate(40)
+            ctraces = [contract.collect_trace(program, i, layout) for i in inputs]
+            classes, singles = analyzer.build_classes(ctraces)
+            scores[bits] = sum(c.size for c in classes) / len(inputs)
+        return scores
+
+    scores = benchmark(run_sweep)
+    print_table(
+        "Ablation: input entropy vs effectiveness",
+        ("entropy bits", "effectiveness"),
+        [(bits, f"{score:.2f}") for bits, score in scores.items()],
+    )
+    assert scores[1] >= scores[16]
+    assert scores[2] > 0.5  # the paper's default config is effective
+
+
+def test_ablation_priming_swap(benchmark):
+    """The priming-swap check discards context-caused divergences: with
+    identical inputs, any trace difference must be filtered."""
+    layout = SandboxLayout()
+    # a bypass gadget whose alternating disambiguator makes identical
+    # inputs produce positionally different traces
+    program = parse_program(
+        """
+        MOV qword ptr [R14 + 64], RAX
+        MOV RBX, qword ptr [R14 + 64]
+        AND RBX, 0b111111000000
+        MOV RCX, qword ptr [R14 + RBX]
+        """
+    )
+    memory = bytearray(layout.size)
+    memory[64:72] = (0x1C0).to_bytes(8, "little")
+    inputs = [InputData(registers={"RAX": 0x80}, memory=bytes(memory))] * 2
+
+    def run_check():
+        executor = Executor(skylake(v4_patch=False), PRIME_PROBE, layout,
+                            ExecutorConfig(warmup_passes=0, repetitions=1))
+        traces = executor.collect_hardware_traces(program, inputs)
+        diverged = traces[0].signals != traces[1].signals
+        confirmed = executor.priming_swap_check(
+            program, inputs, 0, 1, lambda a, b: a.signals == b.signals
+        )
+        return diverged, confirmed
+
+    diverged, confirmed = benchmark(run_check)
+    print("\n=== Ablation: priming-swap verification ===")
+    print(f"identical inputs diverged positionally: {diverged}")
+    print(f"swap check confirmed a violation: {confirmed}")
+    # without the check this would be a false positive; with it, it is not
+    assert diverged
+    assert not confirmed
+
+
+def test_ablation_diversity_feedback(benchmark, scale):
+    """§5.6: diversity-driven reconfiguration vs a static generator.
+
+    Reports detection effort for V4 (which profits from larger tests)
+    with and without feedback."""
+    def run_both():
+        outcomes = {}
+        for feedback in (True, False):
+            report = fuzz(FuzzerConfig(
+                instruction_subsets=("AR", "MEM"),
+                contract_name="CT-SEQ",
+                cpu_preset="skylake",
+                num_test_cases=200 * scale,
+                inputs_per_test_case=30,
+                diversity_feedback=feedback,
+                seed=3,
+            ))
+            outcomes[feedback] = report
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        (
+            "with feedback" if feedback else "static generator",
+            "found" if report.found else "not found",
+            report.test_cases,
+            f"{report.duration_seconds:.1f}s",
+            report.reconfigurations,
+        )
+        for feedback, report in outcomes.items()
+    ]
+    print_table(
+        "Ablation: diversity feedback (V4 hunt)",
+        ("configuration", "outcome", "cases", "time", "reconfigs"),
+        rows,
+    )
+    assert outcomes[True].found, "feedback run must find V4"
+
+
+def test_ablation_noise_filtering(benchmark):
+    """CH5: repetition + one-off outlier filtering recovers the true
+    trace under synthetic measurement noise."""
+    layout = SandboxLayout()
+    program = parse_program("MOV RAX, qword ptr [R14 + 320]")
+    true_set = ((layout.base + 320) // 64) % 64
+    noise = NoiseModel(spurious_rate=0.3, smi_rate=0.05)
+
+    def run_matrix():
+        results = {}
+        for label, repetitions, threshold in (
+            ("1 rep, no filter", 1, 0),
+            ("5 reps, no filter", 5, 0),
+            ("9 reps, filter<=1", 9, 1),
+            ("15 reps, filter<=2", 15, 2),
+        ):
+            wrong = 0
+            for seed in range(10):
+                executor = Executor(
+                    skylake(), PRIME_PROBE, layout,
+                    ExecutorConfig(repetitions=repetitions,
+                                   outlier_threshold=threshold,
+                                   noise=noise, noise_seed=seed),
+                )
+                trace = executor.collect_hardware_traces(program, [InputData()])[0]
+                if trace.signals != {true_set}:
+                    wrong += 1
+            results[label] = wrong
+        return results
+
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    print_table(
+        "Ablation: noise filtering (wrong traces out of 10 seeds)",
+        ("configuration", "wrong traces"),
+        list(results.items()),
+    )
+    # filtering must strictly improve on the unfiltered single measurement
+    assert results["9 reps, filter<=1"] <= results["1 rep, no filter"]
+    assert results["15 reps, filter<=2"] <= 1

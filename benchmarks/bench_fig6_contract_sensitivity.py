@@ -1,0 +1,60 @@
+"""Figure 6 / §6.6: contract sensitivity — CT-SEQ vs ARCH-SEQ.
+
+STT-style hardware defences prevent leaking *speculatively loaded* data
+but deliberately allow leaks of data that was already loaded
+architecturally. The paper shows ARCH-SEQ captures exactly this:
+
+- Figure 6a (non-speculative data leaked transiently): violates CT-SEQ
+  but NOT ARCH-SEQ;
+- Figure 6b (classic two-load V1): violates both.
+"""
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import TestingPipeline
+from repro.core.input_gen import InputGenerator
+from repro.gallery import FIG6A_NONSPECULATIVE_DATA, FIG6B_SPECULATIVE_DATA
+
+from conftest import print_table
+
+
+def check(entry, contract_name, seed=42, count=64):
+    pipeline = TestingPipeline(
+        FuzzerConfig(contract_name=contract_name, cpu_preset="skylake", seed=11)
+    )
+    generator = InputGenerator(seed=seed, layout=pipeline.layout)
+    inputs = generator.generate(count)
+    return (
+        pipeline.check_violation(entry.program(), inputs, confirm=True)
+        is not None
+    )
+
+
+def test_fig6_contract_sensitivity(benchmark):
+    results = {}
+
+    def run_all():
+        results["6a CT-SEQ"] = check(FIG6A_NONSPECULATIVE_DATA, "CT-SEQ")
+        results["6a ARCH-SEQ"] = check(FIG6A_NONSPECULATIVE_DATA, "ARCH-SEQ")
+        results["6b CT-SEQ"] = check(FIG6B_SPECULATIVE_DATA, "CT-SEQ")
+        results["6b ARCH-SEQ"] = check(FIG6B_SPECULATIVE_DATA, "ARCH-SEQ")
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        ("Fig 6a (non-spec data)", "violated", "ok" if results["6a CT-SEQ"] else "x",
+         "clean", "x" if not results["6a ARCH-SEQ"] else "ok"),
+        ("Fig 6b (spec data)", "violated", "ok" if results["6b CT-SEQ"] else "x",
+         "violated", "ok" if results["6b ARCH-SEQ"] else "x"),
+    ]
+    print_table(
+        "Figure 6: contract sensitivity",
+        ("gadget", "CT-SEQ paper", "CT-SEQ measured", "ARCH-SEQ paper",
+         "ARCH-SEQ measured"),
+        rows,
+    )
+
+    assert results["6a CT-SEQ"], "6a must violate CT-SEQ"
+    assert not results["6a ARCH-SEQ"], "6a must satisfy ARCH-SEQ (STT ok)"
+    assert results["6b CT-SEQ"], "6b must violate CT-SEQ"
+    assert results["6b ARCH-SEQ"], "6b must violate ARCH-SEQ"

@@ -1,0 +1,62 @@
+"""Table 2: the eight experimental targets.
+
+Regenerates the experimental-setup table: CPU model, V4-patch state,
+instruction set and executor mode per target, verifying each setup
+resolves to a runnable configuration.
+"""
+
+from repro.isa.instruction_set import parse_subset_expression
+from repro.executor.modes import measurement_mode
+from repro.uarch.config import coffee_lake, skylake
+
+from conftest import print_table
+
+#: (target, cpu factory, v4 patch, instruction subsets, executor mode)
+TARGETS = [
+    ("Target 1", "Skylake", False, "AR", "P+P"),
+    ("Target 2", "Skylake", False, "AR+MEM", "P+P"),
+    ("Target 3", "Skylake", False, "AR+MEM+VAR", "P+P"),
+    ("Target 4", "Skylake", True, "AR+MEM+VAR", "P+P"),
+    ("Target 5", "Skylake", True, "AR+MEM+CB", "P+P"),
+    ("Target 6", "Skylake", True, "AR+MEM+CB+VAR", "P+P"),
+    ("Target 7", "Skylake", True, "AR+MEM", "P+P+A"),
+    ("Target 8", "CoffeeLake", True, "AR+MEM", "P+P+A"),
+]
+
+
+def target_config(cpu_name, v4_patch):
+    if cpu_name == "Skylake":
+        return skylake(v4_patch=v4_patch)
+    return coffee_lake(v4_patch=v4_patch)
+
+
+def test_table2_targets(benchmark):
+    def build_rows():
+        rows = []
+        for name, cpu, patch, subsets, mode_name in TARGETS:
+            config = target_config(cpu, patch)
+            instruction_set = parse_subset_expression(subsets)
+            mode = measurement_mode(mode_name)
+            rows.append(
+                (
+                    name,
+                    config.name,
+                    "on" if patch else "off",
+                    f"{subsets} ({len(instruction_set)} forms)",
+                    mode.name,
+                )
+            )
+        return rows
+
+    rows = benchmark(build_rows)
+    print_table(
+        "Table 2: experimental setups",
+        ("Target", "CPU", "V4 patch", "Instruction set", "Executor mode"),
+        rows,
+    )
+    assert len(rows) == 8
+    # the patch column drives the store-bypass mechanism
+    assert target_config("Skylake", False).store_bypass
+    assert not target_config("Skylake", True).store_bypass
+    # Coffee Lake models the MDS hardware patch
+    assert not target_config("CoffeeLake", True).assists_leak_stale_data

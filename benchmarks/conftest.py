@@ -1,0 +1,39 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper: it runs
+the corresponding experiment on the simulated CPUs and prints the same
+rows/series the paper reports. Absolute numbers differ (the substrate is
+a simulator, not the authors' Skylake/Coffee Lake testbeds); the *shape*
+— who wins, which cells are violated, relative detection effort — is the
+reproduction target. Expected-vs-measured notes live in EXPERIMENTS.md.
+
+Budgets are deliberately modest so `pytest benchmarks/ --benchmark-only`
+finishes in minutes; set REPRO_BENCH_SCALE=N to multiply search budgets.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+def print_table(title, headers, rows):
+    """Uniform fixed-width table printer for benchmark output."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

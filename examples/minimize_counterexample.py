@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Find a violation with the fuzzer, then minimize it (paper §5.7).
+
+Reproduces the Figure 3 -> Figure 4 journey: a random test case that
+violates CT-SEQ is shrunk to its essence — minimal priming sequence,
+minimal instruction count, and LFENCE boundaries delimiting the exact
+leak location.
+
+Run:  python examples/minimize_counterexample.py
+"""
+
+from repro import Fuzzer, FuzzerConfig, Postprocessor
+from repro.isa.assembler import render_program
+
+
+def main() -> None:
+    config = FuzzerConfig(
+        instruction_subsets=("AR", "MEM", "CB"),
+        contract_name="CT-SEQ",
+        cpu_preset="skylake-v4-patched",
+        num_test_cases=300,
+        inputs_per_test_case=30,
+        seed=7,
+    )
+    fuzzer = Fuzzer(config)
+    print("searching for a violation ...")
+    report = fuzzer.run()
+    if not report.found:
+        print("no violation found; increase the budget")
+        return
+
+    violation = report.violation
+    print(f"\nfound: {violation.classification} after "
+          f"{violation.test_cases_until_found} test cases\n")
+    print("original test case (cf. Figure 3):")
+    print(render_program(violation.program, numbered=True))
+
+    print("\nminimizing (cf. Figure 4) ...")
+    postprocessor = Postprocessor(fuzzer.pipeline)
+    result = postprocessor.minimize(
+        violation.program, list(violation.input_sequence)
+    )
+
+    print(f"\nminimized test case "
+          f"({result.original_instruction_count} -> "
+          f"{result.instruction_count} instructions, "
+          f"{result.original_input_count} -> {len(result.inputs)} inputs, "
+          f"{result.fences_inserted} fences):")
+    print(result.text)
+    print("\nleak location (the region not shielded by LFENCE):")
+    for line in result.leak_region():
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

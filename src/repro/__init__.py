@@ -1,0 +1,76 @@
+"""Revizor reproduction: Model-based Relational Testing of speculative CPUs.
+
+This package reimplements the system from *"Revizor: Testing Black-Box CPUs
+against Speculation Contracts"* (ASPLOS 2022) as a self-contained Python
+library. The real Intel CPUs are replaced by a deterministic speculative
+CPU simulator (:mod:`repro.uarch`); everything else — contracts, the
+executor logic, the relational analyzer, generators, pattern coverage and
+the postprocessor — follows the paper's design (see DESIGN.md).
+
+Quickstart::
+
+    from repro import FuzzerConfig, fuzz
+
+    report = fuzz(FuzzerConfig(
+        instruction_subsets=("AR", "MEM", "CB"),
+        contract_name="CT-SEQ",
+        cpu_preset="skylake",
+        num_test_cases=200,
+    ))
+    if report.found:
+        print(report.violation.describe())
+"""
+
+from repro.traces import CTrace, HTrace
+from repro.contracts import Contract, contract_names, get_contract
+from repro.emulator import Emulator, InputData, SandboxLayout
+from repro.uarch import SpeculativeCPU, UarchConfig, coffee_lake, preset, skylake
+from repro.executor import Executor, ExecutorConfig, NoiseModel, measurement_mode
+from repro.core import (
+    Fuzzer,
+    FuzzerConfig,
+    FuzzingReport,
+    GeneratorConfig,
+    InputGenerator,
+    MinimizationResult,
+    Postprocessor,
+    RelationalAnalyzer,
+    TestCaseGenerator,
+    TestingPipeline,
+    Violation,
+)
+from repro.core.fuzzer import fuzz
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CTrace",
+    "Contract",
+    "Emulator",
+    "Executor",
+    "ExecutorConfig",
+    "Fuzzer",
+    "FuzzerConfig",
+    "FuzzingReport",
+    "GeneratorConfig",
+    "HTrace",
+    "InputData",
+    "InputGenerator",
+    "MinimizationResult",
+    "NoiseModel",
+    "Postprocessor",
+    "RelationalAnalyzer",
+    "SandboxLayout",
+    "SpeculativeCPU",
+    "TestCaseGenerator",
+    "TestingPipeline",
+    "UarchConfig",
+    "Violation",
+    "coffee_lake",
+    "contract_names",
+    "fuzz",
+    "get_contract",
+    "measurement_mode",
+    "preset",
+    "skylake",
+]

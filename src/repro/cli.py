@@ -1,0 +1,220 @@
+"""Command-line interface, mirroring the original tool's ``cli.py fuzz``.
+
+Subcommands:
+
+- ``fuzz``      run a fuzzing campaign against one target/contract;
+- ``reproduce`` run a handwritten gadget from the gallery;
+- ``trace``     print contract trace(s) of an assembly file;
+- ``minimize``  fuzz until a violation, then postprocess it;
+- ``list``      show available contracts, CPU presets, subsets, gadgets.
+
+Example::
+
+    revizor fuzz -s AR+MEM+CB -c CT-SEQ --cpu skylake -n 200 -i 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.isa.assembler import parse_program, render_program
+from repro.isa.instruction_set import subset_names
+from repro.emulator.state import SandboxLayout
+from repro.contracts import contract_names, get_contract
+from repro.core.config import FuzzerConfig, GeneratorConfig
+from repro.core.fuzzer import Fuzzer, TestingPipeline
+from repro.core.input_gen import InputGenerator
+from repro.core.postprocessor import Postprocessor
+from repro.executor.modes import mode_names
+from repro.gallery import GALLERY
+from repro.uarch.config import preset_names
+
+
+def _build_config(args: argparse.Namespace) -> FuzzerConfig:
+    return FuzzerConfig(
+        instruction_subsets=tuple(args.subsets.split("+")),
+        contract_name=args.contract,
+        cpu_preset=args.cpu,
+        executor_mode=args.mode,
+        num_test_cases=args.num_test_cases,
+        inputs_per_test_case=args.inputs,
+        entropy_bits=args.entropy,
+        timeout_seconds=args.timeout,
+        analyzer_mode=args.analyzer,
+        seed=args.seed,
+        generator=GeneratorConfig(sandbox_pages=args.pages),
+    )
+
+
+def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-s", "--subsets", default="AR+MEM+CB",
+                        help="instruction subsets, e.g. AR+MEM+CB")
+    parser.add_argument("-c", "--contract", default="CT-SEQ",
+                        help="contract name, e.g. CT-SEQ")
+    parser.add_argument("--cpu", default="skylake",
+                        help="CPU preset under test")
+    parser.add_argument("-m", "--mode", default="P+P",
+                        help="executor mode (P+P, F+R, E+R, P+P+A, ...)")
+    parser.add_argument("-n", "--num-test-cases", type=int, default=200)
+    parser.add_argument("-i", "--inputs", type=int, default=50,
+                        help="inputs per test case")
+    parser.add_argument("-e", "--entropy", type=int, default=2,
+                        help="PRNG entropy bits")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="wall-clock budget in seconds")
+    parser.add_argument("--analyzer", default="subset",
+                        choices=("subset", "strict"))
+    parser.add_argument("--pages", type=int, default=1,
+                        help="sandbox pages used by generated code")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run one fuzzing campaign; exit 1 when a violation is found."""
+    fuzzer = Fuzzer(_build_config(args))
+    report = fuzzer.run()
+    print(report.summary())
+    if report.found:
+        print()
+        print(report.violation.describe())
+        return 1  # a violation is a nonzero exit, like grep finding a match
+    return 0
+
+
+def cmd_minimize(args: argparse.Namespace) -> int:
+    """Fuzz until a violation, then run the 3-stage postprocessor."""
+    fuzzer = Fuzzer(_build_config(args))
+    report = fuzzer.run()
+    print(report.summary())
+    if not report.found:
+        return 0
+    violation = report.violation
+    print("\nminimizing ...")
+    result = Postprocessor(fuzzer.pipeline).minimize(
+        violation.program, list(violation.input_sequence)
+    )
+    print(f"\nminimized ({result.original_instruction_count} -> "
+          f"{result.instruction_count} instructions, "
+          f"{result.fences_inserted} fences):")
+    print(result.text)
+    return 1
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Run one handwritten gallery gadget through the detection pipeline."""
+    try:
+        entry = GALLERY[args.gadget]
+    except KeyError:
+        print(f"unknown gadget {args.gadget!r}; see `revizor list`",
+              file=sys.stderr)
+        return 2
+    config = FuzzerConfig(
+        contract_name=entry.contract,
+        cpu_preset=entry.cpu_preset,
+        executor_mode=entry.executor_mode,
+        analyzer_mode=entry.analyzer_mode,
+        seed=11,
+    )
+    pipeline = TestingPipeline(config)
+    generator = InputGenerator(seed=args.seed, entropy_bits=entry.entropy_bits,
+                               layout=pipeline.layout)
+    print(f"{entry.name}: {entry.description}\n")
+    print(render_program(entry.program(), numbered=True))
+    count = 4
+    while count <= args.max_inputs:
+        inputs = generator.generate(count)
+        candidate = pipeline.check_violation(entry.program(), inputs,
+                                             confirm=True)
+        if candidate is not None:
+            print(f"\nviolation of {entry.contract} on {entry.cpu_preset} "
+                  f"with {count} inputs:")
+            print(candidate)
+            return 1
+        count *= 2
+    print(f"\nno violation within {args.max_inputs} inputs "
+          "(rare gadget or unlucky seed; retry with --seed)")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Print contract traces of an assembly file for a few random inputs."""
+    with open(args.file) as handle:
+        program = parse_program(handle.read())
+    contract = get_contract(args.contract)
+    layout = SandboxLayout()
+    generator = InputGenerator(seed=args.seed, entropy_bits=args.entropy,
+                               layout=layout)
+    print(render_program(program, numbered=True))
+    print()
+    for index, input_data in enumerate(generator.generate(args.inputs)):
+        trace = contract.collect_trace(program, input_data, layout)
+        print(f"input #{index} (seed={input_data.seed}): {trace}")
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """List contracts, CPU presets, ISA subsets, modes and gadgets."""
+    print("contracts:      " + ", ".join(contract_names()))
+    print("CPU presets:    " + ", ".join(preset_names()))
+    print("ISA subsets:    " + ", ".join(subset_names()))
+    print("executor modes: " + ", ".join(mode_names()))
+    print("gadgets:")
+    for name, entry in GALLERY.items():
+        print(f"  {name:24s} {entry.vulnerability}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="revizor",
+        description="Model-based relational testing of (simulated) CPUs "
+        "against speculation contracts",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    fuzz_parser = commands.add_parser("fuzz", help="run a fuzzing campaign")
+    _add_target_arguments(fuzz_parser)
+    fuzz_parser.set_defaults(handler=cmd_fuzz)
+
+    minimize_parser = commands.add_parser(
+        "minimize", help="fuzz until a violation, then minimize it"
+    )
+    _add_target_arguments(minimize_parser)
+    minimize_parser.set_defaults(handler=cmd_minimize)
+
+    reproduce_parser = commands.add_parser(
+        "reproduce", help="run a handwritten gadget from the gallery"
+    )
+    reproduce_parser.add_argument("gadget", help="gadget name (see `list`)")
+    reproduce_parser.add_argument("--max-inputs", type=int, default=128)
+    reproduce_parser.add_argument("--seed", type=int, default=42)
+    reproduce_parser.set_defaults(handler=cmd_reproduce)
+
+    trace_parser = commands.add_parser(
+        "trace", help="print contract traces of an assembly file"
+    )
+    trace_parser.add_argument("file", help="Intel-syntax assembly file")
+    trace_parser.add_argument("-c", "--contract", default="CT-SEQ")
+    trace_parser.add_argument("-i", "--inputs", type=int, default=3)
+    trace_parser.add_argument("-e", "--entropy", type=int, default=2)
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.set_defaults(handler=cmd_trace)
+
+    list_parser = commands.add_parser("list", help="show available components")
+    list_parser.set_defaults(handler=cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Executable speculation contracts (paper §2 and §5.4).
+
+A contract pairs an *observation clause* (what information each instruction
+may expose) with an *execution clause* (which speculative control/data flow
+the CPU may exhibit). :class:`~repro.contracts.contract.Contract` turns a
+test-case program and an input into a contract trace by running the
+functional emulator with checkpoint-based speculative exploration, exactly
+like the paper's Unicorn instrumentation.
+"""
+
+from repro.contracts.observation import (
+    ARCH,
+    CT,
+    CT_NONSPEC_STORE,
+    MEM,
+    ObservationClause,
+)
+from repro.contracts.execution import (
+    BPAS,
+    COND,
+    COND_BPAS,
+    SEQ,
+    ExecutionClause,
+)
+from repro.contracts.contract import (
+    Contract,
+    contract_names,
+    get_contract,
+)
+
+__all__ = [
+    "ARCH",
+    "BPAS",
+    "COND",
+    "COND_BPAS",
+    "CT",
+    "CT_NONSPEC_STORE",
+    "Contract",
+    "ExecutionClause",
+    "MEM",
+    "ObservationClause",
+    "SEQ",
+    "contract_names",
+    "get_contract",
+]

@@ -1,0 +1,234 @@
+"""Contracts and contract-trace collection (paper §5.4).
+
+The tracer executes a test case on the functional emulator. On every
+instruction with a non-empty execution clause it pushes a checkpoint and
+simulates the mis-speculated path until the speculation window closes, a
+serializing instruction is reached, or the test case ends — then rolls back
+(the SpecFuzz-style exposure mechanism the paper adopts). Observations are
+recorded according to the observation clause on both correct and
+mis-speculated paths.
+
+Nested speculation is supported through a stack of checkpoints but disabled
+by default (``max_nesting=1``), matching §5.4; detected violations are
+re-validated with nesting enabled by the fuzzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import TestCaseProgram
+from repro.emulator.errors import EmulationFault, ExecutionLimitExceeded
+from repro.emulator.machine import Emulator
+from repro.emulator.state import InputData, SandboxLayout, Snapshot
+from repro.contracts.execution import EXECUTION_CLAUSES, ExecutionClause
+from repro.contracts.observation import OBSERVATION_CLAUSES, ObservationClause
+from repro.traces import CTrace, ExecutionLog, ExecutionLogEntry, Observation
+
+#: Default speculation window in instructions: the paper uses 250, based on
+#: the reorder-buffer size of Skylake CPUs (§5.4, footnote 3).
+DEFAULT_SPECULATION_WINDOW = 250
+
+_MAX_TRACE_STEPS = 200_000
+
+
+@dataclass
+class _SpeculationFrame:
+    """A checkpoint for one open speculative path."""
+
+    snapshot: Snapshot
+    resume_pc: int
+    window_left: int
+
+
+@dataclass(frozen=True)
+class Contract:
+    """An executable speculation contract.
+
+    ``collect_trace`` maps ``(program, input)`` to a contract trace, i.e. it
+    implements the paper's ``Contract(Prog, Data) -> CTrace`` function.
+    """
+
+    observation: ObservationClause
+    execution: ExecutionClause
+    speculation_window: int = DEFAULT_SPECULATION_WINDOW
+    max_nesting: int = 1
+
+    @property
+    def name(self) -> str:
+        return f"{self.observation.name}-{self.execution.name}"
+
+    def with_nesting(self, max_nesting: int) -> "Contract":
+        """A copy with a different nesting depth (violation re-validation)."""
+        return replace(self, max_nesting=max_nesting)
+
+    def collect_trace(
+        self,
+        program: TestCaseProgram,
+        input_data: InputData,
+        layout: Optional[SandboxLayout] = None,
+    ) -> CTrace:
+        trace, _ = self.collect_trace_and_log(program, input_data, layout)
+        return trace
+
+    def collect_trace_and_log(
+        self,
+        program: TestCaseProgram,
+        input_data: InputData,
+        layout: Optional[SandboxLayout] = None,
+    ) -> Tuple[CTrace, ExecutionLog]:
+        """Collect the contract trace plus the model's execution log.
+
+        The log records executed instructions and their memory addresses;
+        the diversity analysis (§5.6) mines it for hazard patterns.
+        """
+        emulator = Emulator(program, layout)
+        emulator.state.load_input(input_data)
+        observations: List[Observation] = []
+        log = ExecutionLog()
+        stack: List[_SpeculationFrame] = []
+        pc = 0
+        steps = 0
+        end = len(emulator.linear)
+
+        def rollback() -> int:
+            frame = stack.pop()
+            emulator.rollback(frame.snapshot)
+            return frame.resume_pc
+
+        while True:
+            if steps >= _MAX_TRACE_STEPS:
+                raise ExecutionLimitExceeded(
+                    f"contract trace exceeded {_MAX_TRACE_STEPS} steps"
+                )
+            if not 0 <= pc < end:
+                if stack:
+                    pc = rollback()
+                    continue
+                break
+            speculative = bool(stack)
+            instruction = emulator.linear.instructions[pc]
+            if speculative:
+                if instruction.is_fence:
+                    pc = rollback()
+                    continue
+                frame = stack[-1]
+                if frame.window_left <= 0:
+                    pc = rollback()
+                    continue
+                frame.window_left -= 1
+            try:
+                result = emulator.step(pc)
+            except EmulationFault:
+                if stack:
+                    pc = rollback()
+                    continue
+                raise
+            steps += 1
+            self.observation.observe(result, speculative, observations)
+            log.entries.append(
+                ExecutionLogEntry(
+                    pc=pc,
+                    mnemonic=instruction.mnemonic,
+                    registers_read=instruction.registers_read(),
+                    registers_written=instruction.registers_written(),
+                    flags_read=instruction.flags_read,
+                    flags_written=instruction.flags_written,
+                    is_load=instruction.is_load,
+                    is_store=instruction.is_store,
+                    is_cond_branch=instruction.is_cond_branch,
+                    is_uncond_branch=instruction.is_uncond_branch
+                    or instruction.is_indirect_branch,
+                    addresses=tuple(a.address for a in result.mem_accesses),
+                    speculative=speculative,
+                )
+            )
+
+            may_fork = len(stack) < self.max_nesting
+            if (
+                instruction.is_cond_branch
+                and self.execution.speculate_conditional_branches
+                and may_fork
+            ):
+                # Table 1: simulate the inverted branch outcome.
+                branch = result.branch
+                stack.append(
+                    _SpeculationFrame(
+                        snapshot=emulator.checkpoint(),
+                        resume_pc=result.next_pc,
+                        window_left=self.speculation_window,
+                    )
+                )
+                pc = branch.fallthrough if branch.taken else branch.target
+                continue
+            if (
+                result.stores
+                and self.execution.speculate_store_bypass
+                and may_fork
+            ):
+                # BPAS: the store is speculatively skipped. Checkpoint the
+                # post-store state for the rollback, then undo the store's
+                # memory effects for the speculative path.
+                stack.append(
+                    _SpeculationFrame(
+                        snapshot=emulator.checkpoint(),
+                        resume_pc=result.next_pc,
+                        window_left=self.speculation_window,
+                    )
+                )
+                for access in reversed(result.stores):
+                    emulator.state.write_memory(
+                        access.address, access.size, access.old_value
+                    )
+                pc = result.next_pc
+                continue
+            pc = result.next_pc
+
+        return CTrace(tuple(observations)), log
+
+
+def _build_registry() -> Dict[str, Contract]:
+    registry: Dict[str, Contract] = {}
+    for obs_name, obs in OBSERVATION_CLAUSES.items():
+        for exec_name, execution in EXECUTION_CLAUSES.items():
+            contract = Contract(obs, execution)
+            registry[f"{obs_name}-{exec_name}"] = contract
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def contract_names() -> Tuple[str, ...]:
+    """All registered contract names (observation x execution clauses)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_contract(
+    name: str,
+    speculation_window: int = DEFAULT_SPECULATION_WINDOW,
+    max_nesting: int = 1,
+) -> Contract:
+    """Look up a contract by name, e.g. ``"CT-SEQ"`` or ``"ARCH-SEQ"``.
+
+    >>> get_contract("CT-COND").execution.speculate_conditional_branches
+    True
+    """
+    try:
+        base = _REGISTRY[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown contract {name!r}; available: {', '.join(contract_names())}"
+        ) from None
+    return replace(
+        base, speculation_window=speculation_window, max_nesting=max_nesting
+    )
+
+
+__all__ = [
+    "Contract",
+    "DEFAULT_SPECULATION_WINDOW",
+    "contract_names",
+    "get_contract",
+]

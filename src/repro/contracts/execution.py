@@ -1,0 +1,45 @@
+"""Execution clauses (paper §2.3).
+
+- ``SEQ``: observations are collected during sequential execution only;
+- ``COND``: conditional branches are additionally explored down their
+  *mispredicted* path (Table 1: the jump is taken iff the condition is
+  false) up to a speculation window, then rolled back;
+- ``BPAS``: every store is speculatively *skipped* (store bypass), the
+  mis-speculated path rolls back after the window;
+- ``COND-BPAS``: both of the above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExecutionClause:
+    """Which speculative behaviours the contract permits (and thus models)."""
+
+    name: str
+    speculate_conditional_branches: bool = False
+    speculate_store_bypass: bool = False
+
+    @property
+    def is_sequential(self) -> bool:
+        return not (
+            self.speculate_conditional_branches or self.speculate_store_bypass
+        )
+
+
+SEQ = ExecutionClause("SEQ")
+COND = ExecutionClause("COND", speculate_conditional_branches=True)
+BPAS = ExecutionClause("BPAS", speculate_store_bypass=True)
+COND_BPAS = ExecutionClause(
+    "COND-BPAS",
+    speculate_conditional_branches=True,
+    speculate_store_bypass=True,
+)
+
+EXECUTION_CLAUSES = {
+    clause.name: clause for clause in (SEQ, COND, BPAS, COND_BPAS)
+}
+
+__all__ = ["BPAS", "COND", "COND_BPAS", "EXECUTION_CLAUSES", "ExecutionClause", "SEQ"]

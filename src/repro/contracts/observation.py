@@ -1,0 +1,96 @@
+"""Observation clauses (paper §2.3).
+
+- ``MEM``: addresses of loads and stores (data-cache side channel);
+- ``CT``: MEM plus the program counter (constant-time threat model);
+- ``ARCH``: CT plus loaded values (same-address-space observer, as assumed
+  by Speculative Taint Tracking);
+- ``CT-NONSPEC-STORE``: the §6.4 variant of CT that does *not* expose
+  speculative stores, capturing the "stores do not modify the cache until
+  they retire" assumption of STT/KLEESpectre.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.emulator.semantics import StepResult
+from repro.traces import Observation
+
+
+@dataclass(frozen=True)
+class ObservationClause:
+    """Declarative description of what each instruction exposes."""
+
+    name: str
+    expose_load_addresses: bool = False
+    expose_store_addresses: bool = False
+    expose_pc: bool = False
+    expose_load_values: bool = False
+    #: when False, stores on speculative paths are not observed (§6.4)
+    expose_speculative_stores: bool = True
+
+    def observe(
+        self,
+        step: StepResult,
+        speculative: bool,
+        observations: List[Observation],
+    ) -> None:
+        """Append the observations this clause prescribes for ``step``."""
+        if self.expose_pc:
+            observations.append(("pc", step.pc))
+        for access in step.mem_accesses:
+            if access.is_write:
+                if not self.expose_store_addresses:
+                    continue
+                if speculative and not self.expose_speculative_stores:
+                    continue
+                observations.append(("st", access.address))
+            else:
+                if self.expose_load_addresses:
+                    observations.append(("ld", access.address))
+                if self.expose_load_values:
+                    observations.append(("val", access.value))
+
+
+MEM = ObservationClause(
+    "MEM",
+    expose_load_addresses=True,
+    expose_store_addresses=True,
+)
+
+CT = ObservationClause(
+    "CT",
+    expose_load_addresses=True,
+    expose_store_addresses=True,
+    expose_pc=True,
+)
+
+ARCH = ObservationClause(
+    "ARCH",
+    expose_load_addresses=True,
+    expose_store_addresses=True,
+    expose_pc=True,
+    expose_load_values=True,
+)
+
+CT_NONSPEC_STORE = ObservationClause(
+    "CT-NONSPEC-STORE",
+    expose_load_addresses=True,
+    expose_store_addresses=True,
+    expose_pc=True,
+    expose_speculative_stores=False,
+)
+
+OBSERVATION_CLAUSES = {
+    clause.name: clause for clause in (MEM, CT, ARCH, CT_NONSPEC_STORE)
+}
+
+__all__ = [
+    "ARCH",
+    "CT",
+    "CT_NONSPEC_STORE",
+    "MEM",
+    "OBSERVATION_CLAUSES",
+    "ObservationClause",
+]

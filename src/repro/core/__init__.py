@@ -1,0 +1,50 @@
+"""Model-based Relational Testing (MRT): the paper's core contribution.
+
+The pipeline (paper Figure 2): a test-case generator samples programs, an
+input generator samples architectural states, the contract model produces
+contract traces, the executor produces hardware traces, and the relational
+analyzer partitions inputs into contract-equivalence classes and flags any
+class whose members disagree on hardware traces — a counterexample
+witnessing a contract violation. Diversity analysis (pattern coverage)
+widens the generator configuration between rounds, and the postprocessor
+minimizes counterexamples.
+"""
+
+from repro.core.config import FuzzerConfig, GeneratorConfig
+from repro.core.input_gen import InputGenerator
+from repro.core.generator import TestCaseGenerator
+from repro.core.analyzer import (
+    AnalysisResult,
+    InputClass,
+    RelationalAnalyzer,
+    ViolationCandidate,
+)
+from repro.core.patterns import (
+    ALL_PATTERNS,
+    PatternCoverage,
+    patterns_in_log,
+)
+from repro.core.violation import Violation, classify_speculation_kinds
+from repro.core.fuzzer import Fuzzer, FuzzingReport, TestingPipeline
+from repro.core.postprocessor import MinimizationResult, Postprocessor
+
+__all__ = [
+    "ALL_PATTERNS",
+    "AnalysisResult",
+    "Fuzzer",
+    "FuzzerConfig",
+    "FuzzingReport",
+    "GeneratorConfig",
+    "InputClass",
+    "InputGenerator",
+    "MinimizationResult",
+    "PatternCoverage",
+    "Postprocessor",
+    "RelationalAnalyzer",
+    "TestCaseGenerator",
+    "TestingPipeline",
+    "Violation",
+    "ViolationCandidate",
+    "classify_speculation_kinds",
+    "patterns_in_log",
+]

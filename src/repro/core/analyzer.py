@@ -1,0 +1,161 @@
+"""Relational analysis (paper §4 and §5.5).
+
+Inputs are partitioned into *input classes* — equivalence classes of
+contract-trace equality. Classes with a single member are discarded as
+ineffective. Within each class, all hardware traces must be equivalent;
+a non-equivalent pair is a counterexample candidate.
+
+Hardware-trace equivalence is configurable:
+
+- ``"subset"`` (paper default): two traces are equivalent when one is a
+  subset of the other. The §5.5 intuition: inconsistently executed
+  speculative paths produce *fewer but matching* observations (noise),
+  while secret-dependent leakage produces *different* observations;
+- ``"strict"``: plain set equality. Used by the ablation benchmark and
+  when hunting the latency-leak variants of §6.3, which can manifest as
+  pure subset divergences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.traces import CTrace, HTrace
+
+
+@dataclass
+class InputClass:
+    """One contract-equivalence class of inputs."""
+
+    ctrace: CTrace
+    positions: List[int]  # indices into the input sequence
+
+    @property
+    def size(self) -> int:
+        return len(self.positions)
+
+
+@dataclass
+class ViolationCandidate:
+    """A pair of same-class inputs with non-equivalent hardware traces."""
+
+    ctrace: CTrace
+    position_a: int
+    position_b: int
+    htrace_a: HTrace
+    htrace_b: HTrace
+
+    def __str__(self) -> str:
+        return (
+            f"inputs #{self.position_a} / #{self.position_b} share a contract "
+            f"trace but differ on hardware traces:\n"
+            f"  {self.htrace_a.bitmap()}\n  {self.htrace_b.bitmap()}"
+        )
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of analyzing one test case."""
+
+    classes: List[InputClass] = field(default_factory=list)
+    singleton_inputs: int = 0
+    candidates: List[ViolationCandidate] = field(default_factory=list)
+
+    @property
+    def effective_classes(self) -> List[InputClass]:
+        return [cls for cls in self.classes if cls.size >= 2]
+
+    @property
+    def effectiveness(self) -> float:
+        """Fraction of inputs in non-singleton classes (CH2 metric)."""
+        total = sum(cls.size for cls in self.classes) + self.singleton_inputs
+        if total == 0:
+            return 0.0
+        return sum(cls.size for cls in self.classes) / total
+
+
+class RelationalAnalyzer:
+    """Implements the relational check of Definition 1 on collected traces."""
+
+    def __init__(self, mode: str = "subset"):
+        if mode not in ("subset", "strict"):
+            raise ValueError(f"unknown analyzer mode {mode!r}")
+        self.mode = mode
+
+    def equivalent(self, a: HTrace, b: HTrace) -> bool:
+        """Hardware-trace equivalence (paper §5.5)."""
+        if self.mode == "strict":
+            return a.signals == b.signals
+        return a.issubset(b) or b.issubset(a)
+
+    def build_classes(self, ctraces: Sequence[CTrace]) -> Tuple[List[InputClass], int]:
+        """Group input positions by contract trace; drop singletons."""
+        by_trace: Dict[CTrace, List[int]] = {}
+        for position, ctrace in enumerate(ctraces):
+            by_trace.setdefault(ctrace, []).append(position)
+        classes = [
+            InputClass(ctrace, positions)
+            for ctrace, positions in by_trace.items()
+            if len(positions) >= 2
+        ]
+        singletons = sum(
+            1 for positions in by_trace.values() if len(positions) == 1
+        )
+        return classes, singletons
+
+    def analyze(
+        self,
+        ctraces: Sequence[CTrace],
+        htraces: Sequence[HTrace],
+    ) -> AnalysisResult:
+        """Full relational analysis of one test case (paper §4):
+        partition by contract trace, then check hardware-trace equivalence
+        within each class."""
+        if len(ctraces) != len(htraces):
+            raise ValueError("ctraces and htraces must align one-to-one")
+        classes, singletons = self.build_classes(ctraces)
+        result = AnalysisResult(classes=classes, singleton_inputs=singletons)
+        for cls in classes:
+            result.candidates.extend(self._check_class(cls, htraces))
+        return result
+
+    def _check_class(
+        self, cls: InputClass, htraces: Sequence[HTrace]
+    ) -> List[ViolationCandidate]:
+        """Compare all members against the first non-equivalent partition.
+
+        A full pairwise scan is quadratic; comparing every member to every
+        already-seen representative finds the same witnesses and is linear
+        in practice (most classes are homogeneous).
+        """
+        candidates: List[ViolationCandidate] = []
+        representatives: List[int] = []
+        for position in cls.positions:
+            trace = htraces[position]
+            matched = False
+            for rep in representatives:
+                if self.equivalent(trace, htraces[rep]):
+                    matched = True
+                    break
+            if not matched and representatives:
+                candidates.append(
+                    ViolationCandidate(
+                        ctrace=cls.ctrace,
+                        position_a=representatives[0],
+                        position_b=position,
+                        htrace_a=htraces[representatives[0]],
+                        htrace_b=trace,
+                    )
+                )
+            if not matched:
+                representatives.append(position)
+        return candidates
+
+
+__all__ = [
+    "AnalysisResult",
+    "InputClass",
+    "RelationalAnalyzer",
+    "ViolationCandidate",
+]

@@ -1,0 +1,106 @@
+"""Configuration dataclasses for the generator and the fuzzer.
+
+The defaults follow the paper's experimental configuration (§6.1):
+generation starts from 8 instructions, 2 memory accesses and 2 basic
+blocks per test case, 2 bits of input entropy, and 50 inputs per test
+case; the parameters grow over testing rounds under diversity feedback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.uarch.config import UarchConfig
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Test-case generator parameters (paper §5.1)."""
+
+    instructions_per_test: int = 8
+    basic_blocks: int = 2
+    memory_accesses: int = 2
+    #: the generator uses only this many registers to improve input
+    #: effectiveness (§5.1: four registers)
+    register_pool: Tuple[str, ...] = ("RAX", "RBX", "RCX", "RDX")
+    #: number of 4KB sandbox pages generated accesses may touch
+    sandbox_pages: int = 1
+    #: accesses are cache-line (64B) aligned, then offset by a random value
+    #: in [0, 64) chosen per test case (§5.1)
+    randomize_offset: bool = True
+
+    def grown(self) -> "GeneratorConfig":
+        """The next diversity-feedback step (§5.6: sizes grow by constant
+        factors, e.g. 10/2/50 -> 15/3/75)."""
+        return replace(
+            self,
+            instructions_per_test=max(
+                self.instructions_per_test + 1,
+                int(self.instructions_per_test * 1.5),
+            ),
+            basic_blocks=self.basic_blocks + 1,
+            memory_accesses=max(
+                self.memory_accesses + 1, int(self.memory_accesses * 1.5)
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class FuzzerConfig:
+    """End-to-end fuzzing campaign configuration (one Table 2 target plus
+    one contract)."""
+
+    # what to test
+    instruction_subsets: Tuple[str, ...] = ("AR", "MEM", "CB")
+    contract_name: str = "CT-SEQ"
+    #: either a preset name ("skylake", "skylake-v4-patched", "coffee-lake")
+    #: or a full UarchConfig in ``cpu_config``
+    cpu_preset: str = "skylake"
+    cpu_config: Optional[UarchConfig] = None
+    executor_mode: str = "P+P"
+
+    # search budget
+    num_test_cases: int = 1000
+    timeout_seconds: Optional[float] = None
+    inputs_per_test_case: int = 50
+
+    # input generation (§5.2)
+    entropy_bits: int = 2
+
+    # generator (§5.1) and diversity feedback (§5.6)
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    diversity_feedback: bool = True
+    round_size: int = 10  # test cases per round
+    #: growth caps: reconfiguration stops widening once these are reached
+    #: (the paper's 24h campaigns are implicitly bounded by wall clock)
+    max_inputs_per_test_case: int = 150
+    max_instructions_per_test: int = 48
+    max_basic_blocks: int = 8
+
+    # analysis (§5.5) and violation filtering (§5.3, §5.4)
+    analyzer_mode: str = "subset"  # "subset" | "strict"
+    #: cap on candidate pairs run through the expensive confirmation
+    #: (priming swap = three full priming sequences) per test case
+    max_candidates_per_test_case: int = 5
+    verify_with_priming: bool = True
+    revalidate_with_nesting: bool = True
+    nesting_depth_for_revalidation: int = 3
+    speculation_window: int = 250
+
+    # measurement (§5.3)
+    executor_repetitions: int = 3
+    executor_warmups: int = 1
+    outlier_threshold: int = 1
+
+    seed: int = 0
+
+    def resolve_cpu(self) -> UarchConfig:
+        if self.cpu_config is not None:
+            return self.cpu_config
+        from repro.uarch.config import preset
+
+        return preset(self.cpu_preset)
+
+
+__all__ = ["FuzzerConfig", "GeneratorConfig"]

@@ -1,0 +1,378 @@
+"""The MRT fuzzing loop (paper §4 and Figure 2).
+
+:class:`TestingPipeline` wires one target together — contract model,
+executor against one simulated CPU, relational analyzer, and the two
+false-positive filters (priming-swap verification, §5.3; nested-speculation
+revalidation, §5.4).
+
+:class:`Fuzzer` drives the pipeline in rounds: generate a test case and a
+priming sequence of inputs, collect both trace kinds, analyze, and either
+report a confirmed violation or feed pattern coverage into the diversity
+analysis that widens the generator configuration (§5.6).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.isa.instruction import TestCaseProgram
+from repro.isa.instruction_set import instruction_subset
+from repro.emulator.errors import EmulationError
+from repro.emulator.state import InputData, SandboxLayout
+from repro.contracts.contract import Contract, get_contract
+from repro.executor.executor import Executor, ExecutorConfig
+from repro.executor.modes import measurement_mode
+from repro.executor.noise import NO_NOISE, NoiseModel
+from repro.traces import CTrace, ExecutionLog, HTrace
+from repro.core.analyzer import (
+    AnalysisResult,
+    RelationalAnalyzer,
+    ViolationCandidate,
+)
+from repro.core.config import FuzzerConfig, GeneratorConfig
+from repro.core.generator import TestCaseGenerator
+from repro.core.input_gen import InputGenerator
+from repro.core.patterns import (
+    PatternCoverage,
+    available_patterns_for_subsets,
+    patterns_in_log,
+)
+from repro.core.violation import Violation, classify_speculation_kinds
+
+
+@dataclass
+class TestOutcome:
+    """Everything collected for one test case."""
+
+    program: TestCaseProgram
+    inputs: Sequence[InputData]
+    ctraces: List[CTrace]
+    htraces: List[HTrace]
+    logs: List[ExecutionLog]
+    analysis: AnalysisResult
+
+
+class TestingPipeline:
+    """One target (CPU x contract x threat model), end to end."""
+
+    def __init__(self, config: FuzzerConfig, noise: NoiseModel = NO_NOISE):
+        self.config = config
+        self.layout = SandboxLayout()
+        self.cpu_config = config.resolve_cpu()
+        self.contract: Contract = get_contract(
+            config.contract_name, speculation_window=config.speculation_window
+        )
+        self.analyzer = RelationalAnalyzer(config.analyzer_mode)
+        self.executor = Executor(
+            self.cpu_config,
+            measurement_mode(config.executor_mode),
+            self.layout,
+            ExecutorConfig(
+                repetitions=config.executor_repetitions,
+                warmup_passes=config.executor_warmups,
+                outlier_threshold=config.outlier_threshold,
+                noise=noise,
+                noise_seed=config.seed,
+            ),
+        )
+        self.discarded_by_priming = 0
+        self.discarded_by_nesting = 0
+
+    # -- trace collection -------------------------------------------------------
+
+    def collect_contract_traces(
+        self, program: TestCaseProgram, inputs: Sequence[InputData]
+    ) -> Tuple[List[CTrace], List[ExecutionLog]]:
+        ctraces: List[CTrace] = []
+        logs: List[ExecutionLog] = []
+        for input_data in inputs:
+            ctrace, log = self.contract.collect_trace_and_log(
+                program, input_data, self.layout
+            )
+            ctraces.append(ctrace)
+            logs.append(log)
+        return ctraces, logs
+
+    def test_program(
+        self, program: TestCaseProgram, inputs: Sequence[InputData]
+    ) -> TestOutcome:
+        """Collect both trace kinds and run the relational analysis."""
+        ctraces, logs = self.collect_contract_traces(program, inputs)
+        htraces = self.executor.collect_hardware_traces(program, inputs)
+        analysis = self.analyzer.analyze(ctraces, htraces)
+        return TestOutcome(program, inputs, ctraces, htraces, logs, analysis)
+
+    # -- false-positive filters ----------------------------------------------------
+
+    def confirm_candidate(
+        self, outcome: TestOutcome, candidate: ViolationCandidate
+    ) -> bool:
+        """Apply the priming-swap check and nesting revalidation."""
+        if self.config.revalidate_with_nesting:
+            nested = self.contract.with_nesting(
+                self.config.nesting_depth_for_revalidation
+            )
+            trace_a = nested.collect_trace(
+                outcome.program, outcome.inputs[candidate.position_a], self.layout
+            )
+            trace_b = nested.collect_trace(
+                outcome.program, outcome.inputs[candidate.position_b], self.layout
+            )
+            if trace_a != trace_b:
+                # with nesting modelled, the contract separates the inputs:
+                # the divergence was permitted leakage after all (§5.4)
+                self.discarded_by_nesting += 1
+                return False
+        if self.config.verify_with_priming:
+            confirmed = self.executor.priming_swap_check(
+                outcome.program,
+                outcome.inputs,
+                candidate.position_a,
+                candidate.position_b,
+                self.analyzer.equivalent,
+            )
+            if not confirmed:
+                self.discarded_by_priming += 1
+                return False
+        return True
+
+    def check_violation(
+        self,
+        program: TestCaseProgram,
+        inputs: Sequence[InputData],
+        confirm: bool = False,
+    ) -> Optional[ViolationCandidate]:
+        """Test one program; return the first (optionally confirmed)
+        candidate. Used by the postprocessor's shrinking loops."""
+        try:
+            outcome = self.test_program(program, inputs)
+        except EmulationError:
+            return None
+        for candidate in outcome.analysis.candidates:
+            if not confirm or self.confirm_candidate(outcome, candidate):
+                return candidate
+        return None
+
+    # -- violation construction ------------------------------------------------------
+
+    def build_violation(
+        self, outcome: TestOutcome, candidate: ViolationCandidate
+    ) -> Violation:
+        kinds = self._speculation_kinds(
+            candidate.position_a
+        ) | self._speculation_kinds(candidate.position_b)
+        has_division = any(
+            instruction.mnemonic in ("DIV", "IDIV")
+            for instruction in outcome.program.all_instructions()
+        )
+        classification = classify_speculation_kinds(
+            kinds, self.cpu_config, program_has_division=has_division
+        )
+        return Violation(
+            program=outcome.program,
+            contract_name=self.contract.name,
+            cpu_name=self.cpu_config.name,
+            ctrace=candidate.ctrace,
+            input_sequence=list(outcome.inputs),
+            position_a=candidate.position_a,
+            position_b=candidate.position_b,
+            htrace_a=candidate.htrace_a,
+            htrace_b=candidate.htrace_b,
+            classification=classification,
+            speculation_kinds=kinds,
+        )
+
+    def _speculation_kinds(self, position: int) -> Set[str]:
+        kinds: Set[str] = set()
+        infos = getattr(self.executor, "last_run_infos", None)
+        if infos and position < len(infos):
+            for info in infos[position]:
+                kinds |= info.speculation_kinds
+        return kinds
+
+
+@dataclass
+class FuzzingReport:
+    """Result of one fuzzing campaign."""
+
+    violation: Optional[Violation] = None
+    test_cases: int = 0
+    inputs_tested: int = 0
+    duration_seconds: float = 0.0
+    rounds: int = 0
+    reconfigurations: int = 0
+    mean_effectiveness: float = 0.0
+    coverage: Optional[PatternCoverage] = None
+    discarded_by_priming: int = 0
+    discarded_by_nesting: int = 0
+    unconfirmed_candidates: int = 0
+
+    @property
+    def found(self) -> bool:
+        return self.violation is not None
+
+    def summary(self) -> str:
+        outcome = (
+            f"VIOLATION ({self.violation.classification})"
+            if self.violation
+            else "no violation"
+        )
+        return (
+            f"{outcome} after {self.test_cases} test cases / "
+            f"{self.inputs_tested} inputs in {self.duration_seconds:.2f}s "
+            f"(effectiveness {self.mean_effectiveness:.2f}, "
+            f"{self.reconfigurations} reconfigurations)"
+        )
+
+
+class Fuzzer:
+    """The MRT campaign driver with diversity-guided generation."""
+
+    def __init__(self, config: FuzzerConfig, noise: NoiseModel = NO_NOISE):
+        self.config = config
+        self.pipeline = TestingPipeline(config, noise)
+        self.instruction_set = instruction_subset(config.instruction_subsets)
+        self.generator = TestCaseGenerator(
+            self.instruction_set,
+            config.generator,
+            self.pipeline.layout,
+            seed=config.seed,
+        )
+        self.input_generator = InputGenerator(
+            seed=config.seed + 1,
+            entropy_bits=config.entropy_bits,
+            registers=config.generator.register_pool,
+            layout=self.pipeline.layout,
+        )
+        self.coverage = PatternCoverage()
+        self._available_patterns = available_patterns_for_subsets(
+            config.instruction_subsets
+        )
+        self._inputs_per_case = config.inputs_per_test_case
+        self._feedback_stage = 0  # 0: individuals, 1: pairs, 2: saturated
+
+    def run(self) -> FuzzingReport:
+        """Fuzz until the first confirmed violation or budget exhaustion."""
+        config = self.config
+        report = FuzzingReport(coverage=self.coverage)
+        start = time.perf_counter()
+        effectiveness_sum = 0.0
+        new_coverage_this_round = False
+
+        for case_index in range(config.num_test_cases):
+            if (
+                config.timeout_seconds is not None
+                and time.perf_counter() - start > config.timeout_seconds
+            ):
+                break
+            program = self.generator.generate()
+            inputs = self.input_generator.generate(self._inputs_per_case)
+            try:
+                outcome = self.pipeline.test_program(program, inputs)
+            except EmulationError:
+                # an instrumentation gap let a fault through: skip the case
+                continue
+            report.test_cases += 1
+            report.inputs_tested += len(inputs)
+            effectiveness_sum += outcome.analysis.effectiveness
+
+            candidates = outcome.analysis.candidates[
+                : config.max_candidates_per_test_case
+            ]
+            for candidate in candidates:
+                if self.pipeline.confirm_candidate(outcome, candidate):
+                    violation = self.pipeline.build_violation(outcome, candidate)
+                    violation.test_cases_until_found = report.test_cases
+                    violation.inputs_until_found = report.inputs_tested
+                    violation.seconds_until_found = time.perf_counter() - start
+                    report.violation = violation
+                    break
+                report.unconfirmed_candidates += 1
+            if report.violation is not None:
+                break
+
+            # diversity analysis (§5.6)
+            if config.diversity_feedback:
+                if self._update_coverage(outcome):
+                    new_coverage_this_round = True
+                if (case_index + 1) % config.round_size == 0:
+                    report.rounds += 1
+                    if self._maybe_reconfigure(new_coverage_this_round):
+                        report.reconfigurations += 1
+                    new_coverage_this_round = False
+
+        report.duration_seconds = time.perf_counter() - start
+        if report.test_cases:
+            report.mean_effectiveness = effectiveness_sum / report.test_cases
+        report.discarded_by_priming = self.pipeline.discarded_by_priming
+        report.discarded_by_nesting = self.pipeline.discarded_by_nesting
+        return report
+
+    # -- diversity feedback ------------------------------------------------------
+
+    def _update_coverage(self, outcome: TestOutcome) -> bool:
+        """Mine patterns from the model's execution logs, per input class."""
+        pattern_sets = [patterns_in_log(log) for log in outcome.logs]
+        newly_covered = False
+        for cls in outcome.analysis.classes:
+            members = [pattern_sets[position] for position in cls.positions]
+            if self.coverage.update_from_class(members):
+                newly_covered = True
+        return newly_covered
+
+    def _maybe_reconfigure(self, new_coverage: bool) -> bool:
+        """Widen the generator when the coverage target for the current
+        stage is met, or when a round brought no new coverage."""
+        grow = False
+        if self._feedback_stage == 0 and self.coverage.all_individuals_covered(
+            self._available_patterns
+        ):
+            self._feedback_stage = 1
+            grow = True
+        elif self._feedback_stage == 1 and self.coverage.all_pairs_covered(
+            self._available_patterns
+        ):
+            self._feedback_stage = 2
+            grow = True
+        elif not new_coverage:
+            grow = True
+        if grow:
+            config = self.config
+            grown = self.generator.config.grown()
+            capped = replace(
+                grown,
+                instructions_per_test=min(
+                    grown.instructions_per_test, config.max_instructions_per_test
+                ),
+                basic_blocks=min(grown.basic_blocks, config.max_basic_blocks),
+                memory_accesses=min(
+                    grown.memory_accesses, config.max_instructions_per_test // 2
+                ),
+            )
+            if (
+                capped == self.generator.config
+                and self._inputs_per_case >= config.max_inputs_per_test_case
+            ):
+                return False  # saturated: nothing left to widen
+            self.generator.reconfigure(capped)
+            self._inputs_per_case = min(
+                config.max_inputs_per_test_case,
+                max(self._inputs_per_case + 1, int(self._inputs_per_case * 1.5)),
+            )
+        return grow
+
+
+def fuzz(config: FuzzerConfig, noise: NoiseModel = NO_NOISE) -> FuzzingReport:
+    """Convenience one-call campaign (the library's quickstart entry point)."""
+    return Fuzzer(config, noise).run()
+
+
+__all__ = [
+    "Fuzzer",
+    "FuzzingReport",
+    "TestOutcome",
+    "TestingPipeline",
+    "fuzz",
+]

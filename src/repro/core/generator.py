@@ -1,0 +1,258 @@
+"""Randomized DAG-based test-case generation (paper §5.1).
+
+The generator samples the program search space under constraints that keep
+test cases well-formed and effective:
+
+1. generate a random DAG of basic blocks;
+2. place conditional/direct jump terminators matching the DAG;
+3. fill blocks with random instructions from the tested ISA subset;
+4. instrument to avoid faults: mask memory offsets into the sandbox
+   (cache-line aligned, plus one per-test-case offset in [0, 64)), and
+   rewrite division operands so DIV/IDIV can never raise #DE;
+5. emit the final :class:`~repro.isa.instruction.TestCaseProgram`.
+
+Only four registers are used and the sandbox is confined to one or two 4KB
+pages, raising input effectiveness (CH2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.isa.instruction import (
+    BasicBlock,
+    Instruction,
+    InstructionSpec,
+    TestCaseProgram,
+)
+from repro.isa.instruction_set import (
+    CONDITION_CODES,
+    FULL_INSTRUCTION_SET,
+    InstructionSet,
+)
+from repro.isa.operands import (
+    AgenOperand,
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    Operand,
+    RegisterOperand,
+)
+from repro.isa.registers import SANDBOX_BASE_REGISTER, view_name
+from repro.emulator.state import PAGE_SIZE, SandboxLayout
+from repro.core.config import GeneratorConfig
+
+
+class TestCaseGenerator:
+    """Samples random, fault-free test-case programs."""
+
+    def __init__(
+        self,
+        instruction_set: InstructionSet,
+        config: Optional[GeneratorConfig] = None,
+        layout: Optional[SandboxLayout] = None,
+        seed: int = 0,
+    ):
+        self.instruction_set = instruction_set
+        self.config = config or GeneratorConfig()
+        self.layout = layout or SandboxLayout()
+        self._rng = random.Random(seed)
+        self._counter = 0
+
+        body = [
+            spec
+            for spec in instruction_set
+            if spec.category in ("AR", "MEM", "VAR")
+            and not any(t.kind == "LABEL" for t in spec.operands)
+        ]
+        self._memory_specs = [s for s in body if s.has_memory_operand]
+        self._plain_specs = [s for s in body if not s.has_memory_operand]
+        self._cond_branch_specs = instruction_set.by_category("CB")
+        try:
+            self._jmp_spec = instruction_set.find("JMP", ("LABEL",))
+        except KeyError:
+            # subsets without control flow (AR, AR+MEM, ...): blocks are
+            # connected by fallthrough only
+            self._jmp_spec = None
+        if not self._plain_specs:
+            raise ValueError("instruction set has no usable body instructions")
+
+    # -- configuration hooks (diversity feedback, §5.6) ------------------------
+
+    def reconfigure(self, config: GeneratorConfig) -> None:
+        self.config = config
+
+    # -- generation -------------------------------------------------------------
+
+    def generate(self, name: Optional[str] = None) -> TestCaseProgram:
+        """Generate one instrumented test-case program."""
+        rng = self._rng
+        config = self.config
+        self._counter += 1
+        name = name or f"tc{self._counter}"
+
+        offset = self._pick_offset(rng)
+        num_blocks = max(1, config.basic_blocks)
+        blocks = [BasicBlock(f"bb{i}") for i in range(num_blocks)]
+
+        # 1-2: DAG edges and terminators
+        for index, block in enumerate(blocks):
+            candidates = list(range(index + 1, num_blocks))
+            if not candidates or self._jmp_spec is None:
+                continue  # fallthrough edge (or no control flow in subset)
+            if self._cond_branch_specs and rng.random() < 0.7:
+                cond_target = rng.choice(candidates)
+                fall_target = rng.choice(candidates)
+                code = rng.choice(CONDITION_CODES)
+                spec = self.instruction_set.find(f"J{code}", ("LABEL",))
+                block.terminators.append(
+                    Instruction(spec, (LabelOperand(f"bb{cond_target}"),))
+                )
+                if fall_target != index + 1:
+                    block.terminators.append(
+                        Instruction(
+                            self._jmp_spec, (LabelOperand(f"bb{fall_target}"),)
+                        )
+                    )
+            else:
+                target = rng.choice(candidates)
+                if target != index + 1:
+                    block.terminators.append(
+                        Instruction(
+                            self._jmp_spec, (LabelOperand(f"bb{target}"),)
+                        )
+                    )
+
+        # 3: random body instructions with a memory-access quota
+        slots = config.instructions_per_test
+        memory_quota = min(config.memory_accesses, slots)
+        placements = [rng.randrange(num_blocks) for _ in range(slots)]
+        if placements:
+            # keep the entry block non-empty so rendered programs
+            # round-trip through the assembler (the unlabeled first block)
+            placements[0] = 0
+        memory_slots = set(
+            rng.sample(range(slots), memory_quota) if memory_quota else []
+        )
+        for slot, block_index in enumerate(placements):
+            use_memory = slot in memory_slots and self._memory_specs
+            pool = self._memory_specs if use_memory else self._plain_specs
+            spec = rng.choice(pool)
+            instructions = self._instantiate(spec, rng, offset)
+            blocks[block_index].body.extend(instructions)
+
+        program = TestCaseProgram(blocks=blocks, name=name)
+        program.validate_dag()
+        return program
+
+    # -- operand instantiation and instrumentation ------------------------------
+
+    def _pick_offset(self, rng: random.Random) -> int:
+        """The per-test-case intra-line offset (§5.1: 0..63)."""
+        if not self.config.randomize_offset:
+            return 0
+        max_masked = self._address_mask()
+        room = self.layout.size - max_masked - 8
+        return rng.randrange(0, max(1, min(64, room + 1)))
+
+    def _address_mask(self) -> int:
+        """Cache-line-aligned mask confining offsets to the used pages,
+        e.g. 0b111111000000 for one 4KB page (the paper's Figure 3)."""
+        pages = min(self.config.sandbox_pages, self.layout.num_pages)
+        return pages * PAGE_SIZE - self.layout.main_area_size // 64  # = n*4096 - 64
+
+    def _instantiate(
+        self, spec: InstructionSpec, rng: random.Random, offset: int
+    ) -> List[Instruction]:
+        """Build one concrete instruction plus its instrumentation."""
+        instrumentation: List[Instruction] = []
+        operands: List[Operand] = []
+        pool = self.config.register_pool
+        mask = self._address_mask()
+
+        for template in spec.operands:
+            if template.kind == "REG":
+                choices = pool
+                if spec.mnemonic in ("DIV", "IDIV"):
+                    # DIV RDX always overflows (#DE): the divisor would be
+                    # the dividend's own high half
+                    choices = [r for r in pool if r != "RDX"] or ["RBX"]
+                register = rng.choice(choices)
+                operands.append(RegisterOperand(view_name(register, template.width)))
+            elif template.kind == "IMM":
+                operands.append(
+                    ImmediateOperand(rng.getrandbits(min(template.width, 31)))
+                )
+            elif template.kind == "MEM":
+                index = rng.choice(pool)
+                instrumentation.append(self._masking_and(index, mask))
+                operands.append(
+                    MemoryOperand(
+                        SANDBOX_BASE_REGISTER,
+                        index,
+                        displacement=offset,
+                        width=template.width,
+                    )
+                )
+            elif template.kind == "AGEN":
+                index = rng.choice(pool)
+                operands.append(
+                    AgenOperand(SANDBOX_BASE_REGISTER, index, rng.randrange(64))
+                )
+            else:  # pragma: no cover - LABEL specs are filtered out
+                raise AssertionError(f"unexpected operand kind {template.kind}")
+
+        lock = bool(spec.lockable and rng.random() < 0.2)
+        instruction = Instruction(spec, tuple(operands), lock=lock)
+
+        if spec.mnemonic in ("DIV", "IDIV"):
+            instrumentation.extend(self._division_guards(instruction))
+        instrumentation.append(instruction)
+        return instrumentation
+
+    def _masking_and(self, register: str, mask: int) -> Instruction:
+        """``AND reg, 0b111111000000`` — confine an address offset (§5.1)."""
+        spec = FULL_INSTRUCTION_SET.find("AND", ("REG", "IMM"), 64)
+        return Instruction(
+            spec, (RegisterOperand(register), ImmediateOperand(mask))
+        )
+
+    def _division_guards(self, instruction: Instruction) -> List[Instruction]:
+        """Instrumentation preventing #DE (paper §5.1 step 4b).
+
+        ``MOV RDX, 0`` removes the high half of the dividend; ``AND RAX``
+        bounds the quotient so IDIV cannot overflow; ``OR divisor, 1``
+        makes the divisor nonzero.
+        """
+        guards: List[Instruction] = []
+        mov = FULL_INSTRUCTION_SET.find("MOV", ("REG", "IMM"), 64)
+        guards.append(
+            Instruction(mov, (RegisterOperand("RDX"), ImmediateOperand(0)))
+        )
+        and_spec = FULL_INSTRUCTION_SET.find("AND", ("REG", "IMM"), 64)
+        guards.append(
+            Instruction(
+                and_spec,
+                (RegisterOperand("RAX"), ImmediateOperand(0x3FFFFFFF)),
+            )
+        )
+        divisor = instruction.operands[0]
+        if isinstance(divisor, RegisterOperand):
+            or_spec = FULL_INSTRUCTION_SET.find(
+                "OR", ("REG", "IMM"), divisor.width
+            )
+            guards.append(
+                Instruction(or_spec, (divisor, ImmediateOperand(1)))
+            )
+        elif isinstance(divisor, MemoryOperand):
+            or_spec = FULL_INSTRUCTION_SET.find(
+                "OR", ("MEM", "IMM"), divisor.width
+            )
+            guards.append(
+                Instruction(or_spec, (divisor, ImmediateOperand(1)))
+            )
+        return guards
+
+
+__all__ = ["TestCaseGenerator"]

@@ -1,0 +1,192 @@
+"""Counterexample minimization (paper §5.7).
+
+Three stages:
+
+1. **input-sequence minimization** — remove inputs while the violation
+   still reproduces, finding the smallest priming sequence;
+2. **test-case minimization** — remove one instruction at a time while
+   re-checking the violation;
+3. **speculative-part minimization** — insert LFENCEs starting from the
+   last instruction while the violation persists; the remaining
+   fence-free region is the location of the leakage (paper Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import BasicBlock, Instruction, TestCaseProgram
+from repro.isa.instruction_set import FULL_INSTRUCTION_SET
+from repro.isa.assembler import render_program
+from repro.emulator.state import InputData
+from repro.core.fuzzer import TestingPipeline
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of postprocessing one violation."""
+
+    program: TestCaseProgram
+    inputs: List[InputData]
+    original_instruction_count: int
+    original_input_count: int
+    fences_inserted: int = 0
+    #: rendered minimized test case, Figure 4 style
+    text: str = ""
+
+    @property
+    def instruction_count(self) -> int:
+        return self.program.num_instructions
+
+    def leak_region(self) -> List[str]:
+        """The instructions not shielded by LFENCEs (the leak location)."""
+        region: List[str] = []
+        in_region = True
+        for instruction in self.program.all_instructions():
+            if instruction.mnemonic == "LFENCE":
+                in_region = False
+                continue
+            if in_region:
+                region.append(str(instruction))
+            in_region = True
+        return region
+
+
+class Postprocessor:
+    """Shrinks a violating (program, input sequence) pair."""
+
+    def __init__(self, pipeline: TestingPipeline, confirm: bool = False):
+        self.pipeline = pipeline
+        #: when True, every shrink step re-runs the full confirmation
+        #: (priming swap + nesting); much slower, used for final validation
+        self.confirm = confirm
+        self._lfence = FULL_INSTRUCTION_SET.find("LFENCE", ())
+
+    # -- public API ---------------------------------------------------------------
+
+    def minimize(
+        self,
+        program: TestCaseProgram,
+        inputs: Sequence[InputData],
+        max_passes: int = 3,
+    ) -> MinimizationResult:
+        """Run all three minimization stages."""
+        inputs = list(inputs)
+        if not self._violates(program, inputs):
+            raise ValueError("the provided test case does not violate")
+        original_instructions = program.num_instructions
+        original_inputs = len(inputs)
+
+        inputs = self.minimize_inputs(program, inputs)
+        program = self.minimize_instructions(program, inputs, max_passes)
+        program, fences = self.insert_fences(program, inputs)
+
+        return MinimizationResult(
+            program=program,
+            inputs=inputs,
+            original_instruction_count=original_instructions,
+            original_input_count=original_inputs,
+            fences_inserted=fences,
+            text=render_program(program),
+        )
+
+    # -- stage 1: inputs ------------------------------------------------------------
+
+    def minimize_inputs(
+        self, program: TestCaseProgram, inputs: List[InputData]
+    ) -> List[InputData]:
+        """Find a minimal priming sequence that still violates (§5.7)."""
+        current = list(inputs)
+        index = len(current) - 1
+        while index >= 0 and len(current) > 2:
+            shrunk = current[:index] + current[index + 1 :]
+            if self._violates(program, shrunk):
+                current = shrunk
+            index -= 1
+        return current
+
+    # -- stage 2: instructions ---------------------------------------------------------
+
+    def minimize_instructions(
+        self,
+        program: TestCaseProgram,
+        inputs: Sequence[InputData],
+        max_passes: int = 3,
+    ) -> TestCaseProgram:
+        """Remove instructions one at a time while the violation persists."""
+        current = program.clone()
+        for _ in range(max_passes):
+            changed = False
+            for block_index in range(len(current.blocks)):
+                body = current.blocks[block_index].body
+                position = len(body) - 1
+                while position >= 0:
+                    candidate = current.clone()
+                    del candidate.blocks[block_index].body[position]
+                    if self._violates(candidate, inputs):
+                        current = candidate
+                        changed = True
+                    position -= 1
+            # also try dropping terminators (a branch may be irrelevant)
+            for block_index in range(len(current.blocks)):
+                terms = current.blocks[block_index].terminators
+                position = len(terms) - 1
+                while position >= 0:
+                    candidate = current.clone()
+                    del candidate.blocks[block_index].terminators[position]
+                    if self._still_valid(candidate) and self._violates(
+                        candidate, inputs
+                    ):
+                        current = candidate
+                        changed = True
+                    position -= 1
+            if not changed:
+                break
+        return current
+
+    # -- stage 3: LFENCE boundaries -------------------------------------------------------
+
+    def insert_fences(
+        self, program: TestCaseProgram, inputs: Sequence[InputData]
+    ) -> Tuple[TestCaseProgram, int]:
+        """Insert LFENCEs from the last instruction backwards while the
+        violation persists; survivors delimit the leaking region."""
+        current = program.clone()
+        fences = 0
+        positions: List[Tuple[int, int]] = []
+        for block_index, block in enumerate(current.blocks):
+            for body_index in range(len(block.body) + 1):
+                positions.append((block_index, body_index))
+        for block_index, body_index in reversed(positions):
+            candidate = current.clone()
+            candidate.blocks[block_index].body.insert(
+                body_index, Instruction(self._lfence, ())
+            )
+            if self._violates(candidate, inputs):
+                current = candidate
+                fences += 1
+        return current, fences
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _violates(
+        self, program: TestCaseProgram, inputs: Sequence[InputData]
+    ) -> bool:
+        if len(inputs) < 2 or program.num_instructions == 0:
+            return False
+        candidate = self.pipeline.check_violation(
+            program, inputs, confirm=self.confirm
+        )
+        return candidate is not None
+
+    @staticmethod
+    def _still_valid(program: TestCaseProgram) -> bool:
+        try:
+            program.validate_dag()
+        except ValueError:
+            return False
+        return True
+
+
+__all__ = ["MinimizationResult", "Postprocessor"]

@@ -1,0 +1,103 @@
+"""Violation reports and post-hoc classification.
+
+A :class:`Violation` is a contract counterexample: a program, a priming
+context (the full input sequence) and two inputs that agree on the
+contract trace but disagree on hardware traces (paper §2.2).
+
+Classification maps the speculation provenance recorded by the simulator
+onto the vulnerability families the paper reports (V1, V2, V4, V5-ret,
+MDS, LVI-Null). The paper does this step by manual inspection; here the
+simulator's frame tags automate it. Classification is diagnostic only —
+detection itself never looks inside the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.isa.assembler import render_program
+from repro.isa.instruction import TestCaseProgram
+from repro.emulator.state import InputData
+from repro.traces import CTrace, HTrace
+from repro.uarch.config import UarchConfig
+
+
+def classify_speculation_kinds(
+    kinds: Set[str],
+    cpu_config: UarchConfig,
+    program_has_division: bool = False,
+) -> str:
+    """Name the vulnerability family behind a set of speculation-frame
+    kinds observed while measuring the violating inputs."""
+    labels: List[str] = []
+    if "cond" in kinds:
+        labels.append("V1-var" if program_has_division else "V1")
+    if "bypass" in kinds:
+        labels.append("V4-var" if program_has_division else "V4")
+    if "indirect" in kinds:
+        labels.append("V2")
+    if "ret" in kinds:
+        labels.append("V5-ret")
+    if "assist" in kinds:
+        labels.append("MDS" if cpu_config.assists_leak_stale_data else "LVI-Null")
+    if not labels:
+        return "unknown (no speculative accesses observed)"
+    return "+".join(labels)
+
+
+@dataclass
+class Violation:
+    """A confirmed contract counterexample ``(Prog, Ctx, Data, Data')``."""
+
+    program: TestCaseProgram
+    contract_name: str
+    cpu_name: str
+    ctrace: CTrace
+    input_sequence: Sequence[InputData]
+    position_a: int
+    position_b: int
+    htrace_a: HTrace
+    htrace_b: HTrace
+    classification: str = "unclassified"
+    speculation_kinds: Set[str] = field(default_factory=set)
+    test_cases_until_found: int = 0
+    inputs_until_found: int = 0
+    seconds_until_found: float = 0.0
+
+    @property
+    def input_a(self) -> InputData:
+        return self.input_sequence[self.position_a]
+
+    @property
+    def input_b(self) -> InputData:
+        return self.input_sequence[self.position_b]
+
+    def describe(self) -> str:
+        """Human-readable counterexample report."""
+        lines = [
+            f"contract violation: {self.contract_name} on {self.cpu_name}",
+            f"classified as: {self.classification}",
+            f"found after {self.test_cases_until_found} test case(s), "
+            f"{self.inputs_until_found} input(s), "
+            f"{self.seconds_until_found:.2f}s",
+            "",
+            "test case:",
+            render_program(self.program, numbered=True),
+            "",
+            f"inputs #{self.position_a} (seed={self.input_a.seed}) and "
+            f"#{self.position_b} (seed={self.input_b.seed}) share the "
+            f"contract trace but differ on hardware traces:",
+            f"  {self.htrace_a.bitmap()}",
+            f"  {self.htrace_b.bitmap()}",
+        ]
+        return "\n".join(lines)
+
+    def differing_signals(self) -> Tuple[Set[int], Set[int]]:
+        """Signals unique to each hardware trace (the leak's footprint)."""
+        only_a = set(self.htrace_a.signals) - set(self.htrace_b.signals)
+        only_b = set(self.htrace_b.signals) - set(self.htrace_a.signals)
+        return only_a, only_b
+
+
+__all__ = ["Violation", "classify_speculation_kinds"]

@@ -1,0 +1,33 @@
+"""Functional ISA emulator substrate (replaces the Unicorn engine).
+
+The emulator executes :class:`~repro.isa.instruction.TestCaseProgram`
+instances architecturally: registers, flags and a sandboxed memory region.
+It exposes a stepping interface with snapshot/restore so the contract model
+(paper §5.4) can explore speculative paths with checkpoints and rollbacks,
+and so the CPU simulator can reuse the same instruction semantics.
+"""
+
+from repro.emulator.errors import (
+    DivisionFault,
+    EmulationError,
+    EmulationFault,
+    SandboxViolation,
+)
+from repro.emulator.state import ArchState, InputData, SandboxLayout
+from repro.emulator.semantics import BranchInfo, MemAccess, StepResult, execute
+from repro.emulator.machine import Emulator
+
+__all__ = [
+    "ArchState",
+    "BranchInfo",
+    "DivisionFault",
+    "EmulationError",
+    "EmulationFault",
+    "Emulator",
+    "InputData",
+    "MemAccess",
+    "SandboxLayout",
+    "SandboxViolation",
+    "StepResult",
+    "execute",
+]

@@ -1,0 +1,39 @@
+"""Emulation error types.
+
+Generated test cases are instrumented to avoid faults (paper §5.1, step 4),
+so these exceptions indicate either a generator bug or a deliberately
+faulting handwritten gadget.
+"""
+
+from __future__ import annotations
+
+
+class EmulationError(Exception):
+    """Base class for all emulator errors."""
+
+
+class EmulationFault(EmulationError):
+    """An architectural fault raised during execution (would be a CPU #GP/#DE)."""
+
+
+class DivisionFault(EmulationFault):
+    """#DE: division by zero or quotient overflow."""
+
+
+class SandboxViolation(EmulationFault):
+    """A memory access outside the test sandbox."""
+
+    def __init__(self, address: int, size: int, layout_repr: str):
+        super().__init__(
+            f"access of {size} byte(s) at {address:#x} escapes sandbox {layout_repr}"
+        )
+        self.address = address
+        self.size = size
+
+
+class InvalidProgram(EmulationError):
+    """The program is malformed (undefined label, bad operand, ...)."""
+
+
+class ExecutionLimitExceeded(EmulationError):
+    """The step budget was exhausted (runaway control flow)."""

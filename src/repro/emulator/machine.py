@@ -1,0 +1,88 @@
+"""The emulator: a sequential run loop over a linearized program.
+
+The :class:`Emulator` provides the low-level stepping interface that both
+the contract model (§5.4) and simple architectural runs build on. Contract
+execution clauses drive :meth:`Emulator.step` directly so they can fork
+speculative paths with :meth:`checkpoint`/:meth:`rollback`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.isa.instruction import LinearProgram, TestCaseProgram
+from repro.emulator.errors import ExecutionLimitExceeded, InvalidProgram
+from repro.emulator.semantics import StepResult, execute
+from repro.emulator.state import ArchState, InputData, SandboxLayout, Snapshot
+
+#: Default upper bound on executed instructions for one run. Programs are
+#: DAGs so this is generous; gadgets with CALL/RET could in principle loop.
+DEFAULT_MAX_STEPS = 100_000
+
+
+class Emulator:
+    """Architectural execution of one test-case program."""
+
+    def __init__(
+        self,
+        program: TestCaseProgram,
+        layout: Optional[SandboxLayout] = None,
+    ):
+        self.program = program
+        self.linear: LinearProgram = program.linearize()
+        self.state = ArchState(layout)
+
+    @property
+    def layout(self) -> SandboxLayout:
+        return self.state.layout
+
+    def resolve_label(self, name: str) -> int:
+        try:
+            return self.linear.label_to_index[name]
+        except KeyError:
+            raise InvalidProgram(f"undefined label: {name!r}") from None
+
+    def step(self, pc: int) -> StepResult:
+        """Execute the instruction at index ``pc``; return side effects."""
+        if not 0 <= pc < len(self.linear):
+            raise InvalidProgram(f"pc out of range: {pc}")
+        instruction = self.linear.instructions[pc]
+        return execute(instruction, self.state, pc, self.resolve_label)
+
+    def checkpoint(self) -> Snapshot:
+        return self.state.snapshot()
+
+    def rollback(self, snapshot: Snapshot) -> None:
+        self.state.restore(snapshot)
+
+    def run(
+        self,
+        input_data: InputData,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        hook: Optional[Callable[[StepResult], None]] = None,
+    ) -> List[StepResult]:
+        """Run the program to completion with ``input_data``.
+
+        Returns the list of step results in execution order. ``hook`` is
+        invoked after each step (used by tests and diagnostics).
+        """
+        self.state.load_input(input_data)
+        results: List[StepResult] = []
+        pc = 0
+        steps = 0
+        end = len(self.linear)
+        while 0 <= pc < end:
+            if steps >= max_steps:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_steps} steps in {self.program.name!r}"
+                )
+            result = self.step(pc)
+            results.append(result)
+            if hook is not None:
+                hook(result)
+            pc = result.next_pc
+            steps += 1
+        return results
+
+
+__all__ = ["Emulator", "DEFAULT_MAX_STEPS"]

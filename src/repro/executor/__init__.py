@@ -1,0 +1,40 @@
+"""Hardware-trace collection (paper §5.3).
+
+The executor runs test cases on the simulated CPU and measures the
+microarchitectural state changes with a side-channel attack, in a fully
+controlled environment. It implements the paper's measurement pipeline:
+priming sequences (inputs measured in order so that each input sets the
+context for the next), repeated measurements with warm-up rounds, one-off
+outlier filtering, trace unioning, and the priming-swap verification that
+distinguishes input-caused from context-caused trace divergence.
+"""
+
+from repro.executor.modes import (
+    EVICT_RELOAD,
+    EVICT_RELOAD_ASSIST,
+    FLUSH_RELOAD,
+    FLUSH_RELOAD_ASSIST,
+    PRIME_PROBE,
+    PRIME_PROBE_ASSIST,
+    MeasurementMode,
+    mode_names,
+    measurement_mode,
+)
+from repro.executor.noise import NO_NOISE, NoiseModel
+from repro.executor.executor import Executor, ExecutorConfig
+
+__all__ = [
+    "EVICT_RELOAD",
+    "EVICT_RELOAD_ASSIST",
+    "Executor",
+    "ExecutorConfig",
+    "FLUSH_RELOAD",
+    "FLUSH_RELOAD_ASSIST",
+    "MeasurementMode",
+    "NO_NOISE",
+    "NoiseModel",
+    "PRIME_PROBE",
+    "PRIME_PROBE_ASSIST",
+    "measurement_mode",
+    "mode_names",
+]

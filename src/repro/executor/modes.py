@@ -1,0 +1,80 @@
+"""Measurement modes (paper §5.3).
+
+``Prime+Probe``, ``Flush+Reload`` and ``Evict+Reload`` mount the
+corresponding attack on the simulated L1D cache. ``*+Assist`` variants
+additionally clear the accessed bit of one sandbox page before every
+measurement, so that the first load or store to it triggers a microcode
+assist (the Target 7/8 threat model).
+
+As the paper notes (§6.1), with a 4KB sandbox the 64 L1D sets observed by
+Prime+Probe correspond one-to-one to the 64 monitored blocks of
+Flush/Evict+Reload, so all techniques yield equivalent traces here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class MeasurementMode:
+    """One executor measurement configuration."""
+
+    name: str
+    technique: str  # "prime_probe" | "flush_reload" | "evict_reload"
+    assists: bool = False
+
+    def with_assists(self) -> "MeasurementMode":
+        return MeasurementMode(self.name + "+Assist", self.technique, True)
+
+
+PRIME_PROBE = MeasurementMode("Prime+Probe", "prime_probe")
+FLUSH_RELOAD = MeasurementMode("Flush+Reload", "flush_reload")
+EVICT_RELOAD = MeasurementMode("Evict+Reload", "evict_reload")
+PRIME_PROBE_ASSIST = PRIME_PROBE.with_assists()
+FLUSH_RELOAD_ASSIST = FLUSH_RELOAD.with_assists()
+EVICT_RELOAD_ASSIST = EVICT_RELOAD.with_assists()
+
+_MODES: Dict[str, MeasurementMode] = {
+    "P+P": PRIME_PROBE,
+    "F+R": FLUSH_RELOAD,
+    "E+R": EVICT_RELOAD,
+    "P+P+A": PRIME_PROBE_ASSIST,
+    "F+R+A": FLUSH_RELOAD_ASSIST,
+    "E+R+A": EVICT_RELOAD_ASSIST,
+    "PRIME+PROBE": PRIME_PROBE,
+    "FLUSH+RELOAD": FLUSH_RELOAD,
+    "EVICT+RELOAD": EVICT_RELOAD,
+    "PRIME+PROBE+ASSIST": PRIME_PROBE_ASSIST,
+    "FLUSH+RELOAD+ASSIST": FLUSH_RELOAD_ASSIST,
+    "EVICT+RELOAD+ASSIST": EVICT_RELOAD_ASSIST,
+}
+
+
+def mode_names() -> Tuple[str, ...]:
+    """Canonical short names of all measurement modes."""
+    return ("P+P", "F+R", "E+R", "P+P+A", "F+R+A", "E+R+A")
+
+
+def measurement_mode(name: str) -> MeasurementMode:
+    """Look up a mode by its short or long name (case-insensitive)."""
+    try:
+        return _MODES[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown measurement mode {name!r}; available: {', '.join(mode_names())}"
+        ) from None
+
+
+__all__ = [
+    "EVICT_RELOAD",
+    "EVICT_RELOAD_ASSIST",
+    "FLUSH_RELOAD",
+    "FLUSH_RELOAD_ASSIST",
+    "MeasurementMode",
+    "PRIME_PROBE",
+    "PRIME_PROBE_ASSIST",
+    "measurement_mode",
+    "mode_names",
+]

@@ -1,0 +1,61 @@
+"""Synthetic measurement-noise models (paper challenge CH5).
+
+On real hardware, measurements are polluted by neighbour processes,
+prefetchers, imprecise timers and System Management Interrupts. The
+simulated CPU is deterministic, so noise is injected synthetically to
+exercise the executor's filtering machinery (repetition, one-off outlier
+discarding, SMI detection) and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set, Tuple
+
+import random
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Perturbs one measurement's signal set.
+
+    - ``spurious_rate``: probability of adding one random spurious signal
+      (models prefetching / co-tenant cache activity);
+    - ``drop_rate``: probability of losing one real signal (models probe
+      imprecision);
+    - ``smi_rate``: probability that the whole measurement is polluted by
+      an SMI; the executor's SMI detector discards such measurements.
+    """
+
+    spurious_rate: float = 0.0
+    drop_rate: float = 0.0
+    smi_rate: float = 0.0
+    num_slots: int = 64
+
+    @property
+    def is_silent(self) -> bool:
+        return not (self.spurious_rate or self.drop_rate or self.smi_rate)
+
+    def perturb(
+        self, signals: Set[int], rng: random.Random
+    ) -> Tuple[Set[int], bool]:
+        """Return (perturbed signals, smi_detected)."""
+        if self.is_silent:
+            return signals, False
+        if self.smi_rate and rng.random() < self.smi_rate:
+            # an SMI pollutes the measurement arbitrarily; the executor
+            # detects it via the SMI counter and discards the measurement
+            polluted = set(signals)
+            polluted.add(rng.randrange(self.num_slots))
+            return polluted, True
+        perturbed = set(signals)
+        if self.spurious_rate and rng.random() < self.spurious_rate:
+            perturbed.add(rng.randrange(self.num_slots))
+        if self.drop_rate and perturbed and rng.random() < self.drop_rate:
+            perturbed.discard(rng.choice(sorted(perturbed)))
+        return perturbed, False
+
+
+NO_NOISE = NoiseModel()
+
+__all__ = ["NO_NOISE", "NoiseModel"]

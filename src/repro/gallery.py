@@ -1,0 +1,393 @@
+"""Handwritten test cases for known vulnerabilities.
+
+The paper evaluates Revizor on manually written gadgets representing
+Spectre V1, V1.1, V2, V4, V5-ret, MDS-LFB and MDS-SB (Table 5), the novel
+latency-race variants V1-var/V4-var (§6.3, Figure 5), the contract
+sensitivity examples (Figure 6), the speculative-store-eviction check
+(§6.4) and the store-bypass variant found during artifact evaluation
+(Appendix A.6). This module provides all of them as parseable programs
+with the target configuration each is meant to violate.
+
+Gadget conventions: leaking code sits on the *fallthrough* path of a
+conditional branch, so that first-encounter mispredictions (the predictor
+starts weakly not-taken) surface the transient leak within a handful of
+inputs, as in the paper's Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.isa.assembler import parse_program
+from repro.isa.instruction import TestCaseProgram
+
+
+@dataclass(frozen=True)
+class Gadget:
+    """One handwritten test case plus the setup it violates."""
+
+    name: str
+    vulnerability: str
+    asm: str
+    description: str
+    #: contract expected to be violated
+    contract: str = "CT-SEQ"
+    #: CPU preset the gadget targets
+    cpu_preset: str = "skylake"
+    #: executor measurement mode
+    executor_mode: str = "P+P"
+    #: analyzer mode needed to surface the violation ("subset" works for
+    #: all but the pure latency races, which are subset-shaped)
+    analyzer_mode: str = "subset"
+    #: recommended PRNG entropy for random inputs (latency races need a
+    #: wide dividend range)
+    entropy_bits: int = 2
+    references: Tuple[str, ...] = ()
+
+    def program(self) -> TestCaseProgram:
+        return parse_program(self.asm, name=self.name)
+
+
+SPECTRE_V1 = Gadget(
+    name="spectre-v1",
+    vulnerability="V1",
+    description=(
+        "Bounds-check bypass: a conditional branch is mispredicted; the "
+        "wrong (fallthrough) path loads from an input-dependent address "
+        "that the sequential contract trace never exposes."
+    ),
+    asm="""
+        JNS .end
+        AND RBX, 0b111111000000
+        MOV RCX, qword ptr [R14 + RBX]
+    .end: NOP
+    """,
+)
+
+SPECTRE_V1_1 = Gadget(
+    name="spectre-v1.1",
+    vulnerability="V1.1",
+    description=(
+        "Speculative buffer overflow: a wrong-path store is forwarded to "
+        "a wrong-path load, whose value then selects a leaking address."
+    ),
+    asm="""
+        JNS .end
+        MOV qword ptr [R14 + 8], RBX
+        NOP
+        NOP
+        MOV RCX, qword ptr [R14 + 8]
+        AND RCX, 0b111111000000
+        MOV RDX, qword ptr [R14 + RCX]
+    .end: NOP
+    """,
+)
+
+SPECTRE_V2 = Gadget(
+    name="spectre-v2",
+    vulnerability="V2",
+    description=(
+        "Branch target injection: the BTB predicts the previous indirect "
+        "target; inputs alternating between targets make the CPU "
+        "transiently execute the other target's leak gadget."
+    ),
+    asm="""
+        MOV RBX, .t1
+        MOV RCX, .t2
+        CMP RAX, 0
+        CMOVNZ RBX, RCX
+        JMP RBX
+    .t1: NOP
+        JMP .end
+    .t2: AND RDX, 0b111111000000
+        MOV RSI, qword ptr [R14 + RDX]
+        JMP .end
+    .end: NOP
+    """,
+)
+
+SPECTRE_V4 = Gadget(
+    name="spectre-v4",
+    vulnerability="V4",
+    description=(
+        "Speculative store bypass: a load issued before the preceding "
+        "aliasing store's address resolves transiently reads the stale "
+        "memory value, which selects a leaking address."
+    ),
+    asm="""
+        MOV qword ptr [R14 + 64], RAX
+        MOV RBX, qword ptr [R14 + 64]
+        AND RBX, 0b111111000000
+        MOV RCX, qword ptr [R14 + RBX]
+    """,
+)
+
+SPECTRE_V5_RET = Gadget(
+    name="spectre-v5-ret",
+    vulnerability="V5-ret",
+    description=(
+        "ret2spec: the function overwrites its return address on the "
+        "stack; RET follows the stale RSB prediction into the original "
+        "call-site continuation, which leaks."
+    ),
+    cpu_preset="skylake-v4-patched",  # avoid a V4 bypass on the RET load
+    asm="""
+        MOV RDX, .other
+        CALL .func
+    .cont: AND RBX, 0b111111000000
+        MOV RCX, qword ptr [R14 + RBX]
+        JMP .end
+    .func: MOV qword ptr [RSP], RDX
+        RET
+    .other: NOP
+    .end: NOP
+    """,
+)
+
+MDS_LFB = Gadget(
+    name="mds-lfb",
+    vulnerability="MDS-LFB",
+    description=(
+        "ZombieLoad/RIDL: a load from a page with a cleared accessed bit "
+        "takes a microcode assist and transiently forwards the newest "
+        "line-fill-buffer entry — a value the contract never exposes."
+    ),
+    executor_mode="P+P+A",
+    cpu_preset="skylake-v4-patched",
+    asm="""
+        MOV RAX, qword ptr [R14 + 8]
+        MOV RBX, qword ptr [R14 + 4096]
+        AND RBX, 0b111111000000
+        MOV RCX, qword ptr [R14 + RBX]
+    """,
+)
+
+MDS_SB = Gadget(
+    name="mds-sb",
+    vulnerability="MDS-SB",
+    description=(
+        "Fallout: the assist-taking load transiently forwards the newest "
+        "store-buffer entry (the just-stored register value)."
+    ),
+    executor_mode="P+P+A",
+    cpu_preset="skylake-v4-patched",
+    asm="""
+        MOV qword ptr [R14 + 8], RAX
+        MOV RBX, qword ptr [R14 + 4096]
+        AND RBX, 0b111111000000
+        MOV RCX, qword ptr [R14 + RBX]
+    """,
+)
+
+LVI_NULL = Gadget(
+    name="lvi-null",
+    vulnerability="LVI-Null",
+    description=(
+        "On MDS-patched silicon the assist forwards zero instead of stale "
+        "data, but the transient window still executes dependent loads "
+        "whose values leak (Target 8)."
+    ),
+    executor_mode="P+P+A",
+    cpu_preset="coffee-lake",
+    asm="""
+        MOV RAX, qword ptr [R14 + 8]
+        AND RAX, 0b111111000000
+        MOV RBX, qword ptr [R14 + 4096]
+        ADD RBX, RAX
+        AND RBX, 0b111111000000
+        MOV RCX, qword ptr [R14 + RBX]
+    """,
+)
+
+V1_VAR = Gadget(
+    name="v1-var",
+    vulnerability="V1-var",
+    description=(
+        "Figure 5: a variable-latency division on the mispredicted path "
+        "races branch resolution; whether the dependent load leaves a "
+        "cache trace depends on the division operands' magnitude — the "
+        "latency leaks through the data cache. The violation is "
+        "subset-shaped, hence the strict analyzer mode."
+    ),
+    contract="CT-COND",
+    analyzer_mode="strict",
+    entropy_bits=30,
+    asm="""
+        JNZ .end
+        MOV RDX, 0
+        OR RBX, 1
+        DIV RBX
+        AND RAX, 0b111111000000
+        MOV RDI, qword ptr [R14 + RAX]
+    .end: NOP
+    """,
+)
+
+V4_VAR = Gadget(
+    name="v4-var",
+    vulnerability="V4-var",
+    description=(
+        "The §6.3 V4 counterpart: the bypassed load's stale value feeds a "
+        "division inside the store-bypass window; the dependent load's "
+        "cache trace encodes the division latency (a race against the "
+        "disambiguation squash)."
+    ),
+    contract="CT-BPAS",
+    analyzer_mode="strict",
+    asm="""
+        MOV RCX, qword ptr [R14 + 512]
+        MOV qword ptr [R14 + RCX], RSI
+        MOV RAX, qword ptr [R14 + 64]
+        MOV RDX, 0
+        OR RBX, 1
+        DIV RBX
+        AND RAX, 0b111111000000
+        MOV RDI, qword ptr [R14 + RAX]
+    """,
+)
+
+FIG6A_NONSPECULATIVE_DATA = Gadget(
+    name="fig6a-nonspec-data",
+    vulnerability="V1 (non-speculative data)",
+    description=(
+        "Figure 6a: the transiently leaking value was loaded "
+        "non-speculatively. Violates CT-SEQ but not ARCH-SEQ, which "
+        "permits exposure of architecturally loaded values (the STT "
+        "threat model)."
+    ),
+    asm="""
+        MOVZX RBX, BL
+        MOV RAX, qword ptr [R14 + RBX]
+        JNS .end
+        AND RAX, 0b111111000000
+        MOV RDX, qword ptr [R14 + RAX]
+    .end: NOP
+    """,
+)
+
+FIG6B_SPECULATIVE_DATA = Gadget(
+    name="fig6b-spec-data",
+    vulnerability="V1 (speculative data)",
+    description=(
+        "Figure 6b: the classic two-load Spectre V1 — the leaking value is "
+        "itself loaded speculatively. Violates both CT-SEQ and ARCH-SEQ."
+    ),
+    contract="ARCH-SEQ",
+    asm="""
+        CMP RCX, 0
+        JNZ .end
+        AND RBX, 0b111111000000
+        MOV RAX, qword ptr [R14 + RBX]
+        AND RAX, 0b111111000000
+        MOV RDX, qword ptr [R14 + RAX]
+    .end: NOP
+    """,
+)
+
+SPECULATIVE_STORE_EVICTION = Gadget(
+    name="spec-store-eviction",
+    vulnerability="speculative store eviction (§6.4)",
+    description=(
+        "A wrong-path store. Under a CT-COND variant that does not expose "
+        "speculative stores (the STT/KLEESpectre assumption), Coffee Lake "
+        "violates — speculative stores allocate cache lines — while "
+        "Skylake complies."
+    ),
+    contract="CT-NONSPEC-STORE-COND",
+    cpu_preset="coffee-lake",
+    asm="""
+        JNS .end
+        AND RBX, 0b111111000000
+        MOV qword ptr [R14 + RBX], RCX
+    .end: NOP
+    """,
+)
+
+A6_STORE_BYPASS_VARIANT = Gadget(
+    name="a6-bypass-variant",
+    vulnerability="novel store-bypass variant (A.6)",
+    description=(
+        "Two loads of the same address: the fast one bypasses a pending "
+        "slow-address store (stale value), the slow one receives "
+        "forwarding (new value); their transient difference indexes a "
+        "leaking load. Violates CT-BPAS, where *every* load is modelled "
+        "as bypassing."
+    ),
+    contract="CT-BPAS",
+    asm="""
+        MOV RCX, qword ptr [R14 + 512]
+        MOV qword ptr [R14 + RCX], RDX
+        MOV RSI, qword ptr [R14 + 64]
+        OR RCX, 0
+        ADD RCX, 0
+        SUB RCX, 0
+        MOV RDI, qword ptr [R14 + RCX]
+        SUB RSI, RDI
+        AND RSI, 0b111111000000
+        MOV RBP, qword ptr [R14 + RSI]
+    """,
+)
+
+GALLERY: Dict[str, Gadget] = {
+    gadget.name: gadget
+    for gadget in (
+        SPECTRE_V1,
+        SPECTRE_V1_1,
+        SPECTRE_V2,
+        SPECTRE_V4,
+        SPECTRE_V5_RET,
+        MDS_LFB,
+        MDS_SB,
+        LVI_NULL,
+        V1_VAR,
+        V4_VAR,
+        FIG6A_NONSPECULATIVE_DATA,
+        FIG6B_SPECULATIVE_DATA,
+        SPECULATIVE_STORE_EVICTION,
+        A6_STORE_BYPASS_VARIANT,
+    )
+}
+
+#: the Table 5 gadget set, in the paper's column order
+TABLE5_GADGETS: Tuple[str, ...] = (
+    "spectre-v1",
+    "spectre-v1.1",
+    "spectre-v2",
+    "spectre-v4",
+    "spectre-v5-ret",
+    "mds-lfb",
+    "mds-sb",
+)
+
+
+def gadget(name: str) -> Gadget:
+    """Look up a gadget by name."""
+    try:
+        return GALLERY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown gadget {name!r}; available: {', '.join(sorted(GALLERY))}"
+        ) from None
+
+
+__all__ = [
+    "A6_STORE_BYPASS_VARIANT",
+    "FIG6A_NONSPECULATIVE_DATA",
+    "FIG6B_SPECULATIVE_DATA",
+    "GALLERY",
+    "Gadget",
+    "LVI_NULL",
+    "MDS_LFB",
+    "MDS_SB",
+    "SPECTRE_V1",
+    "SPECTRE_V1_1",
+    "SPECTRE_V2",
+    "SPECTRE_V4",
+    "SPECTRE_V5_RET",
+    "SPECULATIVE_STORE_EVICTION",
+    "TABLE5_GADGETS",
+    "V1_VAR",
+    "V4_VAR",
+    "gadget",
+]

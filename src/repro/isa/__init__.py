@@ -1,0 +1,63 @@
+"""x86-64 subset ISA substrate.
+
+This package replaces the paper's nanoBench XML instruction catalog and the
+x86 machine-code toolchain with a self-contained, data-driven instruction
+set: registers with sub-register views, operand kinds, an instruction
+catalog split into the paper's test subsets (AR, MEM, VAR, CB, plus the IND
+extension used by handwritten gadgets), and an Intel-syntax assembler /
+parser for programs.
+"""
+
+from repro.isa.registers import (
+    FLAG_BITS,
+    GPR_NAMES,
+    SANDBOX_BASE_REGISTER,
+    canonical_register,
+    register_width,
+)
+from repro.isa.operands import (
+    AgenOperand,
+    FlagsOperand,
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    Operand,
+    RegisterOperand,
+)
+from repro.isa.instruction import (
+    BasicBlock,
+    Instruction,
+    InstructionSpec,
+    TestCaseProgram,
+)
+from repro.isa.instruction_set import (
+    InstructionSet,
+    instruction_subset,
+    subset_names,
+)
+from repro.isa.assembler import parse_program, render_instruction, render_program
+
+__all__ = [
+    "FLAG_BITS",
+    "GPR_NAMES",
+    "SANDBOX_BASE_REGISTER",
+    "canonical_register",
+    "register_width",
+    "AgenOperand",
+    "FlagsOperand",
+    "ImmediateOperand",
+    "LabelOperand",
+    "MemoryOperand",
+    "Operand",
+    "RegisterOperand",
+    "BasicBlock",
+    "Instruction",
+    "InstructionSpec",
+    "TestCaseProgram",
+    "InstructionSet",
+    "instruction_subset",
+    "subset_names",
+    "parse_program",
+    "render_instruction",
+    "render_program",
+]

@@ -1,0 +1,226 @@
+"""Intel-syntax rendering and parsing of test-case programs.
+
+Rendering produces the format the paper uses in Figures 3 and 4; parsing
+accepts the same format so that handwritten gadgets (Table 5) and minimized
+counterexamples round-trip through text.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import (
+    BasicBlock,
+    Instruction,
+    TestCaseProgram,
+)
+from repro.isa.instruction_set import (
+    FULL_INSTRUCTION_SET,
+    InstructionSet,
+    canonical_mnemonic,
+)
+from repro.isa.operands import (
+    AgenOperand,
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    Operand,
+    RegisterOperand,
+)
+from repro.isa.registers import is_register, register_width
+
+_SIZE_NAMES = {"byte": 8, "word": 16, "dword": 32, "qword": 64}
+_MEM_RE = re.compile(
+    r"^(?:(?P<size>byte|word|dword|qword)\s+ptr\s+)?"
+    r"\[(?P<expr>[^\]]+)\]$",
+    re.IGNORECASE,
+)
+
+
+def render_instruction(instruction: Instruction) -> str:
+    """Render one instruction in Intel syntax."""
+    return str(instruction)
+
+
+def render_program(program: TestCaseProgram, numbered: bool = False) -> str:
+    """Render a program block-by-block, Figure 3 style."""
+    lines: List[str] = []
+    for i, block in enumerate(program.blocks):
+        prefix = f".{block.name}: " if i > 0 else ""
+        instructions = list(block.instructions())
+        for j, instruction in enumerate(instructions):
+            label = prefix if j == 0 else " " * len(prefix)
+            lines.append(f"{label}{instruction}")
+    if numbered:
+        lines = [f"{i + 1:3d} {line}" for i, line in enumerate(lines)]
+    return "\n".join(lines)
+
+
+def _parse_int(text: str) -> Optional[int]:
+    text = text.strip().replace("_", "")
+    negative = text.startswith("-")
+    if negative:
+        text = text[1:].strip()
+    try:
+        if text.lower().startswith("0x"):
+            value = int(text, 16)
+        elif text.lower().startswith("0b"):
+            value = int(text, 2)
+        elif text.isdigit():
+            value = int(text)
+        else:
+            return None
+    except ValueError:
+        return None
+    return -value if negative else value
+
+
+def _parse_address_expr(expr: str) -> Tuple[str, Optional[str], int]:
+    """Parse ``R14 + RAX + 8`` into (base, index, displacement)."""
+    base: Optional[str] = None
+    index: Optional[str] = None
+    displacement = 0
+    # normalize "a - 8" into "a + -8"
+    expr = expr.replace("-", "+ -")
+    for token in expr.split("+"):
+        token = token.strip()
+        if not token:
+            continue
+        value = _parse_int(token)
+        if value is not None:
+            displacement += value
+        elif is_register(token):
+            if base is None:
+                base = token.upper()
+            elif index is None:
+                index = token.upper()
+            else:
+                raise ValueError(f"too many registers in address: {expr!r}")
+        else:
+            raise ValueError(f"cannot parse address term: {token!r}")
+    if base is None:
+        raise ValueError(f"address without base register: {expr!r}")
+    return base, index, displacement
+
+
+def _parse_operand(text: str, agen: bool = False) -> Operand:
+    text = text.strip()
+    match = _MEM_RE.match(text)
+    if match:
+        base, index, displacement = _parse_address_expr(match.group("expr"))
+        if agen:
+            return AgenOperand(base, index, displacement)
+        size = match.group("size")
+        width = _SIZE_NAMES[size.lower()] if size else 64
+        return MemoryOperand(base, index, displacement, width)
+    if text.startswith("."):
+        return LabelOperand(text[1:])
+    if is_register(text):
+        return RegisterOperand(text)
+    value = _parse_int(text)
+    if value is not None:
+        return ImmediateOperand(value)
+    raise ValueError(f"cannot parse operand: {text!r}")
+
+
+def _operand_kind(operand: Operand) -> str:
+    if isinstance(operand, RegisterOperand):
+        return "REG"
+    if isinstance(operand, ImmediateOperand):
+        return "IMM"
+    if isinstance(operand, MemoryOperand):
+        return "MEM"
+    if isinstance(operand, LabelOperand):
+        return "LABEL"
+    if isinstance(operand, AgenOperand):
+        return "AGEN"
+    raise TypeError(f"unknown operand type: {operand!r}")
+
+
+def _operand_width(operand: Operand) -> Optional[int]:
+    if isinstance(operand, RegisterOperand):
+        return register_width(operand.name)
+    if isinstance(operand, MemoryOperand):
+        return operand.width
+    return None
+
+
+def parse_instruction(
+    line: str, instruction_set: Optional[InstructionSet] = None
+) -> Instruction:
+    """Parse a single Intel-syntax instruction line."""
+    instruction_set = instruction_set or FULL_INSTRUCTION_SET
+    text = line.strip()
+    lock = False
+    upper = text.upper()
+    for prefix in ("LOCK ", "REX "):
+        if upper.startswith(prefix):
+            lock = lock or prefix.strip() == "LOCK"
+            text = text[len(prefix) :].strip()
+            upper = text.upper()
+    parts = text.split(None, 1)
+    mnemonic = canonical_mnemonic(parts[0])
+    operand_texts = (
+        [t.strip() for t in parts[1].split(",")] if len(parts) > 1 else []
+    )
+    agen = mnemonic == "LEA"
+    operands = tuple(
+        _parse_operand(t, agen=agen and i == 1)
+        for i, t in enumerate(operand_texts)
+    )
+    kinds = tuple(_operand_kind(op) for op in operands)
+    width = _operand_width(operands[0]) if operands else None
+    spec = instruction_set.find(mnemonic, kinds, width)
+    return Instruction(spec, operands, lock=lock)
+
+
+def parse_program(
+    text: str,
+    name: str = "testcase",
+    instruction_set: Optional[InstructionSet] = None,
+) -> TestCaseProgram:
+    """Parse a multi-line program into a :class:`TestCaseProgram`.
+
+    Lines starting with ``#`` or ``;`` (or inline after those characters)
+    are comments. Labels are ``.name:`` and may share a line with an
+    instruction, as in the paper's listings.
+    """
+    blocks: List[BasicBlock] = [BasicBlock("entry")]
+    for raw_line in text.splitlines():
+        line = re.split(r"[#;]", raw_line, maxsplit=1)[0].strip()
+        if not line:
+            continue
+        label_match = re.match(r"^\.(\w+)\s*:\s*(.*)$", line)
+        if label_match:
+            blocks.append(BasicBlock(label_match.group(1)))
+            line = label_match.group(2).strip()
+            if not line:
+                continue
+        instruction = parse_instruction(line, instruction_set)
+        block = blocks[-1]
+        if instruction.is_control_flow and not instruction.is_call:
+            block.terminators.append(instruction)
+        elif block.terminators:
+            # instruction after a terminator: implicit unreachable block split
+            blocks.append(BasicBlock(f"anon{len(blocks)}"))
+            blocks[-1].body.append(instruction)
+        else:
+            block.body.append(instruction)
+    if not blocks[0].body and not blocks[0].terminators and len(blocks) > 1:
+        blocks = blocks[1:]
+    return TestCaseProgram(blocks=blocks, name=name)
+
+
+def assemble(lines: Sequence[str], name: str = "testcase") -> TestCaseProgram:
+    """Build a program from a list of instruction/label lines."""
+    return parse_program("\n".join(lines), name=name)
+
+
+__all__ = [
+    "assemble",
+    "parse_instruction",
+    "parse_program",
+    "render_instruction",
+    "render_program",
+]

@@ -1,0 +1,332 @@
+"""Instructions, basic blocks and test-case programs.
+
+A :class:`TestCaseProgram` is the unit of testing in MRT (paper §5.1): a DAG
+of basic blocks whose terminators are direct/conditional jumps, filled with
+instructions from the tested ISA subset. Programs are linearized into a flat
+instruction stream (with labels resolved to instruction indices) before
+being handed to the functional emulator or the CPU simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.isa.operands import (
+    AgenOperand,
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    Operand,
+    RegisterOperand,
+)
+from repro.isa.registers import canonical_register
+
+#: Instruction categories, matching the paper's ISA subsets (§6.1) plus the
+#: infrastructure categories used by handwritten gadgets.
+CATEGORIES = ("AR", "MEM", "VAR", "CB", "UNCOND", "IND", "CALL", "RET", "FENCE")
+
+
+@dataclass(frozen=True)
+class OperandTemplate:
+    """Template for one operand slot of an instruction spec."""
+
+    kind: str  # "REG", "IMM", "MEM", "LABEL", "AGEN"
+    width: int = 64
+    src: bool = True
+    dest: bool = False
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Immutable description of one instruction form in the catalog.
+
+    A *form* is a mnemonic plus a concrete operand shape (e.g. ``ADD r64,
+    r64`` and ``ADD r64, imm`` are distinct specs), mirroring how nanoBench's
+    XML catalog enumerates instruction variants.
+    """
+
+    mnemonic: str
+    operands: Tuple[OperandTemplate, ...]
+    category: str
+    flags_read: Tuple[str, ...] = ()
+    flags_written: Tuple[str, ...] = ()
+    implicit_reads: Tuple[str, ...] = ()  # canonical register names
+    implicit_writes: Tuple[str, ...] = ()
+    lockable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ValueError(f"unknown category: {self.category!r}")
+
+    @property
+    def name(self) -> str:
+        """Unique human-readable name of the form, e.g. ``ADD_r64_m64``."""
+        parts = [self.mnemonic]
+        for template in self.operands:
+            parts.append(f"{template.kind.lower()}{template.width}")
+        return "_".join(parts)
+
+    @property
+    def has_memory_operand(self) -> bool:
+        return any(t.kind == "MEM" for t in self.operands)
+
+    @property
+    def is_control_flow(self) -> bool:
+        return self.category in ("CB", "UNCOND", "IND", "CALL", "RET")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A concrete instruction: a spec plus concrete operands."""
+
+    spec: InstructionSpec
+    operands: Tuple[Operand, ...]
+    lock: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.operands) != len(self.spec.operands):
+            raise ValueError(
+                f"{self.spec.mnemonic}: expected {len(self.spec.operands)} "
+                f"operands, got {len(self.operands)}"
+            )
+        if self.lock and not self.spec.lockable:
+            raise ValueError(f"{self.spec.mnemonic} does not accept LOCK")
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    @property
+    def category(self) -> str:
+        return self.spec.category
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.spec.category == "CB"
+
+    @property
+    def is_uncond_branch(self) -> bool:
+        return self.spec.category == "UNCOND"
+
+    @property
+    def is_indirect_branch(self) -> bool:
+        return self.spec.category == "IND"
+
+    @property
+    def is_call(self) -> bool:
+        return self.spec.category == "CALL"
+
+    @property
+    def is_ret(self) -> bool:
+        return self.spec.category == "RET"
+
+    @property
+    def is_control_flow(self) -> bool:
+        return self.spec.is_control_flow
+
+    @property
+    def is_fence(self) -> bool:
+        return self.spec.category == "FENCE"
+
+    def memory_accesses(self) -> List[Tuple[MemoryOperand, bool, bool]]:
+        """Return ``(operand, is_read, is_write)`` for each memory operand.
+
+        Calls and returns access the stack implicitly and are handled by the
+        emulator directly, not through this method.
+        """
+        accesses = []
+        for operand, template in zip(self.operands, self.spec.operands):
+            if isinstance(operand, MemoryOperand):
+                accesses.append((operand, template.src, template.dest))
+        return accesses
+
+    @property
+    def is_load(self) -> bool:
+        return any(read for _, read, _ in self.memory_accesses())
+
+    @property
+    def is_store(self) -> bool:
+        return any(write for _, _, write in self.memory_accesses())
+
+    def registers_read(self) -> Tuple[str, ...]:
+        """Canonical registers read, including address registers."""
+        regs: List[str] = list(self.spec.implicit_reads)
+        for operand, template in zip(self.operands, self.spec.operands):
+            if isinstance(operand, RegisterOperand) and template.src:
+                regs.append(operand.canonical)
+            elif isinstance(operand, (MemoryOperand, AgenOperand)):
+                regs.append(canonical_register(operand.base))
+                if operand.index is not None:
+                    regs.append(canonical_register(operand.index))
+        return tuple(dict.fromkeys(regs))
+
+    def registers_written(self) -> Tuple[str, ...]:
+        """Canonical registers written."""
+        regs: List[str] = list(self.spec.implicit_writes)
+        for operand, template in zip(self.operands, self.spec.operands):
+            if isinstance(operand, RegisterOperand) and template.dest:
+                regs.append(operand.canonical)
+        return tuple(dict.fromkeys(regs))
+
+    @property
+    def flags_read(self) -> Tuple[str, ...]:
+        return self.spec.flags_read
+
+    @property
+    def flags_written(self) -> Tuple[str, ...]:
+        return self.spec.flags_written
+
+    def label_target(self) -> Optional[str]:
+        """The label name this instruction jumps to, if any."""
+        for operand in self.operands:
+            if isinstance(operand, LabelOperand):
+                return operand.name
+        return None
+
+    def with_operands(self, operands: Sequence[Operand]) -> "Instruction":
+        """Return a copy with different operands (used by instrumentation)."""
+        return Instruction(self.spec, tuple(operands), self.lock)
+
+    def __str__(self) -> str:
+        text = self.mnemonic
+        if self.lock:
+            text = "LOCK " + text
+        if self.operands:
+            text += " " + ", ".join(str(op) for op in self.operands)
+        return text
+
+
+@dataclass
+class BasicBlock:
+    """A basic block: a label, straight-line body and terminator jumps."""
+
+    name: str
+    body: List[Instruction] = field(default_factory=list)
+    terminators: List[Instruction] = field(default_factory=list)
+
+    def instructions(self) -> Iterator[Instruction]:
+        yield from self.body
+        yield from self.terminators
+
+    def successors(self) -> List[str]:
+        """Labels of blocks this block can branch to (not fallthrough)."""
+        return [
+            target
+            for instr in self.terminators
+            if (target := instr.label_target()) is not None
+        ]
+
+    def __len__(self) -> int:
+        return len(self.body) + len(self.terminators)
+
+
+@dataclass
+class LinearProgram:
+    """A flattened program: instruction stream + label-to-index map."""
+
+    instructions: List[Instruction]
+    label_to_index: Dict[str, int]
+    #: for each instruction, the name of the block it belongs to
+    block_of: List[str]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def target_index(self, instruction: Instruction) -> Optional[int]:
+        """Resolve the branch target of ``instruction`` to an index."""
+        label = instruction.label_target()
+        if label is None:
+            return None
+        return self.label_to_index[label]
+
+
+@dataclass
+class TestCaseProgram:
+    """A test case: an ordered list of basic blocks forming a DAG.
+
+    Block order defines the memory layout (and thus fallthrough); the first
+    block is the entry point. The program ends after the last block.
+    """
+
+    __test__ = False  # not a pytest class, despite the name
+
+    blocks: List[BasicBlock] = field(default_factory=list)
+    name: str = "testcase"
+
+    def block_named(self, name: str) -> BasicBlock:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise KeyError(f"no block named {name!r}")
+
+    def all_instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions()
+
+    @property
+    def num_instructions(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    def linearize(self) -> LinearProgram:
+        """Flatten the block list into a :class:`LinearProgram`."""
+        instructions: List[Instruction] = []
+        block_of: List[str] = []
+        label_to_index: Dict[str, int] = {}
+        for block in self.blocks:
+            label_to_index[block.name] = len(instructions)
+            for instr in block.instructions():
+                instructions.append(instr)
+                block_of.append(block.name)
+        # The conventional exit label points one past the end.
+        label_to_index.setdefault("exit", len(instructions))
+        return LinearProgram(instructions, label_to_index, block_of)
+
+    def validate_dag(self) -> None:
+        """Raise ``ValueError`` if any branch goes backwards (loop risk)."""
+        order = {block.name: i for i, block in enumerate(self.blocks)}
+        for i, block in enumerate(self.blocks):
+            for successor in block.successors():
+                if successor == "exit":
+                    continue
+                if successor not in order:
+                    raise ValueError(f"undefined label: {successor!r}")
+                if order[successor] <= i:
+                    raise ValueError(
+                        f"backward edge {block.name} -> {successor}: "
+                        "test cases must be DAGs"
+                    )
+
+    def clone(self) -> "TestCaseProgram":
+        """Deep-ish copy (instructions are immutable and shared)."""
+        return TestCaseProgram(
+            blocks=[
+                BasicBlock(b.name, list(b.body), list(b.terminators))
+                for b in self.blocks
+            ],
+            name=self.name,
+        )
+
+
+def make_instruction(
+    spec: InstructionSpec, *operands: Operand, lock: bool = False
+) -> Instruction:
+    """Convenience constructor used throughout tests and gadgets."""
+    return Instruction(spec, tuple(operands), lock)
+
+
+__all__ = [
+    "CATEGORIES",
+    "OperandTemplate",
+    "InstructionSpec",
+    "Instruction",
+    "BasicBlock",
+    "LinearProgram",
+    "TestCaseProgram",
+    "make_instruction",
+    "AgenOperand",
+    "ImmediateOperand",
+    "LabelOperand",
+    "MemoryOperand",
+    "RegisterOperand",
+]

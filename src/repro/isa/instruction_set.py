@@ -1,0 +1,530 @@
+"""Data-driven instruction catalog, split into the paper's ISA subsets.
+
+The paper builds test cases from subsets of x86 (§6.1): ``AR`` (in-register
+arithmetic, logic, bitwise), ``MEM`` (memory operands and loads/stores),
+``VAR`` (variable-latency division), ``CB`` (conditional branches). We add
+``IND`` (indirect jumps), ``CALL``/``RET`` and ``FENCE`` which are used only
+by handwritten gadgets (Table 5) and the postprocessor. Shift/bit-test
+instructions are excluded, matching the paper's footnote 4.
+
+Each entry is an :class:`~repro.isa.instruction.InstructionSpec` describing
+one instruction *form* (mnemonic + operand shape + width), mirroring how the
+nanoBench XML catalog enumerates variants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import InstructionSpec, OperandTemplate
+
+#: All x86 condition codes implemented (16, as on real silicon).
+CONDITION_CODES: Tuple[str, ...] = (
+    "O",
+    "NO",
+    "B",
+    "AE",
+    "Z",
+    "NZ",
+    "BE",
+    "A",
+    "S",
+    "NS",
+    "P",
+    "NP",
+    "L",
+    "GE",
+    "LE",
+    "G",
+)
+
+#: Flags read by each condition code.
+CONDITION_FLAGS: Dict[str, Tuple[str, ...]] = {
+    "O": ("OF",),
+    "NO": ("OF",),
+    "B": ("CF",),
+    "AE": ("CF",),
+    "Z": ("ZF",),
+    "NZ": ("ZF",),
+    "BE": ("CF", "ZF"),
+    "A": ("CF", "ZF"),
+    "S": ("SF",),
+    "NS": ("SF",),
+    "P": ("PF",),
+    "NP": ("PF",),
+    "L": ("SF", "OF"),
+    "GE": ("SF", "OF"),
+    "LE": ("ZF", "SF", "OF"),
+    "G": ("ZF", "SF", "OF"),
+}
+
+#: Aliases accepted by the parser (canonical code on the right).
+CONDITION_ALIASES: Dict[str, str] = {
+    "C": "B",
+    "NC": "AE",
+    "NB": "AE",
+    "E": "Z",
+    "NE": "NZ",
+    "NA": "BE",
+    "NBE": "A",
+    "PE": "P",
+    "PO": "NP",
+    "NGE": "L",
+    "NL": "GE",
+    "NG": "LE",
+    "NLE": "G",
+}
+
+ARITH_FLAGS = ("CF", "PF", "AF", "ZF", "SF", "OF")
+LOGIC_FLAGS = ("CF", "PF", "AF", "ZF", "SF", "OF")  # AF defined as cleared
+INCDEC_FLAGS = ("PF", "AF", "ZF", "SF", "OF")
+
+WIDTHS = (8, 16, 32, 64)
+
+_REG = lambda width, src=True, dest=False: OperandTemplate("REG", width, src, dest)
+_IMM = lambda width: OperandTemplate("IMM", width, True, False)
+_MEM = lambda width, src=True, dest=False: OperandTemplate("MEM", width, src, dest)
+_LABEL = OperandTemplate("LABEL", 0, True, False)
+_AGEN = OperandTemplate("AGEN", 64, True, False)
+
+
+def _binary_arith_specs() -> List[InstructionSpec]:
+    """ADD/SUB/ADC/SBB/AND/OR/XOR/CMP/TEST in register and memory forms."""
+    specs: List[InstructionSpec] = []
+    table = [
+        ("ADD", (), ARITH_FLAGS),
+        ("SUB", (), ARITH_FLAGS),
+        ("ADC", ("CF",), ARITH_FLAGS),
+        ("SBB", ("CF",), ARITH_FLAGS),
+        ("AND", (), LOGIC_FLAGS),
+        ("OR", (), LOGIC_FLAGS),
+        ("XOR", (), LOGIC_FLAGS),
+        ("CMP", (), ARITH_FLAGS),
+        ("TEST", (), LOGIC_FLAGS),
+    ]
+    for mnemonic, reads, writes in table:
+        writes_dest = mnemonic not in ("CMP", "TEST")
+        for width in WIDTHS:
+            imm_width = min(width, 32)
+            # register forms (AR)
+            specs.append(
+                InstructionSpec(
+                    mnemonic,
+                    (_REG(width, src=True, dest=writes_dest), _REG(width)),
+                    "AR",
+                    flags_read=reads,
+                    flags_written=writes,
+                )
+            )
+            specs.append(
+                InstructionSpec(
+                    mnemonic,
+                    (_REG(width, src=True, dest=writes_dest), _IMM(imm_width)),
+                    "AR",
+                    flags_read=reads,
+                    flags_written=writes,
+                )
+            )
+            # memory forms (MEM)
+            if mnemonic != "TEST":
+                specs.append(
+                    InstructionSpec(
+                        mnemonic,
+                        (_REG(width, src=True, dest=writes_dest), _MEM(width)),
+                        "MEM",
+                        flags_read=reads,
+                        flags_written=writes,
+                    )
+                )
+            specs.append(
+                InstructionSpec(
+                    mnemonic,
+                    (_MEM(width, src=True, dest=writes_dest), _REG(width)),
+                    "MEM",
+                    flags_read=reads,
+                    flags_written=writes,
+                    lockable=writes_dest,
+                )
+            )
+            specs.append(
+                InstructionSpec(
+                    mnemonic,
+                    (_MEM(width, src=True, dest=writes_dest), _IMM(imm_width)),
+                    "MEM",
+                    flags_read=reads,
+                    flags_written=writes,
+                    lockable=writes_dest,
+                )
+            )
+    return specs
+
+
+def _mov_specs() -> List[InstructionSpec]:
+    specs: List[InstructionSpec] = []
+    for width in WIDTHS:
+        imm_width = min(width, 32)
+        specs.append(
+            InstructionSpec(
+                "MOV", (_REG(width, src=False, dest=True), _REG(width)), "AR"
+            )
+        )
+        specs.append(
+            InstructionSpec(
+                "MOV", (_REG(width, src=False, dest=True), _IMM(imm_width)), "AR"
+            )
+        )
+        specs.append(
+            InstructionSpec(
+                "MOV", (_REG(width, src=False, dest=True), _MEM(width)), "MEM"
+            )
+        )
+        specs.append(
+            InstructionSpec(
+                "MOV", (_MEM(width, src=False, dest=True), _REG(width)), "MEM"
+            )
+        )
+        specs.append(
+            InstructionSpec(
+                "MOV", (_MEM(width, src=False, dest=True), _IMM(imm_width)), "MEM"
+            )
+        )
+    # zero/sign extension
+    for mnemonic in ("MOVZX", "MOVSX"):
+        for dst_width in (16, 32, 64):
+            for src_width in (8, 16):
+                if src_width >= dst_width:
+                    continue
+                specs.append(
+                    InstructionSpec(
+                        mnemonic,
+                        (_REG(dst_width, src=False, dest=True), _REG(src_width)),
+                        "AR",
+                    )
+                )
+                specs.append(
+                    InstructionSpec(
+                        mnemonic,
+                        (_REG(dst_width, src=False, dest=True), _MEM(src_width)),
+                        "MEM",
+                    )
+                )
+    return specs
+
+
+def _unary_specs() -> List[InstructionSpec]:
+    specs: List[InstructionSpec] = []
+    table = [
+        ("INC", INCDEC_FLAGS),
+        ("DEC", INCDEC_FLAGS),
+        ("NEG", ARITH_FLAGS),
+        ("NOT", ()),
+    ]
+    for mnemonic, writes in table:
+        for width in WIDTHS:
+            specs.append(
+                InstructionSpec(
+                    mnemonic,
+                    (_REG(width, src=True, dest=True),),
+                    "AR",
+                    flags_written=writes,
+                )
+            )
+            specs.append(
+                InstructionSpec(
+                    mnemonic,
+                    (_MEM(width, src=True, dest=True),),
+                    "MEM",
+                    flags_written=writes,
+                    lockable=True,
+                )
+            )
+    return specs
+
+
+def _misc_ar_specs() -> List[InstructionSpec]:
+    specs: List[InstructionSpec] = []
+    for width in (16, 32, 64):
+        specs.append(
+            InstructionSpec(
+                "IMUL",
+                (_REG(width, src=True, dest=True), _REG(width)),
+                "AR",
+                flags_written=("CF", "PF", "ZF", "SF", "OF"),
+            )
+        )
+        specs.append(
+            InstructionSpec(
+                "IMUL",
+                (_REG(width, src=True, dest=True), _MEM(width)),
+                "MEM",
+                flags_written=("CF", "PF", "ZF", "SF", "OF"),
+            )
+        )
+    for width in WIDTHS:
+        specs.append(
+            InstructionSpec(
+                "XCHG",
+                (_REG(width, src=True, dest=True), _REG(width, src=True, dest=True)),
+                "AR",
+            )
+        )
+    specs.append(
+        InstructionSpec("LEA", (_REG(64, src=False, dest=True), _AGEN), "AR")
+    )
+    for code in CONDITION_CODES:
+        flags = CONDITION_FLAGS[code]
+        specs.append(
+            InstructionSpec(
+                f"SET{code}",
+                (_REG(8, src=False, dest=True),),
+                "AR",
+                flags_read=flags,
+            )
+        )
+        for width in (16, 32, 64):
+            specs.append(
+                InstructionSpec(
+                    f"CMOV{code}",
+                    (_REG(width, src=True, dest=True), _REG(width)),
+                    "AR",
+                    flags_read=flags,
+                )
+            )
+            specs.append(
+                InstructionSpec(
+                    f"CMOV{code}",
+                    (_REG(width, src=True, dest=True), _MEM(width)),
+                    "MEM",
+                    flags_read=flags,
+                )
+            )
+    return specs
+
+
+def _division_specs() -> List[InstructionSpec]:
+    """DIV/IDIV: the only variable-latency instructions in base x86 (§6.1)."""
+    specs: List[InstructionSpec] = []
+    for mnemonic in ("DIV", "IDIV"):
+        for width in (32, 64):
+            implicit = ("RAX", "RDX")
+            specs.append(
+                InstructionSpec(
+                    mnemonic,
+                    (_REG(width),),
+                    "VAR",
+                    flags_written=ARITH_FLAGS,  # architecturally undefined; we define
+                    implicit_reads=implicit,
+                    implicit_writes=implicit,
+                )
+            )
+            specs.append(
+                InstructionSpec(
+                    mnemonic,
+                    (_MEM(width),),
+                    "VAR",
+                    flags_written=ARITH_FLAGS,
+                    implicit_reads=implicit,
+                    implicit_writes=implicit,
+                )
+            )
+    return specs
+
+
+def _branch_specs() -> List[InstructionSpec]:
+    specs: List[InstructionSpec] = []
+    for code in CONDITION_CODES:
+        specs.append(
+            InstructionSpec(
+                f"J{code}", (_LABEL,), "CB", flags_read=CONDITION_FLAGS[code]
+            )
+        )
+    specs.append(InstructionSpec("JMP", (_LABEL,), "UNCOND"))
+    return specs
+
+
+def _extension_specs() -> List[InstructionSpec]:
+    """Indirect control flow and fences (handwritten gadgets only)."""
+    return [
+        InstructionSpec("JMP", (_REG(64),), "IND"),
+        # MOV reg, .label -- materialize a code location (gadget helper for
+        # indirect jumps); not control flow itself, hence category AR.
+        InstructionSpec("MOV", (_REG(64, src=False, dest=True), _LABEL), "AR"),
+        InstructionSpec(
+            "CALL",
+            (_LABEL,),
+            "CALL",
+            implicit_reads=("RSP",),
+            implicit_writes=("RSP",),
+        ),
+        InstructionSpec(
+            "RET", (), "RET", implicit_reads=("RSP",), implicit_writes=("RSP",)
+        ),
+        InstructionSpec("LFENCE", (), "FENCE"),
+        InstructionSpec("MFENCE", (), "FENCE"),
+        InstructionSpec("SFENCE", (), "FENCE"),
+        InstructionSpec("NOP", (), "AR"),
+    ]
+
+
+def _build_catalog() -> List[InstructionSpec]:
+    catalog: List[InstructionSpec] = []
+    catalog.extend(_binary_arith_specs())
+    catalog.extend(_mov_specs())
+    catalog.extend(_unary_specs())
+    catalog.extend(_misc_ar_specs())
+    catalog.extend(_division_specs())
+    catalog.extend(_branch_specs())
+    catalog.extend(_extension_specs())
+    return catalog
+
+
+_CATALOG: List[InstructionSpec] = _build_catalog()
+
+
+class InstructionSet:
+    """A queryable collection of instruction specs.
+
+    The default instance contains the full catalog; :func:`instruction_subset`
+    builds the per-experiment subsets of Table 2.
+    """
+
+    def __init__(self, specs: Sequence[InstructionSpec]):
+        self._specs: Tuple[InstructionSpec, ...] = tuple(specs)
+        self._by_mnemonic: Dict[str, List[InstructionSpec]] = {}
+        for spec in self._specs:
+            self._by_mnemonic.setdefault(spec.mnemonic, []).append(spec)
+
+    @property
+    def specs(self) -> Tuple[InstructionSpec, ...]:
+        return self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self):
+        return iter(self._specs)
+
+    def by_category(self, *categories: str) -> List[InstructionSpec]:
+        return [s for s in self._specs if s.category in categories]
+
+    def by_mnemonic(self, mnemonic: str) -> List[InstructionSpec]:
+        return list(self._by_mnemonic.get(mnemonic.upper(), []))
+
+    def find(
+        self,
+        mnemonic: str,
+        kinds: Sequence[str],
+        width: Optional[int] = None,
+    ) -> InstructionSpec:
+        """Find the spec matching a mnemonic and operand-kind shape.
+
+        ``kinds`` is a sequence like ``("REG", "IMM")``; ``width`` matches the
+        first operand's width when given. Used by the assembler parser.
+        """
+        mnemonic = mnemonic.upper()
+        candidates = [
+            spec
+            for spec in self._by_mnemonic.get(mnemonic, [])
+            if tuple(t.kind for t in spec.operands) == tuple(kinds)
+        ]
+        if width is not None:
+            candidates = [
+                spec
+                for spec in candidates
+                if not spec.operands or spec.operands[0].width == width
+            ]
+        if not candidates:
+            raise KeyError(
+                f"no instruction form {mnemonic} {'/'.join(kinds)} width={width}"
+            )
+        return candidates[0]
+
+
+FULL_INSTRUCTION_SET = InstructionSet(_CATALOG)
+
+_SUBSET_CATEGORIES: Dict[str, Tuple[str, ...]] = {
+    "AR": ("AR",),
+    "MEM": ("MEM",),
+    "VAR": ("VAR",),
+    "CB": ("CB", "UNCOND"),
+    "IND": ("IND", "CALL", "RET"),
+    "FENCE": ("FENCE",),
+}
+
+
+def subset_names() -> Tuple[str, ...]:
+    """Names accepted by :func:`instruction_subset`."""
+    return tuple(_SUBSET_CATEGORIES)
+
+
+def instruction_subset(names: Iterable[str]) -> InstructionSet:
+    """Build an instruction set from subset names, e.g. ``["AR", "MEM"]``.
+
+    Matches the paper's notation: ``instruction_subset("AR+MEM+CB".split("+"))``.
+    """
+    categories: List[str] = []
+    for name in names:
+        try:
+            categories.extend(_SUBSET_CATEGORIES[name.upper()])
+        except KeyError:
+            raise ValueError(
+                f"unknown subset {name!r}; expected one of {subset_names()}"
+            ) from None
+    return InstructionSet(FULL_INSTRUCTION_SET.by_category(*categories))
+
+
+def parse_subset_expression(expression: str) -> InstructionSet:
+    """Parse a ``"AR+MEM+CB"``-style expression into an instruction set."""
+    return instruction_subset(expression.split("+"))
+
+
+def canonical_condition(code: str) -> str:
+    """Normalize a condition-code mnemonic suffix (``NE`` -> ``NZ``)."""
+    code = code.upper()
+    if code in CONDITION_FLAGS:
+        return code
+    if code in CONDITION_ALIASES:
+        return CONDITION_ALIASES[code]
+    raise ValueError(f"unknown condition code: {code!r}")
+
+
+def canonical_mnemonic(mnemonic: str) -> str:
+    """Normalize condition-code aliases in mnemonics (CMOVNBE -> CMOVA)."""
+    mnemonic = mnemonic.upper()
+    if mnemonic == "JMP":
+        return mnemonic
+    for prefix in ("CMOV", "SET", "J"):
+        if mnemonic.startswith(prefix):
+            suffix = mnemonic[len(prefix) :]
+            try:
+                return prefix + canonical_condition(suffix)
+            except ValueError:
+                continue
+    return mnemonic
+
+
+def condition_of(mnemonic: str) -> Optional[str]:
+    """Extract the condition code from ``Jcc``/``CMOVcc``/``SETcc``."""
+    mnemonic = mnemonic.upper()
+    for prefix in ("CMOV", "SET", "J"):
+        if mnemonic.startswith(prefix) and mnemonic not in ("JMP",):
+            suffix = mnemonic[len(prefix) :]
+            try:
+                return canonical_condition(suffix)
+            except ValueError:
+                continue
+    return None
+
+
+__all__ = [
+    "CONDITION_CODES",
+    "CONDITION_FLAGS",
+    "CONDITION_ALIASES",
+    "FULL_INSTRUCTION_SET",
+    "InstructionSet",
+    "instruction_subset",
+    "parse_subset_expression",
+    "subset_names",
+    "canonical_condition",
+    "condition_of",
+]

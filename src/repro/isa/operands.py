@@ -1,0 +1,146 @@
+"""Operand kinds for the x86-64 subset.
+
+An instruction instance carries a list of concrete operands. The kinds are:
+
+- :class:`RegisterOperand` -- a register view (width derived from the name);
+- :class:`ImmediateOperand` -- a constant;
+- :class:`MemoryOperand` -- ``[base + index + displacement]`` with an access
+  width; in generated test cases ``base`` is always the sandbox register;
+- :class:`LabelOperand` -- a basic-block label (branch targets);
+- :class:`AgenOperand` -- address-generation operand for LEA;
+- :class:`FlagsOperand` -- implicit FLAGS read/write markers on specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.isa.registers import canonical_register, register_width
+
+
+class Operand:
+    """Base class for all operand kinds."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class RegisterOperand(Operand):
+    """A register view operand, e.g. ``RAX`` or ``BL``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.upper())
+        canonical_register(self.name)  # validate
+
+    @property
+    def width(self) -> int:
+        """Width of the view in bits."""
+        return register_width(self.name)
+
+    @property
+    def canonical(self) -> str:
+        """The canonical 64-bit register backing this view."""
+        return canonical_register(self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ImmediateOperand(Operand):
+    """An immediate constant operand."""
+
+    value: int
+    width: int = 32
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class MemoryOperand(Operand):
+    """A memory operand ``width ptr [base + index + displacement]``."""
+
+    base: str
+    index: Optional[str] = None
+    displacement: int = 0
+    width: int = 64
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "base", self.base.upper())
+        canonical_register(self.base)
+        if self.index is not None:
+            object.__setattr__(self, "index", self.index.upper())
+            canonical_register(self.index)
+
+    def address_registers(self) -> Tuple[str, ...]:
+        """Canonical registers participating in address generation."""
+        regs = [canonical_register(self.base)]
+        if self.index is not None:
+            regs.append(canonical_register(self.index))
+        return tuple(regs)
+
+    def __str__(self) -> str:
+        size_name = {8: "byte", 16: "word", 32: "dword", 64: "qword"}[self.width]
+        parts = [self.base]
+        if self.index is not None:
+            parts.append(self.index)
+        expr = " + ".join(parts)
+        if self.displacement:
+            sign = "+" if self.displacement > 0 else "-"
+            expr = f"{expr} {sign} {abs(self.displacement)}"
+        return f"{size_name} ptr [{expr}]"
+
+
+@dataclass(frozen=True)
+class LabelOperand(Operand):
+    """A basic-block label operand (branch target)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f".{self.name}"
+
+
+@dataclass(frozen=True)
+class AgenOperand(Operand):
+    """Address-generation operand for LEA (no memory access)."""
+
+    base: str
+    index: Optional[str] = None
+    displacement: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "base", self.base.upper())
+        canonical_register(self.base)
+        if self.index is not None:
+            object.__setattr__(self, "index", self.index.upper())
+            canonical_register(self.index)
+
+    def __str__(self) -> str:
+        parts = [self.base]
+        if self.index is not None:
+            parts.append(self.index)
+        expr = " + ".join(parts)
+        if self.displacement:
+            sign = "+" if self.displacement > 0 else "-"
+            expr = f"{expr} {sign} {abs(self.displacement)}"
+        return f"[{expr}]"
+
+
+@dataclass(frozen=True)
+class FlagsOperand(Operand):
+    """Implicit FLAGS operand used in instruction specs.
+
+    ``read`` / ``written`` list the flag bits the instruction reads and
+    writes; an empty tuple means none.
+    """
+
+    read: Tuple[str, ...] = ()
+    written: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return "FLAGS"

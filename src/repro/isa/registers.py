@@ -1,0 +1,133 @@
+"""Register file description for the x86-64 subset.
+
+Canonical architectural registers are the 64-bit GPRs. Narrower register
+names (``EAX``, ``AX``, ``AL``, ``R8D``, ...) are *views* onto a canonical
+register, described by a width in bits. Writes to 32-bit views zero the
+upper half (x86-64 semantics); writes to 16/8-bit views merge.
+
+The FLAGS register is modelled as six independent boolean bits (CF, PF, AF,
+ZF, SF, OF), which is the subset that the implemented instructions read and
+write.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Canonical 64-bit general-purpose registers. R14 is reserved by the test
+#: case generator as the sandbox base pointer (as in the paper's Figure 3).
+GPR_NAMES: Tuple[str, ...] = (
+    "RAX",
+    "RBX",
+    "RCX",
+    "RDX",
+    "RSI",
+    "RDI",
+    "RBP",
+    "RSP",
+    "R8",
+    "R9",
+    "R10",
+    "R11",
+    "R12",
+    "R13",
+    "R14",
+    "R15",
+)
+
+#: The register that always holds the sandbox base address in generated and
+#: handwritten test cases.
+SANDBOX_BASE_REGISTER = "R14"
+
+#: FLAGS bits implemented by the emulator, in their x86 bit order.
+FLAG_BITS: Tuple[str, ...] = ("CF", "PF", "AF", "ZF", "SF", "OF")
+
+_LEGACY_VIEWS: Dict[str, Tuple[str, int]] = {}
+
+
+def _build_views() -> None:
+    legacy = {
+        "RAX": ("EAX", "AX", "AH", "AL"),
+        "RBX": ("EBX", "BX", "BH", "BL"),
+        "RCX": ("ECX", "CX", "CH", "CL"),
+        "RDX": ("EDX", "DX", "DH", "DL"),
+        "RSI": ("ESI", "SI", None, "SIL"),
+        "RDI": ("EDI", "DI", None, "DIL"),
+        "RBP": ("EBP", "BP", None, "BPL"),
+        "RSP": ("ESP", "SP", None, "SPL"),
+    }
+    for canonical, (name32, name16, name8h, name8) in legacy.items():
+        _LEGACY_VIEWS[canonical] = (canonical, 64)
+        _LEGACY_VIEWS[name32] = (canonical, 32)
+        _LEGACY_VIEWS[name16] = (canonical, 16)
+        _LEGACY_VIEWS[name8] = (canonical, 8)
+        if name8h is not None:
+            # High-byte views are modelled as 8-bit low views for simplicity;
+            # the generator never emits them, the parser accepts them.
+            _LEGACY_VIEWS[name8h] = (canonical, 8)
+    for index in range(8, 16):
+        canonical = f"R{index}"
+        _LEGACY_VIEWS[canonical] = (canonical, 64)
+        _LEGACY_VIEWS[f"R{index}D"] = (canonical, 32)
+        _LEGACY_VIEWS[f"R{index}W"] = (canonical, 16)
+        _LEGACY_VIEWS[f"R{index}B"] = (canonical, 8)
+
+
+_build_views()
+
+
+def canonical_register(name: str) -> str:
+    """Return the canonical 64-bit register backing ``name``.
+
+    >>> canonical_register("EAX")
+    'RAX'
+    >>> canonical_register("r9d")
+    'R9'
+    """
+    try:
+        return _LEGACY_VIEWS[name.upper()][0]
+    except KeyError:
+        raise ValueError(f"unknown register: {name!r}") from None
+
+
+def register_width(name: str) -> int:
+    """Return the width in bits of register view ``name``.
+
+    >>> register_width("AX")
+    16
+    """
+    try:
+        return _LEGACY_VIEWS[name.upper()][1]
+    except KeyError:
+        raise ValueError(f"unknown register: {name!r}") from None
+
+
+def is_register(name: str) -> bool:
+    """Return True if ``name`` names a known register view."""
+    return name.upper() in _LEGACY_VIEWS
+
+
+def view_name(canonical: str, width: int) -> str:
+    """Return the conventional name of the ``width``-bit view of a register.
+
+    >>> view_name("RAX", 16)
+    'AX'
+    >>> view_name("R10", 32)
+    'R10D'
+    """
+    canonical = canonical.upper()
+    if canonical not in GPR_NAMES:
+        raise ValueError(f"not a canonical register: {canonical!r}")
+    if width == 64:
+        return canonical
+    if canonical.startswith("R") and canonical[1:].isdigit():
+        suffix = {32: "D", 16: "W", 8: "B"}[width]
+        return canonical + suffix
+    base = canonical[1:]  # e.g. "AX" from "RAX", "SI" from "RSI"
+    if width == 32:
+        return "E" + base
+    if width == 16:
+        return base
+    if width == 8:
+        return base[0] + "L" if base.endswith("X") else base + "L"
+    raise ValueError(f"unsupported register width: {width}")

@@ -1,0 +1,132 @@
+"""Trace types shared by the contract model, the executor and the analyzer.
+
+A *contract trace* (:class:`CTrace`) is the sequence of observations a
+contract permits to be exposed during one execution (paper §2.2). A
+*hardware trace* (:class:`HTrace`) is what the side-channel measurement
+observes on the (simulated) CPU — for Prime+Probe, the set of L1D cache
+sets touched by the test case (paper §5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+#: One contract observation: a tag and a value, e.g. ``("ld", 0x10040)``.
+#: Tags: "ld" (load address), "st" (store address), "pc" (program counter),
+#: "val" (loaded value, ARCH contracts only).
+Observation = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class CTrace:
+    """An ordered, hashable contract trace."""
+
+    observations: Tuple[Observation, ...]
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def __iter__(self):
+        return iter(self.observations)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(f"{tag}:{value:#x}" for tag, value in self.observations)
+        return f"[{rendered}]"
+
+    def addresses(self, tag: str) -> Tuple[int, ...]:
+        """All observation values with the given tag, in order."""
+        return tuple(value for t, value in self.observations if t == tag)
+
+
+@dataclass(frozen=True)
+class HTrace:
+    """A hardware trace: the set of observed side-channel signals.
+
+    For cache attacks each signal is a cache set index (Prime+Probe) or a
+    monitored memory block index (Flush+Reload / Evict+Reload).
+    """
+
+    signals: FrozenSet[int]
+    num_slots: int = 64
+
+    @classmethod
+    def from_signals(cls, signals: Iterable[int], num_slots: int = 64) -> "HTrace":
+        return cls(frozenset(signals), num_slots)
+
+    @classmethod
+    def empty(cls, num_slots: int = 64) -> "HTrace":
+        return cls(frozenset(), num_slots)
+
+    def union(self, other: "HTrace") -> "HTrace":
+        return HTrace(self.signals | other.signals, self.num_slots)
+
+    def issubset(self, other: "HTrace") -> bool:
+        return self.signals <= other.signals
+
+    def __len__(self) -> int:
+        return len(self.signals)
+
+    def __contains__(self, signal: int) -> bool:
+        return signal in self.signals
+
+    def bitmap(self) -> str:
+        """Render as the bit string used in the paper's §5.3 example."""
+        return "".join(
+            "1" if slot in self.signals else "0" for slot in range(self.num_slots)
+        )
+
+    def __str__(self) -> str:
+        return self.bitmap()
+
+
+def merge_hardware_traces(traces: Sequence[HTrace]) -> HTrace:
+    """Union of repeated measurements of the same input (paper §5.3)."""
+    if not traces:
+        raise ValueError("no traces to merge")
+    merged = traces[0]
+    for trace in traces[1:]:
+        merged = merged.union(trace)
+    return merged
+
+
+@dataclass
+class ExecutionLogEntry:
+    """One executed instruction recorded by the model (for §5.6 patterns)."""
+
+    pc: int
+    mnemonic: str
+    registers_read: Tuple[str, ...]
+    registers_written: Tuple[str, ...]
+    flags_read: Tuple[str, ...]
+    flags_written: Tuple[str, ...]
+    is_load: bool
+    is_store: bool
+    is_cond_branch: bool
+    is_uncond_branch: bool
+    addresses: Tuple[int, ...]
+    speculative: bool
+
+
+@dataclass
+class ExecutionLog:
+    """The instruction stream observed by the model during one input."""
+
+    entries: List[ExecutionLogEntry] = field(default_factory=list)
+
+    def architectural(self) -> List[ExecutionLogEntry]:
+        """Only the non-speculative part of the stream."""
+        return [entry for entry in self.entries if not entry.speculative]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+__all__ = [
+    "CTrace",
+    "ExecutionLog",
+    "ExecutionLogEntry",
+    "HTrace",
+    "Observation",
+    "merge_hardware_traces",
+]

@@ -1,0 +1,44 @@
+"""Speculative CPU simulator substrate (replaces the Intel CPUs under test).
+
+The paper treats the CPU as a black box that turns ``(Prog, Data, Ctx)``
+into a hardware trace. This package provides such a black box: a
+deterministic, timing-based speculative interpreter with the leak
+mechanisms the paper's evaluation exercises — branch misprediction
+(Spectre V1), speculative store bypass (V4), operand-dependent division
+latency (the V1-var/V4-var races of §6.3), microcode assists with
+stale-data forwarding (MDS) or zero injection (LVI-Null), and
+speculative-store cache updates (the §6.4 Coffee Lake behaviour).
+"""
+
+from repro.uarch.cache import L1DCache
+from repro.uarch.config import (
+    UarchConfig,
+    coffee_lake,
+    preset,
+    preset_names,
+    skylake,
+)
+from repro.uarch.cpu import RunInfo, SpeculativeCPU
+from repro.uarch.lfb import LineFillBuffer
+from repro.uarch.predictors import (
+    BranchTargetBuffer,
+    ConditionalBranchPredictor,
+    MemoryDisambiguator,
+    ReturnStackBuffer,
+)
+
+__all__ = [
+    "BranchTargetBuffer",
+    "ConditionalBranchPredictor",
+    "L1DCache",
+    "LineFillBuffer",
+    "MemoryDisambiguator",
+    "ReturnStackBuffer",
+    "RunInfo",
+    "SpeculativeCPU",
+    "UarchConfig",
+    "coffee_lake",
+    "preset",
+    "preset_names",
+    "skylake",
+]

@@ -1,0 +1,109 @@
+"""Set-associative L1D cache model with true LRU replacement.
+
+The cache is the side channel: the executor mounts Prime+Probe /
+Flush+Reload / Evict+Reload attacks against it (paper §5.3). Attacker
+lines are modelled as negative tags so they can never collide with victim
+lines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+
+class L1DCache:
+    """A ``num_sets`` x ``ways`` cache of ``line_size``-byte lines.
+
+    Each set is a list of tags in LRU order (most recently used first).
+    The default geometry (64 sets, 8 ways, 64-byte lines) matches the
+    Skylake/Coffee Lake L1D the paper measures.
+    """
+
+    def __init__(self, num_sets: int = 64, ways: int = 8, line_size: int = 64):
+        self.num_sets = num_sets
+        self.ways = ways
+        self.line_size = line_size
+        self._sets: List[List[int]] = [[] for _ in range(num_sets)]
+
+    def set_index(self, address: int) -> int:
+        """The cache set an address maps to."""
+        return (address // self.line_size) % self.num_sets
+
+    def tag(self, address: int) -> int:
+        """The line tag of an address (full line number for simplicity)."""
+        return address // self.line_size
+
+    def access(self, address: int) -> bool:
+        """Access one line: return True on hit; update LRU; fill on miss."""
+        index = self.set_index(address)
+        tag = self.tag(address)
+        lines = self._sets[index]
+        if tag in lines:
+            lines.remove(tag)
+            lines.insert(0, tag)
+            return True
+        lines.insert(0, tag)
+        if len(lines) > self.ways:
+            lines.pop()
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Is the line holding ``address`` currently cached? (no LRU update)"""
+        return self.tag(address) in self._sets[self.set_index(address)]
+
+    def flush_line(self, address: int) -> None:
+        """CLFLUSH: evict the line holding ``address`` if present."""
+        index = self.set_index(address)
+        tag = self.tag(address)
+        lines = self._sets[index]
+        if tag in lines:
+            lines.remove(tag)
+
+    def flush_all(self) -> None:
+        """WBINVD-style full flush."""
+        self._sets = [[] for _ in range(self.num_sets)]
+
+    # -- attacker primitives --------------------------------------------------
+
+    def prime(self) -> None:
+        """Prime+Probe step 1: fill every way of every set with attacker
+        lines. Attacker tags are negative so they never alias victim lines."""
+        for index in range(self.num_sets):
+            self._sets[index] = [
+                -(1 + index * self.ways + way) for way in range(self.ways)
+            ]
+
+    def probe(self) -> Set[int]:
+        """Prime+Probe step 2: sets where at least one attacker line was
+        evicted, i.e. sets the victim touched."""
+        touched: Set[int] = set()
+        for index, lines in enumerate(self._sets):
+            attacker_lines = sum(1 for tag in lines if tag < 0)
+            if attacker_lines < self.ways:
+                touched.add(index)
+        return touched
+
+    def evict_region(self, base: int, size: int) -> None:
+        """Evict+Reload preparation: evict every line of a memory region."""
+        address = base - base % self.line_size
+        while address < base + size:
+            self.flush_line(address)
+            address += self.line_size
+
+    def cached_lines(self, base: int, size: int) -> Set[int]:
+        """Flush/Evict+Reload probe: indices of region lines that are cached."""
+        cached: Set[int] = set()
+        first_line = base // self.line_size
+        address = base - base % self.line_size
+        while address < base + size:
+            if self.contains(address):
+                cached.add(address // self.line_size - first_line)
+            address += self.line_size
+        return cached
+
+    def snapshot_tags(self) -> List[List[int]]:
+        """Copy of the full tag state (tests and diagnostics)."""
+        return [list(lines) for lines in self._sets]
+
+
+__all__ = ["L1DCache"]

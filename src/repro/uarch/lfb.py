@@ -1,0 +1,43 @@
+"""Line-fill buffer: the stale-data store behind MDS-style leaks.
+
+Every load and store deposits its value in the LFB. The buffer is *not*
+cleared between inputs of a priming sequence (it is internal CPU state the
+attacker cannot reset), so a microcode assist can forward data belonging
+to a previous input — the cross-domain leak of RIDL/ZombieLoad that
+Revizor surfaces as an MDS violation (Target 7).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+
+class LineFillBuffer:
+    """A small FIFO of recent ``(address, value)`` fill entries."""
+
+    def __init__(self, num_entries: int = 10):
+        self.num_entries = num_entries
+        self._entries: Deque[Tuple[int, int]] = deque(maxlen=num_entries)
+
+    def record(self, address: int, value: int) -> None:
+        self._entries.append((address, value))
+
+    def stale_value(self) -> Optional[int]:
+        """The value a faulting load would receive from the LFB (newest
+        entry), or None when the buffer is empty."""
+        if not self._entries:
+            return None
+        return self._entries[-1][1]
+
+    def entries(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(self._entries)
+
+    def reset(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+__all__ = ["LineFillBuffer"]

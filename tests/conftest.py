@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.emulator.state import InputData, SandboxLayout
+from repro.uarch.config import coffee_lake, skylake
+
+
+@pytest.fixture
+def layout():
+    return SandboxLayout()
+
+
+@pytest.fixture
+def skylake_config():
+    return skylake()
+
+
+@pytest.fixture
+def skylake_patched_config():
+    return skylake(v4_patch=True)
+
+
+@pytest.fixture
+def coffee_lake_config():
+    return coffee_lake()
+
+
+def make_input(registers=None, flags=None, memory=b"", seed=None):
+    """Convenience input constructor used across test modules."""
+    return InputData(
+        registers=registers or {},
+        flags=flags or {},
+        memory=memory,
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def input_factory():
+    return make_input

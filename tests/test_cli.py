@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_fuzz_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.subsets == "AR+MEM+CB"
+        assert args.contract == "CT-SEQ"
+        assert args.cpu == "skylake"
+
+    def test_fuzz_custom(self):
+        args = build_parser().parse_args(
+            ["fuzz", "-s", "AR+MEM", "-c", "CT-BPAS", "--cpu", "coffee-lake",
+             "-n", "10", "-i", "5", "-m", "P+P+A"]
+        )
+        assert args.subsets == "AR+MEM"
+        assert args.num_test_cases == 10
+        assert args.mode == "P+P+A"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "CT-SEQ" in output
+        assert "skylake" in output
+        assert "spectre-v1" in output
+
+    def test_fuzz_clean_target_exits_zero(self, capsys):
+        code = main(["fuzz", "-s", "AR", "-c", "CT-SEQ", "-n", "5", "-i", "10"])
+        assert code == 0
+        assert "no violation" in capsys.readouterr().out
+
+    def test_fuzz_finding_violation_exits_one(self, capsys):
+        code = main(
+            ["fuzz", "-s", "AR+MEM+CB", "-c", "CT-SEQ",
+             "--cpu", "skylake-v4-patched", "-n", "150", "-i", "25",
+             "--seed", "7"]
+        )
+        assert code == 1
+        assert "contract violation" in capsys.readouterr().out
+
+    def test_reproduce_gadget(self, capsys):
+        code = main(["reproduce", "spectre-v5-ret", "--max-inputs", "32"])
+        assert code == 1
+        assert "violation" in capsys.readouterr().out
+
+    def test_reproduce_unknown_gadget(self, capsys):
+        assert main(["reproduce", "spectre-v99"]) == 2
+
+    def test_trace_command(self, tmp_path, capsys):
+        asm = tmp_path / "gadget.asm"
+        asm.write_text("MOV RAX, qword ptr [R14 + 64]\n")
+        code = main(["trace", str(asm), "-c", "MEM-SEQ", "-i", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ld:" in output

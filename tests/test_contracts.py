@@ -1,0 +1,304 @@
+"""Unit tests for observation clauses, execution clauses and contract
+trace collection — including the paper's Figure 1 example."""
+
+import pytest
+
+from repro.isa.assembler import parse_program
+from repro.emulator.state import InputData, SandboxLayout
+from repro.contracts import contract_names, get_contract
+from repro.contracts.observation import ARCH, CT, CT_NONSPEC_STORE, MEM
+
+
+@pytest.fixture
+def layout():
+    return SandboxLayout()
+
+
+class TestRegistry:
+    def test_paper_contracts_present(self):
+        names = contract_names()
+        for name in (
+            "MEM-SEQ",
+            "MEM-COND",
+            "CT-SEQ",
+            "CT-COND",
+            "CT-BPAS",
+            "CT-COND-BPAS",
+            "ARCH-SEQ",
+            "CT-NONSPEC-STORE-COND",
+        ):
+            assert name in names
+
+    def test_lookup_case_insensitive(self):
+        assert get_contract("ct-seq").name == "CT-SEQ"
+
+    def test_unknown_contract(self):
+        with pytest.raises(KeyError):
+            get_contract("FOO-BAR")
+
+    def test_clause_composition(self):
+        contract = get_contract("CT-COND-BPAS")
+        assert contract.execution.speculate_conditional_branches
+        assert contract.execution.speculate_store_bypass
+        assert contract.observation.expose_pc
+
+    def test_default_speculation_window_is_rob_sized(self):
+        # paper footnote 3: 250 instructions, the Skylake ROB size
+        assert get_contract("CT-COND").speculation_window == 250
+
+
+class TestObservationClauses:
+    def _trace(self, clause_contract, program_text, input_data, layout):
+        program = parse_program(program_text)
+        return clause_contract.collect_trace(program, input_data, layout)
+
+    def test_mem_exposes_addresses_only(self, layout):
+        contract = get_contract("MEM-SEQ")
+        trace = self._trace(
+            contract, "MOV RAX, qword ptr [R14 + 64]", InputData(), layout
+        )
+        assert trace.observations == (("ld", layout.base + 64),)
+
+    def test_ct_adds_program_counter(self, layout):
+        contract = get_contract("CT-SEQ")
+        trace = self._trace(
+            contract, "NOP\nMOV RAX, qword ptr [R14]", InputData(), layout
+        )
+        assert trace.observations == (
+            ("pc", 0),
+            ("pc", 1),
+            ("ld", layout.base),
+        )
+
+    def test_arch_adds_loaded_values(self, layout):
+        contract = get_contract("ARCH-SEQ")
+        memory = (0x1234).to_bytes(8, "little")
+        trace = self._trace(
+            contract,
+            "MOV RAX, qword ptr [R14]",
+            InputData(memory=memory),
+            layout,
+        )
+        assert ("val", 0x1234) in trace.observations
+
+    def test_stores_exposed(self, layout):
+        contract = get_contract("MEM-SEQ")
+        trace = self._trace(
+            contract, "MOV qword ptr [R14 + 8], RAX", InputData(), layout
+        )
+        assert trace.observations == (("st", layout.base + 8),)
+
+    def test_clause_flags(self):
+        assert MEM.expose_load_addresses and not MEM.expose_pc
+        assert CT.expose_pc and not CT.expose_load_values
+        assert ARCH.expose_load_values
+        assert not CT_NONSPEC_STORE.expose_speculative_stores
+
+
+class TestFigure1Example:
+    """The paper's §2.2 example: MEM-COND over the Spectre V1 snippet.
+
+    array1 is at sandbox offset 0 and array2 at offset 0x100, with the
+    sandbox base chosen so the absolute addresses match the paper's
+    0x110 / 0x220 narrative (base 0x100, x = 0x10, y = 0x20).
+    """
+
+    PROGRAM = """
+        MOV RBX, qword ptr [R14 + RAX]
+        CMP RCX, 10
+        JAE .end
+        MOV RBX, qword ptr [R14 + RCX + 256]
+    .end: NOP
+    """
+
+    def test_mispredicted_path_observed(self):
+        layout = SandboxLayout(base=0x100)
+        program = parse_program(self.PROGRAM)
+        contract = get_contract("MEM-COND")
+        # y = 0x20 >= 10: branch taken, line 4 is *not* executed
+        # architecturally, but MEM-COND exposes it speculatively
+        trace = contract.collect_trace(
+            program,
+            InputData(registers={"RAX": 0x10, "RCX": 0x20}),
+            layout,
+        )
+        assert trace.addresses("ld") == (0x110, 0x100 + 0x20 + 0x100)
+
+    def test_mem_seq_hides_speculative_access(self):
+        layout = SandboxLayout(base=0x100)
+        program = parse_program(self.PROGRAM)
+        contract = get_contract("MEM-SEQ")
+        trace = contract.collect_trace(
+            program,
+            InputData(registers={"RAX": 0x10, "RCX": 0x20}),
+            layout,
+        )
+        assert trace.addresses("ld") == (0x110,)
+
+    def test_seq_equal_cond_distinguishes(self):
+        """The §2.2 counterexample: two inputs agree under MEM-SEQ but
+        disagree under MEM-COND (the speculative access differs)."""
+        layout = SandboxLayout(base=0x100)
+        program = parse_program(self.PROGRAM)
+        input_a = InputData(registers={"RAX": 0x10, "RCX": 0x20})
+        input_b = InputData(registers={"RAX": 0x10, "RCX": 0x30})
+        seq = get_contract("MEM-SEQ")
+        cond = get_contract("MEM-COND")
+        assert seq.collect_trace(program, input_a, layout) == seq.collect_trace(
+            program, input_b, layout
+        )
+        assert cond.collect_trace(program, input_a, layout) != cond.collect_trace(
+            program, input_b, layout
+        )
+
+
+class TestExecutionClauses:
+    def test_cond_explores_inverted_path(self, layout):
+        program = parse_program(
+            """
+            JNS .end
+            MOV RAX, qword ptr [R14 + 128]
+        .end: NOP
+            """
+        )
+        contract = get_contract("MEM-COND")
+        # SF clear: branch taken; the fallthrough load appears speculatively
+        trace = contract.collect_trace(program, InputData(), layout)
+        assert trace.addresses("ld") == (layout.base + 128,)
+
+    def test_seq_does_not_explore(self, layout):
+        program = parse_program(
+            """
+            JNS .end
+            MOV RAX, qword ptr [R14 + 128]
+        .end: NOP
+            """
+        )
+        contract = get_contract("MEM-SEQ")
+        trace = contract.collect_trace(program, InputData(), layout)
+        assert trace.addresses("ld") == ()
+
+    def test_bpas_skips_store_speculatively(self, layout):
+        program = parse_program(
+            """
+            MOV qword ptr [R14], RBX
+            MOV RAX, qword ptr [R14]
+            AND RAX, 0b111111000000
+            MOV RCX, qword ptr [R14 + RAX]
+            """
+        )
+        memory = (0x80).to_bytes(8, "little")  # old value at offset 0
+        contract = get_contract("MEM-BPAS")
+        trace = contract.collect_trace(
+            program, InputData(registers={"RBX": 0x40}, memory=memory), layout
+        )
+        addresses = trace.addresses("ld")
+        # speculative path reads the old value (0x80); the normal path
+        # after rollback reads the stored value (0x40)
+        assert layout.base + 0x80 in addresses
+        assert layout.base + 0x40 in addresses
+
+    def test_speculation_window_limits_path(self, layout):
+        program_text = "JNS .end\n" + "\n".join(
+            f"MOV RAX, qword ptr [R14 + {64 * i}]" for i in range(1, 11)
+        ) + "\n.end: NOP"
+        program = parse_program(program_text)
+        short = get_contract("MEM-COND", speculation_window=3)
+        trace = short.collect_trace(program, InputData(), layout)
+        assert len(trace.addresses("ld")) == 3
+
+    def test_fence_stops_speculation(self, layout):
+        program = parse_program(
+            """
+            JNS .end
+            LFENCE
+            MOV RAX, qword ptr [R14 + 128]
+        .end: NOP
+            """
+        )
+        contract = get_contract("MEM-COND")
+        trace = contract.collect_trace(program, InputData(), layout)
+        assert trace.addresses("ld") == ()
+
+    def test_nesting_disabled_by_default(self, layout):
+        program = parse_program(
+            """
+            JNS .end
+            JS .end
+            MOV RAX, qword ptr [R14 + 128]
+        .end: NOP
+            """
+        )
+        # SF clear: JNS taken; speculative path hits JS (not taken there),
+        # whose own inverted path would jump to .end. Without nesting, the
+        # inner branch is not forked, so the load *is* reached on the
+        # single speculative path.
+        contract = get_contract("MEM-COND")
+        trace = contract.collect_trace(program, InputData(), layout)
+        assert trace.addresses("ld") == (layout.base + 128,)
+
+    def test_nested_speculation(self, layout):
+        program = parse_program(
+            """
+            JNS .mid
+            NOP
+        .mid: JNS .end
+            MOV RAX, qword ptr [R14 + 128]
+        .end: NOP
+            """
+        )
+        # SF clear: both branches taken architecturally; the load is only
+        # reachable on the *nested* mis-speculated path of the second
+        # branch inside the first branch's wrong path... with nesting off
+        # it is reached via the second branch's own fork; with SF set it
+        # is reached only through nesting.
+        nested = get_contract("MEM-COND", max_nesting=2)
+        flat = get_contract("MEM-COND", max_nesting=1)
+        input_sf = InputData(flags={"SF": True})
+        # SF set: JNS not taken; path: NOP, .mid JNS not taken -> load runs
+        # architecturally; both contracts see it
+        assert flat.collect_trace(program, input_sf, layout).addresses("ld")
+        assert nested.collect_trace(program, input_sf, layout).addresses("ld")
+
+    def test_with_nesting_copy(self):
+        contract = get_contract("CT-COND")
+        nested = contract.with_nesting(3)
+        assert nested.max_nesting == 3
+        assert contract.max_nesting == 1  # original unchanged
+
+    def test_trace_determinism(self, layout):
+        program = parse_program(
+            """
+            JNS .end
+            MOV qword ptr [R14 + 8], RBX
+            MOV RAX, qword ptr [R14 + 8]
+        .end: NOP
+            """
+        )
+        contract = get_contract("CT-COND-BPAS")
+        input_data = InputData(registers={"RBX": 0x40}, flags={"SF": True})
+        first = contract.collect_trace(program, input_data, layout)
+        second = contract.collect_trace(program, input_data, layout)
+        assert first == second
+
+
+class TestExecutionLog:
+    def test_log_records_speculative_flag(self, layout):
+        program = parse_program(
+            """
+            JNS .end
+            MOV RAX, qword ptr [R14 + 128]
+        .end: NOP
+            """
+        )
+        contract = get_contract("CT-COND")
+        _, log = contract.collect_trace_and_log(program, InputData(), layout)
+        speculative = [entry for entry in log.entries if entry.speculative]
+        assert speculative and speculative[0].mnemonic == "MOV"
+        assert len(log.architectural()) == 2  # JNS + final NOP
+
+    def test_log_addresses(self, layout):
+        program = parse_program("MOV RAX, qword ptr [R14 + 192]")
+        contract = get_contract("CT-SEQ")
+        _, log = contract.collect_trace_and_log(program, InputData(), layout)
+        assert log.entries[0].addresses == (layout.base + 192,)

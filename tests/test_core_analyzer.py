@@ -1,0 +1,114 @@
+"""Tests for the relational analyzer (paper §5.5)."""
+
+import pytest
+
+from repro.core.analyzer import RelationalAnalyzer
+from repro.core.input_gen import effectiveness
+from repro.traces import CTrace, HTrace
+
+
+def ct(*observations):
+    return CTrace(tuple(observations))
+
+
+def ht(*signals):
+    return HTrace.from_signals(set(signals))
+
+
+class TestEquivalence:
+    def test_subset_mode(self):
+        analyzer = RelationalAnalyzer("subset")
+        assert analyzer.equivalent(ht(1), ht(1, 2))
+        assert analyzer.equivalent(ht(1, 2), ht(1))
+        assert analyzer.equivalent(ht(1), ht(1))
+        assert not analyzer.equivalent(ht(1, 3), ht(1, 2))
+
+    def test_strict_mode(self):
+        analyzer = RelationalAnalyzer("strict")
+        assert analyzer.equivalent(ht(1), ht(1))
+        assert not analyzer.equivalent(ht(1), ht(1, 2))
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            RelationalAnalyzer("fuzzy")
+
+    def test_empty_traces_equivalent(self):
+        analyzer = RelationalAnalyzer()
+        assert analyzer.equivalent(ht(), ht())
+
+
+class TestClasses:
+    def test_grouping_and_singletons(self):
+        analyzer = RelationalAnalyzer()
+        a, b = ct(("ld", 1)), ct(("ld", 2))
+        classes, singletons = analyzer.build_classes([a, b, a, a])
+        assert singletons == 1
+        assert len(classes) == 1
+        assert classes[0].positions == [0, 2, 3]
+
+    def test_all_unique_inputs_are_ineffective(self):
+        analyzer = RelationalAnalyzer()
+        classes, singletons = analyzer.build_classes(
+            [ct(("ld", i)) for i in range(5)]
+        )
+        assert classes == [] and singletons == 5
+
+
+class TestAnalysis:
+    def test_no_violation_when_htraces_match(self):
+        analyzer = RelationalAnalyzer()
+        ctraces = [ct(("ld", 1))] * 3
+        htraces = [ht(5)] * 3
+        result = analyzer.analyze(ctraces, htraces)
+        assert result.candidates == []
+        assert result.effectiveness == 1.0
+
+    def test_violation_detected(self):
+        analyzer = RelationalAnalyzer()
+        ctraces = [ct(("ld", 1))] * 2
+        htraces = [ht(5), ht(9)]
+        result = analyzer.analyze(ctraces, htraces)
+        assert len(result.candidates) == 1
+        candidate = result.candidates[0]
+        assert (candidate.position_a, candidate.position_b) == (0, 1)
+
+    def test_cross_class_difference_is_fine(self):
+        """Different contract traces MAY have different hardware traces."""
+        analyzer = RelationalAnalyzer()
+        ctraces = [ct(("ld", 1)), ct(("ld", 2))]
+        htraces = [ht(5), ht(9)]
+        result = analyzer.analyze(ctraces, htraces)
+        assert result.candidates == []
+
+    def test_subset_divergence_filtered_in_subset_mode(self):
+        """§5.5: fewer-but-matching observations are treated as noise."""
+        ctraces = [ct(("ld", 1))] * 2
+        htraces = [ht(5), ht(5, 7)]
+        assert RelationalAnalyzer("subset").analyze(ctraces, htraces).candidates == []
+        assert RelationalAnalyzer("strict").analyze(ctraces, htraces).candidates
+
+    def test_multiple_representatives(self):
+        """Three mutually non-equivalent traces yield multiple candidates."""
+        analyzer = RelationalAnalyzer()
+        ctraces = [ct(("ld", 1))] * 3
+        htraces = [ht(1), ht(2), ht(3)]
+        result = analyzer.analyze(ctraces, htraces)
+        assert len(result.candidates) == 2
+
+    def test_misaligned_inputs_rejected(self):
+        analyzer = RelationalAnalyzer()
+        with pytest.raises(ValueError):
+            analyzer.analyze([ct()], [ht(), ht()])
+
+    def test_effectiveness_metric(self):
+        analyzer = RelationalAnalyzer()
+        ctraces = [ct(("ld", 1)), ct(("ld", 1)), ct(("ld", 2))]
+        htraces = [ht()] * 3
+        result = analyzer.analyze(ctraces, htraces)
+        assert result.effectiveness == pytest.approx(2 / 3)
+        assert result.singleton_inputs == 1
+
+    def test_effectiveness_helper(self):
+        assert effectiveness([2, 3, 1]) == pytest.approx(5 / 6)
+        assert effectiveness([]) == 0.0
+        assert effectiveness([1, 1]) == 0.0

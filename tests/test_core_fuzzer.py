@@ -1,0 +1,184 @@
+"""Integration tests for the MRT fuzzing loop and the testing pipeline."""
+
+import pytest
+
+from repro.isa.assembler import parse_program
+from repro.emulator.state import InputData
+from repro.core.config import FuzzerConfig, GeneratorConfig
+from repro.core.fuzzer import Fuzzer, TestingPipeline, fuzz
+from repro.core.input_gen import InputGenerator
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        instruction_subsets=("AR", "MEM", "CB"),
+        contract_name="CT-SEQ",
+        cpu_preset="skylake-v4-patched",
+        num_test_cases=60,
+        inputs_per_test_case=25,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return FuzzerConfig(**defaults)
+
+
+class TestPipeline:
+    def test_handwritten_v1_detected(self):
+        pipeline = TestingPipeline(quick_config())
+        program = parse_program(
+            """
+            JNS .end
+            AND RBX, 0b111111000000
+            MOV RCX, qword ptr [R14 + RBX]
+        .end: NOP
+            """
+        )
+        inputs = InputGenerator(seed=42, layout=pipeline.layout).generate(50)
+        candidate = pipeline.check_violation(program, inputs, confirm=True)
+        assert candidate is not None
+
+    def test_benign_program_clean(self):
+        pipeline = TestingPipeline(quick_config())
+        program = parse_program("MOV RAX, qword ptr [R14 + 128]\nADD RAX, 1")
+        inputs = InputGenerator(seed=1, layout=pipeline.layout).generate(30)
+        assert pipeline.check_violation(program, inputs) is None
+
+    def test_violation_object_populated(self):
+        pipeline = TestingPipeline(quick_config())
+        program = parse_program(
+            """
+            JNS .end
+            AND RBX, 0b111111000000
+            MOV RCX, qword ptr [R14 + RBX]
+        .end: NOP
+            """
+        )
+        inputs = InputGenerator(seed=42, layout=pipeline.layout).generate(50)
+        outcome = pipeline.test_program(program, inputs)
+        assert outcome.analysis.candidates
+        violation = pipeline.build_violation(
+            outcome, outcome.analysis.candidates[0]
+        )
+        assert violation.contract_name == "CT-SEQ"
+        assert violation.classification.startswith("V1")
+        assert "cond" in violation.speculation_kinds
+        assert "contract violation" in violation.describe()
+        only_a, only_b = violation.differing_signals()
+        assert only_a or only_b
+
+    def test_fault_in_program_returns_none(self):
+        pipeline = TestingPipeline(quick_config())
+        program = parse_program("DIV RBX")  # divide by zero
+        inputs = InputGenerator(seed=1, layout=pipeline.layout).generate(4)
+        assert pipeline.check_violation(program, inputs) is None
+
+
+class TestFuzzerCampaigns:
+    def test_finds_v1_on_skylake(self):
+        report = fuzz(quick_config(num_test_cases=120))
+        assert report.found
+        assert "V1" in report.violation.classification
+        assert report.violation.test_cases_until_found <= 120
+        assert report.test_cases >= 1
+        assert 0 < report.mean_effectiveness <= 1
+
+    def test_ar_only_is_clean(self):
+        """Target 1: arithmetic only, no false violations (§6.2)."""
+        report = fuzz(
+            quick_config(instruction_subsets=("AR",), num_test_cases=25)
+        )
+        assert not report.found
+        assert report.unconfirmed_candidates == 0
+
+    def test_ct_cond_permits_v1(self):
+        """Targets 5: CT-COND is not violated by branch misprediction."""
+        report = fuzz(
+            quick_config(contract_name="CT-COND", num_test_cases=25)
+        )
+        assert not report.found
+
+    def test_timeout_respected(self):
+        report = fuzz(quick_config(num_test_cases=10_000, timeout_seconds=2.0,
+                                   instruction_subsets=("AR",)))
+        assert report.duration_seconds < 10
+
+    def test_summary_strings(self):
+        report = fuzz(quick_config(instruction_subsets=("AR",), num_test_cases=5))
+        assert "no violation" in report.summary()
+
+    def test_reproducible_with_seed(self):
+        first = fuzz(quick_config(num_test_cases=40))
+        second = fuzz(quick_config(num_test_cases=40))
+        assert first.found == second.found
+        if first.found:
+            assert (
+                first.violation.test_cases_until_found
+                == second.violation.test_cases_until_found
+            )
+
+
+class TestDiversityFeedback:
+    def test_reconfiguration_grows_generator(self):
+        fuzzer = Fuzzer(quick_config(instruction_subsets=("AR",)))
+        before = fuzzer.generator.config.instructions_per_test
+        grew = fuzzer._maybe_reconfigure(new_coverage=False)
+        assert grew
+        assert fuzzer.generator.config.instructions_per_test > before
+
+    def test_growth_capped(self):
+        config = quick_config(
+            instruction_subsets=("AR",),
+            max_inputs_per_test_case=30,
+            max_instructions_per_test=10,
+            max_basic_blocks=3,
+        )
+        fuzzer = Fuzzer(config)
+        for _ in range(20):
+            fuzzer._maybe_reconfigure(new_coverage=False)
+        assert fuzzer.generator.config.instructions_per_test <= 10
+        assert fuzzer.generator.config.basic_blocks <= 3
+        assert fuzzer._inputs_per_case <= 30
+
+    def test_saturated_reconfiguration_stops(self):
+        config = quick_config(
+            instruction_subsets=("AR",),
+            max_inputs_per_test_case=25,
+            max_instructions_per_test=8,
+            max_basic_blocks=2,
+        )
+        fuzzer = Fuzzer(config)
+        results = [fuzzer._maybe_reconfigure(new_coverage=False) for _ in range(8)]
+        # growth must terminate once every dimension hits its cap
+        assert results[-1] is False
+
+    def test_stage_advances_on_coverage(self):
+        fuzzer = Fuzzer(quick_config(instruction_subsets=("AR",)))
+        # cover all AR-expressible individual patterns
+        fuzzer.coverage.update_from_class([{"reg-dep", "flag-dep"}] * 2)
+        assert fuzzer._feedback_stage == 0
+        fuzzer._maybe_reconfigure(new_coverage=True)
+        assert fuzzer._feedback_stage == 1
+
+    def test_feedback_disabled(self):
+        report = fuzz(
+            quick_config(
+                instruction_subsets=("AR",),
+                diversity_feedback=False,
+                num_test_cases=25,
+            )
+        )
+        assert report.reconfigurations == 0
+
+
+class TestFalsePositiveFilters:
+    def test_nesting_revalidation_counter(self):
+        config = quick_config(num_test_cases=120)
+        fuzzer = Fuzzer(config)
+        report = fuzzer.run()
+        # filters may or may not trigger, but the counters must be wired
+        assert report.discarded_by_nesting == fuzzer.pipeline.discarded_by_nesting
+        assert report.discarded_by_priming == fuzzer.pipeline.discarded_by_priming
+
+    def test_priming_can_be_disabled(self):
+        report = fuzz(quick_config(verify_with_priming=False, num_test_cases=60))
+        assert report.discarded_by_priming == 0

@@ -1,0 +1,138 @@
+"""Tests for pattern coverage (test diversity analysis, §5.6)."""
+
+import pytest
+
+from repro.isa.assembler import parse_program
+from repro.emulator.state import InputData, SandboxLayout
+from repro.contracts import get_contract
+from repro.core.patterns import (
+    ALL_PATTERNS,
+    PatternCoverage,
+    available_patterns_for_subsets,
+    patterns_in_log,
+)
+
+
+def log_for(program_text, registers=None, flags=None, memory=b""):
+    layout = SandboxLayout()
+    contract = get_contract("CT-COND")
+    program = parse_program(program_text)
+    _, log = contract.collect_trace_and_log(
+        program,
+        InputData(registers=registers or {}, flags=flags or {}, memory=memory),
+        layout,
+    )
+    return log
+
+
+class TestPatternExtraction:
+    def test_load_after_store(self):
+        log = log_for(
+            "MOV qword ptr [R14 + 8], RAX\nMOV RBX, qword ptr [R14 + 8]"
+        )
+        assert "load-after-store" in patterns_in_log(log)
+
+    def test_store_after_store(self):
+        log = log_for(
+            "MOV qword ptr [R14 + 8], RAX\nMOV qword ptr [R14 + 8], RBX"
+        )
+        assert "store-after-store" in patterns_in_log(log)
+
+    def test_load_after_load(self):
+        log = log_for(
+            "MOV RAX, qword ptr [R14 + 8]\nMOV RBX, qword ptr [R14 + 8]"
+        )
+        assert "load-after-load" in patterns_in_log(log)
+
+    def test_store_after_load(self):
+        log = log_for(
+            "MOV RAX, qword ptr [R14 + 8]\nMOV qword ptr [R14 + 8], RBX"
+        )
+        assert "store-after-load" in patterns_in_log(log)
+
+    def test_different_addresses_no_memory_pattern(self):
+        log = log_for(
+            "MOV qword ptr [R14 + 8], RAX\nMOV RBX, qword ptr [R14 + 128]"
+        )
+        patterns = patterns_in_log(log)
+        assert not any("after" in p for p in patterns)
+
+    def test_register_dependency(self):
+        log = log_for("MOV RAX, 5\nADD RBX, RAX")
+        assert "reg-dep" in patterns_in_log(log)
+
+    def test_flag_dependency(self):
+        log = log_for("CMP RAX, 0\nCMOVZ RBX, RCX")
+        assert "flag-dep" in patterns_in_log(log)
+
+    def test_control_patterns(self):
+        log = log_for("JNS .end\nNOP\n.end: NOP")
+        patterns = patterns_in_log(log)
+        assert "cond-branch" in patterns
+        log = log_for("JMP .end\nNOP\n.end: NOP")
+        assert "uncond-branch" in patterns_in_log(log)
+
+    def test_non_consecutive_not_counted(self):
+        log = log_for("MOV RAX, 5\nNOP\nADD RBX, RAX")
+        assert "reg-dep" not in patterns_in_log(log)
+
+
+class TestPatternCoverage:
+    def test_needs_two_matching_members(self):
+        coverage = PatternCoverage()
+        newly = coverage.update_from_class([{"reg-dep"}])
+        assert newly == set()
+        newly = coverage.update_from_class([{"reg-dep"}, {"reg-dep"}])
+        assert frozenset({"reg-dep"}) in newly
+
+    def test_one_member_matching_insufficient(self):
+        coverage = PatternCoverage()
+        coverage.update_from_class([{"reg-dep"}, {"flag-dep"}])
+        assert frozenset({"reg-dep"}) not in coverage.covered
+
+    def test_combinations_tracked(self):
+        coverage = PatternCoverage()
+        coverage.update_from_class(
+            [{"reg-dep", "flag-dep"}, {"reg-dep", "flag-dep"}]
+        )
+        assert frozenset({"reg-dep", "flag-dep"}) in coverage.covered
+
+    def test_newly_covered_reported_once(self):
+        coverage = PatternCoverage()
+        members = [{"reg-dep"}, {"reg-dep"}]
+        assert coverage.update_from_class(members)
+        assert coverage.update_from_class(members) == set()
+
+    def test_individual_coverage_fraction(self):
+        coverage = PatternCoverage()
+        coverage.update_from_class([{"reg-dep"}, {"reg-dep"}])
+        assert coverage.individual_coverage() == pytest.approx(1 / len(ALL_PATTERNS))
+
+    def test_all_individuals_covered(self):
+        coverage = PatternCoverage()
+        available = ("reg-dep", "flag-dep")
+        assert not coverage.all_individuals_covered(available)
+        coverage.update_from_class([{"reg-dep", "flag-dep"}] * 2)
+        assert coverage.all_individuals_covered(available)
+
+    def test_all_pairs_covered(self):
+        coverage = PatternCoverage()
+        available = ("reg-dep", "flag-dep")
+        coverage.update_from_class([{"reg-dep", "flag-dep"}] * 2)
+        assert coverage.all_pairs_covered(available)
+        assert not coverage.all_pairs_covered(("reg-dep", "flag-dep", "cond-branch"))
+
+
+class TestAvailablePatterns:
+    def test_ar_only(self):
+        patterns = available_patterns_for_subsets(("AR",))
+        assert set(patterns) == {"reg-dep", "flag-dep"}
+
+    def test_with_memory(self):
+        patterns = available_patterns_for_subsets(("AR", "MEM"))
+        assert "load-after-store" in patterns
+        assert "cond-branch" not in patterns
+
+    def test_with_branches(self):
+        patterns = available_patterns_for_subsets(("AR", "MEM", "CB"))
+        assert set(patterns) == set(ALL_PATTERNS)

@@ -1,0 +1,107 @@
+"""Tests for counterexample minimization (§5.7)."""
+
+import pytest
+
+from repro.isa.assembler import parse_program, render_program
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import TestingPipeline
+from repro.core.input_gen import InputGenerator
+from repro.core.postprocessor import Postprocessor
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return TestingPipeline(
+        FuzzerConfig(
+            contract_name="CT-SEQ",
+            cpu_preset="skylake-v4-patched",
+            seed=0,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def violating_case(pipeline):
+    """A V1 gadget padded with irrelevant instructions, plus inputs."""
+    # padding must not write FLAGS before the branch (MOVs only), or the
+    # input-controlled branch direction would be destroyed
+    program = parse_program(
+        """
+        MOV RDX, 7
+        MOV RSI, RDX
+        JNS .end
+        AND RBX, 0b111111000000
+        MOV RCX, qword ptr [R14 + RBX]
+        XOR RDX, RDX
+    .end: NOP
+        """
+    )
+    inputs = InputGenerator(seed=42, layout=pipeline.layout).generate(40)
+    assert pipeline.check_violation(program, inputs) is not None
+    return program, inputs
+
+
+class TestMinimization:
+    def test_rejects_non_violating_case(self, pipeline):
+        program = parse_program("NOP\nNOP")
+        inputs = InputGenerator(seed=0, layout=pipeline.layout).generate(4)
+        with pytest.raises(ValueError):
+            Postprocessor(pipeline).minimize(program, inputs)
+
+    def test_input_sequence_shrinks(self, pipeline, violating_case):
+        program, inputs = violating_case
+        postprocessor = Postprocessor(pipeline)
+        minimal = postprocessor.minimize_inputs(program, list(inputs))
+        assert 2 <= len(minimal) <= len(inputs)
+        assert pipeline.check_violation(program, minimal) is not None
+
+    def test_instructions_shrink(self, pipeline, violating_case):
+        program, inputs = violating_case
+        postprocessor = Postprocessor(pipeline)
+        inputs = postprocessor.minimize_inputs(program, list(inputs))
+        minimized = postprocessor.minimize_instructions(program, inputs)
+        assert minimized.num_instructions < program.num_instructions
+        assert pipeline.check_violation(minimized, inputs) is not None
+        # the irrelevant arithmetic must be gone
+        text = render_program(minimized)
+        assert "MOV RDX, 7" not in text
+
+    def test_full_minimize_inserts_fences(self, pipeline, violating_case):
+        program, inputs = violating_case
+        result = Postprocessor(pipeline).minimize(program, list(inputs))
+        assert result.instruction_count <= program.num_instructions
+        assert result.original_instruction_count == program.num_instructions
+        assert result.original_input_count == len(inputs)
+        # Figure 4: the minimized case still violates, and the region
+        # without fences localizes the leak
+        assert pipeline.check_violation(result.program, result.inputs)
+        region = result.leak_region()
+        assert any("MOV RCX" in line or "JNS" in line for line in region)
+
+    def test_fences_never_break_violation(self, pipeline, violating_case):
+        program, inputs = violating_case
+        postprocessor = Postprocessor(pipeline)
+        fenced, count = postprocessor.insert_fences(program, inputs)
+        assert pipeline.check_violation(fenced, inputs) is not None
+        lfences = sum(
+            1 for i in fenced.all_instructions() if i.mnemonic == "LFENCE"
+        )
+        assert lfences == count
+
+    def test_fully_fenced_program_is_clean(self, pipeline, violating_case):
+        """Sanity: LFENCE before the leaking load kills the violation —
+        the mechanism stage 3 relies on."""
+        program, inputs = violating_case
+        fenced = parse_program(
+            """
+            MOV RDX, 7
+            ADD RDX, 3
+            JNS .end
+            LFENCE
+            AND RBX, 0b111111000000
+            MOV RCX, qword ptr [R14 + RBX]
+            XOR RDX, RDX
+        .end: NOP
+            """
+        )
+        assert pipeline.check_violation(fenced, inputs) is None

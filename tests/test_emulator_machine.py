@@ -1,0 +1,108 @@
+"""Unit tests for the emulator run loop."""
+
+import pytest
+
+from repro.isa.assembler import parse_program
+from repro.emulator.errors import (
+    ExecutionLimitExceeded,
+    InvalidProgram,
+)
+from repro.emulator.machine import Emulator
+from repro.emulator.state import InputData
+
+
+class TestRun:
+    def test_straight_line(self):
+        emu = Emulator(parse_program("MOV RAX, 1\nADD RAX, 2"))
+        results = emu.run(InputData())
+        assert len(results) == 2
+        assert emu.state.read_register("RAX") == 3
+
+    def test_branching_taken(self):
+        program = parse_program(
+            """
+            CMP RAX, 0
+            JZ .skip
+            MOV RBX, 1
+        .skip: MOV RCX, 2
+            """
+        )
+        emu = Emulator(program)
+        emu.run(InputData(registers={"RAX": 0}))
+        assert emu.state.read_register("RBX") == 0  # skipped
+        assert emu.state.read_register("RCX") == 2
+
+    def test_branching_not_taken(self):
+        program = parse_program(
+            """
+            CMP RAX, 0
+            JZ .skip
+            MOV RBX, 1
+        .skip: MOV RCX, 2
+            """
+        )
+        emu = Emulator(program)
+        emu.run(InputData(registers={"RAX": 7}))
+        assert emu.state.read_register("RBX") == 1
+
+    def test_jump_to_exit_label(self):
+        program = parse_program("JMP .exit\nMOV RAX, 1")
+        emu = Emulator(program)
+        emu.run(InputData())
+        assert emu.state.read_register("RAX") == 0
+
+    def test_call_ret_roundtrip(self):
+        program = parse_program(
+            """
+            CALL .func
+            MOV RBX, 2
+            JMP .end
+        .func: MOV RAX, 1
+            RET
+        .end: NOP
+            """
+        )
+        emu = Emulator(program)
+        emu.run(InputData())
+        assert emu.state.read_register("RAX") == 1
+        assert emu.state.read_register("RBX") == 2
+
+    def test_hook_sees_every_step(self):
+        emu = Emulator(parse_program("MOV RAX, 1\nNOP\nNOP"))
+        seen = []
+        emu.run(InputData(), hook=lambda result: seen.append(result.pc))
+        assert seen == [0, 1, 2]
+
+    def test_step_limit(self):
+        # a self-targeting indirect jump loops forever without the limit
+        program = parse_program("MOV RAX, .loop\n.loop: JMP RAX")
+        emu = Emulator(program)
+        with pytest.raises(ExecutionLimitExceeded):
+            emu.run(InputData(), max_steps=100)
+
+    def test_input_isolation_between_runs(self):
+        emu = Emulator(parse_program("ADD RAX, 1"))
+        emu.run(InputData(registers={"RAX": 1}))
+        emu.run(InputData(registers={"RAX": 5}))
+        assert emu.state.read_register("RAX") == 6  # not 2+5
+
+    def test_resolve_label(self):
+        emu = Emulator(parse_program("NOP\n.here: NOP"))
+        assert emu.resolve_label("here") == 1
+        with pytest.raises(InvalidProgram):
+            emu.resolve_label("missing")
+
+    def test_step_out_of_range(self):
+        emu = Emulator(parse_program("NOP"))
+        with pytest.raises(InvalidProgram):
+            emu.step(5)
+
+    def test_checkpoint_rollback(self):
+        emu = Emulator(parse_program("MOV RAX, 1\nMOV RAX, 2"))
+        emu.state.load_input(InputData())
+        emu.step(0)
+        checkpoint = emu.checkpoint()
+        emu.step(1)
+        assert emu.state.read_register("RAX") == 2
+        emu.rollback(checkpoint)
+        assert emu.state.read_register("RAX") == 1

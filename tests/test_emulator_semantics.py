@@ -1,0 +1,373 @@
+"""Unit tests for instruction semantics: arithmetic, flags, memory,
+division and control flow."""
+
+import pytest
+
+from repro.isa.assembler import parse_instruction
+from repro.emulator.errors import DivisionFault
+from repro.emulator.semantics import evaluate_condition, execute
+from repro.emulator.state import ArchState
+
+
+def run(state, line, pc=0, resolve=None):
+    return execute(parse_instruction(line), state, pc, resolve)
+
+
+@pytest.fixture
+def state():
+    return ArchState()
+
+
+class TestMovFamily:
+    def test_mov_reg_imm(self, state):
+        run(state, "MOV RAX, 42")
+        assert state.read_register("RAX") == 42
+
+    def test_mov_reg_reg(self, state):
+        state.write_register("RBX", 7)
+        run(state, "MOV RAX, RBX")
+        assert state.read_register("RAX") == 7
+
+    def test_mov_does_not_touch_flags(self, state):
+        state.write_flag("ZF", True)
+        run(state, "MOV RAX, 0")
+        assert state.read_flag("ZF")
+
+    def test_movzx(self, state):
+        state.write_register("RBX", 0xFFFF_FFFF_FFFF_FF80)
+        run(state, "MOVZX RAX, BL")
+        assert state.read_register("RAX") == 0x80
+
+    def test_movsx(self, state):
+        state.write_register("RBX", 0x80)  # -128 as int8
+        run(state, "MOVSX RAX, BL")
+        assert state.read_register("RAX") == 0xFFFF_FFFF_FFFF_FF80
+
+    def test_mov_memory_roundtrip(self, state):
+        state.write_register("RAX", 0xDEAD)
+        run(state, "MOV qword ptr [R14 + 8], RAX")
+        run(state, "MOV RBX, qword ptr [R14 + 8]")
+        assert state.read_register("RBX") == 0xDEAD
+
+
+class TestArithmeticFlags:
+    def test_add_basic(self, state):
+        state.write_register("RAX", 2)
+        run(state, "ADD RAX, 3")
+        assert state.read_register("RAX") == 5
+        assert not state.read_flag("ZF")
+        assert not state.read_flag("CF")
+
+    def test_add_carry(self, state):
+        state.write_register("AL", 0xFF)
+        run(state, "ADD AL, 1")
+        assert state.read_register("AL") == 0
+        assert state.read_flag("CF")
+        assert state.read_flag("ZF")
+
+    def test_add_signed_overflow(self, state):
+        state.write_register("AL", 0x7F)
+        run(state, "ADD AL, 1")
+        assert state.read_flag("OF")
+        assert state.read_flag("SF")
+        assert not state.read_flag("CF")
+
+    def test_sub_borrow(self, state):
+        state.write_register("RAX", 1)
+        run(state, "SUB RAX, 2")
+        assert state.read_register("RAX") == 0xFFFF_FFFF_FFFF_FFFF
+        assert state.read_flag("CF")
+        assert state.read_flag("SF")
+
+    def test_cmp_sets_flags_without_writing(self, state):
+        state.write_register("RAX", 5)
+        run(state, "CMP RAX, 5")
+        assert state.read_register("RAX") == 5
+        assert state.read_flag("ZF")
+
+    def test_adc_uses_carry(self, state):
+        state.write_flag("CF", True)
+        state.write_register("RAX", 1)
+        run(state, "ADC RAX, 1")
+        assert state.read_register("RAX") == 3
+
+    def test_sbb_uses_borrow(self, state):
+        state.write_flag("CF", True)
+        state.write_register("RAX", 5)
+        run(state, "SBB RAX, 1")
+        assert state.read_register("RAX") == 3
+
+    def test_parity_flag(self, state):
+        state.write_register("RAX", 0)
+        run(state, "ADD RAX, 3")  # 0b11: two bits -> even parity
+        assert state.read_flag("PF")
+        run(state, "ADD RAX, 4")  # 0b111: three bits -> odd parity
+        assert not state.read_flag("PF")
+
+    def test_aux_carry(self, state):
+        state.write_register("AL", 0x0F)
+        run(state, "ADD AL, 1")
+        assert state.read_flag("AF")
+
+
+class TestLogic:
+    def test_and_clears_cf_of(self, state):
+        state.write_flag("CF", True)
+        state.write_flag("OF", True)
+        state.write_register("RAX", 0xF0)
+        run(state, "AND RAX, 0x0F")
+        assert state.read_register("RAX") == 0
+        assert state.read_flag("ZF")
+        assert not state.read_flag("CF") and not state.read_flag("OF")
+
+    def test_or_xor(self, state):
+        state.write_register("RAX", 0b1010)
+        run(state, "OR RAX, 0b0101")
+        assert state.read_register("RAX") == 0b1111
+        run(state, "XOR RAX, 0b1111")
+        assert state.read_register("RAX") == 0
+        assert state.read_flag("ZF")
+
+    def test_test_does_not_write(self, state):
+        state.write_register("RAX", 0xFF)
+        run(state, "TEST RAX, 0")
+        assert state.read_register("RAX") == 0xFF
+        assert state.read_flag("ZF")
+
+    def test_not_preserves_flags(self, state):
+        state.write_flag("ZF", True)
+        state.write_register("RAX", 0)
+        run(state, "NOT RAX")
+        assert state.read_register("RAX") == 0xFFFF_FFFF_FFFF_FFFF
+        assert state.read_flag("ZF")
+
+
+class TestUnary:
+    def test_inc_preserves_carry(self, state):
+        state.write_flag("CF", True)
+        state.write_register("RAX", 1)
+        run(state, "INC RAX")
+        assert state.read_register("RAX") == 2
+        assert state.read_flag("CF")
+
+    def test_dec_to_zero(self, state):
+        state.write_register("RAX", 1)
+        run(state, "DEC RAX")
+        assert state.read_flag("ZF")
+
+    def test_neg(self, state):
+        state.write_register("RAX", 5)
+        run(state, "NEG RAX")
+        assert state.read_register("RAX") == (1 << 64) - 5
+        assert state.read_flag("CF")
+
+    def test_neg_zero_clears_cf(self, state):
+        run(state, "NEG RAX")
+        assert not state.read_flag("CF")
+
+
+class TestImulXchgLea:
+    def test_imul(self, state):
+        state.write_register("RAX", 6)
+        state.write_register("RBX", 7)
+        run(state, "IMUL RAX, RBX")
+        assert state.read_register("RAX") == 42
+        assert not state.read_flag("OF")
+
+    def test_imul_overflow(self, state):
+        state.write_register("AX", 0x4000)
+        state.write_register("BX", 4)
+        run(state, "IMUL AX, BX")
+        assert state.read_flag("OF") and state.read_flag("CF")
+
+    def test_imul_negative(self, state):
+        state.write_register("RAX", (1 << 64) - 3)  # -3
+        state.write_register("RBX", 4)
+        run(state, "IMUL RAX, RBX")
+        assert state.read_register("RAX") == (1 << 64) - 12
+
+    def test_xchg(self, state):
+        state.write_register("RAX", 1)
+        state.write_register("RBX", 2)
+        run(state, "XCHG RAX, RBX")
+        assert state.read_register("RAX") == 2
+        assert state.read_register("RBX") == 1
+
+    def test_lea(self, state):
+        state.write_register("RBX", 0x10)
+        run(state, "LEA RAX, [R14 + RBX + 4]")
+        assert state.read_register("RAX") == state.layout.base + 0x14
+
+
+class TestCmovSetcc:
+    def test_cmov_taken(self, state):
+        state.write_flag("ZF", True)
+        state.write_register("RBX", 9)
+        run(state, "CMOVZ RAX, RBX")
+        assert state.read_register("RAX") == 9
+
+    def test_cmov_not_taken(self, state):
+        state.write_register("RAX", 5)
+        state.write_register("RBX", 9)
+        run(state, "CMOVZ RAX, RBX")  # ZF clear
+        assert state.read_register("RAX") == 5
+
+    def test_cmov_memory_loads_even_when_suppressed(self, state):
+        state.write_memory(state.layout.base, 8, 0x99)
+        result = run(state, "CMOVZ RAX, qword ptr [R14]")
+        assert len(result.loads) == 1  # the load always happens
+        assert state.read_register("RAX") == 0
+
+    def test_setcc(self, state):
+        state.write_flag("SF", True)
+        run(state, "SETS AL")
+        assert state.read_register("AL") == 1
+        run(state, "SETNS AL")
+        assert state.read_register("AL") == 0
+
+
+class TestDivision:
+    def test_div64(self, state):
+        state.write_register("RAX", 100)
+        state.write_register("RDX", 0)
+        state.write_register("RBX", 7)
+        run(state, "DIV RBX")
+        assert state.read_register("RAX") == 14
+        assert state.read_register("RDX") == 2
+
+    def test_div32(self, state):
+        state.write_register("EAX", 100)
+        state.write_register("EDX", 0)
+        state.write_register("EBX", 3)
+        run(state, "DIV EBX")
+        assert state.read_register("EAX") == 33
+        assert state.read_register("EDX") == 1
+
+    def test_div_uses_high_half(self, state):
+        state.write_register("RDX", 1)  # dividend = 2^64 + 2
+        state.write_register("RAX", 2)
+        state.write_register("RBX", 2)
+        run(state, "DIV RBX")
+        assert state.read_register("RAX") == (1 << 63) + 1
+
+    def test_div_by_zero_faults(self, state):
+        with pytest.raises(DivisionFault):
+            run(state, "DIV RBX")
+
+    def test_div_overflow_faults(self, state):
+        state.write_register("RDX", 2)
+        state.write_register("RBX", 1)
+        with pytest.raises(DivisionFault):
+            run(state, "DIV RBX")
+
+    def test_idiv_signed(self, state):
+        state.write_register("RAX", (1 << 64) - 7)  # -7
+        state.write_register("RDX", (1 << 64) - 1)  # sign extension
+        state.write_register("RBX", 2)
+        run(state, "IDIV RBX")
+        assert state.read_register("RAX") == (1 << 64) - 3  # -3 (trunc)
+        assert state.read_register("RDX") == (1 << 64) - 1  # remainder -1
+
+    def test_idiv_overflow_faults(self, state):
+        state.write_register("RDX", 0)
+        state.write_register("RAX", 1 << 63)
+        state.write_register("RBX", 1)
+        with pytest.raises(DivisionFault):
+            run(state, "IDIV RBX")
+
+    def test_div_memory_divisor(self, state):
+        state.write_memory(state.layout.base, 8, 5)
+        state.write_register("RAX", 27)
+        result = run(state, "DIV qword ptr [R14]")
+        assert state.read_register("RAX") == 5
+        assert len(result.loads) == 1
+
+
+class TestControlFlow:
+    def test_conditional_taken(self, state):
+        state.write_flag("ZF", True)
+        result = run(state, "JZ .target", pc=3, resolve=lambda name: 9)
+        assert result.branch.kind == "cond"
+        assert result.branch.taken
+        assert result.next_pc == 9
+        assert result.branch.fallthrough == 4
+
+    def test_conditional_not_taken(self, state):
+        result = run(state, "JZ .target", pc=3, resolve=lambda name: 9)
+        assert not result.branch.taken
+        assert result.next_pc == 4
+
+    def test_unconditional(self, state):
+        result = run(state, "JMP .target", pc=0, resolve=lambda name: 5)
+        assert result.branch.kind == "uncond"
+        assert result.next_pc == 5
+
+    def test_indirect(self, state):
+        state.write_register("RAX", 7)
+        result = run(state, "JMP RAX", pc=0)
+        assert result.branch.kind == "indirect"
+        assert result.next_pc == 7
+
+    def test_call_pushes_return_address(self, state):
+        rsp_before = state.read_register("RSP")
+        result = run(state, "CALL .func", pc=2, resolve=lambda name: 10)
+        assert result.next_pc == 10
+        assert state.read_register("RSP") == rsp_before - 8
+        assert state.read_memory(rsp_before - 8, 8) == 3
+        assert result.stores  # the push is an observable store
+
+    def test_ret_pops(self, state):
+        run(state, "CALL .func", pc=2, resolve=lambda name: 10)
+        result = run(state, "RET", pc=10)
+        assert result.branch.kind == "ret"
+        assert result.next_pc == 3
+        assert result.loads  # the pop is an observable load
+
+    def test_mov_label_materializes_index(self, state):
+        run(state, "MOV RAX, .t1", resolve=lambda name: 6)
+        assert state.read_register("RAX") == 6
+
+    def test_fence_is_noop(self, state):
+        result = run(state, "LFENCE")
+        assert result.is_fence
+        assert result.next_pc == 1
+
+
+class TestEvaluateCondition:
+    @pytest.mark.parametrize(
+        "code,flags,expected",
+        [
+            ("Z", {"ZF": True}, True),
+            ("NZ", {"ZF": True}, False),
+            ("B", {"CF": True}, True),
+            ("BE", {"CF": False, "ZF": True}, True),
+            ("A", {"CF": False, "ZF": False}, True),
+            ("L", {"SF": True, "OF": False}, True),
+            ("L", {"SF": True, "OF": True}, False),
+            ("GE", {"SF": True, "OF": True}, True),
+            ("G", {"ZF": False, "SF": False, "OF": False}, True),
+            ("LE", {"ZF": True}, True),
+            ("S", {"SF": True}, True),
+            ("P", {"PF": True}, True),
+            ("O", {"OF": True}, True),
+        ],
+    )
+    def test_conditions(self, code, flags, expected):
+        state = ArchState()
+        for flag, value in flags.items():
+            state.write_flag(flag, value)
+        assert evaluate_condition(code, state) is expected
+
+
+class TestStepResultAccounting:
+    def test_rmw_records_load_and_store(self, state):
+        state.write_memory(state.layout.base, 1, 10)
+        result = run(state, "SUB byte ptr [R14], 3")
+        assert len(result.loads) == 1 and len(result.stores) == 1
+        store = result.stores[0]
+        assert store.value == 7 and store.old_value == 10
+
+    def test_store_records_old_value(self, state):
+        state.write_memory(state.layout.base, 8, 0xAA)
+        result = run(state, "MOV qword ptr [R14], RBX")
+        assert result.stores[0].old_value == 0xAA

@@ -1,0 +1,181 @@
+"""Unit tests for architectural state and the sandbox."""
+
+import pytest
+
+from repro.emulator.errors import SandboxViolation
+from repro.emulator.state import ArchState, InputData, SandboxLayout, PAGE_SIZE
+
+
+class TestSandboxLayout:
+    def test_default_geometry(self):
+        layout = SandboxLayout()
+        assert layout.num_pages == 2
+        assert layout.size == 2 * PAGE_SIZE
+        assert layout.end == layout.base + 8192
+
+    def test_contains(self):
+        layout = SandboxLayout()
+        assert layout.contains(layout.base)
+        assert layout.contains(layout.end - 8, 8)
+        assert not layout.contains(layout.end - 4, 8)
+        assert not layout.contains(layout.base - 1)
+
+    def test_page_of(self):
+        layout = SandboxLayout()
+        assert layout.page_of(layout.base) == 0
+        assert layout.page_of(layout.base + PAGE_SIZE) == 1
+
+    def test_assist_page_is_last(self):
+        assert SandboxLayout().assist_page_index == 1
+        assert SandboxLayout(num_pages=1).assist_page_index == 0
+
+    def test_stack_top_inside_sandbox(self):
+        layout = SandboxLayout()
+        assert layout.contains(layout.stack_top, 8)
+
+
+class TestRegisters:
+    def test_64bit_write_read(self):
+        state = ArchState()
+        state.write_register("RAX", 0x123456789ABCDEF0)
+        assert state.read_register("RAX") == 0x123456789ABCDEF0
+
+    def test_32bit_write_zero_extends(self):
+        state = ArchState()
+        state.write_register("RAX", 0xFFFFFFFFFFFFFFFF)
+        state.write_register("EAX", 0x12345678)
+        assert state.read_register("RAX") == 0x12345678
+
+    def test_16bit_write_merges(self):
+        state = ArchState()
+        state.write_register("RAX", 0x1111111111111111)
+        state.write_register("AX", 0xFFFF)
+        assert state.read_register("RAX") == 0x111111111111FFFF
+
+    def test_8bit_write_merges(self):
+        state = ArchState()
+        state.write_register("RBX", 0x2222222222222222)
+        state.write_register("BL", 0xAB)
+        assert state.read_register("RBX") == 0x22222222222222AB
+
+    def test_narrow_reads_masked(self):
+        state = ArchState()
+        state.write_register("RCX", 0xDEADBEEFCAFEBABE)
+        assert state.read_register("ECX") == 0xCAFEBABE
+        assert state.read_register("CX") == 0xBABE
+        assert state.read_register("CL") == 0xBE
+
+    def test_values_wrap_to_64_bits(self):
+        state = ArchState()
+        state.write_register("RAX", 1 << 70)
+        assert state.read_register("RAX") == 0
+
+    def test_r14_holds_sandbox_base(self):
+        state = ArchState()
+        assert state.read_register("R14") == state.layout.base
+
+    def test_rsp_holds_stack_top(self):
+        state = ArchState()
+        assert state.read_register("RSP") == state.layout.stack_top
+
+
+class TestMemory:
+    def test_little_endian_roundtrip(self):
+        state = ArchState()
+        state.write_memory(state.layout.base, 8, 0x0102030405060708)
+        assert state.read_memory(state.layout.base, 8) == 0x0102030405060708
+        assert state.read_memory(state.layout.base, 1) == 0x08
+
+    def test_write_masks_to_size(self):
+        state = ArchState()
+        state.write_memory(state.layout.base, 1, 0x1FF)
+        assert state.read_memory(state.layout.base, 1) == 0xFF
+
+    def test_out_of_sandbox_read_raises(self):
+        state = ArchState()
+        with pytest.raises(SandboxViolation):
+            state.read_memory(state.layout.end, 1)
+
+    def test_out_of_sandbox_write_raises(self):
+        state = ArchState()
+        with pytest.raises(SandboxViolation):
+            state.write_memory(state.layout.base - 8, 8, 0)
+
+    def test_straddling_end_raises(self):
+        state = ArchState()
+        with pytest.raises(SandboxViolation):
+            state.read_memory(state.layout.end - 4, 8)
+
+
+class TestInputLoading:
+    def test_load_input_sets_everything(self):
+        state = ArchState()
+        state.write_register("RAX", 999)
+        input_data = InputData(
+            registers={"RAX": 0x40, "RBX": 0x80},
+            flags={"ZF": True},
+            memory=b"\xAA" * 16,
+        )
+        state.load_input(input_data)
+        assert state.read_register("RAX") == 0x40
+        assert state.read_register("RBX") == 0x80
+        assert state.read_register("RCX") == 0  # reset
+        assert state.read_flag("ZF") and not state.read_flag("CF")
+        assert state.read_memory(state.layout.base, 1) == 0xAA
+        assert state.read_memory(state.layout.base + 16, 1) == 0  # zero-filled
+
+    def test_load_input_resets_previous_memory(self):
+        state = ArchState()
+        state.write_memory(state.layout.base + 100, 1, 0xFF)
+        state.load_input(InputData())
+        assert state.read_memory(state.layout.base + 100, 1) == 0
+
+    def test_load_input_preserves_fixed_registers(self):
+        state = ArchState()
+        state.load_input(InputData(registers={"R14": 0, "RSP": 0}))
+        # R14/RSP are reset to their sandbox roles after input load
+        assert state.read_register("R14") == state.layout.base
+        assert state.read_register("RSP") == state.layout.stack_top
+
+    def test_unknown_flag_rejected(self):
+        state = ArchState()
+        with pytest.raises(KeyError):
+            state.load_input(InputData(flags={"XX": True}))
+
+
+class TestSnapshots:
+    def test_snapshot_restore(self):
+        state = ArchState()
+        state.write_register("RAX", 1)
+        state.write_flag("CF", True)
+        state.write_memory(state.layout.base, 8, 42)
+        snapshot = state.snapshot()
+        state.write_register("RAX", 2)
+        state.write_flag("CF", False)
+        state.write_memory(state.layout.base, 8, 43)
+        state.restore(snapshot)
+        assert state.read_register("RAX") == 1
+        assert state.read_flag("CF")
+        assert state.read_memory(state.layout.base, 8) == 42
+
+    def test_snapshot_is_immutable_copy(self):
+        state = ArchState()
+        snapshot = state.snapshot()
+        state.write_register("RAX", 7)
+        state.restore(snapshot)
+        assert state.read_register("RAX") == 0
+
+
+class TestInputData:
+    def test_fingerprint_stable(self):
+        a = InputData(registers={"RAX": 1}, memory=b"ab")
+        b = InputData(registers={"RAX": 1}, memory=b"ab")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_differs(self):
+        a = InputData(registers={"RAX": 1})
+        b = InputData(registers={"RAX": 2})
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_repr_mentions_seed(self):
+        assert "seed=5" in repr(InputData(seed=5))

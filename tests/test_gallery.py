@@ -1,0 +1,128 @@
+"""End-to-end tests of the handwritten vulnerability gallery.
+
+Each gadget must violate its target contract on its target CPU (the
+positive direction), and the corresponding patch/stronger CPU must be
+clean (the negative direction) — mirroring Table 3's checkmarks and
+crosses.
+"""
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import TestingPipeline
+from repro.core.input_gen import InputGenerator
+from repro.gallery import GALLERY, TABLE5_GADGETS, Gadget, gadget
+
+
+def check(gadget_obj: Gadget, max_inputs=100, cpu_preset=None, contract=None,
+          input_seed=42, confirm=True):
+    """Run a gadget through the pipeline; return the input count that
+    surfaced a confirmed violation, or None."""
+    config = FuzzerConfig(
+        contract_name=contract or gadget_obj.contract,
+        cpu_preset=cpu_preset or gadget_obj.cpu_preset,
+        executor_mode=gadget_obj.executor_mode,
+        analyzer_mode=gadget_obj.analyzer_mode,
+        seed=11,
+    )
+    pipeline = TestingPipeline(config)
+    generator = InputGenerator(
+        seed=input_seed,
+        entropy_bits=gadget_obj.entropy_bits,
+        layout=pipeline.layout,
+    )
+    program = gadget_obj.program()
+    count = 4
+    while count <= max_inputs:
+        inputs = generator.generate(count)
+        if pipeline.check_violation(program, inputs, confirm=confirm):
+            return count
+        count *= 2
+    return None
+
+
+class TestGalleryStructure:
+    def test_lookup(self):
+        assert gadget("spectre-v1").vulnerability == "V1"
+        with pytest.raises(KeyError):
+            gadget("spectre-v9")
+
+    def test_all_programs_parse_and_validate(self):
+        for entry in GALLERY.values():
+            program = entry.program()
+            program.validate_dag()
+            assert program.num_instructions > 0
+
+    def test_table5_set(self):
+        assert len(TABLE5_GADGETS) == 7
+        for name in TABLE5_GADGETS:
+            assert name in GALLERY
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "spectre-v1",
+        "spectre-v1.1",
+        "spectre-v2",
+        "spectre-v4",
+        "spectre-v5-ret",
+        "mds-lfb",
+        "mds-sb",
+        "lvi-null",
+        "fig6a-nonspec-data",
+        "fig6b-spec-data",
+        "spec-store-eviction",
+    ],
+)
+def test_gadget_violates_its_target(name):
+    assert check(GALLERY[name], max_inputs=128) is not None, name
+
+
+def test_a6_bypass_variant_violates():
+    """The A.6 variant is rare under random inputs (the paper's instance
+    was found by accident during artifact evaluation); a known-good input
+    seed surfaces it deterministically."""
+    assert check(GALLERY["a6-bypass-variant"], max_inputs=64, input_seed=7) is not None
+
+
+class TestNegativeDirections:
+    """The crosses of Table 3: patched or permissive setups are clean."""
+
+    def test_v4_gadget_clean_with_ssbd(self):
+        assert check(gadget("spectre-v4"), cpu_preset="skylake-v4-patched",
+                     max_inputs=64) is None
+
+    def test_v4_gadget_clean_under_ct_bpas(self):
+        # CT-BPAS permits the bypass leak (Table 3, Target 2)
+        assert check(gadget("spectre-v4"), contract="CT-BPAS",
+                     max_inputs=64) is None
+
+    def test_v1_gadget_clean_under_ct_cond(self):
+        # CT-COND permits branch-misprediction leakage (Target 5)
+        assert check(gadget("spectre-v1"), contract="CT-COND",
+                     max_inputs=64) is None
+
+    def test_fig6a_clean_under_arch_seq(self):
+        """§6.6: ARCH-SEQ permits leaking non-speculatively loaded data."""
+        assert check(gadget("fig6a-nonspec-data"), contract="ARCH-SEQ",
+                     max_inputs=64) is None
+
+    def test_fig6b_violates_even_arch_seq(self):
+        """...but not speculatively loaded data (the STT property)."""
+        assert check(gadget("fig6b-spec-data"), contract="ARCH-SEQ",
+                     max_inputs=64) is not None
+
+    def test_store_eviction_clean_on_skylake(self):
+        """§6.4: the STT assumption holds on Skylake..."""
+        assert check(gadget("spec-store-eviction"), cpu_preset="skylake",
+                     max_inputs=64) is None
+
+    def test_store_eviction_violates_on_coffee_lake(self):
+        """...but not on Coffee Lake."""
+        assert check(gadget("spec-store-eviction"), max_inputs=64) is not None
+
+    def test_mds_gadget_on_coffee_lake_still_violates_as_lvi(self):
+        """Target 8: the MDS patch converts the leak into LVI-Null for
+        value-combining gadgets, here exercised via the lvi-null gadget."""
+        assert check(gadget("lvi-null"), max_inputs=64) is not None

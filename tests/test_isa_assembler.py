@@ -1,0 +1,149 @@
+"""Unit tests for the Intel-syntax assembler/parser."""
+
+import pytest
+
+from repro.isa.assembler import (
+    parse_instruction,
+    parse_program,
+    render_program,
+)
+from repro.isa.operands import (
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    RegisterOperand,
+)
+
+# the paper's Figure 3, verbatim (modulo the CMOVNBE alias)
+FIGURE3 = """
+OR RAX, 468722461
+AND RAX, 0b111111000000
+LOCK SUB byte ptr [R14 + RAX], 35
+JNS .bb1
+JMP .bb2
+.bb1: AND RCX, 0b111111000000
+REX SUB byte ptr [R14 + RCX], AL
+CMOVNBE EBX, EBX
+OR DX, 30415
+JMP .bb2
+.bb2: AND RBX, 1276527841
+AND RDX, 0b111111000000
+CMOVBE RCX, qword ptr [R14 + RDX]
+CMP BX, AX
+"""
+
+
+class TestParseInstruction:
+    def test_reg_imm(self):
+        instr = parse_instruction("OR RAX, 468722461")
+        assert instr.mnemonic == "OR"
+        assert instr.operands == (RegisterOperand("RAX"), ImmediateOperand(468722461))
+
+    def test_binary_immediate(self):
+        instr = parse_instruction("AND RAX, 0b111111000000")
+        assert instr.operands[1] == ImmediateOperand(0xFC0)
+
+    def test_hex_immediate(self):
+        instr = parse_instruction("MOV RBX, 0xFF")
+        assert instr.operands[1] == ImmediateOperand(255)
+
+    def test_negative_immediate(self):
+        instr = parse_instruction("CMP RAX, -5")
+        assert instr.operands[1] == ImmediateOperand(-5)
+
+    def test_lock_prefix(self):
+        instr = parse_instruction("LOCK SUB byte ptr [R14 + RAX], 35")
+        assert instr.lock
+        assert instr.operands[0] == MemoryOperand("R14", "RAX", 0, 8)
+
+    def test_rex_prefix_ignored(self):
+        instr = parse_instruction("REX SUB byte ptr [R14 + RCX], AL")
+        assert not instr.lock
+        assert instr.mnemonic == "SUB"
+
+    def test_memory_displacement(self):
+        instr = parse_instruction("MOV RAX, qword ptr [R14 + RBX + 64]")
+        assert instr.operands[1] == MemoryOperand("R14", "RBX", 64, 64)
+
+    def test_memory_negative_displacement(self):
+        instr = parse_instruction("MOV RAX, qword ptr [R14 - 8]")
+        assert instr.operands[1] == MemoryOperand("R14", None, -8, 64)
+
+    def test_label_operand(self):
+        instr = parse_instruction("JNS .bb1")
+        assert instr.operands == (LabelOperand("bb1"),)
+
+    def test_condition_alias(self):
+        instr = parse_instruction("CMOVNBE EBX, EBX")
+        assert instr.mnemonic == "CMOVA"  # canonicalized alias
+
+    def test_lea(self):
+        instr = parse_instruction("LEA RAX, [R14 + RBX + 4]")
+        assert instr.mnemonic == "LEA"
+
+    def test_unknown_operand(self):
+        with pytest.raises(ValueError):
+            parse_instruction("MOV RAX, garbage!!")
+
+
+class TestParseProgram:
+    def test_figure3_roundtrip(self):
+        program = parse_program(FIGURE3)
+        program.validate_dag()
+        assert program.num_instructions == 14
+        assert [b.name for b in program.blocks] == ["entry", "bb1", "bb2"]
+        # rendering and re-parsing is a fixpoint
+        text = render_program(program)
+        reparsed = parse_program(text)
+        assert render_program(reparsed) == text
+
+    def test_comments_ignored(self):
+        program = parse_program(
+            """
+            # a comment line
+            MOV RAX, 1  ; trailing comment
+            NOP          # another
+            """
+        )
+        assert program.num_instructions == 2
+
+    def test_label_with_inline_instruction(self):
+        program = parse_program(".bb1: NOP")
+        assert program.blocks[0].name == "bb1"
+        assert program.num_instructions == 1
+
+    def test_terminators_split(self):
+        program = parse_program(
+            """
+            JNS .end
+            NOP
+        .end: NOP
+            """
+        )
+        # the NOP after the branch lands in an implicit fallthrough block
+        assert len(program.blocks) == 3
+        assert program.blocks[0].terminators[0].mnemonic == "JNS"
+
+    def test_call_stays_in_body(self):
+        program = parse_program(
+            """
+            CALL .func
+            NOP
+        .func: RET
+            """
+        )
+        entry = program.blocks[0]
+        assert [i.mnemonic for i in entry.body] == ["CALL", "NOP"]
+
+
+class TestRenderProgram:
+    def test_numbered_rendering(self):
+        program = parse_program("MOV RAX, 1\nNOP")
+        text = render_program(program, numbered=True)
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("1 ")
+        assert len(lines) == 2
+
+    def test_binary_mask_rendered_as_decimal(self):
+        program = parse_program("AND RAX, 0b111111000000")
+        assert "4032" in render_program(program)

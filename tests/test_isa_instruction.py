@@ -1,0 +1,174 @@
+"""Unit tests for instructions, basic blocks and programs."""
+
+import pytest
+
+from repro.isa.instruction import (
+    BasicBlock,
+    Instruction,
+    TestCaseProgram,
+)
+from repro.isa.instruction_set import FULL_INSTRUCTION_SET
+from repro.isa.operands import (
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    RegisterOperand,
+)
+
+
+def make(mnemonic, kinds, operands, width=None, lock=False):
+    spec = FULL_INSTRUCTION_SET.find(mnemonic, kinds, width)
+    return Instruction(spec, tuple(operands), lock=lock)
+
+
+class TestInstructionProperties:
+    def test_add_reg_reg(self):
+        instr = make("ADD", ("REG", "REG"), [RegisterOperand("RAX"), RegisterOperand("RBX")], 64)
+        assert instr.registers_read() == ("RAX", "RBX")
+        assert instr.registers_written() == ("RAX",)
+        assert not instr.is_load and not instr.is_store
+        assert "ZF" in instr.flags_written
+
+    def test_store_instruction(self):
+        instr = make(
+            "MOV",
+            ("MEM", "REG"),
+            [MemoryOperand("R14", "RAX", width=64), RegisterOperand("RBX")],
+            64,
+        )
+        assert instr.is_store and not instr.is_load
+        # address registers are reads
+        assert set(instr.registers_read()) == {"R14", "RAX", "RBX"}
+        assert instr.registers_written() == ()
+
+    def test_rmw_instruction_is_load_and_store(self):
+        instr = make(
+            "ADD",
+            ("MEM", "IMM"),
+            [MemoryOperand("R14", "RAX", width=8), ImmediateOperand(1)],
+            8,
+        )
+        assert instr.is_load and instr.is_store
+
+    def test_cmp_mem_does_not_store(self):
+        instr = make(
+            "CMP",
+            ("MEM", "IMM"),
+            [MemoryOperand("R14", width=16), ImmediateOperand(1)],
+            16,
+        )
+        assert instr.is_load and not instr.is_store
+
+    def test_lock_prefix_on_lockable(self):
+        instr = make(
+            "SUB",
+            ("MEM", "IMM"),
+            [MemoryOperand("R14", "RAX", width=8), ImmediateOperand(35)],
+            8,
+            lock=True,
+        )
+        assert str(instr).startswith("LOCK SUB")
+
+    def test_lock_rejected_on_non_lockable(self):
+        spec = FULL_INSTRUCTION_SET.find("MOV", ("REG", "REG"), 64)
+        with pytest.raises(ValueError):
+            Instruction(
+                spec, (RegisterOperand("RAX"), RegisterOperand("RBX")), lock=True
+            )
+
+    def test_operand_count_validated(self):
+        spec = FULL_INSTRUCTION_SET.find("MOV", ("REG", "REG"), 64)
+        with pytest.raises(ValueError):
+            Instruction(spec, (RegisterOperand("RAX"),))
+
+    def test_branch_properties(self):
+        jns = make("JNS", ("LABEL",), [LabelOperand("bb1")])
+        assert jns.is_cond_branch and jns.is_control_flow
+        assert jns.label_target() == "bb1"
+        assert jns.flags_read == ("SF",)
+
+        jmp = make("JMP", ("LABEL",), [LabelOperand("end")])
+        assert jmp.is_uncond_branch and not jmp.is_cond_branch
+
+        ind = make("JMP", ("REG",), [RegisterOperand("RAX")])
+        assert ind.is_indirect_branch
+
+    def test_fence(self):
+        lfence = make("LFENCE", (), [])
+        assert lfence.is_fence and not lfence.is_control_flow
+
+    def test_div_implicit_operands(self):
+        div = make("DIV", ("REG",), [RegisterOperand("RBX")], 64)
+        assert set(div.registers_read()) == {"RAX", "RDX", "RBX"}
+        assert set(div.registers_written()) == {"RAX", "RDX"}
+
+    def test_cmov_reads_flags(self):
+        cmov = make(
+            "CMOVBE", ("REG", "REG"), [RegisterOperand("RAX"), RegisterOperand("RBX")], 64
+        )
+        assert set(cmov.flags_read) == {"CF", "ZF"}
+
+
+class TestProgramStructure:
+    def _program(self):
+        j = make("JNS", ("LABEL",), [LabelOperand("bb1")])
+        add = make("ADD", ("REG", "REG"), [RegisterOperand("RAX"), RegisterOperand("RBX")], 64)
+        nop = make("NOP", (), [])
+        return TestCaseProgram(
+            blocks=[
+                BasicBlock("bb0", [add], [j]),
+                BasicBlock("bb1", [nop], []),
+            ]
+        )
+
+    def test_linearize(self):
+        program = self._program()
+        linear = program.linearize()
+        assert len(linear) == 3
+        assert linear.label_to_index["bb0"] == 0
+        assert linear.label_to_index["bb1"] == 2
+        assert linear.label_to_index["exit"] == 3
+        assert linear.block_of == ["bb0", "bb0", "bb1"]
+
+    def test_target_index(self):
+        program = self._program()
+        linear = program.linearize()
+        branch = linear.instructions[1]
+        assert linear.target_index(branch) == 2
+        assert linear.target_index(linear.instructions[0]) is None
+
+    def test_validate_dag_accepts_forward(self):
+        self._program().validate_dag()
+
+    def test_validate_dag_rejects_backward(self):
+        j = make("JMP", ("LABEL",), [LabelOperand("bb0")])
+        program = TestCaseProgram(
+            blocks=[BasicBlock("bb0"), BasicBlock("bb1", [], [j])]
+        )
+        with pytest.raises(ValueError, match="backward"):
+            program.validate_dag()
+
+    def test_validate_dag_rejects_undefined_label(self):
+        j = make("JMP", ("LABEL",), [LabelOperand("nowhere")])
+        program = TestCaseProgram(blocks=[BasicBlock("bb0", [], [j]), BasicBlock("bb1")])
+        with pytest.raises(ValueError, match="undefined"):
+            program.validate_dag()
+
+    def test_clone_is_independent(self):
+        program = self._program()
+        clone = program.clone()
+        clone.blocks[0].body.clear()
+        assert len(program.blocks[0].body) == 1
+
+    def test_num_instructions(self):
+        assert self._program().num_instructions == 3
+
+    def test_block_named(self):
+        program = self._program()
+        assert program.block_named("bb1").name == "bb1"
+        with pytest.raises(KeyError):
+            program.block_named("missing")
+
+    def test_successors(self):
+        program = self._program()
+        assert program.blocks[0].successors() == ["bb1"]

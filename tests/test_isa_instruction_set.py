@@ -1,0 +1,124 @@
+"""Unit tests for the instruction catalog and subset selection."""
+
+import pytest
+
+from repro.isa.instruction_set import (
+    CONDITION_CODES,
+    CONDITION_FLAGS,
+    FULL_INSTRUCTION_SET,
+    canonical_condition,
+    condition_of,
+    instruction_subset,
+    parse_subset_expression,
+    subset_names,
+)
+
+
+class TestCatalog:
+    def test_catalog_is_reasonably_large(self):
+        # the paper's nanoBench-derived sets have hundreds of forms; ours
+        # is the same order of magnitude
+        assert len(FULL_INSTRUCTION_SET) > 300
+
+    def test_all_condition_codes_have_branches(self):
+        for code in CONDITION_CODES:
+            specs = FULL_INSTRUCTION_SET.by_mnemonic(f"J{code}")
+            assert len(specs) == 1, code
+
+    def test_find_by_shape(self):
+        spec = FULL_INSTRUCTION_SET.find("ADD", ("REG", "IMM"), 32)
+        assert spec.mnemonic == "ADD"
+        assert spec.operands[0].width == 32
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(KeyError):
+            FULL_INSTRUCTION_SET.find("FROB", ("REG",))
+
+    def test_lockable_forms(self):
+        spec = FULL_INSTRUCTION_SET.find("ADD", ("MEM", "REG"), 64)
+        assert spec.lockable
+        spec = FULL_INSTRUCTION_SET.find("CMP", ("MEM", "REG"), 64)
+        assert not spec.lockable  # CMP does not write memory
+
+    def test_spec_names_unique(self):
+        names = [spec.name for spec in FULL_INSTRUCTION_SET]
+        # names identify the form (mnemonic + operand shape/widths)
+        assert len(names) == len(set(names))
+
+
+class TestSubsets:
+    def test_subset_names(self):
+        assert set(subset_names()) == {"AR", "MEM", "VAR", "CB", "IND", "FENCE"}
+
+    def test_ar_subset_has_no_memory(self):
+        subset = instruction_subset(["AR"])
+        assert all(not spec.has_memory_operand for spec in subset)
+
+    def test_mem_subset_all_memory(self):
+        subset = instruction_subset(["MEM"])
+        assert all(spec.has_memory_operand for spec in subset)
+        assert len(subset) > 100
+
+    def test_var_subset_is_divisions(self):
+        subset = instruction_subset(["VAR"])
+        assert {spec.mnemonic for spec in subset} == {"DIV", "IDIV"}
+
+    def test_cb_subset_includes_jmp(self):
+        subset = instruction_subset(["CB"])
+        mnemonics = {spec.mnemonic for spec in subset}
+        assert "JMP" in mnemonics
+        assert "JZ" in mnemonics
+
+    def test_paper_subsets_grow_monotonically(self):
+        # §6.1 lists growing instruction counts per subset
+        sizes = [
+            len(parse_subset_expression(expr))
+            for expr in (
+                "AR",
+                "AR+MEM",
+                "AR+MEM+VAR",
+                "AR+MEM+CB",
+                "AR+MEM+CB+VAR",
+            )
+        ]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[1] < sizes[-1]
+
+    def test_unknown_subset_raises(self):
+        with pytest.raises(ValueError):
+            instruction_subset(["SSE"])
+
+
+class TestConditionCodes:
+    def test_sixteen_codes(self):
+        assert len(CONDITION_CODES) == 16
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [("E", "Z"), ("NE", "NZ"), ("C", "B"), ("NB", "AE"), ("NLE", "G")],
+    )
+    def test_aliases(self, alias, canonical):
+        assert canonical_condition(alias) == canonical
+
+    def test_unknown_condition(self):
+        with pytest.raises(ValueError):
+            canonical_condition("XYZ")
+
+    @pytest.mark.parametrize(
+        "mnemonic,code",
+        [
+            ("JZ", "Z"),
+            ("JNE", "NZ"),
+            ("CMOVBE", "BE"),
+            ("SETG", "G"),
+            ("JMP", None),
+            ("ADD", None),
+        ],
+    )
+    def test_condition_of(self, mnemonic, code):
+        assert condition_of(mnemonic) == code
+
+    def test_condition_flags_consistent(self):
+        for code, flags in CONDITION_FLAGS.items():
+            assert flags, code
+            assert set(flags) <= {"CF", "PF", "ZF", "SF", "OF"}

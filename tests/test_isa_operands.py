@@ -1,0 +1,78 @@
+"""Unit tests for operand kinds."""
+
+import pytest
+
+from repro.isa.operands import (
+    AgenOperand,
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    RegisterOperand,
+)
+
+
+class TestRegisterOperand:
+    def test_normalizes_case(self):
+        assert RegisterOperand("rax").name == "RAX"
+
+    def test_width_and_canonical(self):
+        operand = RegisterOperand("EBX")
+        assert operand.width == 32
+        assert operand.canonical == "RBX"
+
+    def test_invalid_register(self):
+        with pytest.raises(ValueError):
+            RegisterOperand("YMM1")
+
+    def test_str(self):
+        assert str(RegisterOperand("AL")) == "AL"
+
+    def test_hashable(self):
+        assert RegisterOperand("RAX") == RegisterOperand("rax")
+        assert len({RegisterOperand("RAX"), RegisterOperand("rax")}) == 1
+
+
+class TestImmediateOperand:
+    def test_str(self):
+        assert str(ImmediateOperand(42)) == "42"
+        assert str(ImmediateOperand(-1)) == "-1"
+
+
+class TestMemoryOperand:
+    def test_base_only(self):
+        operand = MemoryOperand("R14", width=8)
+        assert operand.address_registers() == ("R14",)
+        assert str(operand) == "byte ptr [R14]"
+
+    def test_base_index_displacement(self):
+        operand = MemoryOperand("R14", "RAX", 8, width=64)
+        assert operand.address_registers() == ("R14", "RAX")
+        assert str(operand) == "qword ptr [R14 + RAX + 8]"
+
+    def test_negative_displacement(self):
+        operand = MemoryOperand("R14", None, -16, width=32)
+        assert str(operand) == "dword ptr [R14 - 16]"
+
+    def test_index_normalized_to_canonical_width_names(self):
+        operand = MemoryOperand("r14", "rbx")
+        assert operand.base == "R14"
+        assert operand.index == "RBX"
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            MemoryOperand("NOTAREG")
+
+    @pytest.mark.parametrize("width,name", [(8, "byte"), (16, "word"), (32, "dword"), (64, "qword")])
+    def test_width_names(self, width, name):
+        assert str(MemoryOperand("R14", width=width)).startswith(f"{name} ptr")
+
+
+class TestLabelOperand:
+    def test_str(self):
+        assert str(LabelOperand("bb1")) == ".bb1"
+
+
+class TestAgenOperand:
+    def test_str_no_size_prefix(self):
+        operand = AgenOperand("R14", "RAX", 4)
+        assert str(operand) == "[R14 + RAX + 4]"

@@ -1,0 +1,113 @@
+"""Unit tests for the register file description."""
+
+import pytest
+
+from repro.isa.registers import (
+    FLAG_BITS,
+    GPR_NAMES,
+    SANDBOX_BASE_REGISTER,
+    canonical_register,
+    is_register,
+    register_width,
+    view_name,
+)
+
+
+class TestCanonicalRegister:
+    def test_sixteen_gprs(self):
+        assert len(GPR_NAMES) == 16
+
+    def test_canonical_of_canonical(self):
+        for name in GPR_NAMES:
+            assert canonical_register(name) == name
+
+    @pytest.mark.parametrize(
+        "view,canonical",
+        [
+            ("EAX", "RAX"),
+            ("AX", "RAX"),
+            ("AL", "RAX"),
+            ("AH", "RAX"),
+            ("BL", "RBX"),
+            ("SIL", "RSI"),
+            ("R8D", "R8"),
+            ("R15W", "R15"),
+            ("R10B", "R10"),
+        ],
+    )
+    def test_views(self, view, canonical):
+        assert canonical_register(view) == canonical
+
+    def test_case_insensitive(self):
+        assert canonical_register("eax") == "RAX"
+        assert canonical_register("r9d") == "R9"
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(ValueError):
+            canonical_register("XMM0")
+
+
+class TestRegisterWidth:
+    @pytest.mark.parametrize(
+        "name,width",
+        [
+            ("RAX", 64),
+            ("EBX", 32),
+            ("CX", 16),
+            ("DL", 8),
+            ("R8", 64),
+            ("R8D", 32),
+            ("R8W", 16),
+            ("R8B", 8),
+        ],
+    )
+    def test_widths(self, name, width):
+        assert register_width(name) == width
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            register_width("FOO")
+
+
+class TestViewName:
+    @pytest.mark.parametrize(
+        "canonical,width,expected",
+        [
+            ("RAX", 64, "RAX"),
+            ("RAX", 32, "EAX"),
+            ("RAX", 16, "AX"),
+            ("RAX", 8, "AL"),
+            ("RSI", 8, "SIL"),
+            ("R10", 32, "R10D"),
+            ("R10", 16, "R10W"),
+            ("R10", 8, "R10B"),
+        ],
+    )
+    def test_names(self, canonical, width, expected):
+        assert view_name(canonical, width) == expected
+
+    def test_view_name_roundtrip(self):
+        for canonical in GPR_NAMES:
+            for width in (8, 16, 32, 64):
+                name = view_name(canonical, width)
+                assert canonical_register(name) == canonical
+                assert register_width(name) == width
+
+    def test_non_canonical_rejected(self):
+        with pytest.raises(ValueError):
+            view_name("EAX", 16)
+
+
+class TestMisc:
+    def test_sandbox_base_is_r14(self):
+        # the paper's Figure 3 keeps the sandbox base in R14
+        assert SANDBOX_BASE_REGISTER == "R14"
+
+    def test_flag_bits(self):
+        assert set(FLAG_BITS) == {"CF", "PF", "AF", "ZF", "SF", "OF"}
+
+    def test_is_register(self):
+        assert is_register("rax")
+        assert is_register("R11B")
+        assert not is_register("0x40")
+        assert not is_register("qword")

@@ -1,0 +1,84 @@
+"""Unit tests for the shared trace types."""
+
+import pytest
+
+from repro.traces import (
+    CTrace,
+    ExecutionLog,
+    ExecutionLogEntry,
+    HTrace,
+    merge_hardware_traces,
+)
+
+
+class TestCTrace:
+    def test_hashable_and_equal(self):
+        a = CTrace((("ld", 0x110), ("st", 0x220)))
+        b = CTrace((("ld", 0x110), ("st", 0x220)))
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_order_matters(self):
+        a = CTrace((("ld", 1), ("ld", 2)))
+        b = CTrace((("ld", 2), ("ld", 1)))
+        assert a != b
+
+    def test_addresses_filter(self):
+        trace = CTrace((("pc", 0), ("ld", 0x110), ("st", 0x220), ("ld", 0x330)))
+        assert trace.addresses("ld") == (0x110, 0x330)
+        assert trace.addresses("st") == (0x220,)
+        assert trace.addresses("val") == ()
+
+    def test_str_rendering(self):
+        trace = CTrace((("ld", 0x110),))
+        assert str(trace) == "[ld:0x110]"
+
+    def test_iteration_and_len(self):
+        trace = CTrace((("pc", 0), ("pc", 1)))
+        assert len(trace) == 2
+        assert list(trace) == [("pc", 0), ("pc", 1)]
+
+
+class TestHTrace:
+    def test_empty(self):
+        trace = HTrace.empty()
+        assert len(trace) == 0
+        assert trace.bitmap() == "0" * 64
+
+    def test_merge_requires_traces(self):
+        with pytest.raises(ValueError):
+            merge_hardware_traces([])
+
+    def test_merge_many(self):
+        merged = merge_hardware_traces(
+            [HTrace.from_signals({1}), HTrace.from_signals({2}),
+             HTrace.from_signals({1, 3})]
+        )
+        assert merged.signals == {1, 2, 3}
+
+    def test_paper_bitmap_example(self):
+        """§5.3: 'accesses to sets 0, 4, 5' renders 10001100...'"""
+        trace = HTrace.from_signals({0, 4, 5}, num_slots=32)
+        assert trace.bitmap() == "10001100" + "0" * 24
+
+    def test_union_is_the_merged_variant_semantics(self):
+        """§5.3: the merged trace of a sometimes-speculating input is the
+        union of the observed variants."""
+        with_misprediction = HTrace.from_signals({4, 6, 13, 31})
+        without = HTrace.from_signals({4, 13, 31})
+        assert with_misprediction.union(without) == with_misprediction
+
+
+class TestExecutionLog:
+    def _entry(self, speculative):
+        return ExecutionLogEntry(
+            pc=0, mnemonic="NOP", registers_read=(), registers_written=(),
+            flags_read=(), flags_written=(), is_load=False, is_store=False,
+            is_cond_branch=False, is_uncond_branch=False, addresses=(),
+            speculative=speculative,
+        )
+
+    def test_architectural_filter(self):
+        log = ExecutionLog([self._entry(False), self._entry(True), self._entry(False)])
+        assert len(log) == 3
+        assert len(log.architectural()) == 2

@@ -1,0 +1,72 @@
+"""Tests for violation reports and classification."""
+
+import pytest
+
+from repro.isa.assembler import parse_program
+from repro.core.violation import Violation, classify_speculation_kinds
+from repro.emulator.state import InputData
+from repro.traces import CTrace, HTrace
+from repro.uarch.config import coffee_lake, skylake
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "kinds,expected",
+        [
+            ({"cond"}, "V1"),
+            ({"bypass"}, "V4"),
+            ({"indirect"}, "V2"),
+            ({"ret"}, "V5-ret"),
+            ({"cond", "bypass"}, "V1+V4"),
+        ],
+    )
+    def test_basic_families(self, kinds, expected):
+        assert classify_speculation_kinds(kinds, skylake()) == expected
+
+    def test_assist_depends_on_patch(self):
+        assert classify_speculation_kinds({"assist"}, skylake()) == "MDS"
+        assert (
+            classify_speculation_kinds({"assist"}, coffee_lake()) == "LVI-Null"
+        )
+
+    def test_division_marks_variants(self):
+        assert (
+            classify_speculation_kinds({"cond"}, skylake(), True) == "V1-var"
+        )
+        assert (
+            classify_speculation_kinds({"bypass"}, skylake(), True) == "V4-var"
+        )
+
+    def test_empty_kinds(self):
+        assert "unknown" in classify_speculation_kinds(set(), skylake())
+
+
+class TestViolationReport:
+    def _violation(self):
+        program = parse_program("NOP")
+        return Violation(
+            program=program,
+            contract_name="CT-SEQ",
+            cpu_name="skylake",
+            ctrace=CTrace((("pc", 0),)),
+            input_sequence=[InputData(seed=1), InputData(seed=2)],
+            position_a=0,
+            position_b=1,
+            htrace_a=HTrace.from_signals({1, 2}),
+            htrace_b=HTrace.from_signals({1, 5}),
+            classification="V1",
+        )
+
+    def test_describe_contains_essentials(self):
+        text = self._violation().describe()
+        assert "CT-SEQ" in text and "skylake" in text and "V1" in text
+        assert "seed=1" in text and "seed=2" in text
+
+    def test_differing_signals(self):
+        only_a, only_b = self._violation().differing_signals()
+        assert only_a == {2} and only_b == {5}
+
+    def test_input_accessors(self):
+        violation = self._violation()
+        assert violation.input_a.seed == 1
+        assert violation.input_b.seed == 2
