@@ -1,0 +1,151 @@
+"""Campaign scaling: worker sharding and contract-trace caching.
+
+Two properties of the ``repro.campaign`` subsystem, on top of the paper's
+loop (the ROADMAP's sharding/batching/caching north star):
+
+1. **Worker scaling** — the same shard partition fanned out over 4
+   worker processes finishes in less wall-clock time than over 1, while
+   producing the identical merged report (sharding is deterministic, so
+   worker count only changes scheduling). The speedup assertion is
+   gated on the machine actually having multiple cores; the parity
+   assertions always run.
+2. **Trace caching** — a postprocessor run with the contract-trace
+   cache enabled performs strictly fewer contract-model emulations than
+   an uncached run and still reports the identical violation (same
+   minimized program fingerprint, same candidate positions, same
+   classification).
+"""
+
+import os
+from dataclasses import replace
+
+from repro.isa.assembler import parse_program
+from repro.core.campaign import CampaignRunner
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import TestingPipeline
+from repro.core.input_gen import InputGenerator
+from repro.core.postprocessor import Postprocessor
+from repro.core.trace_cache import program_fingerprint
+
+from conftest import print_table
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_worker_scaling(scale):
+    """4 workers vs 1 on the same shard partition: identical merged
+    report, less wall-clock time (when cores are available)."""
+    config = FuzzerConfig(
+        instruction_subsets=("AR", "MEM"),
+        contract_name="CT-COND-BPAS",  # the most expensive model
+        cpu_preset="skylake-v4-patched",
+        num_test_cases=48 * scale,
+        inputs_per_test_case=30,
+        diversity_feedback=False,
+        seed=1,
+    )
+    sequential = CampaignRunner(config, workers=1, shards=4).run()
+    parallel = CampaignRunner(config, workers=4, shards=4).run()
+
+    speedup = sequential.wall_seconds / parallel.wall_seconds
+    cores = _available_cores()
+    print_table(
+        "Campaign scaling (4 shards, same budget)",
+        ["workers", "wall s", "aggregate s", "cases", "violation"],
+        [
+            [1, f"{sequential.wall_seconds:.2f}",
+             f"{sequential.merged.duration_seconds:.2f}",
+             sequential.merged.test_cases, sequential.found],
+            [4, f"{parallel.wall_seconds:.2f}",
+             f"{parallel.merged.duration_seconds:.2f}",
+             parallel.merged.test_cases, parallel.found],
+        ],
+    )
+    print(f"speedup: {speedup:.2f}x on {cores} core(s)")
+
+    # worker count must not change what was fuzzed or found
+    assert sequential.merged.test_cases == parallel.merged.test_cases
+    assert sequential.merged.inputs_tested == parallel.merged.inputs_tested
+    assert sequential.found == parallel.found
+    assert [s.test_cases for s in sequential.shard_reports] == [
+        s.test_cases for s in parallel.shard_reports
+    ]
+    assert (
+        sequential.merged.coverage.covered == parallel.merged.coverage.covered
+    )
+    # The wall-clock speedup assertion needs real hardware parallelism
+    # with margin: on 4+ cores the 4-shard run reliably lands at 2-3x,
+    # while 2-3 core (or oversubscribed CI) machines can dip under any
+    # threshold and would make the assertion flaky. The measurement is
+    # always printed; REPRO_BENCH_STRICT_SPEEDUP=1 forces the assertion.
+    if cores >= 4 or os.environ.get("REPRO_BENCH_STRICT_SPEEDUP") == "1":
+        assert speedup > 1.05, (
+            f"4 workers should beat 1 on {cores} cores, got {speedup:.2f}x"
+        )
+
+
+def test_postprocessor_cache_skips_emulations():
+    """Cached postprocessing: strictly fewer contract emulations, byte-
+    identical minimization, identical violation report."""
+    config = FuzzerConfig(
+        contract_name="CT-SEQ", cpu_preset="skylake-v4-patched", seed=0
+    )
+    program = parse_program(
+        """
+        MOV RDX, 7
+        MOV RSI, RDX
+        JNS .end
+        AND RBX, 0b111111000000
+        MOV RCX, qword ptr [R14 + RBX]
+        XOR RDX, RDX
+    .end: NOP
+        """
+    )
+
+    outcomes = {}
+    for cached in (False, True):
+        pipeline = TestingPipeline(
+            replace(config, contract_trace_cache=cached)
+        )
+        inputs = InputGenerator(seed=42, layout=pipeline.layout).generate(40)
+        result = Postprocessor(pipeline).minimize(program, list(inputs))
+        candidate = pipeline.check_violation(result.program, result.inputs)
+        outcome = pipeline.test_program(result.program, result.inputs)
+        violation = pipeline.build_violation(outcome, candidate)
+        outcomes[cached] = (pipeline, result, candidate, violation)
+
+    uncached_pipeline, uncached_result, uncached_candidate, uncached_violation = outcomes[False]
+    cached_pipeline, cached_result, cached_candidate, cached_violation = outcomes[True]
+
+    stats = cached_pipeline.trace_cache.stats
+    print_table(
+        "Postprocessor contract emulations (same violation, same budget)",
+        ["cache", "emulations", "cache hits", "hit rate"],
+        [
+            ["off", uncached_pipeline.contract_emulations, "-", "-"],
+            ["on", cached_pipeline.contract_emulations, stats.hits,
+             f"{stats.hit_rate:.0%}"],
+        ],
+    )
+
+    # strictly fewer model emulations with the cache on
+    assert (
+        cached_pipeline.contract_emulations
+        < uncached_pipeline.contract_emulations
+    )
+    assert stats.hits > 0
+    # ... and the identical violation, end to end
+    assert program_fingerprint(cached_result.program) == program_fingerprint(
+        uncached_result.program
+    )
+    assert cached_result.inputs == uncached_result.inputs
+    assert (cached_candidate.position_a, cached_candidate.position_b) == (
+        uncached_candidate.position_a,
+        uncached_candidate.position_b,
+    )
+    assert cached_violation.classification == uncached_violation.classification

@@ -3,14 +3,21 @@
 Subcommands:
 
 - ``fuzz``      run a fuzzing campaign against one target/contract;
+- ``campaign``  run the same campaign sharded over N worker processes;
 - ``reproduce`` run a handwritten gadget from the gallery;
 - ``trace``     print contract trace(s) of an assembly file;
 - ``minimize``  fuzz until a violation, then postprocess it;
 - ``list``      show available contracts, CPU presets, subsets, gadgets.
 
-Example::
+Examples::
 
     revizor fuzz -s AR+MEM+CB -c CT-SEQ --cpu skylake -n 200 -i 50
+    revizor campaign -s AR+MEM+CB -n 2000 --workers 8 --cache
+
+All fuzzing subcommands accept the contract-trace-cache knobs:
+``--cache`` memoizes contract traces across collections (pure-function
+results keyed by program/input/contract, see
+:mod:`repro.core.trace_cache`) and ``--cache-entries`` bounds the LRU.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from repro.isa.assembler import parse_program, render_program
 from repro.isa.instruction_set import subset_names
 from repro.emulator.state import SandboxLayout
 from repro.contracts import contract_names, get_contract
+from repro.core.campaign import CampaignRunner
 from repro.core.config import FuzzerConfig, GeneratorConfig
 from repro.core.fuzzer import Fuzzer, TestingPipeline
 from repro.core.input_gen import InputGenerator
@@ -45,7 +53,16 @@ def _build_config(args: argparse.Namespace) -> FuzzerConfig:
         analyzer_mode=args.analyzer,
         seed=args.seed,
         generator=GeneratorConfig(sandbox_pages=args.pages),
+        contract_trace_cache=args.cache,
+        trace_cache_entries=args.cache_entries,
     )
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
@@ -69,6 +86,10 @@ def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pages", type=int, default=1,
                         help="sandbox pages used by generated code")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cache", action="store_true",
+                        help="memoize contract traces across collections")
+    parser.add_argument("--cache-entries", type=_positive_int, default=65536,
+                        help="LRU capacity of the contract-trace cache")
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -80,6 +101,33 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print()
         print(report.violation.describe())
         return 1  # a violation is a nonzero exit, like grep finding a match
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run one fuzzing budget sharded across worker processes.
+
+    The budget (``-n``) is split into deterministic shards (per-shard
+    seeds derived from ``--seed``), fanned out over ``--workers``
+    processes, and the per-shard reports are merged: coverage is
+    unioned, counters are summed, and the first violation wins with a
+    stable tie-break. For budget-bound campaigns (no ``--timeout``),
+    keeping ``--shards`` fixed while varying ``--workers`` reproduces
+    the identical merged report at any level of parallelism; a
+    ``--timeout`` bounds each shard's wall clock instead and gives up
+    that invariance. Exits 1 when a violation is found, like ``fuzz``.
+    """
+    runner = CampaignRunner(
+        _build_config(args), workers=args.workers, shards=args.shards
+    )
+    report = runner.run()
+    print(report.summary())
+    for index, shard in enumerate(report.shard_reports):
+        print(f"  shard {index}: {shard.summary()}")
+    if report.found:
+        print()
+        print(report.violation.describe())
+        return 1
     return 0
 
 
@@ -178,6 +226,22 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser = commands.add_parser("fuzz", help="run a fuzzing campaign")
     _add_target_arguments(fuzz_parser)
     fuzz_parser.set_defaults(handler=cmd_fuzz)
+
+    campaign_parser = commands.add_parser(
+        "campaign",
+        help="run a fuzzing campaign sharded over worker processes",
+    )
+    _add_target_arguments(campaign_parser)
+    campaign_parser.add_argument(
+        "-w", "--workers", type=_positive_int, default=4,
+        help="worker processes to fan shards out over",
+    )
+    campaign_parser.add_argument(
+        "--shards", type=_positive_int, default=None,
+        help="seed/budget shards (default: one per worker); fix this "
+        "while varying --workers for identical merged results",
+    )
+    campaign_parser.set_defaults(handler=cmd_campaign)
 
     minimize_parser = commands.add_parser(
         "minimize", help="fuzz until a violation, then minimize it"

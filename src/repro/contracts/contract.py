@@ -59,6 +59,19 @@ class Contract:
     def name(self) -> str:
         return f"{self.observation.name}-{self.execution.name}"
 
+    @property
+    def cache_key(self) -> Tuple[str, int, int]:
+        """Identity of this contract for trace memoization.
+
+        Every parameter that affects ``collect_trace_and_log`` output
+        participates: the clause pair (via :attr:`name`), the speculation
+        window, and the nesting depth — so the §5.4 revalidation, which
+        reruns the same-named contract with deeper nesting, never shares
+        entries with the base model in a
+        :class:`repro.core.trace_cache.ContractTraceCache`.
+        """
+        return (self.name, self.speculation_window, self.max_nesting)
+
     def with_nesting(self, max_nesting: int) -> "Contract":
         """A copy with a different nesting depth (violation re-validation)."""
         return replace(self, max_nesting=max_nesting)

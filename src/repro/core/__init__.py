@@ -27,10 +27,19 @@ from repro.core.patterns import (
 from repro.core.violation import Violation, classify_speculation_kinds
 from repro.core.fuzzer import Fuzzer, FuzzingReport, TestingPipeline
 from repro.core.postprocessor import MinimizationResult, Postprocessor
+from repro.core.trace_cache import ContractTraceCache, program_fingerprint
+from repro.core.campaign import (
+    CampaignReport,
+    CampaignRunner,
+    run_campaign,
+)
 
 __all__ = [
     "ALL_PATTERNS",
     "AnalysisResult",
+    "CampaignReport",
+    "CampaignRunner",
+    "ContractTraceCache",
     "Fuzzer",
     "FuzzerConfig",
     "FuzzingReport",
@@ -47,4 +56,6 @@ __all__ = [
     "ViolationCandidate",
     "classify_speculation_kinds",
     "patterns_in_log",
+    "program_fingerprint",
+    "run_campaign",
 ]

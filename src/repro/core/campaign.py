@@ -1,0 +1,272 @@
+"""Parallel fuzzing campaigns: sharding the MRT loop across processes.
+
+The testing loop is embarrassingly parallel across test cases — each
+round generates, measures and analyzes one program independently — yet
+:meth:`Fuzzer.run` is strictly sequential. :class:`CampaignRunner`
+splits a campaign's test-case budget into *shards* and fans the shards
+out over a pool of worker processes:
+
+- **Deterministic sharding.** Shard ``i`` of a campaign with base seed
+  ``s`` always fuzzes with ``derive_shard_seed(s, i)`` and a fixed slice
+  of the budget (:func:`shard_budgets`), so for budget-bound campaigns
+  (``timeout_seconds=None``, the default) the merged outcome depends
+  only on the shard count — never on the worker count, scheduling, or
+  whether the shards ran in-process or in a pool. ``workers=1`` runs the
+  same shards inline and is the baseline of
+  ``benchmarks/bench_campaign_scaling.py``.
+- **Report merging.** Per-shard :class:`FuzzingReport`s are merged by
+  :func:`merge_reports`: pattern coverage is unioned, counters are
+  summed, effectiveness is test-case-weighted, and when several shards
+  find violations the winner is first-violation-wins — the violation
+  found after the fewest test cases — with a stable tie-break on
+  (inputs until found, shard index).
+
+Workers are plain ``multiprocessing`` processes (fork where available,
+spawn otherwise); every shard builds its own :class:`Fuzzer`, so no
+state is shared and no locks are needed. Shard results travel back as
+pickled reports.
+
+A wall-clock budget (``timeout_seconds``) bounds each *shard*
+individually, so the campaign's wall time can reach ``timeout x
+ceil(shards / workers)`` when workers are scarce — and because a
+timed-out shard stops wherever the clock caught it, timed campaigns
+trade the worker-count invariance above for the time bound: a run on
+fewer cores breaks off at different test-case counts than one on many.
+Budget-bound campaigns (``-n`` only) keep the full guarantee.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import Fuzzer, FuzzingReport
+from repro.core.patterns import PatternCoverage
+from repro.core.violation import Violation
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_shard_seed(base_seed: int, shard_index: int) -> int:
+    """Deterministic, well-separated seed for one shard.
+
+    A splitmix64 finalizer over ``(base_seed, shard_index)``: nearby base
+    seeds or shard indices still yield uncorrelated PRNG streams, and the
+    mapping is stable across runs, platforms and worker counts.
+    """
+    if shard_index < 0:
+        raise ValueError("shard_index must be non-negative")
+    x = (base_seed * 0x9E3779B97F4A7C15 + (shard_index + 1)) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x & 0x7FFFFFFF
+
+
+def shard_budgets(total: int, shards: int) -> List[int]:
+    """Split ``total`` test cases into ``shards`` near-equal slices."""
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    base, extra = divmod(max(0, total), shards)
+    return [base + (1 if index < extra else 0) for index in range(shards)]
+
+
+def shard_fuzzer_config(
+    config: FuzzerConfig, shard_index: int, shards: int
+) -> FuzzerConfig:
+    """The :class:`FuzzerConfig` one shard runs with."""
+    budgets = shard_budgets(config.num_test_cases, shards)
+    return replace(
+        config,
+        seed=derive_shard_seed(config.seed, shard_index),
+        num_test_cases=budgets[shard_index],
+    )
+
+
+def _run_shard(task: Tuple[int, FuzzerConfig]) -> Tuple[int, FuzzingReport]:
+    """Worker entry point: run one shard's fuzzing campaign."""
+    shard_index, config = task
+    return shard_index, Fuzzer(config).run()
+
+
+def merge_reports(
+    reports: Sequence[FuzzingReport],
+) -> Tuple[FuzzingReport, Optional[int]]:
+    """Merge per-shard reports into one campaign-level report.
+
+    Returns the merged report and the index of the winning shard (the
+    one whose violation is kept), or ``None`` when no shard found one.
+    Deterministic: coverage union, counter sums, and first-violation-wins
+    with a stable tie-break on (test cases until found, inputs until
+    found, shard index).
+    """
+    if not reports:
+        raise ValueError("no shard reports to merge")
+    merged = FuzzingReport(coverage=PatternCoverage())
+    effectiveness_weighted = 0.0
+    for report in reports:
+        merged.test_cases += report.test_cases
+        merged.inputs_tested += report.inputs_tested
+        merged.duration_seconds += report.duration_seconds
+        merged.rounds += report.rounds
+        merged.reconfigurations += report.reconfigurations
+        merged.discarded_by_priming += report.discarded_by_priming
+        merged.discarded_by_nesting += report.discarded_by_nesting
+        merged.unconfirmed_candidates += report.unconfirmed_candidates
+        merged.contract_emulations += report.contract_emulations
+        merged.trace_cache_hits += report.trace_cache_hits
+        effectiveness_weighted += report.mean_effectiveness * report.test_cases
+        if report.coverage is not None:
+            merged.coverage.covered |= report.coverage.covered
+    if merged.test_cases:
+        merged.mean_effectiveness = effectiveness_weighted / merged.test_cases
+
+    winner: Optional[int] = None
+    best_key: Optional[Tuple[int, int, int]] = None
+    for index, report in enumerate(reports):
+        if report.violation is None:
+            continue
+        key = (
+            report.violation.test_cases_until_found,
+            report.violation.inputs_until_found,
+            index,
+        )
+        if best_key is None or key < best_key:
+            best_key = key
+            winner = index
+    if winner is not None:
+        merged.violation = reports[winner].violation
+    return merged, winner
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one parallel campaign."""
+
+    merged: FuzzingReport
+    shard_reports: List[FuzzingReport]
+    winning_shard: Optional[int]
+    workers: int
+    wall_seconds: float
+
+    @property
+    def found(self) -> bool:
+        return self.merged.found
+
+    @property
+    def violation(self) -> Optional[Violation]:
+        return self.merged.violation
+
+    @property
+    def shards(self) -> int:
+        return len(self.shard_reports)
+
+    @property
+    def observed_concurrency(self) -> float:
+        """Mean number of shards in flight: aggregate shard wall time
+        over campaign wall time. Note this measures *concurrency*, not
+        speedup — per-shard durations are wall clock inside each worker
+        process, so on an oversubscribed machine (workers > cores)
+        time-sliced shards inflate the aggregate and this can approach
+        ``workers`` even when the campaign runs no faster than
+        ``workers=1``. Compare wall times across worker counts for real
+        scaling (see ``benchmarks/bench_campaign_scaling.py``)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.merged.duration_seconds / self.wall_seconds
+
+    def summary(self) -> str:
+        found = (
+            f"VIOLATION in shard {self.winning_shard} "
+            f"({self.merged.violation.classification})"
+            if self.merged.violation
+            else "no violation"
+        )
+        return (
+            f"{found} after {self.merged.test_cases} test cases / "
+            f"{self.merged.inputs_tested} inputs across {self.shards} "
+            f"shard(s) on {self.workers} worker(s) in "
+            f"{self.wall_seconds:.2f}s wall "
+            f"({self.merged.duration_seconds:.2f}s aggregate, "
+            f"effectiveness {self.merged.mean_effectiveness:.2f})"
+        )
+
+
+class CampaignRunner:
+    """Fans one fuzzing budget out over deterministic shards.
+
+    ``workers`` bounds process-level parallelism; ``shards`` (default:
+    ``workers``) fixes the seed/budget partition. Keep ``shards`` fixed
+    while varying ``workers`` to scale the same campaign across machines
+    with different core counts and still get the identical merged report.
+    """
+
+    def __init__(
+        self,
+        config: FuzzerConfig,
+        workers: int = 4,
+        shards: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.config = config
+        self.workers = workers
+        self.shards = shards if shards is not None else workers
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.start_method = start_method
+
+    def _context(self):
+        if self.start_method is not None:
+            return multiprocessing.get_context(self.start_method)
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+
+    def run(self) -> CampaignReport:
+        tasks = [
+            (index, shard_fuzzer_config(self.config, index, self.shards))
+            for index in range(self.shards)
+        ]
+        start = time.perf_counter()
+        if self.workers == 1:
+            results = [_run_shard(task) for task in tasks]
+        else:
+            with self._context().Pool(min(self.workers, self.shards)) as pool:
+                results = pool.map(_run_shard, tasks)
+        wall_seconds = time.perf_counter() - start
+        results.sort(key=lambda item: item[0])
+        shard_reports = [report for _, report in results]
+        merged, winner = merge_reports(shard_reports)
+        return CampaignReport(
+            merged=merged,
+            shard_reports=shard_reports,
+            winning_shard=winner,
+            workers=self.workers,
+            wall_seconds=wall_seconds,
+        )
+
+
+def run_campaign(
+    config: FuzzerConfig,
+    workers: int = 4,
+    shards: Optional[int] = None,
+) -> CampaignReport:
+    """Convenience one-call parallel campaign."""
+    return CampaignRunner(config, workers=workers, shards=shards).run()
+
+
+__all__ = [
+    "CampaignReport",
+    "CampaignRunner",
+    "derive_shard_seed",
+    "merge_reports",
+    "run_campaign",
+    "shard_budgets",
+    "shard_fuzzer_config",
+]

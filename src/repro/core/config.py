@@ -93,6 +93,14 @@ class FuzzerConfig:
     executor_warmups: int = 1
     outlier_threshold: int = 1
 
+    # contract-trace memoization (see repro.core.trace_cache): contract
+    # traces are pure functions of (program, input, contract), so repeated
+    # collections — nesting revalidation, postprocessor shrinking — can be
+    # served from an LRU cache instead of re-emulating the model
+    contract_trace_cache: bool = False
+    #: LRU capacity of the trace cache when enabled
+    trace_cache_entries: int = 65536
+
     seed: int = 0
 
     def resolve_cpu(self) -> UarchConfig:

@@ -26,6 +26,7 @@ from repro.executor.executor import Executor, ExecutorConfig
 from repro.executor.modes import measurement_mode
 from repro.executor.noise import NO_NOISE, NoiseModel
 from repro.traces import CTrace, ExecutionLog, HTrace
+from repro.uarch.cpu import RunInfo
 from repro.core.analyzer import (
     AnalysisResult,
     RelationalAnalyzer,
@@ -39,6 +40,7 @@ from repro.core.patterns import (
     available_patterns_for_subsets,
     patterns_in_log,
 )
+from repro.core.trace_cache import ContractTraceCache, program_fingerprint
 from repro.core.violation import Violation, classify_speculation_kinds
 
 
@@ -52,18 +54,39 @@ class TestOutcome:
     htraces: List[HTrace]
     logs: List[ExecutionLog]
     analysis: AnalysisResult
+    #: per-input run infos of the *original* priming sequence, snapshotted
+    #: before any re-measurement (the priming-swap check overwrites the
+    #: executor's ``last_run_infos`` with swapped-sequence runs)
+    run_infos: List[List[RunInfo]] = field(default_factory=list)
 
 
 class TestingPipeline:
-    """One target (CPU x contract x threat model), end to end."""
+    """One target (CPU x contract x threat model), end to end.
 
-    def __init__(self, config: FuzzerConfig, noise: NoiseModel = NO_NOISE):
+    When ``config.contract_trace_cache`` is set (or a cache instance is
+    passed explicitly), contract-trace collection is memoized across
+    calls in a :class:`ContractTraceCache`; repeated collections for the
+    same (program, input, contract) triple — the nesting revalidation and
+    the postprocessor's shrinking loops — skip the model emulation.
+    ``contract_emulations`` counts the emulations actually performed.
+    """
+
+    def __init__(
+        self,
+        config: FuzzerConfig,
+        noise: NoiseModel = NO_NOISE,
+        trace_cache: Optional[ContractTraceCache] = None,
+    ):
         self.config = config
         self.layout = SandboxLayout()
         self.cpu_config = config.resolve_cpu()
         self.contract: Contract = get_contract(
             config.contract_name, speculation_window=config.speculation_window
         )
+        if trace_cache is None and config.contract_trace_cache:
+            trace_cache = ContractTraceCache(config.trace_cache_entries)
+        self.trace_cache = trace_cache
+        self.contract_emulations = 0
         self.analyzer = RelationalAnalyzer(config.analyzer_mode)
         self.executor = Executor(
             self.cpu_config,
@@ -85,15 +108,50 @@ class TestingPipeline:
     def collect_contract_traces(
         self, program: TestCaseProgram, inputs: Sequence[InputData]
     ) -> Tuple[List[CTrace], List[ExecutionLog]]:
+        """Pure trace collection: one ``(CTrace, ExecutionLog)`` per input.
+
+        The program fingerprint is computed once per call, so cache
+        lookups cost a hash per input rather than an emulation.
+        """
+        fingerprint = (
+            program_fingerprint(program)
+            if self.trace_cache is not None
+            else None
+        )
         ctraces: List[CTrace] = []
         logs: List[ExecutionLog] = []
         for input_data in inputs:
-            ctrace, log = self.contract.collect_trace_and_log(
-                program, input_data, self.layout
+            ctrace, log = self._trace_and_log(
+                self.contract, program, fingerprint, input_data
             )
             ctraces.append(ctrace)
             logs.append(log)
         return ctraces, logs
+
+    def _trace_and_log(
+        self,
+        contract: Contract,
+        program: TestCaseProgram,
+        fingerprint: Optional[str],
+        input_data: InputData,
+    ) -> Tuple[CTrace, ExecutionLog]:
+        """One memoized contract-trace collection."""
+        if self.trace_cache is None:
+            self.contract_emulations += 1
+            return contract.collect_trace_and_log(
+                program, input_data, self.layout
+            )
+        if fingerprint is None:
+            fingerprint = program_fingerprint(program)
+        key = self.trace_cache.key(fingerprint, input_data, contract)
+        entry = self.trace_cache.get(key)
+        if entry is None:
+            entry = contract.collect_trace_and_log(
+                program, input_data, self.layout
+            )
+            self.contract_emulations += 1
+            self.trace_cache.put(key, entry)
+        return entry
 
     def test_program(
         self, program: TestCaseProgram, inputs: Sequence[InputData]
@@ -102,7 +160,10 @@ class TestingPipeline:
         ctraces, logs = self.collect_contract_traces(program, inputs)
         htraces = self.executor.collect_hardware_traces(program, inputs)
         analysis = self.analyzer.analyze(ctraces, htraces)
-        return TestOutcome(program, inputs, ctraces, htraces, logs, analysis)
+        run_infos = [list(infos) for infos in self.executor.last_run_infos]
+        return TestOutcome(
+            program, inputs, ctraces, htraces, logs, analysis, run_infos
+        )
 
     # -- false-positive filters ----------------------------------------------------
 
@@ -114,11 +175,22 @@ class TestingPipeline:
             nested = self.contract.with_nesting(
                 self.config.nesting_depth_for_revalidation
             )
-            trace_a = nested.collect_trace(
-                outcome.program, outcome.inputs[candidate.position_a], self.layout
+            fingerprint = (
+                program_fingerprint(outcome.program)
+                if self.trace_cache is not None
+                else None
             )
-            trace_b = nested.collect_trace(
-                outcome.program, outcome.inputs[candidate.position_b], self.layout
+            trace_a, _ = self._trace_and_log(
+                nested,
+                outcome.program,
+                fingerprint,
+                outcome.inputs[candidate.position_a],
+            )
+            trace_b, _ = self._trace_and_log(
+                nested,
+                outcome.program,
+                fingerprint,
+                outcome.inputs[candidate.position_b],
             )
             if trace_a != trace_b:
                 # with nesting modelled, the contract separates the inputs:
@@ -161,8 +233,8 @@ class TestingPipeline:
         self, outcome: TestOutcome, candidate: ViolationCandidate
     ) -> Violation:
         kinds = self._speculation_kinds(
-            candidate.position_a
-        ) | self._speculation_kinds(candidate.position_b)
+            outcome, candidate.position_a
+        ) | self._speculation_kinds(outcome, candidate.position_b)
         has_division = any(
             instruction.mnemonic in ("DIV", "IDIV")
             for instruction in outcome.program.all_instructions()
@@ -184,10 +256,15 @@ class TestingPipeline:
             speculation_kinds=kinds,
         )
 
-    def _speculation_kinds(self, position: int) -> Set[str]:
+    def _speculation_kinds(
+        self, outcome: TestOutcome, position: int
+    ) -> Set[str]:
+        """Speculation provenance of one input, from the outcome's own
+        run-info snapshot — the executor's ``last_run_infos`` may by now
+        describe a priming-swap re-measurement, not this sequence."""
         kinds: Set[str] = set()
-        infos = getattr(self.executor, "last_run_infos", None)
-        if infos and position < len(infos):
+        infos = outcome.run_infos
+        if position < len(infos):
             for info in infos[position]:
                 kinds |= info.speculation_kinds
         return kinds
@@ -208,6 +285,11 @@ class FuzzingReport:
     discarded_by_priming: int = 0
     discarded_by_nesting: int = 0
     unconfirmed_candidates: int = 0
+    #: contract-model emulations actually performed (cache misses + all
+    #: collections when the trace cache is disabled)
+    contract_emulations: int = 0
+    #: emulations skipped by the contract-trace cache
+    trace_cache_hits: int = 0
 
     @property
     def found(self) -> bool:
@@ -308,6 +390,9 @@ class Fuzzer:
             report.mean_effectiveness = effectiveness_sum / report.test_cases
         report.discarded_by_priming = self.pipeline.discarded_by_priming
         report.discarded_by_nesting = self.pipeline.discarded_by_nesting
+        report.contract_emulations = self.pipeline.contract_emulations
+        if self.pipeline.trace_cache is not None:
+            report.trace_cache_hits = self.pipeline.trace_cache.stats.hits
         return report
 
     # -- diversity feedback ------------------------------------------------------

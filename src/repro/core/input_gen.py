@@ -12,7 +12,7 @@ range, exactly the trade-off the paper describes.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.isa.registers import FLAG_BITS
@@ -26,7 +26,7 @@ class InputGenerator:
     seed: int = 0
     entropy_bits: int = 2
     registers: Sequence[str] = ("RAX", "RBX", "RCX", "RDX")
-    layout: SandboxLayout = SandboxLayout()
+    layout: SandboxLayout = field(default_factory=SandboxLayout)
     randomize_flags: bool = True
 
     def __post_init__(self) -> None:

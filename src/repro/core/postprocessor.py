@@ -40,17 +40,38 @@ class MinimizationResult:
         return self.program.num_instructions
 
     def leak_region(self) -> List[str]:
-        """The instructions not shielded by LFENCEs (the leak location)."""
+        """The instructions not shielded by LFENCEs (the leak location).
+
+        An LFENCE closes the region: speculation cannot flow past it, so
+        the instructions that follow — however many — are shielded until
+        an instruction that can itself *start* a new speculative path (a
+        branch, store, call or return) reopens it. Figure 4's minimized
+        test cases read exactly this way: the surviving fences bracket
+        the speculation source and the leaking accesses, and everything
+        behind a fence is out of the region.
+        """
         region: List[str] = []
         in_region = True
         for instruction in self.program.all_instructions():
             if instruction.mnemonic == "LFENCE":
                 in_region = False
                 continue
+            if not in_region and self._starts_speculation(instruction):
+                in_region = True
             if in_region:
                 region.append(str(instruction))
-            in_region = True
         return region
+
+    @staticmethod
+    def _starts_speculation(instruction: Instruction) -> bool:
+        """Can this instruction open a speculative path of its own?"""
+        return (
+            instruction.is_cond_branch
+            or instruction.is_indirect_branch
+            or instruction.is_store
+            or instruction.is_call
+            or instruction.is_ret
+        )
 
 
 class Postprocessor:

@@ -1,0 +1,159 @@
+"""Cross-call memoization of contract traces.
+
+The MRT loop re-emulates the contract model for the same ``(program,
+input)`` pair in several places: the nesting revalidation of candidate
+violations (§5.4), repeated :meth:`TestingPipeline.check_violation` calls
+during the priming-swap re-measurements, and — most heavily — the
+postprocessor's shrinking loops, which re-collect identical contract
+traces for every shrink candidate (§5.7 re-checks the violation after
+every removed input or instruction, against a mostly-unchanged program
+and an unchanged input pool).
+
+Contract emulation is deterministic: ``Contract(Prog, Data) -> CTrace``
+is a pure function of the program text, the input assignment and the
+contract parameters, so its results can be memoized safely.
+:class:`ContractTraceCache` is a bounded LRU map from
+``(program fingerprint, input identity, contract key)`` to the
+``(CTrace, ExecutionLog)`` pair produced by
+:meth:`Contract.collect_trace_and_log`. The contract key
+(:attr:`Contract.cache_key`) includes the speculation window *and* the
+nesting depth, so the §5.4 revalidation — which runs the same-named
+contract with deeper nesting — never collides with the base model.
+
+Knobs (also exposed on :class:`repro.core.config.FuzzerConfig` and the
+CLI as ``--cache`` / ``--cache-entries``):
+
+- ``max_entries`` bounds memory; the least recently used entry is
+  evicted first. The default of 65536 entries comfortably covers a
+  postprocessor run (one program family x a few hundred inputs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.isa.assembler import render_program
+from repro.isa.instruction import TestCaseProgram
+from repro.emulator.state import InputData
+from repro.contracts.contract import Contract
+from repro.traces import CTrace, ExecutionLog
+
+#: (program fingerprint, input seed, input content hash, contract key)
+CacheKey = Tuple[str, Optional[int], str, Tuple[str, int, int]]
+
+TraceEntry = Tuple[CTrace, ExecutionLog]
+
+
+def program_fingerprint(program: TestCaseProgram) -> str:
+    """A stable content fingerprint of a test case.
+
+    Two programs that render to the same assembly text have identical
+    semantics under every contract, so the rendered text is the right
+    identity for memoization (clones share it; any mutation — removed
+    instruction, inserted fence — changes it).
+    """
+    text = render_program(program)
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+
+def input_identity(input_data: InputData) -> Tuple[Optional[int], str]:
+    """Identity of one input: its PRNG seed plus a content digest.
+
+    The seed alone is not sufficient — handwritten inputs share
+    ``seed=None`` and generator seeds only determine the content for one
+    (layout, register pool, entropy) combination — so the content digest
+    always participates. A cryptographic digest (like the program side)
+    rather than Python's salted 64-bit ``hash()``: a silent collision
+    here would hand the analyzer a wrong trace, and sha1 is also stable
+    across processes.
+    """
+    hasher = hashlib.sha1()
+    for name, value in sorted(input_data.registers.items()):
+        hasher.update(f"{name}={value:#x};".encode("utf-8"))
+    hasher.update(b"|")
+    for flag, value in sorted(input_data.flags.items()):
+        hasher.update(f"{flag}={int(value)};".encode("utf-8"))
+    hasher.update(b"|")
+    hasher.update(input_data.memory)
+    return (input_data.seed, hasher.hexdigest())
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting; every hit is one skipped contract emulation."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hits / {self.lookups} lookups "
+            f"({self.hit_rate:.0%}), {self.evictions} evictions"
+        )
+
+
+class ContractTraceCache:
+    """A bounded LRU cache of contract-trace collection results."""
+
+    def __init__(self, max_entries: int = 65536):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, TraceEntry]" = OrderedDict()
+
+    def key(
+        self,
+        program_fp: str,
+        input_data: InputData,
+        contract: Contract,
+    ) -> CacheKey:
+        """Build the cache key for one (program, input, contract) triple."""
+        seed, content = input_identity(input_data)
+        return (program_fp, seed, content, contract.cache_key)
+
+    def get(self, key: CacheKey) -> Optional[TraceEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, entry: TraceEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "ContractTraceCache",
+    "input_identity",
+    "program_fingerprint",
+]

@@ -76,6 +76,9 @@ class Executor:
         self.cpu = SpeculativeCPU(cpu_config, self.layout)
         self._rng = random.Random(self.config.noise_seed)
         self.stats = MeasurementStats()
+        #: per-input run info of the most recent priming sequence, used by
+        #: the fuzzer to classify speculation provenance
+        self.last_run_infos: List[List[RunInfo]] = []
 
     # -- one measurement ------------------------------------------------------
 
@@ -123,11 +126,26 @@ class Executor:
         sequence is repeated ``warmup_passes + repetitions`` times; per
         input, one-off traces are discarded and the rest are unioned.
         """
-        linear = program.linearize()
+        return self.collect_hardware_traces_linearized(
+            program.linearize(), inputs, fresh_context
+        )
+
+    def collect_hardware_traces_linearized(
+        self,
+        linear: LinearProgram,
+        inputs: Sequence[InputData],
+        fresh_context: bool = True,
+    ) -> List[HTrace]:
+        """Batch-friendly variant of :meth:`collect_hardware_traces`.
+
+        Callers that measure the same program against several input
+        sequences (the priming-swap check, campaign batching) linearize
+        once and reuse the flat stream across all measurements.
+        """
         if fresh_context:
             self.cpu.reset_context()
         per_input_traces: List[List[frozenset]] = [[] for _ in inputs]
-        self.last_run_infos: List[List[RunInfo]] = [[] for _ in inputs]
+        self.last_run_infos = [[] for _ in inputs]
 
         for _ in range(self.config.warmup_passes):
             for input_data in inputs:
@@ -181,16 +199,16 @@ class Executor:
         """
         if position_a > position_b:
             position_a, position_b = position_b, position_a
-        original = self.collect_hardware_traces(program, inputs)
+        linear = program.linearize()
+        original = self.collect_hardware_traces_linearized(linear, inputs)
 
         swapped_to_a = list(inputs)
         swapped_to_a[position_a] = inputs[position_b]
-        swapped_to_a[position_b] = inputs[position_b]
-        traces_a = self.collect_hardware_traces(program, swapped_to_a)
+        traces_a = self.collect_hardware_traces_linearized(linear, swapped_to_a)
 
         swapped_to_b = list(inputs)
         swapped_to_b[position_b] = inputs[position_a]
-        traces_b = self.collect_hardware_traces(program, swapped_to_b)
+        traces_b = self.collect_hardware_traces_linearized(linear, swapped_to_b)
 
         # input_b measured in context of position_a vs. input_a there:
         b_reproduces_a = equivalent(traces_a[position_a], original[position_a])

@@ -25,6 +25,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.workers == 4
+        assert args.shards is None
+        assert args.cache is False
+        assert args.cache_entries == 65536
+
+    def test_campaign_custom(self):
+        args = build_parser().parse_args(
+            ["campaign", "-s", "AR", "-n", "40", "-w", "8", "--shards", "16",
+             "--cache", "--cache-entries", "1024"]
+        )
+        assert args.workers == 8
+        assert args.shards == 16
+        assert args.cache is True
+        assert args.cache_entries == 1024
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -47,6 +64,16 @@ class TestCommands:
         )
         assert code == 1
         assert "contract violation" in capsys.readouterr().out
+
+    def test_campaign_clean_target_exits_zero(self, capsys):
+        code = main(
+            ["campaign", "-s", "AR", "-n", "8", "-i", "10", "-w", "2",
+             "--cache"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "no violation" in output
+        assert "shard 1" in output
 
     def test_reproduce_gadget(self, capsys):
         code = main(["reproduce", "spectre-v5-ret", "--max-inputs", "32"])

@@ -95,6 +95,31 @@ class TestAnalysis:
         result = analyzer.analyze(ctraces, htraces)
         assert len(result.candidates) == 2
 
+    def test_candidates_witness_first_representative(self):
+        """Every candidate of one class pairs the new partition's witness
+        with the class's first representative, in position order."""
+        analyzer = RelationalAnalyzer("strict")
+        ctraces = [ct(("ld", 1))] * 4
+        htraces = [ht(1), ht(2), ht(1), ht(3)]
+        result = analyzer.analyze(ctraces, htraces)
+        pairs = [(c.position_a, c.position_b) for c in result.candidates]
+        assert pairs == [(0, 1), (0, 3)]
+        assert result.candidates[0].htrace_a.signals == {1}
+        assert result.candidates[0].htrace_b.signals == {2}
+
+    def test_member_matching_later_representative_is_no_candidate(self):
+        """A member equivalent to *any* existing representative — not
+        necessarily the first — joins that partition silently."""
+        analyzer = RelationalAnalyzer("subset")
+        ctraces = [ct(("ld", 1))] * 3
+        # {1,2} vs {3,4}: new representative; {3} is a subset of {3,4},
+        # so it matches the second representative and adds no candidate
+        htraces = [ht(1, 2), ht(3, 4), ht(3)]
+        result = analyzer.analyze(ctraces, htraces)
+        assert [(c.position_a, c.position_b) for c in result.candidates] == [
+            (0, 1)
+        ]
+
     def test_misaligned_inputs_rejected(self):
         analyzer = RelationalAnalyzer()
         with pytest.raises(ValueError):

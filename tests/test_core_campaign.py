@@ -1,0 +1,188 @@
+"""Tests for the parallel campaign engine: deterministic sharding,
+report merging (coverage union, first-violation-wins), and inline-vs-
+pooled parity."""
+
+import pytest
+
+from repro.isa.instruction import TestCaseProgram
+from repro.traces import CTrace, HTrace
+from repro.core.campaign import (
+    CampaignRunner,
+    derive_shard_seed,
+    merge_reports,
+    run_campaign,
+    shard_budgets,
+    shard_fuzzer_config,
+)
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import FuzzingReport
+from repro.core.patterns import PatternCoverage
+from repro.core.violation import Violation
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        instruction_subsets=("AR",),
+        contract_name="CT-SEQ",
+        cpu_preset="skylake-v4-patched",
+        num_test_cases=16,
+        inputs_per_test_case=10,
+        diversity_feedback=False,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return FuzzerConfig(**defaults)
+
+
+class TestSharding:
+    def test_shard_seeds_deterministic(self):
+        assert derive_shard_seed(7, 0) == derive_shard_seed(7, 0)
+        assert derive_shard_seed(7, 1) == derive_shard_seed(7, 1)
+
+    def test_shard_seeds_distinct(self):
+        seeds = [derive_shard_seed(0, index) for index in range(64)]
+        seeds += [derive_shard_seed(1, index) for index in range(64)]
+        assert len(set(seeds)) == len(seeds)
+        assert all(0 <= seed < 2**31 for seed in seeds)
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(ValueError):
+            derive_shard_seed(0, -1)
+
+    def test_budget_split(self):
+        assert shard_budgets(10, 4) == [3, 3, 2, 2]
+        assert shard_budgets(8, 4) == [2, 2, 2, 2]
+        assert shard_budgets(2, 4) == [1, 1, 0, 0]
+        assert sum(shard_budgets(1234, 7)) == 1234
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_budgets(10, 0)
+
+    def test_shard_config_derivation(self):
+        config = quick_config(num_test_cases=10, seed=7)
+        first = shard_fuzzer_config(config, 0, 4)
+        last = shard_fuzzer_config(config, 3, 4)
+        assert first.seed == derive_shard_seed(7, 0)
+        assert last.seed == derive_shard_seed(7, 3)
+        assert first.num_test_cases == 3
+        assert last.num_test_cases == 2
+        # everything else is inherited
+        assert first.contract_name == config.contract_name
+        assert first.inputs_per_test_case == config.inputs_per_test_case
+
+
+def _report(test_cases=10, effectiveness=0.5, found_after=None, covered=()):
+    report = FuzzingReport(
+        test_cases=test_cases,
+        inputs_tested=test_cases * 10,
+        duration_seconds=1.0,
+        mean_effectiveness=effectiveness,
+        coverage=PatternCoverage(covered={frozenset({p}) for p in covered}),
+        unconfirmed_candidates=1,
+    )
+    if found_after is not None:
+        report.violation = Violation(
+            program=TestCaseProgram(),
+            contract_name="CT-SEQ",
+            cpu_name="skylake",
+            ctrace=CTrace(()),
+            input_sequence=[],
+            position_a=0,
+            position_b=1,
+            htrace_a=HTrace.empty(),
+            htrace_b=HTrace.empty(),
+            test_cases_until_found=found_after,
+            inputs_until_found=found_after * 10,
+        )
+    return report
+
+
+class TestMerging:
+    def test_counters_summed_and_coverage_unioned(self):
+        merged, winner = merge_reports(
+            [
+                _report(test_cases=10, effectiveness=1.0, covered={"reg-dep"}),
+                _report(test_cases=30, effectiveness=0.5,
+                        covered={"reg-dep", "flag-dep"}),
+            ]
+        )
+        assert winner is None
+        assert not merged.found
+        assert merged.test_cases == 40
+        assert merged.inputs_tested == 400
+        assert merged.unconfirmed_candidates == 2
+        assert merged.duration_seconds == pytest.approx(2.0)
+        # test-case-weighted mean: (10*1.0 + 30*0.5) / 40
+        assert merged.mean_effectiveness == pytest.approx(0.625)
+        assert merged.coverage.covered == {
+            frozenset({"reg-dep"}),
+            frozenset({"flag-dep"}),
+        }
+
+    def test_first_violation_wins(self):
+        merged, winner = merge_reports(
+            [
+                _report(found_after=20),
+                _report(found_after=5),
+                _report(),
+            ]
+        )
+        assert winner == 1
+        assert merged.violation.test_cases_until_found == 5
+
+    def test_tie_breaks_on_shard_index(self):
+        merged, winner = merge_reports(
+            [_report(), _report(found_after=5), _report(found_after=5)]
+        )
+        assert winner == 1
+        assert merged.violation is not None
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError):
+            merge_reports([])
+
+
+class TestCampaignRuns:
+    def test_inline_matches_pooled(self):
+        """The merged report depends on the shard partition only, not on
+        the worker count or process scheduling."""
+        config = quick_config()
+        inline = CampaignRunner(config, workers=1, shards=2).run()
+        pooled = CampaignRunner(config, workers=2, shards=2).run()
+        assert inline.merged.test_cases == pooled.merged.test_cases
+        assert inline.merged.inputs_tested == pooled.merged.inputs_tested
+        assert inline.found == pooled.found
+        assert inline.merged.coverage.covered == pooled.merged.coverage.covered
+        assert [r.test_cases for r in inline.shard_reports] == [
+            r.test_cases for r in pooled.shard_reports
+        ]
+
+    def test_campaign_finds_violation(self):
+        config = quick_config(
+            instruction_subsets=("AR", "MEM", "CB"),
+            num_test_cases=160,
+            inputs_per_test_case=25,
+            diversity_feedback=True,
+            seed=7,
+        )
+        report = run_campaign(config, workers=2, shards=2)
+        assert report.found
+        assert report.winning_shard in (0, 1)
+        assert report.violation.classification.startswith("V1")
+        assert "VIOLATION" in report.summary()
+        assert report.merged.contract_emulations > 0
+
+    def test_clean_campaign_summary(self):
+        report = CampaignRunner(quick_config(), workers=1, shards=2).run()
+        assert not report.found
+        assert report.shards == 2
+        assert "no violation" in report.summary()
+        assert report.wall_seconds > 0
+        assert report.observed_concurrency > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(quick_config(), workers=0)
+        with pytest.raises(ValueError):
+            CampaignRunner(quick_config(), workers=2, shards=0)

@@ -66,6 +66,30 @@ class TestPipeline:
         only_a, only_b = violation.differing_signals()
         assert only_a or only_b
 
+    def test_classification_survives_re_measurement(self):
+        """Regression: classification must read the outcome's own run-info
+        snapshot — the priming-swap check (or any later measurement)
+        overwrites the executor's ``last_run_infos``."""
+        pipeline = TestingPipeline(quick_config())
+        program = parse_program(
+            """
+            JNS .end
+            AND RBX, 0b111111000000
+            MOV RCX, qword ptr [R14 + RBX]
+        .end: NOP
+            """
+        )
+        inputs = InputGenerator(seed=42, layout=pipeline.layout).generate(50)
+        outcome = pipeline.test_program(program, inputs)
+        candidate = outcome.analysis.candidates[0]
+        # clobber the executor's last measurement with an unrelated run
+        pipeline.executor.collect_hardware_traces(
+            parse_program("NOP"), inputs[:2]
+        )
+        violation = pipeline.build_violation(outcome, candidate)
+        assert "cond" in violation.speculation_kinds
+        assert violation.classification.startswith("V1")
+
     def test_fault_in_program_returns_none(self):
         pipeline = TestingPipeline(quick_config())
         program = parse_program("DIV RBX")  # divide by zero

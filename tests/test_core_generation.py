@@ -208,6 +208,12 @@ class TestInputGenerator:
         with pytest.raises(ValueError):
             InputGenerator(entropy_bits=64, layout=layout)
 
+    def test_default_layout_not_shared(self):
+        """Regression: the default SandboxLayout must be built per
+        generator (a dataclass default would be one class-level
+        instance shared by every generator)."""
+        assert InputGenerator().layout is not InputGenerator().layout
+
     def test_flags_randomized(self, layout):
         generator = InputGenerator(seed=0, layout=layout)
         flags = {

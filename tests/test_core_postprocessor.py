@@ -6,7 +6,45 @@ from repro.isa.assembler import parse_program, render_program
 from repro.core.config import FuzzerConfig
 from repro.core.fuzzer import TestingPipeline
 from repro.core.input_gen import InputGenerator
-from repro.core.postprocessor import Postprocessor
+from repro.core.postprocessor import MinimizationResult, Postprocessor
+
+
+def _result_for(program):
+    return MinimizationResult(
+        program=program,
+        inputs=[],
+        original_instruction_count=program.num_instructions,
+        original_input_count=0,
+    )
+
+
+class TestLeakRegion:
+    def test_fence_shields_all_following_instructions(self):
+        """Regression: an LFENCE delimits the whole fence-shielded region,
+        not just the single instruction after it (Figure 4)."""
+        program = parse_program(
+            "MOV RAX, 1\nLFENCE\nMOV RBX, 2\nMOV RCX, 3"
+        )
+        assert _result_for(program).leak_region() == ["MOV RAX, 1"]
+
+    def test_speculation_source_reopens_region(self):
+        """A branch after a fence can start a new speculative path, so it
+        reopens the leak region."""
+        program = parse_program(
+            """
+            LFENCE
+            JNS .end
+            MOV RCX, qword ptr [R14 + 64]
+        .end: NOP
+            """
+        )
+        region = _result_for(program).leak_region()
+        assert region[0] == "JNS .end"
+        assert "MOV RCX, qword ptr [R14 + 64]" in region
+
+    def test_unfenced_program_is_all_region(self):
+        program = parse_program("MOV RAX, 1\nMOV RBX, 2")
+        assert len(_result_for(program).leak_region()) == 2
 
 
 @pytest.fixture(scope="module")

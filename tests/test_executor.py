@@ -177,6 +177,66 @@ class TestNoiseHandling:
 
 
 class TestPrimingSwap:
+    def test_last_run_infos_initialized(self, layout):
+        """Fresh executors expose (empty) run infos before any
+        measurement, so consumers never need an attribute guard."""
+        assert Executor(skylake(), PRIME_PROBE, layout).last_run_infos == []
+
+    def test_swap_sequences_pinned(self, layout):
+        """Pin the §5.3 swap semantics: for positions a < b, the check
+        measures the original sequence, then the sequence with input_b
+        moved into position a (only), then the one with input_a moved
+        into position b (only) — and position arguments are normalized,
+        so (b, a) measures exactly the same three sequences."""
+        program = parse_program(V1)
+        inputs = [InputData(registers={"RBX": 64 * i}) for i in range(6)]
+        position_a, position_b = 1, 4
+
+        for call_order in ((position_a, position_b), (position_b, position_a)):
+            executor = Executor(skylake(), PRIME_PROBE, layout)
+            captured = []
+
+            def record(linear, sequence, fresh_context=True):
+                captured.append(list(sequence))
+                return [HTrace.empty() for _ in sequence]
+
+            executor.collect_hardware_traces_linearized = record
+            confirmed = executor.priming_swap_check(
+                program, inputs, *call_order,
+                lambda a, b: a.signals == b.signals,
+            )
+            # all-empty traces: each input "reproduces" the other's trace
+            # in the other's context, i.e. a context-caused false positive
+            assert not confirmed
+            assert len(captured) == 3
+            original, swapped_to_a, swapped_to_b = captured
+            assert original == list(inputs)
+            expected_a = list(inputs)
+            expected_a[position_a] = inputs[position_b]
+            assert swapped_to_a == expected_a
+            expected_b = list(inputs)
+            expected_b[position_b] = inputs[position_a]
+            assert swapped_to_b == expected_b
+
+    def test_argument_order_irrelevant(self, layout):
+        """position_a > position_b is normalized: both orders agree."""
+        program = parse_program(V1)
+        inputs = [
+            InputData(registers={"RBX": 0x1C0}, flags={"SF": True}),
+            InputData(registers={"RBX": 0x1C0}),
+            InputData(registers={"RBX": 0x340}, flags={"SF": True}),
+            InputData(registers={"RBX": 0x340}),
+        ]
+        equivalent = lambda a, b: a.signals == b.signals
+        forward = Executor(skylake(), PRIME_PROBE, layout).priming_swap_check(
+            program, inputs, 0, 2, equivalent
+        )
+        backward = Executor(skylake(), PRIME_PROBE, layout).priming_swap_check(
+            program, inputs, 2, 0, equivalent
+        )
+        assert forward is True
+        assert backward is True
+
     def test_context_caused_divergence_discarded(self, layout):
         """A divergence that swaps away with the contexts is a false
         positive (§5.3). A single bypass-training artifact: the first

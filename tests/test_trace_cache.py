@@ -1,0 +1,156 @@
+"""Tests for contract-trace memoization: fingerprints, LRU behavior,
+and the pipeline integration (cache hits skip model emulations without
+changing any collected trace)."""
+
+import pytest
+
+from repro.isa.assembler import parse_program
+from repro.emulator.state import InputData
+from repro.contracts import get_contract
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import TestingPipeline
+from repro.core.input_gen import InputGenerator
+from repro.core.trace_cache import (
+    ContractTraceCache,
+    input_identity,
+    program_fingerprint,
+)
+
+V1 = """
+    JNS .end
+    AND RBX, 0b111111000000
+    MOV RCX, qword ptr [R14 + RBX]
+.end: NOP
+"""
+
+
+def cached_config(**overrides):
+    defaults = dict(
+        contract_name="CT-SEQ",
+        cpu_preset="skylake-v4-patched",
+        contract_trace_cache=True,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return FuzzerConfig(**defaults)
+
+
+class TestFingerprints:
+    def test_clone_shares_fingerprint(self):
+        program = parse_program(V1)
+        assert program_fingerprint(program) == program_fingerprint(
+            program.clone()
+        )
+
+    def test_mutation_changes_fingerprint(self):
+        program = parse_program(V1)
+        mutated = program.clone()
+        del mutated.blocks[1].body[0]
+        assert program_fingerprint(program) != program_fingerprint(mutated)
+
+    def test_input_identity_covers_content(self):
+        # same (missing) seed, different content: identities must differ
+        a = InputData(registers={"RAX": 0})
+        b = InputData(registers={"RAX": 64})
+        assert input_identity(a) != input_identity(b)
+        assert input_identity(a) == input_identity(
+            InputData(registers={"RAX": 0})
+        )
+
+
+class TestLRU:
+    def test_roundtrip_and_stats(self):
+        cache = ContractTraceCache(max_entries=8)
+        assert cache.get(("k", None, 0, ("CT-SEQ", 250, 1))) is None
+        cache.put(("k", None, 0, ("CT-SEQ", 250, 1)), ("trace", "log"))
+        assert cache.get(("k", None, 0, ("CT-SEQ", 250, 1))) == (
+            "trace",
+            "log",
+        )
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert len(cache) == 1
+
+    def test_least_recently_used_evicted_first(self):
+        cache = ContractTraceCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now the LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ContractTraceCache(max_entries=0)
+
+    def test_clear(self):
+        cache = ContractTraceCache()
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_nesting_depth_separates_keys(self):
+        """The §5.4 revalidation runs the same-named contract with deeper
+        nesting; its traces must never collide with the base model's."""
+        cache = ContractTraceCache()
+        contract = get_contract("CT-COND")
+        fingerprint = program_fingerprint(parse_program(V1))
+        input_data = InputData()
+        assert cache.key(fingerprint, input_data, contract) != cache.key(
+            fingerprint, input_data, contract.with_nesting(3)
+        )
+
+
+class TestPipelineIntegration:
+    def test_repeat_collection_is_served_from_cache(self):
+        pipeline = TestingPipeline(cached_config())
+        program = parse_program(V1)
+        inputs = InputGenerator(seed=3, layout=pipeline.layout).generate(8)
+        first_traces, first_logs = pipeline.collect_contract_traces(
+            program, inputs
+        )
+        assert pipeline.contract_emulations == 8
+        second_traces, second_logs = pipeline.collect_contract_traces(
+            program, inputs
+        )
+        assert pipeline.contract_emulations == 8  # no new emulations
+        assert pipeline.trace_cache.stats.hits == 8
+        assert second_traces == first_traces
+        assert [len(log) for log in second_logs] == [
+            len(log) for log in first_logs
+        ]
+
+    def test_cache_does_not_change_traces(self):
+        program = parse_program(V1)
+        cached = TestingPipeline(cached_config())
+        plain = TestingPipeline(cached_config(contract_trace_cache=False))
+        assert plain.trace_cache is None
+        inputs = InputGenerator(seed=5, layout=cached.layout).generate(12)
+        assert cached.collect_contract_traces(program, inputs)[0] == (
+            plain.collect_contract_traces(program, inputs)[0]
+        )
+
+    def test_check_violation_identical_with_cache(self):
+        program = parse_program(V1)
+        cached = TestingPipeline(cached_config())
+        plain = TestingPipeline(cached_config(contract_trace_cache=False))
+        inputs = InputGenerator(seed=42, layout=cached.layout).generate(40)
+        from_cache = cached.check_violation(program, inputs, confirm=True)
+        from_plain = plain.check_violation(program, inputs, confirm=True)
+        assert from_cache is not None and from_plain is not None
+        assert (from_cache.position_a, from_cache.position_b) == (
+            from_plain.position_a,
+            from_plain.position_b,
+        )
+        # re-checking the same case is fully served from the cache ...
+        emulations_after_first = cached.contract_emulations
+        repeat = cached.check_violation(program, inputs, confirm=True)
+        assert cached.contract_emulations == emulations_after_first
+        # ... with the identical verdict
+        assert (repeat.position_a, repeat.position_b) == (
+            from_cache.position_a,
+            from_cache.position_b,
+        )
