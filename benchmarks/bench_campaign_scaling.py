@@ -27,7 +27,7 @@ from repro.core.input_gen import InputGenerator
 from repro.core.postprocessor import Postprocessor
 from repro.core.trace_cache import program_fingerprint
 
-from conftest import print_table
+from conftest import emit_json, print_table
 
 
 def _available_cores() -> int:
@@ -39,8 +39,11 @@ def _available_cores() -> int:
 
 def test_worker_scaling(scale):
     """4 workers vs 1 on the same shard partition: identical merged
-    report, less wall-clock time (when cores are available)."""
+    report, less wall-clock time (when cores are available). The target
+    ISA follows REPRO_ARCH (the CI matrix), x86_64 by default."""
+    arch = os.environ.get("REPRO_ARCH", "x86_64")
     config = FuzzerConfig(
+        arch=arch,
         instruction_subsets=("AR", "MEM"),
         contract_name="CT-COND-BPAS",  # the most expensive model
         cpu_preset="skylake-v4-patched",
@@ -67,6 +70,18 @@ def test_worker_scaling(scale):
         ],
     )
     print(f"speedup: {speedup:.2f}x on {cores} core(s)")
+    emit_json(
+        "worker_scaling",
+        {
+            "arch": arch,
+            "cores": cores,
+            "test_cases": sequential.merged.test_cases,
+            "wall_seconds_1_worker": sequential.wall_seconds,
+            "wall_seconds_4_workers": parallel.wall_seconds,
+            "speedup": speedup,
+            "found": sequential.found,
+        },
+    )
 
     # worker count must not change what was fuzzed or found
     assert sequential.merged.test_cases == parallel.merged.test_cases
@@ -131,6 +146,16 @@ def test_postprocessor_cache_skips_emulations():
             ["on", cached_pipeline.contract_emulations, stats.hits,
              f"{stats.hit_rate:.0%}"],
         ],
+    )
+
+    emit_json(
+        "postprocessor_trace_cache",
+        {
+            "emulations_uncached": uncached_pipeline.contract_emulations,
+            "emulations_cached": cached_pipeline.contract_emulations,
+            "cache_hits": stats.hits,
+            "hit_rate": stats.hit_rate,
+        },
     )
 
     # strictly fewer model emulations with the cache on

@@ -9,8 +9,12 @@ reproduction target. Expected-vs-measured notes live in EXPERIMENTS.md.
 
 Budgets are deliberately modest so `pytest benchmarks/ --benchmark-only`
 finishes in minutes; set REPRO_BENCH_SCALE=N to multiply search budgets.
+Set REPRO_BENCH_JSON=/path/to/file.json to additionally record benchmark
+measurements as JSON (one top-level key per benchmark section) — CI
+uploads the campaign-scaling measurements as a build artifact this way.
 """
 
+import json
 import os
 
 import pytest
@@ -18,6 +22,25 @@ import pytest
 
 def bench_scale() -> int:
     return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def emit_json(section: str, payload) -> None:
+    """Record one benchmark section's measurements in the JSON sink.
+
+    No-op unless REPRO_BENCH_JSON names a file; sections merge, so one
+    file accumulates every benchmark of a run.
+    """
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    data = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            data = json.load(handle)
+    data[section] = payload
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

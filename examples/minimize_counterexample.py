@@ -9,8 +9,7 @@ leak location.
 Run:  python examples/minimize_counterexample.py
 """
 
-from repro import Fuzzer, FuzzerConfig, Postprocessor
-from repro.isa.assembler import render_program
+from repro import Fuzzer, FuzzerConfig, Postprocessor, get_architecture
 
 
 def main() -> None:
@@ -33,7 +32,8 @@ def main() -> None:
     print(f"\nfound: {violation.classification} after "
           f"{violation.test_cases_until_found} test cases\n")
     print("original test case (cf. Figure 3):")
-    print(render_program(violation.program, numbered=True))
+    arch = get_architecture(violation.arch_name)
+    print(arch.render_program(violation.program, numbered=True))
 
     print("\nminimizing (cf. Figure 4) ...")
     postprocessor = Postprocessor(fuzzer.pipeline)

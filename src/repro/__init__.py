@@ -22,6 +22,7 @@ Quickstart::
 """
 
 from repro.traces import CTrace, HTrace
+from repro.arch import Architecture, architecture_names, get_architecture
 from repro.contracts import Contract, contract_names, get_contract
 from repro.emulator import Emulator, InputData, SandboxLayout
 from repro.uarch import SpeculativeCPU, UarchConfig, coffee_lake, preset, skylake
@@ -44,8 +45,11 @@ from repro.core.fuzzer import fuzz
 __version__ = "1.0.0"
 
 __all__ = [
+    "Architecture",
     "CTrace",
     "Contract",
+    "architecture_names",
+    "get_architecture",
     "Emulator",
     "Executor",
     "ExecutorConfig",

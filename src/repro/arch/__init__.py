@@ -1,0 +1,74 @@
+"""Architecture backends and their registry.
+
+The pipeline is retargetable: every layer consumes an
+:class:`~repro.arch.base.Architecture` descriptor — register file,
+instruction catalog, condition codes, semantics, serializing-fence set,
+sandbox convention and assembler syntax — instead of module-level ISA
+constants. Backends register themselves here; the built-in ones are
+``x86_64`` (the default everywhere) and ``aarch64``.
+
+    from repro.arch import get_architecture
+
+    arch = get_architecture("aarch64")
+    program = arch.parse_program("LDR X1, [X27, X2]")
+
+Registering a backend also contributes its register views to the global
+name registry in :mod:`repro.isa.registers`, so operands of any
+registered architecture validate. See ``docs/architectures.md`` for the
+contract a new backend must satisfy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.arch.base import Architecture, RegisterFile
+from repro.isa.registers import register_views
+
+_REGISTRY: Dict[str, Architecture] = {}
+
+
+def register_architecture(architecture: Architecture) -> Architecture:
+    """Register a backend by its ``name`` (idempotent; later wins)."""
+    if not architecture.name:
+        raise ValueError("architecture must have a name")
+    _REGISTRY[architecture.name.lower()] = architecture
+    register_views(architecture.registers.views)
+    return architecture
+
+
+def get_architecture(name: str = "x86_64") -> Architecture:
+    """Look up a registered architecture backend by name.
+
+    >>> get_architecture("x86_64").registers.sandbox_base_register
+    'R14'
+    """
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture {name!r}; available: "
+            f"{', '.join(architecture_names())}"
+        ) from None
+
+
+def architecture_names() -> Tuple[str, ...]:
+    """Names of all registered architectures, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+# -- built-in backends --------------------------------------------------------
+
+from repro.arch import x86_64 as _x86_64  # noqa: E402
+from repro.arch import aarch64 as _aarch64  # noqa: E402
+
+register_architecture(_x86_64.ARCHITECTURE)
+register_architecture(_aarch64.ARCHITECTURE)
+
+__all__ = [
+    "Architecture",
+    "RegisterFile",
+    "architecture_names",
+    "get_architecture",
+    "register_architecture",
+]

@@ -1,0 +1,124 @@
+"""The AArch64 architecture backend.
+
+A reduced but real ISA: three-operand data processing (with NZCV-setting
+forms), LDR/STR with register and immediate offsets, UDIV as the
+variable-latency instruction, ``B.cond``/``B``/``BR`` control flow and
+DSB/ISB as the serializing barriers. The full MRT pipeline — generate,
+contract-trace, uarch-execute, analyze, minimize — runs end to end on
+this backend; see ``docs/architectures.md`` for what a backend must
+provide.
+
+Conventions: X27 holds the sandbox base (the R14 analogue), generated
+code uses the X0-X3 pool, and because AArch64 addressing has no
+base+index+displacement form, the per-test-case offset (§5.1) is added
+to the index register by the masking instrumentation instead of riding
+in the operand displacement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arch.base import Architecture, RegisterFile
+from repro.isa.instruction import Instruction, TestCaseProgram
+from repro.isa.operands import ImmediateOperand, RegisterOperand
+from repro.arch.aarch64 import assembler, semantics
+from repro.arch.aarch64.instruction_set import (
+    CONDITION_CODES,
+    CONDITION_FLAGS,
+    FULL_INSTRUCTION_SET,
+    SUBSET_CATEGORIES,
+    condition_of,
+)
+from repro.arch.aarch64.registers import (
+    FLAG_BITS,
+    GPR_NAMES,
+    SANDBOX_BASE_REGISTER,
+    VIEWS,
+    view_name,
+)
+
+
+class AArch64(Architecture):
+    """The AArch64 backend descriptor."""
+
+    name = "aarch64"
+    registers = RegisterFile(
+        gpr_names=GPR_NAMES,
+        flag_bits=FLAG_BITS,
+        views=VIEWS,
+        sandbox_base_register=SANDBOX_BASE_REGISTER,
+        stack_register=None,
+        view_name_fn=view_name,
+    )
+    instruction_set = FULL_INSTRUCTION_SET
+    subset_categories = dict(SUBSET_CATEGORIES)
+    condition_codes = CONDITION_CODES
+    condition_flags = dict(CONDITION_FLAGS)
+    serializing_instructions = frozenset({"DSB", "ISB"})
+    fence_mnemonic = "DSB"
+    multiply_mnemonics = frozenset()
+    default_register_pool = ("X0", "X1", "X2", "X3")
+    uncond_branch_mnemonic = "B"
+
+    def execute(self, instruction, state, pc=0, resolve_label=None):
+        return semantics.execute(instruction, state, pc, resolve_label)
+
+    def evaluate_condition(self, code, state):
+        return semantics.evaluate_condition(code, state)
+
+    def condition_of(self, mnemonic: str) -> Optional[str]:
+        return condition_of(mnemonic)
+
+    def parse_program(
+        self, text: str, name: str = "testcase", instruction_set=None
+    ) -> TestCaseProgram:
+        return assembler.parse_program(text, name, instruction_set)
+
+    def render_instruction(self, instruction: Instruction) -> str:
+        return assembler.render_instruction(instruction)
+
+    def cond_branch_mnemonic(self, code: str) -> str:
+        return f"B.{code}"
+
+    # -- generator hooks ----------------------------------------------------
+
+    def address_instrumentation(
+        self, index_register: str, mask: int, offset: int
+    ) -> Tuple[List[Instruction], int]:
+        """``AND Xi, Xi, #mask`` confines the offset; the per-test-case
+        displacement is added to the index register (AArch64 addressing
+        has no base+index+displacement form), so the memory operand
+        carries no displacement."""
+        and_spec = self.instruction_set.find("AND", ("REG", "REG", "IMM"), 64)
+        register = RegisterOperand(index_register)
+        instructions = [
+            Instruction(and_spec, (register, register, ImmediateOperand(mask)))
+        ]
+        if offset:
+            add_spec = self.instruction_set.find(
+                "ADD", ("REG", "REG", "IMM"), 64
+            )
+            instructions.append(
+                Instruction(
+                    add_spec, (register, register, ImmediateOperand(offset))
+                )
+            )
+        return instructions, 0
+
+    def division_guards(self, instruction: Instruction) -> List[Instruction]:
+        # UDIV cannot fault: division by zero architecturally yields zero.
+        return []
+
+    def division_register_pool(self, pool: Sequence[str]) -> List[str]:
+        return list(pool)
+
+    def division_latency_value(self, state, instruction: Instruction) -> int:
+        # The quotient lands in the destination register of UDIV.
+        destination = instruction.operands[0]
+        return state.read_register(destination.name)
+
+
+ARCHITECTURE = AArch64()
+
+__all__ = ["AArch64", "ARCHITECTURE"]

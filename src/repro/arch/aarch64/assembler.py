@@ -1,0 +1,210 @@
+"""AArch64-syntax rendering and parsing of test-case programs.
+
+The syntax follows standard Arm assembly for the reduced catalog:
+
+- immediates are ``#``-prefixed (``ADD X1, X2, #8``); the parser also
+  accepts bare integers;
+- memory operands are ``[base]``, ``[base, Xm]`` (register offset) or
+  ``[base, #imm]`` (immediate offset); the access width is taken from
+  the data register (``LDR W1, ...`` is a 32-bit load);
+- branch targets are ``.label`` block references, as in the x86 backend;
+- ``;`` and ``//`` start comments (``#`` cannot: it prefixes immediates).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.isa.instruction import Instruction, InstructionSet, TestCaseProgram
+from repro.isa.operands import (
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    Operand,
+    RegisterOperand,
+)
+from repro.isa.assembler import parse_program_with, render_program_with
+from repro.arch.aarch64.instruction_set import (
+    FULL_INSTRUCTION_SET,
+    canonical_mnemonic,
+)
+from repro.arch.aarch64.registers import VIEWS
+
+
+def _is_register(name: str) -> bool:
+    return name.upper() in VIEWS
+
+
+def _register_width(name: str) -> int:
+    return VIEWS[name.upper()][1]
+
+
+def _parse_int(text: str) -> Optional[int]:
+    text = text.strip().lstrip("#").replace("_", "")
+    negative = text.startswith("-")
+    if negative:
+        text = text[1:].strip()
+    try:
+        if text.lower().startswith("0x"):
+            value = int(text, 16)
+        elif text.lower().startswith("0b"):
+            value = int(text, 2)
+        elif text.isdigit():
+            value = int(text)
+        else:
+            return None
+    except ValueError:
+        return None
+    return -value if negative else value
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas outside brackets (``[X27, X1]`` is one operand)."""
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+def _parse_memory(text: str) -> Tuple[str, Optional[str], int]:
+    """Parse ``[base]`` / ``[base, Xm]`` / ``[base, #imm]``."""
+    inner = text.strip()[1:-1]
+    terms = [t.strip() for t in inner.split(",") if t.strip()]
+    if not terms or not _is_register(terms[0]):
+        raise ValueError(f"memory operand without base register: {text!r}")
+    base = terms[0].upper()
+    index: Optional[str] = None
+    displacement = 0
+    for term in terms[1:]:
+        value = _parse_int(term)
+        if value is not None:
+            displacement += value
+        elif _is_register(term):
+            if index is not None:
+                raise ValueError(f"too many index registers: {text!r}")
+            index = term.upper()
+        else:
+            raise ValueError(f"cannot parse address term: {term!r}")
+    return base, index, displacement
+
+
+def _parse_operand(text: str) -> Operand:
+    text = text.strip()
+    if text.startswith("[") and text.endswith("]"):
+        base, index, displacement = _parse_memory(text)
+        # width is fixed up from the data register by parse_instruction
+        return MemoryOperand(base, index, displacement, 64)
+    if text.startswith("."):
+        return LabelOperand(text[1:])
+    if _is_register(text):
+        return RegisterOperand(text)
+    value = _parse_int(text)
+    if value is not None:
+        return ImmediateOperand(value)
+    raise ValueError(f"cannot parse operand: {text!r}")
+
+
+def _operand_kind(operand: Operand) -> str:
+    if isinstance(operand, RegisterOperand):
+        return "REG"
+    if isinstance(operand, ImmediateOperand):
+        return "IMM"
+    if isinstance(operand, MemoryOperand):
+        return "MEM"
+    if isinstance(operand, LabelOperand):
+        return "LABEL"
+    raise TypeError(f"unknown operand type: {operand!r}")
+
+
+def parse_instruction(
+    line: str, instruction_set: Optional[InstructionSet] = None
+) -> Instruction:
+    """Parse a single AArch64 instruction line."""
+    instruction_set = instruction_set or FULL_INSTRUCTION_SET
+    text = line.strip()
+    parts = text.split(None, 1)
+    mnemonic = canonical_mnemonic(parts[0])
+    operand_texts = _split_operands(parts[1]) if len(parts) > 1 else []
+    operands = [_parse_operand(t) for t in operand_texts]
+    # LDR/STR access width comes from the data register (X -> 64, W -> 32)
+    width: Optional[int] = None
+    if operands and isinstance(operands[0], RegisterOperand):
+        width = _register_width(operands[0].name)
+    if width is not None:
+        operands = [
+            MemoryOperand(op.base, op.index, op.displacement, width)
+            if isinstance(op, MemoryOperand)
+            else op
+            for op in operands
+        ]
+    kinds = tuple(_operand_kind(op) for op in operands)
+    spec = instruction_set.find(mnemonic, kinds, width)
+    return Instruction(spec, tuple(operands))
+
+
+def render_instruction(instruction: Instruction) -> str:
+    """Render one instruction in AArch64 syntax."""
+    parts: List[str] = []
+    for operand in instruction.operands:
+        if isinstance(operand, RegisterOperand):
+            parts.append(operand.name)
+        elif isinstance(operand, ImmediateOperand):
+            parts.append(f"#{operand.value}")
+        elif isinstance(operand, LabelOperand):
+            parts.append(f".{operand.name}")
+        elif isinstance(operand, MemoryOperand):
+            terms = [operand.base]
+            if operand.index is not None:
+                terms.append(operand.index)
+            if operand.displacement:
+                terms.append(f"#{operand.displacement}")
+            parts.append(f"[{', '.join(terms)}]")
+        else:
+            parts.append(str(operand))
+    text = instruction.mnemonic
+    if parts:
+        text += " " + ", ".join(parts)
+    return text
+
+
+def render_program(program: TestCaseProgram, numbered: bool = False) -> str:
+    """Render a program block-by-block in AArch64 syntax."""
+    return render_program_with(program, render_instruction, numbered)
+
+
+def parse_program(
+    text: str,
+    name: str = "testcase",
+    instruction_set: Optional[InstructionSet] = None,
+) -> TestCaseProgram:
+    """Parse a multi-line AArch64 program."""
+    # strip // comments first; '#' cannot be a comment char here because
+    # it prefixes immediates
+    text = re.sub(r"//[^\n]*", "", text)
+    return parse_program_with(
+        text,
+        name,
+        lambda line: parse_instruction(line, instruction_set),
+        comment_chars=";",
+    )
+
+
+__all__ = [
+    "parse_instruction",
+    "parse_program",
+    "render_instruction",
+    "render_program",
+]

@@ -1,0 +1,280 @@
+"""AArch64 instruction catalog: a reduced but real subset.
+
+The catalog mirrors the paper's ISA-subset structure (§6.1) on AArch64:
+
+- ``AR``  — three-operand register arithmetic/logic (ADD/SUB/AND/EOR/ORR,
+  LSL/LSR by immediate, MOV), plus the NZCV-setting forms
+  (ADDS/SUBS/ANDS, CMP/TST) that feed conditional branches;
+- ``MEM`` — LDR/STR with base+register and base+immediate addressing;
+- ``VAR`` — UDIV, the variable-latency instruction (AArch64 division
+  never faults: division by zero yields zero);
+- ``CB``  — ``B.cond`` over the NZCV condition codes, plus direct ``B``;
+- ``IND`` — ``BR`` (indirect branch) and ADR (materialize a code label);
+- ``FENCE`` — DSB and ISB, the architecture's serializing barriers.
+
+Immediate widths are generous simplifications (12-bit arithmetic
+immediates, 16-bit logical immediates) rather than the real bitmask
+encoding — this backend drives an emulator, not an encoder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import (
+    InstructionSet,
+    InstructionSpec,
+    OperandTemplate,
+)
+
+#: AArch64 condition codes implemented (AL/NV excluded: never generated).
+CONDITION_CODES: Tuple[str, ...] = (
+    "EQ",
+    "NE",
+    "CS",
+    "CC",
+    "MI",
+    "PL",
+    "VS",
+    "VC",
+    "HI",
+    "LS",
+    "GE",
+    "LT",
+    "GT",
+    "LE",
+)
+
+#: Flags read by each condition code.
+CONDITION_FLAGS: Dict[str, Tuple[str, ...]] = {
+    "EQ": ("Z",),
+    "NE": ("Z",),
+    "CS": ("C",),
+    "CC": ("C",),
+    "MI": ("N",),
+    "PL": ("N",),
+    "VS": ("V",),
+    "VC": ("V",),
+    "HI": ("C", "Z"),
+    "LS": ("C", "Z"),
+    "GE": ("N", "V"),
+    "LT": ("N", "V"),
+    "GT": ("Z", "N", "V"),
+    "LE": ("Z", "N", "V"),
+}
+
+#: Aliases accepted by the parser (canonical code on the right).
+CONDITION_ALIASES: Dict[str, str] = {"HS": "CS", "LO": "CC"}
+
+NZCV = ("N", "Z", "C", "V")
+
+WIDTHS = (32, 64)
+
+_REG = lambda width, src=True, dest=False: OperandTemplate("REG", width, src, dest)
+_IMM = lambda width: OperandTemplate("IMM", width, True, False)
+_MEM = lambda width, src=True, dest=False: OperandTemplate("MEM", width, src, dest)
+_LABEL = OperandTemplate("LABEL", 0, True, False)
+
+#: arithmetic immediates are 12-bit; logical immediates get 16 bits so the
+#: sandbox masks (up to 0b1111111000000 for two pages) stay representable
+_ARITH_IMM = 12
+_LOGIC_IMM = 16
+
+
+def _data_processing_specs() -> List[InstructionSpec]:
+    specs: List[InstructionSpec] = []
+    table = [
+        ("ADD", (), _ARITH_IMM),
+        ("SUB", (), _ARITH_IMM),
+        ("AND", (), _LOGIC_IMM),
+        ("EOR", (), _LOGIC_IMM),
+        ("ORR", (), _LOGIC_IMM),
+        ("ADDS", NZCV, _ARITH_IMM),
+        ("SUBS", NZCV, _ARITH_IMM),
+        ("ANDS", NZCV, _LOGIC_IMM),
+    ]
+    for mnemonic, writes, imm_width in table:
+        for width in WIDTHS:
+            specs.append(
+                InstructionSpec(
+                    mnemonic,
+                    (_REG(width, src=False, dest=True), _REG(width), _REG(width)),
+                    "AR",
+                    flags_written=writes,
+                )
+            )
+            specs.append(
+                InstructionSpec(
+                    mnemonic,
+                    (
+                        _REG(width, src=False, dest=True),
+                        _REG(width),
+                        _IMM(imm_width),
+                    ),
+                    "AR",
+                    flags_written=writes,
+                )
+            )
+    # compare forms (discarded destination)
+    for mnemonic, imm_width in (("CMP", _ARITH_IMM), ("TST", _LOGIC_IMM)):
+        for width in WIDTHS:
+            specs.append(
+                InstructionSpec(
+                    mnemonic,
+                    (_REG(width), _REG(width)),
+                    "AR",
+                    flags_written=NZCV,
+                )
+            )
+            specs.append(
+                InstructionSpec(
+                    mnemonic,
+                    (_REG(width), _IMM(imm_width)),
+                    "AR",
+                    flags_written=NZCV,
+                )
+            )
+    # shifts by immediate
+    for mnemonic in ("LSL", "LSR"):
+        for width in WIDTHS:
+            specs.append(
+                InstructionSpec(
+                    mnemonic,
+                    (_REG(width, src=False, dest=True), _REG(width), _IMM(6)),
+                    "AR",
+                )
+            )
+    # moves
+    for width in WIDTHS:
+        specs.append(
+            InstructionSpec(
+                "MOV", (_REG(width, src=False, dest=True), _REG(width)), "AR"
+            )
+        )
+        specs.append(
+            InstructionSpec(
+                "MOV", (_REG(width, src=False, dest=True), _IMM(16)), "AR"
+            )
+        )
+    specs.append(InstructionSpec("NOP", (), "AR"))
+    return specs
+
+
+def _memory_specs() -> List[InstructionSpec]:
+    specs: List[InstructionSpec] = []
+    for width in WIDTHS:
+        specs.append(
+            InstructionSpec(
+                "LDR",
+                (_REG(width, src=False, dest=True), _MEM(width)),
+                "MEM",
+            )
+        )
+        specs.append(
+            InstructionSpec(
+                "STR",
+                (_REG(width), _MEM(width, src=False, dest=True)),
+                "MEM",
+            )
+        )
+    return specs
+
+
+def _division_specs() -> List[InstructionSpec]:
+    """UDIV: variable-latency, unfaultable (x/0 == 0 on AArch64)."""
+    return [
+        InstructionSpec(
+            "UDIV",
+            (_REG(width, src=False, dest=True), _REG(width), _REG(width)),
+            "VAR",
+        )
+        for width in WIDTHS
+    ]
+
+
+def _branch_specs() -> List[InstructionSpec]:
+    specs: List[InstructionSpec] = []
+    for code in CONDITION_CODES:
+        specs.append(
+            InstructionSpec(
+                f"B.{code}", (_LABEL,), "CB", flags_read=CONDITION_FLAGS[code]
+            )
+        )
+    specs.append(InstructionSpec("B", (_LABEL,), "UNCOND"))
+    specs.append(InstructionSpec("BR", (_REG(64),), "IND"))
+    # ADR materializes a code location (gadget helper for BR)
+    specs.append(
+        InstructionSpec("ADR", (_REG(64, src=False, dest=True), _LABEL), "AR")
+    )
+    return specs
+
+
+def _fence_specs() -> List[InstructionSpec]:
+    return [
+        InstructionSpec("DSB", (), "FENCE"),
+        InstructionSpec("ISB", (), "FENCE"),
+    ]
+
+
+def _build_catalog() -> List[InstructionSpec]:
+    catalog: List[InstructionSpec] = []
+    catalog.extend(_data_processing_specs())
+    catalog.extend(_memory_specs())
+    catalog.extend(_division_specs())
+    catalog.extend(_branch_specs())
+    catalog.extend(_fence_specs())
+    return catalog
+
+
+FULL_INSTRUCTION_SET = InstructionSet(_build_catalog())
+
+SUBSET_CATEGORIES: Dict[str, Tuple[str, ...]] = {
+    "AR": ("AR",),
+    "MEM": ("MEM",),
+    "VAR": ("VAR",),
+    "CB": ("CB", "UNCOND"),
+    "IND": ("IND",),
+    "FENCE": ("FENCE",),
+}
+
+
+def canonical_condition(code: str) -> str:
+    """Normalize a condition code (``HS`` -> ``CS``)."""
+    code = code.upper()
+    if code in CONDITION_FLAGS:
+        return code
+    if code in CONDITION_ALIASES:
+        return CONDITION_ALIASES[code]
+    raise ValueError(f"unknown condition code: {code!r}")
+
+
+def canonical_mnemonic(mnemonic: str) -> str:
+    """Normalize condition aliases in mnemonics (``B.HS`` -> ``B.CS``)."""
+    mnemonic = mnemonic.upper()
+    if mnemonic.startswith("B."):
+        return "B." + canonical_condition(mnemonic[2:])
+    return mnemonic
+
+
+def condition_of(mnemonic: str) -> Optional[str]:
+    """Extract the condition code from a ``B.cond`` mnemonic."""
+    mnemonic = mnemonic.upper()
+    if mnemonic.startswith("B."):
+        try:
+            return canonical_condition(mnemonic[2:])
+        except ValueError:
+            return None
+    return None
+
+
+__all__ = [
+    "CONDITION_ALIASES",
+    "CONDITION_CODES",
+    "CONDITION_FLAGS",
+    "FULL_INSTRUCTION_SET",
+    "NZCV",
+    "SUBSET_CATEGORIES",
+    "canonical_condition",
+    "canonical_mnemonic",
+    "condition_of",
+]

@@ -1,0 +1,57 @@
+"""AArch64 register file for the reduced backend.
+
+Canonical registers are the 64-bit GPRs ``X0``-``X30``; ``W0``-``W30``
+are their 32-bit views (writes zero-extend, as on real silicon — the
+same rule :class:`~repro.emulator.state.ArchState` applies to x86 32-bit
+views). The NZCV condition flags are modelled as four independent
+boolean bits.
+
+``X27`` is reserved as the sandbox base pointer — the AArch64 analogue
+of the paper's R14 convention (high callee-saved register, never part of
+the generator's pool). The backend's catalog has no stack operations, so
+no stack register is reserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Canonical 64-bit general-purpose registers.
+GPR_NAMES: Tuple[str, ...] = tuple(f"X{i}" for i in range(31))
+
+#: The register that always holds the sandbox base address.
+SANDBOX_BASE_REGISTER = "X27"
+
+#: NZCV condition flags.
+FLAG_BITS: Tuple[str, ...] = ("N", "Z", "C", "V")
+
+#: view name -> (canonical register, width in bits)
+VIEWS: Dict[str, Tuple[str, int]] = {}
+for _i in range(31):
+    VIEWS[f"X{_i}"] = (f"X{_i}", 64)
+    VIEWS[f"W{_i}"] = (f"X{_i}", 32)
+
+
+def view_name(canonical: str, width: int) -> str:
+    """The conventional name of the ``width``-bit view of a register.
+
+    >>> view_name("X3", 32)
+    'W3'
+    """
+    canonical = canonical.upper()
+    if canonical not in GPR_NAMES:
+        raise ValueError(f"not a canonical register: {canonical!r}")
+    if width == 64:
+        return canonical
+    if width == 32:
+        return "W" + canonical[1:]
+    raise ValueError(f"unsupported register width: {width}")
+
+
+__all__ = [
+    "FLAG_BITS",
+    "GPR_NAMES",
+    "SANDBOX_BASE_REGISTER",
+    "VIEWS",
+    "view_name",
+]

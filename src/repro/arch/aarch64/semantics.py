@@ -1,0 +1,213 @@
+"""AArch64 instruction semantics for the reduced catalog.
+
+Semantics follow the Arm ARM for the implemented subset. Notable
+divergences from x86 that the contract/CPU layers must not assume away:
+
+- flags (NZCV) are only written by the S-suffixed forms and CMP/TST;
+  plain ADD/SUB/AND never touch them;
+- the carry flag after a subtraction is the *inverse* of x86's borrow
+  convention: ``SUBS`` sets C when no borrow occurred;
+- ``UDIV`` never faults — division by zero architecturally yields zero
+  (the backend therefore needs no §5.1 division guards).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.isa.instruction import Instruction
+from repro.emulator.errors import InvalidProgram
+from repro.emulator.semantics import (
+    MASK64,
+    BranchInfo,
+    OperandContext,
+    StepResult,
+    mask as _mask,
+    signed as _signed,
+)
+from repro.emulator.state import ArchState
+from repro.arch.aarch64.instruction_set import condition_of
+
+
+def _set_nz(state: ArchState, result: int, width: int) -> None:
+    state.write_flag("N", bool(result >> (width - 1) & 1))
+    state.write_flag("Z", result == 0)
+
+
+def _add_with_flags(
+    state: ArchState, a: int, b: int, width: int, set_flags: bool
+) -> int:
+    full = a + b
+    result = full & _mask(width)
+    if set_flags:
+        state.write_flag("C", full > _mask(width))
+        state.write_flag(
+            "V", bool((~(a ^ b) & (a ^ result)) >> (width - 1) & 1)
+        )
+        _set_nz(state, result, width)
+    return result
+
+
+def _sub_with_flags(
+    state: ArchState, a: int, b: int, width: int, set_flags: bool
+) -> int:
+    full = a - b
+    result = full & _mask(width)
+    if set_flags:
+        # AArch64 convention: C set when NO borrow occurred.
+        state.write_flag("C", full >= 0)
+        state.write_flag(
+            "V", bool(((a ^ b) & (a ^ result)) >> (width - 1) & 1)
+        )
+        _set_nz(state, result, width)
+    return result
+
+
+def _logic_flags(state: ArchState, result: int, width: int) -> None:
+    state.write_flag("C", False)
+    state.write_flag("V", False)
+    _set_nz(state, result, width)
+
+
+def evaluate_condition(code: str, state: ArchState) -> bool:
+    """Evaluate a canonical AArch64 condition code against NZCV."""
+    n = state.read_flag("N")
+    z = state.read_flag("Z")
+    c = state.read_flag("C")
+    v = state.read_flag("V")
+    table = {
+        "EQ": z,
+        "NE": not z,
+        "CS": c,
+        "CC": not c,
+        "MI": n,
+        "PL": not n,
+        "VS": v,
+        "VC": not v,
+        "HI": c and not z,
+        "LS": not (c and not z),
+        "GE": n == v,
+        "LT": n != v,
+        "GT": (not z) and (n == v),
+        "LE": z or (n != v),
+    }
+    try:
+        return table[code]
+    except KeyError:
+        raise InvalidProgram(f"unknown condition code: {code!r}") from None
+
+
+_THREE_OP = {"ADD", "SUB", "AND", "EOR", "ORR", "ADDS", "SUBS", "ANDS"}
+
+
+def _exec_data_processing(ctx: OperandContext, state: ArchState) -> None:
+    mnemonic = ctx.instruction.mnemonic
+    width = ctx.width(0)
+    a = ctx.read(1) & _mask(width)
+    b = ctx.read(2) & _mask(width)
+    set_flags = mnemonic.endswith("S")
+    if mnemonic in ("ADD", "ADDS"):
+        result = _add_with_flags(state, a, b, width, set_flags)
+    elif mnemonic in ("SUB", "SUBS"):
+        result = _sub_with_flags(state, a, b, width, set_flags)
+    elif mnemonic in ("AND", "ANDS"):
+        result = a & b
+        if set_flags:
+            _logic_flags(state, result, width)
+    elif mnemonic == "EOR":
+        result = a ^ b
+    elif mnemonic == "ORR":
+        result = a | b
+    else:  # pragma: no cover - guarded by dispatch
+        raise InvalidProgram(mnemonic)
+    ctx.write(0, result)
+
+
+def _exec_compare(ctx: OperandContext, state: ArchState) -> None:
+    mnemonic = ctx.instruction.mnemonic
+    width = ctx.width(0)
+    a = ctx.read(0) & _mask(width)
+    b = ctx.read(1) & _mask(width)
+    if mnemonic == "CMP":
+        _sub_with_flags(state, a, b, width, set_flags=True)
+    else:  # TST
+        _logic_flags(state, a & b, width)
+
+
+def _exec_shift(ctx: OperandContext, state: ArchState) -> None:
+    mnemonic = ctx.instruction.mnemonic
+    width = ctx.width(0)
+    value = ctx.read(1) & _mask(width)
+    amount = ctx.read(2) % width
+    if mnemonic == "LSL":
+        result = (value << amount) & _mask(width)
+    else:  # LSR
+        result = value >> amount
+    ctx.write(0, result)
+
+
+def _exec_udiv(ctx: OperandContext, state: ArchState) -> None:
+    width = ctx.width(0)
+    dividend = ctx.read(1) & _mask(width)
+    divisor = ctx.read(2) & _mask(width)
+    # AArch64: division by zero yields zero, no fault.
+    quotient = 0 if divisor == 0 else dividend // divisor
+    ctx.write(0, quotient)
+
+
+def execute(
+    instruction: Instruction,
+    state: ArchState,
+    pc: int = 0,
+    resolve_label: Optional[Callable[[str], int]] = None,
+) -> StepResult:
+    """Execute one AArch64 instruction; return its side effects."""
+    ctx = OperandContext(instruction, state, resolve_label)
+    mnemonic = instruction.mnemonic
+    category = instruction.category
+    next_pc = pc + 1
+    branch: Optional[BranchInfo] = None
+
+    if category == "CB":
+        condition = condition_of(mnemonic)
+        taken = evaluate_condition(condition, state)
+        target = ctx.read(0)
+        branch = BranchInfo("cond", taken, target, pc + 1, condition)
+        next_pc = target if taken else pc + 1
+    elif category == "UNCOND":
+        target = ctx.read(0)
+        branch = BranchInfo("uncond", True, target, pc + 1)
+        next_pc = target
+    elif category == "IND":
+        target = ctx.read(0) & MASK64
+        branch = BranchInfo("indirect", True, target, pc + 1)
+        next_pc = target
+    elif category == "FENCE" or mnemonic == "NOP":
+        pass
+    elif mnemonic in _THREE_OP:
+        _exec_data_processing(ctx, state)
+    elif mnemonic in ("CMP", "TST"):
+        _exec_compare(ctx, state)
+    elif mnemonic in ("LSL", "LSR"):
+        _exec_shift(ctx, state)
+    elif mnemonic in ("MOV", "ADR"):
+        ctx.write(0, ctx.read(1) & _mask(ctx.width(0)))
+    elif mnemonic == "LDR":
+        ctx.write(0, ctx.read(1) & _mask(ctx.width(0)))
+    elif mnemonic == "STR":
+        ctx.write(1, ctx.read(0) & _mask(ctx.width(0)))
+    elif mnemonic == "UDIV":
+        _exec_udiv(ctx, state)
+    else:
+        raise InvalidProgram(f"no semantics for {mnemonic!r}")
+
+    return StepResult(
+        instruction=instruction,
+        pc=pc,
+        next_pc=next_pc,
+        mem_accesses=ctx.accesses,
+        branch=branch,
+    )
+
+
+__all__ = ["evaluate_condition", "execute"]

@@ -1,0 +1,145 @@
+"""The x86-64 architecture backend.
+
+Wraps the x86-64 subset implementation — register file and views
+(:mod:`repro.isa.registers`), the data-driven instruction catalog
+(:mod:`repro.isa.instruction_set`), Intel-syntax assembler
+(:mod:`repro.isa.assembler`) and the SDM-faithful semantics
+(:mod:`repro.arch.x86_64.semantics`) — into an
+:class:`~repro.arch.base.Architecture` descriptor.
+
+Conventions (paper §5.1 / Figure 3): R14 holds the sandbox base, test
+cases use a four-register pool (RAX/RBX/RCX/RDX), memory offsets are
+masked with ``AND reg, 0b111111000000`` plus a per-test-case
+displacement, and DIV/IDIV operands are rewritten so #DE can never be
+raised. LFENCE and MFENCE are the serializing instructions that close a
+speculation window; SFENCE only orders stores and does *not* serialize.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arch.base import Architecture, RegisterFile
+from repro.isa.instruction import Instruction, TestCaseProgram
+from repro.isa.instruction_set import (
+    CONDITION_CODES,
+    CONDITION_FLAGS,
+    FULL_INSTRUCTION_SET,
+    _SUBSET_CATEGORIES,
+    condition_of,
+)
+from repro.isa.operands import ImmediateOperand, RegisterOperand
+from repro.isa.registers import (
+    FLAG_BITS,
+    GPR_NAMES,
+    SANDBOX_BASE_REGISTER,
+    _LEGACY_VIEWS,
+    view_name,
+)
+from repro.isa.assembler import parse_program, render_instruction
+from repro.arch.x86_64 import semantics
+
+
+class X86_64(Architecture):
+    """The x86-64 backend descriptor."""
+
+    name = "x86_64"
+    registers = RegisterFile(
+        gpr_names=GPR_NAMES,
+        flag_bits=FLAG_BITS,
+        views=_LEGACY_VIEWS,
+        sandbox_base_register=SANDBOX_BASE_REGISTER,
+        stack_register="RSP",
+        view_name_fn=view_name,
+    )
+    instruction_set = FULL_INSTRUCTION_SET
+    subset_categories = dict(_SUBSET_CATEGORIES)
+    condition_codes = CONDITION_CODES
+    condition_flags = dict(CONDITION_FLAGS)
+    serializing_instructions = frozenset({"LFENCE", "MFENCE"})
+    fence_mnemonic = "LFENCE"
+    multiply_mnemonics = frozenset({"IMUL"})
+    default_register_pool = ("RAX", "RBX", "RCX", "RDX")
+    uncond_branch_mnemonic = "JMP"
+
+    def execute(self, instruction, state, pc=0, resolve_label=None):
+        return semantics.execute(instruction, state, pc, resolve_label)
+
+    def evaluate_condition(self, code, state):
+        return semantics.evaluate_condition(code, state)
+
+    def condition_of(self, mnemonic: str) -> Optional[str]:
+        return condition_of(mnemonic)
+
+    def parse_program(
+        self, text: str, name: str = "testcase", instruction_set=None
+    ) -> TestCaseProgram:
+        return parse_program(text, name, instruction_set)
+
+    def render_instruction(self, instruction: Instruction) -> str:
+        return render_instruction(instruction)
+
+    def cond_branch_mnemonic(self, code: str) -> str:
+        return f"J{code}"
+
+    # -- generator hooks ----------------------------------------------------
+
+    def address_instrumentation(
+        self, index_register: str, mask: int, offset: int
+    ) -> Tuple[List[Instruction], int]:
+        """``AND reg, 0b111111000000`` confines the offset (§5.1); the
+        per-test-case offset rides in the operand displacement."""
+        spec = self.instruction_set.find("AND", ("REG", "IMM"), 64)
+        masking = Instruction(
+            spec, (RegisterOperand(index_register), ImmediateOperand(mask))
+        )
+        return [masking], offset
+
+    def division_guards(self, instruction: Instruction) -> List[Instruction]:
+        """Instrumentation preventing #DE (paper §5.1 step 4b).
+
+        ``MOV RDX, 0`` removes the high half of the dividend; ``AND RAX``
+        bounds the quotient so IDIV cannot overflow; ``OR divisor, 1``
+        makes the divisor nonzero.
+        """
+        from repro.isa.operands import MemoryOperand
+
+        guards: List[Instruction] = []
+        mov = self.instruction_set.find("MOV", ("REG", "IMM"), 64)
+        guards.append(
+            Instruction(mov, (RegisterOperand("RDX"), ImmediateOperand(0)))
+        )
+        and_spec = self.instruction_set.find("AND", ("REG", "IMM"), 64)
+        guards.append(
+            Instruction(
+                and_spec,
+                (RegisterOperand("RAX"), ImmediateOperand(0x3FFFFFFF)),
+            )
+        )
+        divisor = instruction.operands[0]
+        if isinstance(divisor, RegisterOperand):
+            or_spec = self.instruction_set.find(
+                "OR", ("REG", "IMM"), divisor.width
+            )
+            guards.append(Instruction(or_spec, (divisor, ImmediateOperand(1))))
+        elif isinstance(divisor, MemoryOperand):
+            or_spec = self.instruction_set.find(
+                "OR", ("MEM", "IMM"), divisor.width
+            )
+            guards.append(Instruction(or_spec, (divisor, ImmediateOperand(1))))
+        return guards
+
+    def division_register_pool(self, pool: Sequence[str]) -> List[str]:
+        # DIV RDX always overflows (#DE): the divisor would be the
+        # dividend's own high half.
+        return [r for r in pool if r != "RDX"] or ["RBX"]
+
+    def division_latency_value(self, state, instruction: Instruction) -> int:
+        # After DIV/IDIV the quotient is in RAX; its magnitude drives the
+        # radix-16 divider's latency (§6.3).
+        return state.read_register("RAX")
+
+
+ARCHITECTURE = X86_64()
+
+__all__ = ["ARCHITECTURE", "X86_64"]

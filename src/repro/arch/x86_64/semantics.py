@@ -1,0 +1,348 @@
+"""x86-64 instruction semantics: architectural execution of one instruction.
+
+:func:`execute` runs a single instruction against an
+:class:`~repro.emulator.state.ArchState` and returns a
+:class:`~repro.emulator.semantics.StepResult` describing the side
+effects: memory accesses (for observation clauses and cache modelling),
+branch outcomes (for execution clauses and predictors) and the next
+program counter.
+
+Flag semantics follow the Intel SDM for the implemented subset; flags the
+SDM leaves undefined (e.g. after DIV) are given fixed deterministic values
+so that the model and the simulated CPU always agree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.instruction_set import condition_of
+from repro.emulator.errors import DivisionFault, InvalidProgram
+from repro.emulator.semantics import (
+    MASK64,
+    BranchInfo,
+    MemAccess,
+    OperandContext,
+    StepResult,
+    mask as _mask,
+    signed as _signed,
+)
+from repro.emulator.state import ArchState
+
+
+def _parity(value: int) -> bool:
+    """PF: set when the low byte has an even number of set bits."""
+    return bin(value & 0xFF).count("1") % 2 == 0
+
+
+# -- flag computation ---------------------------------------------------------
+
+
+def _set_result_flags(state: ArchState, result: int, width: int) -> None:
+    state.write_flag("ZF", result == 0)
+    state.write_flag("SF", bool(result >> (width - 1) & 1))
+    state.write_flag("PF", _parity(result))
+
+
+def _set_add_flags(
+    state: ArchState, a: int, b: int, carry_in: int, width: int
+) -> int:
+    full = a + b + carry_in
+    result = full & _mask(width)
+    state.write_flag("CF", full > _mask(width))
+    state.write_flag("OF", bool((~(a ^ b) & (a ^ result)) >> (width - 1) & 1))
+    state.write_flag("AF", bool((a ^ b ^ result) >> 4 & 1))
+    _set_result_flags(state, result, width)
+    return result
+
+
+def _set_sub_flags(
+    state: ArchState, a: int, b: int, borrow_in: int, width: int
+) -> int:
+    full = a - b - borrow_in
+    result = full & _mask(width)
+    state.write_flag("CF", full < 0)
+    state.write_flag("OF", bool(((a ^ b) & (a ^ result)) >> (width - 1) & 1))
+    state.write_flag("AF", bool((a ^ b ^ result) >> 4 & 1))
+    _set_result_flags(state, result, width)
+    return result
+
+
+def _set_logic_flags(state: ArchState, result: int, width: int) -> None:
+    state.write_flag("CF", False)
+    state.write_flag("OF", False)
+    state.write_flag("AF", False)
+    _set_result_flags(state, result, width)
+
+
+def evaluate_condition(code: str, state: ArchState) -> bool:
+    """Evaluate a canonical x86 condition code against FLAGS."""
+    cf = state.read_flag("CF")
+    zf = state.read_flag("ZF")
+    sf = state.read_flag("SF")
+    of = state.read_flag("OF")
+    pf = state.read_flag("PF")
+    table = {
+        "O": of,
+        "NO": not of,
+        "B": cf,
+        "AE": not cf,
+        "Z": zf,
+        "NZ": not zf,
+        "BE": cf or zf,
+        "A": not (cf or zf),
+        "S": sf,
+        "NS": not sf,
+        "P": pf,
+        "NP": not pf,
+        "L": sf != of,
+        "GE": sf == of,
+        "LE": zf or (sf != of),
+        "G": (not zf) and (sf == of),
+    }
+    try:
+        return table[code]
+    except KeyError:
+        raise InvalidProgram(f"unknown condition code: {code!r}") from None
+
+
+# -- instruction groups -------------------------------------------------------
+
+_BINARY_ARITH = {"ADD", "SUB", "ADC", "SBB", "CMP"}
+_BINARY_LOGIC = {"AND", "OR", "XOR", "TEST"}
+
+
+def _exec_binary(ctx: OperandContext, state: ArchState) -> None:
+    mnemonic = ctx.instruction.mnemonic
+    width = ctx.width(0)
+    a = ctx.read(0)
+    b = ctx.read(1) & _mask(width)
+    if mnemonic == "ADD":
+        result = _set_add_flags(state, a, b, 0, width)
+    elif mnemonic == "ADC":
+        carry = int(state.read_flag("CF"))
+        result = _set_add_flags(state, a, b, carry, width)
+    elif mnemonic == "SUB":
+        result = _set_sub_flags(state, a, b, 0, width)
+    elif mnemonic == "SBB":
+        borrow = int(state.read_flag("CF"))
+        result = _set_sub_flags(state, a, b, borrow, width)
+    elif mnemonic == "CMP":
+        _set_sub_flags(state, a, b, 0, width)
+        return
+    elif mnemonic == "AND" or mnemonic == "TEST":
+        result = a & b
+        _set_logic_flags(state, result, width)
+        if mnemonic == "TEST":
+            return
+    elif mnemonic == "OR":
+        result = a | b
+        _set_logic_flags(state, result, width)
+    elif mnemonic == "XOR":
+        result = a ^ b
+        _set_logic_flags(state, result, width)
+    else:  # pragma: no cover - guarded by dispatch
+        raise InvalidProgram(mnemonic)
+    ctx.write(0, result)
+
+
+def _exec_mov(ctx: OperandContext, state: ArchState) -> None:
+    width = ctx.width(0)
+    value = ctx.read(1) & _mask(width)
+    ctx.write(0, value)
+
+
+def _exec_extend(ctx: OperandContext, state: ArchState) -> None:
+    src_width = ctx.width(1)
+    value = ctx.read(1) & _mask(src_width)
+    if ctx.instruction.mnemonic == "MOVSX":
+        dst_width = ctx.width(0)
+        value = _signed(value, src_width) & _mask(dst_width)
+    ctx.write(0, value)
+
+
+def _exec_unary(ctx: OperandContext, state: ArchState) -> None:
+    mnemonic = ctx.instruction.mnemonic
+    width = ctx.width(0)
+    value = ctx.read(0)
+    if mnemonic == "INC":
+        carry = state.read_flag("CF")
+        result = _set_add_flags(state, value, 1, 0, width)
+        state.write_flag("CF", carry)  # INC preserves CF
+    elif mnemonic == "DEC":
+        carry = state.read_flag("CF")
+        result = _set_sub_flags(state, value, 1, 0, width)
+        state.write_flag("CF", carry)  # DEC preserves CF
+    elif mnemonic == "NEG":
+        result = _set_sub_flags(state, 0, value, 0, width)
+        state.write_flag("CF", value != 0)
+    elif mnemonic == "NOT":
+        result = (~value) & _mask(width)
+    else:  # pragma: no cover
+        raise InvalidProgram(mnemonic)
+    ctx.write(0, result)
+
+
+def _exec_imul(ctx: OperandContext, state: ArchState) -> None:
+    width = ctx.width(0)
+    a = _signed(ctx.read(0), width)
+    b = _signed(ctx.read(1) & _mask(width), width)
+    product = a * b
+    result = product & _mask(width)
+    overflow = product != _signed(result, width)
+    state.write_flag("CF", overflow)
+    state.write_flag("OF", overflow)
+    state.write_flag("AF", False)
+    _set_result_flags(state, result, width)
+    ctx.write(0, result)
+
+
+def _exec_xchg(ctx: OperandContext, state: ArchState) -> None:
+    a = ctx.read(0)
+    b = ctx.read(1)
+    ctx.write(0, b)
+    ctx.write(1, a)
+
+
+def _exec_lea(ctx: OperandContext, state: ArchState) -> None:
+    ctx.write(0, ctx.read(1))
+
+
+def _exec_cmov(ctx: OperandContext, state: ArchState, condition: str) -> None:
+    width = ctx.width(0)
+    # x86 always performs the source load, even when the move is suppressed.
+    value = ctx.read(1) & _mask(width)
+    if evaluate_condition(condition, state):
+        ctx.write(0, value)
+    elif width == 32:
+        # 32-bit CMOV zero-extends the destination even when not moving.
+        ctx.write(0, ctx.read(0) & _mask(32))
+
+
+def _exec_setcc(ctx: OperandContext, state: ArchState, condition: str) -> None:
+    ctx.write(0, 1 if evaluate_condition(condition, state) else 0)
+
+
+def _exec_div(ctx: OperandContext, state: ArchState) -> None:
+    mnemonic = ctx.instruction.mnemonic
+    width = ctx.width(0)
+    divisor = ctx.read(0) & _mask(width)
+    if width == 64:
+        high = state.read_register("RDX")
+        low = state.read_register("RAX")
+    else:
+        high = state.read_register("EDX")
+        low = state.read_register("EAX")
+    dividend = (high << width) | low
+    if mnemonic == "IDIV":
+        dividend = _signed(dividend, 2 * width)
+        divisor = _signed(divisor, width)
+        if divisor == 0:
+            raise DivisionFault("IDIV by zero")
+        quotient = int(dividend / divisor)  # truncation toward zero
+        remainder = dividend - quotient * divisor
+        if not (-(1 << (width - 1)) <= quotient <= (1 << (width - 1)) - 1):
+            raise DivisionFault("IDIV quotient overflow")
+    else:
+        if divisor == 0:
+            raise DivisionFault("DIV by zero")
+        quotient, remainder = divmod(dividend, divisor)
+        if quotient > _mask(width):
+            raise DivisionFault("DIV quotient overflow")
+    quotient &= _mask(width)
+    remainder &= _mask(width)
+    if width == 64:
+        state.write_register("RAX", quotient)
+        state.write_register("RDX", remainder)
+    else:
+        state.write_register("EAX", quotient)
+        state.write_register("EDX", remainder)
+    # Flags after DIV/IDIV are architecturally undefined; we define them
+    # deterministically so model and simulated CPU agree.
+    state.write_flag("CF", False)
+    state.write_flag("OF", False)
+    state.write_flag("AF", False)
+    _set_result_flags(state, quotient, width)
+
+
+def execute(
+    instruction: Instruction,
+    state: ArchState,
+    pc: int = 0,
+    resolve_label: Optional[Callable[[str], int]] = None,
+) -> StepResult:
+    """Execute one instruction architecturally; return its side effects."""
+    ctx = OperandContext(instruction, state, resolve_label)
+    mnemonic = instruction.mnemonic
+    category = instruction.category
+    next_pc = pc + 1
+    branch: Optional[BranchInfo] = None
+
+    if category == "CB":
+        condition = condition_of(mnemonic)
+        taken = evaluate_condition(condition, state)
+        target = ctx.read(0)
+        branch = BranchInfo("cond", taken, target, pc + 1, condition)
+        next_pc = target if taken else pc + 1
+    elif category == "UNCOND":
+        target = ctx.read(0)
+        branch = BranchInfo("uncond", True, target, pc + 1)
+        next_pc = target
+    elif category == "IND":
+        target = ctx.read(0) & MASK64
+        branch = BranchInfo("indirect", True, target, pc + 1)
+        next_pc = target
+    elif category == "CALL":
+        target = ctx.read(0)
+        rsp = (state.read_register("RSP") - 8) & MASK64
+        old = state.read_memory(rsp, 8)
+        state.write_memory(rsp, 8, pc + 1)
+        ctx.accesses.append(
+            MemAccess(rsp, 8, pc + 1, is_write=True, old_value=old)
+        )
+        state.write_register("RSP", rsp)
+        branch = BranchInfo("call", True, target, pc + 1)
+        next_pc = target
+    elif category == "RET":
+        rsp = state.read_register("RSP")
+        target = state.read_memory(rsp, 8)
+        ctx.accesses.append(MemAccess(rsp, 8, target, is_write=False))
+        state.write_register("RSP", (rsp + 8) & MASK64)
+        branch = BranchInfo("ret", True, target, pc + 1)
+        next_pc = target
+    elif category == "FENCE" or mnemonic == "NOP":
+        pass
+    elif mnemonic in _BINARY_ARITH or mnemonic in _BINARY_LOGIC:
+        _exec_binary(ctx, state)
+    elif mnemonic == "MOV":
+        _exec_mov(ctx, state)
+    elif mnemonic in ("MOVZX", "MOVSX"):
+        _exec_extend(ctx, state)
+    elif mnemonic in ("INC", "DEC", "NEG", "NOT"):
+        _exec_unary(ctx, state)
+    elif mnemonic == "IMUL":
+        _exec_imul(ctx, state)
+    elif mnemonic == "XCHG":
+        _exec_xchg(ctx, state)
+    elif mnemonic == "LEA":
+        _exec_lea(ctx, state)
+    elif mnemonic.startswith("CMOV"):
+        _exec_cmov(ctx, state, condition_of(mnemonic))
+    elif mnemonic.startswith("SET"):
+        _exec_setcc(ctx, state, condition_of(mnemonic))
+    elif mnemonic in ("DIV", "IDIV"):
+        _exec_div(ctx, state)
+    else:
+        raise InvalidProgram(f"no semantics for {mnemonic!r}")
+
+    return StepResult(
+        instruction=instruction,
+        pc=pc,
+        next_pc=next_pc,
+        mem_accesses=ctx.accesses,
+        branch=branch,
+    )
+
+
+__all__ = ["evaluate_condition", "execute"]

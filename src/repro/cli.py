@@ -12,11 +12,14 @@ Subcommands:
 Examples::
 
     revizor fuzz -s AR+MEM+CB -c CT-SEQ --cpu skylake -n 200 -i 50
+    revizor fuzz --arch aarch64 -s AR+MEM+CB -n 200 -i 50
     revizor campaign -s AR+MEM+CB -n 2000 --workers 8 --cache
 
-All fuzzing subcommands accept the contract-trace-cache knobs:
-``--cache`` memoizes contract traces across collections (pure-function
-results keyed by program/input/contract, see
+``--arch`` selects the ISA backend (x86_64 default, aarch64); it is
+plumbed through the campaign workers, so sharded campaigns fuzz the
+selected backend too. All fuzzing subcommands accept the
+contract-trace-cache knobs: ``--cache`` memoizes contract traces across
+collections (pure-function results keyed by program/input/contract, see
 :mod:`repro.core.trace_cache`) and ``--cache-entries`` bounds the LRU.
 """
 
@@ -26,8 +29,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.isa.assembler import parse_program, render_program
-from repro.isa.instruction_set import subset_names
+from repro.arch import architecture_names, get_architecture
 from repro.emulator.state import SandboxLayout
 from repro.contracts import contract_names, get_contract
 from repro.core.campaign import CampaignRunner
@@ -42,6 +44,7 @@ from repro.uarch.config import preset_names
 
 def _build_config(args: argparse.Namespace) -> FuzzerConfig:
     return FuzzerConfig(
+        arch=args.arch,
         instruction_subsets=tuple(args.subsets.split("+")),
         contract_name=args.contract,
         cpu_preset=args.cpu,
@@ -66,6 +69,9 @@ def _positive_int(text: str) -> int:
 
 
 def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--arch", default="x86_64",
+                        choices=architecture_names(),
+                        help="ISA backend under test")
     parser.add_argument("-s", "--subsets", default="AR+MEM+CB",
                         help="instruction subsets, e.g. AR+MEM+CB")
     parser.add_argument("-c", "--contract", default="CT-SEQ",
@@ -118,7 +124,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     that invariance. Exits 1 when a violation is found, like ``fuzz``.
     """
     runner = CampaignRunner(
-        _build_config(args), workers=args.workers, shards=args.shards
+        _build_config(args),
+        workers=args.workers,
+        shards=args.shards,
+        mode="first-violation" if args.first_violation else "full",
     )
     report = runner.run()
     print(report.summary())
@@ -159,6 +168,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     config = FuzzerConfig(
+        arch=entry.arch,
         contract_name=entry.contract,
         cpu_preset=entry.cpu_preset,
         executor_mode=entry.executor_mode,
@@ -167,9 +177,11 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     )
     pipeline = TestingPipeline(config)
     generator = InputGenerator(seed=args.seed, entropy_bits=entry.entropy_bits,
-                               layout=pipeline.layout)
+                               layout=pipeline.layout,
+                               registers=pipeline.arch.default_register_pool,
+                               flag_bits=pipeline.arch.registers.flag_bits)
     print(f"{entry.name}: {entry.description}\n")
-    print(render_program(entry.program(), numbered=True))
+    print(pipeline.arch.render_program(entry.program(), numbered=True))
     count = 4
     while count <= args.max_inputs:
         inputs = generator.generate(count)
@@ -188,25 +200,30 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     """Print contract traces of an assembly file for a few random inputs."""
+    arch = get_architecture(args.arch)
     with open(args.file) as handle:
-        program = parse_program(handle.read())
+        program = arch.parse_program(handle.read())
     contract = get_contract(args.contract)
     layout = SandboxLayout()
     generator = InputGenerator(seed=args.seed, entropy_bits=args.entropy,
-                               layout=layout)
-    print(render_program(program, numbered=True))
+                               layout=layout,
+                               registers=arch.default_register_pool,
+                               flag_bits=arch.registers.flag_bits)
+    print(arch.render_program(program, numbered=True))
     print()
     for index, input_data in enumerate(generator.generate(args.inputs)):
-        trace = contract.collect_trace(program, input_data, layout)
+        trace = contract.collect_trace(program, input_data, layout, arch)
         print(f"input #{index} (seed={input_data.seed}): {trace}")
     return 0
 
 
 def cmd_list(args: argparse.Namespace) -> int:
-    """List contracts, CPU presets, ISA subsets, modes and gadgets."""
+    """List architectures, contracts, CPU presets, subsets and gadgets."""
+    print("architectures:  " + ", ".join(architecture_names()))
     print("contracts:      " + ", ".join(contract_names()))
     print("CPU presets:    " + ", ".join(preset_names()))
-    print("ISA subsets:    " + ", ".join(subset_names()))
+    print("ISA subsets:    " + ", ".join(
+        get_architecture("x86_64").subset_names()))
     print("executor modes: " + ", ".join(mode_names()))
     print("gadgets:")
     for name, entry in GALLERY.items():
@@ -241,6 +258,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed/budget shards (default: one per worker); fix this "
         "while varying --workers for identical merged results",
     )
+    campaign_parser.add_argument(
+        "--first-violation", action="store_true",
+        help="cancel remaining shards once one finds a confirmed "
+        "violation instead of draining the full budget",
+    )
     campaign_parser.set_defaults(handler=cmd_campaign)
 
     minimize_parser = commands.add_parser(
@@ -260,7 +282,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser = commands.add_parser(
         "trace", help="print contract traces of an assembly file"
     )
-    trace_parser.add_argument("file", help="Intel-syntax assembly file")
+    trace_parser.add_argument("file", help="assembly file (in the "
+                              "--arch backend's syntax)")
+    trace_parser.add_argument("--arch", default="x86_64",
+                              choices=architecture_names(),
+                              help="ISA backend the file targets")
     trace_parser.add_argument("-c", "--contract", default="CT-SEQ")
     trace_parser.add_argument("-i", "--inputs", type=int, default=3)
     trace_parser.add_argument("-e", "--entropy", type=int, default=2)

@@ -8,6 +8,13 @@ serializing instruction is reached, or the test case ends — then rolls back
 recorded according to the observation clause on both correct and
 mis-speculated paths.
 
+Which instructions serialize — i.e. close a speculation window — is
+*architecture-declared* (x86: LFENCE/MFENCE; AArch64: DSB/ISB), not a
+hard-coded mnemonic: the tracer consults
+``arch.is_serializing(instruction)`` on the resolved
+:class:`~repro.arch.base.Architecture`. Note this deliberately excludes
+x86 SFENCE, which orders stores but does not serialize execution.
+
 Nested speculation is supported through a stack of checkpoints but disabled
 by default (``max_nesting=1``), matching §5.4; detected violations are
 re-validated with nesting enabled by the fuzzer.
@@ -81,8 +88,9 @@ class Contract:
         program: TestCaseProgram,
         input_data: InputData,
         layout: Optional[SandboxLayout] = None,
+        arch=None,
     ) -> CTrace:
-        trace, _ = self.collect_trace_and_log(program, input_data, layout)
+        trace, _ = self.collect_trace_and_log(program, input_data, layout, arch)
         return trace
 
     def collect_trace_and_log(
@@ -90,13 +98,17 @@ class Contract:
         program: TestCaseProgram,
         input_data: InputData,
         layout: Optional[SandboxLayout] = None,
+        arch=None,
     ) -> Tuple[CTrace, ExecutionLog]:
         """Collect the contract trace plus the model's execution log.
 
         The log records executed instructions and their memory addresses;
         the diversity analysis (§5.6) mines it for hazard patterns.
+        ``arch`` selects the backend (default: x86-64); its serializing
+        set decides which instructions close a speculation window.
         """
-        emulator = Emulator(program, layout)
+        emulator = Emulator(program, layout, arch)
+        arch = emulator.arch
         emulator.state.load_input(input_data)
         observations: List[Observation] = []
         log = ExecutionLog()
@@ -123,7 +135,7 @@ class Contract:
             speculative = bool(stack)
             instruction = emulator.linear.instructions[pc]
             if speculative:
-                if instruction.is_fence:
+                if arch.is_serializing(instruction):
                     pc = rollback()
                     continue
                 frame = stack[-1]

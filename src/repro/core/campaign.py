@@ -26,6 +26,17 @@ spawn otherwise); every shard builds its own :class:`Fuzzer`, so no
 state is shared and no locks are needed. Shard results travel back as
 pickled reports.
 
+- **Early cancel.** ``mode="first-violation"`` stops the campaign at the
+  first confirmed violation instead of draining the full budget: a
+  shared cancel event is polled by every shard between test cases, and
+  the runner sets it as soon as a finished shard reports a violation.
+  Shards that completed before the signal produce exactly the reports
+  they would in ``mode="full"`` (deterministic merging for completed
+  shards); cancelled shards return partial reports flagged
+  ``cancelled``. How far an interrupted shard got depends on
+  scheduling, so first-violation campaigns trade the full mode's
+  merged-report invariance for wall-clock savings.
+
 A wall-clock budget (``timeout_seconds``) bounds each *shard*
 individually, so the campaign's wall time can reach ``timeout x
 ceil(shards / workers)`` when workers are scarce — and because a
@@ -86,10 +97,17 @@ def shard_fuzzer_config(
     )
 
 
-def _run_shard(task: Tuple[int, FuzzerConfig]) -> Tuple[int, FuzzingReport]:
-    """Worker entry point: run one shard's fuzzing campaign."""
-    shard_index, config = task
-    return shard_index, Fuzzer(config).run()
+def _run_shard(task) -> Tuple[int, FuzzingReport]:
+    """Worker entry point: run one shard's fuzzing campaign.
+
+    ``task`` is ``(shard_index, config)`` or ``(shard_index, config,
+    cancel_event)``; the event (a picklable ``multiprocessing.Manager``
+    proxy) is polled between test cases for first-violation campaigns.
+    """
+    shard_index, config = task[0], task[1]
+    cancel_event = task[2] if len(task) > 2 else None
+    should_stop = cancel_event.is_set if cancel_event is not None else None
+    return shard_index, Fuzzer(config).run(should_stop=should_stop)
 
 
 def merge_reports(
@@ -151,10 +169,17 @@ class CampaignReport:
     winning_shard: Optional[int]
     workers: int
     wall_seconds: float
+    #: campaign mode the runner used ("full" | "first-violation")
+    mode: str = "full"
 
     @property
     def found(self) -> bool:
         return self.merged.found
+
+    @property
+    def cancelled_shards(self) -> int:
+        """Shards stopped early by the first-violation cancel signal."""
+        return sum(1 for report in self.shard_reports if report.cancelled)
 
     @property
     def violation(self) -> Optional[Violation]:
@@ -185,13 +210,18 @@ class CampaignReport:
             if self.merged.violation
             else "no violation"
         )
+        cancelled = (
+            f", {self.cancelled_shards} shard(s) cancelled early"
+            if self.cancelled_shards
+            else ""
+        )
         return (
             f"{found} after {self.merged.test_cases} test cases / "
             f"{self.merged.inputs_tested} inputs across {self.shards} "
             f"shard(s) on {self.workers} worker(s) in "
             f"{self.wall_seconds:.2f}s wall "
             f"({self.merged.duration_seconds:.2f}s aggregate, "
-            f"effectiveness {self.merged.mean_effectiveness:.2f})"
+            f"effectiveness {self.merged.mean_effectiveness:.2f}{cancelled})"
         )
 
 
@@ -204,12 +234,15 @@ class CampaignRunner:
     with different core counts and still get the identical merged report.
     """
 
+    MODES = ("full", "first-violation")
+
     def __init__(
         self,
         config: FuzzerConfig,
         workers: int = 4,
         shards: Optional[int] = None,
         start_method: Optional[str] = None,
+        mode: str = "full",
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -219,6 +252,11 @@ class CampaignRunner:
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
         self.start_method = start_method
+        if mode not in self.MODES:
+            raise ValueError(
+                f"unknown campaign mode {mode!r}; expected one of {self.MODES}"
+            )
+        self.mode = mode
 
     def _context(self):
         if self.start_method is not None:
@@ -229,16 +267,21 @@ class CampaignRunner:
         )
 
     def run(self) -> CampaignReport:
-        tasks = [
-            (index, shard_fuzzer_config(self.config, index, self.shards))
-            for index in range(self.shards)
-        ]
         start = time.perf_counter()
-        if self.workers == 1:
-            results = [_run_shard(task) for task in tasks]
+        if self.mode == "first-violation":
+            results = self._run_first_violation()
         else:
-            with self._context().Pool(min(self.workers, self.shards)) as pool:
-                results = pool.map(_run_shard, tasks)
+            tasks = [
+                (index, shard_fuzzer_config(self.config, index, self.shards))
+                for index in range(self.shards)
+            ]
+            if self.workers == 1:
+                results = [_run_shard(task) for task in tasks]
+            else:
+                with self._context().Pool(
+                    min(self.workers, self.shards)
+                ) as pool:
+                    results = pool.map(_run_shard, tasks)
         wall_seconds = time.perf_counter() - start
         results.sort(key=lambda item: item[0])
         shard_reports = [report for _, report in results]
@@ -249,16 +292,66 @@ class CampaignRunner:
             winning_shard=winner,
             workers=self.workers,
             wall_seconds=wall_seconds,
+            mode=self.mode,
         )
+
+    def _run_first_violation(self) -> List[Tuple[int, FuzzingReport]]:
+        """Run shards with an early-cancel signal set on the first
+        confirmed violation; remaining shards stop at their next
+        test-case boundary instead of draining their budget."""
+        if self.workers == 1:
+            # Inline: run shards in index order and skip the rest outright
+            # once one finds a violation (a skipped shard reports zero
+            # test cases, flagged cancelled).
+            results: List[Tuple[int, FuzzingReport]] = []
+            found = False
+            for index in range(self.shards):
+                if found:
+                    results.append(
+                        (index, FuzzingReport(coverage=PatternCoverage(),
+                                              cancelled=True))
+                    )
+                    continue
+                result = _run_shard(
+                    (index, shard_fuzzer_config(self.config, index, self.shards))
+                )
+                results.append(result)
+                found = found or result[1].found
+            return results
+
+        context = self._context()
+        manager = context.Manager()
+        try:
+            cancel_event = manager.Event()
+            tasks = [
+                (
+                    index,
+                    shard_fuzzer_config(self.config, index, self.shards),
+                    cancel_event,
+                )
+                for index in range(self.shards)
+            ]
+            with context.Pool(min(self.workers, self.shards)) as pool:
+                results = []
+                for result in pool.imap_unordered(_run_shard, tasks):
+                    results.append(result)
+                    if result[1].found and not cancel_event.is_set():
+                        cancel_event.set()
+        finally:
+            manager.shutdown()
+        return results
 
 
 def run_campaign(
     config: FuzzerConfig,
     workers: int = 4,
     shards: Optional[int] = None,
+    mode: str = "full",
 ) -> CampaignReport:
     """Convenience one-call parallel campaign."""
-    return CampaignRunner(config, workers=workers, shards=shards).run()
+    return CampaignRunner(
+        config, workers=workers, shards=shards, mode=mode
+    ).run()
 
 
 __all__ = [

@@ -21,9 +21,10 @@ class GeneratorConfig:
     instructions_per_test: int = 8
     basic_blocks: int = 2
     memory_accesses: int = 2
-    #: the generator uses only this many registers to improve input
-    #: effectiveness (§5.1: four registers)
-    register_pool: Tuple[str, ...] = ("RAX", "RBX", "RCX", "RDX")
+    #: the generator uses only a handful of registers to improve input
+    #: effectiveness (§5.1: four registers); ``None`` means the target
+    #: architecture's default pool (RAX-RDX on x86-64, X0-X3 on AArch64)
+    register_pool: Optional[Tuple[str, ...]] = None
     #: number of 4KB sandbox pages generated accesses may touch
     sandbox_pages: int = 1
     #: accesses are cache-line (64B) aligned, then offset by a random value
@@ -52,6 +53,8 @@ class FuzzerConfig:
     one contract)."""
 
     # what to test
+    #: target ISA backend (see :func:`repro.arch.architecture_names`)
+    arch: str = "x86_64"
     instruction_subsets: Tuple[str, ...] = ("AR", "MEM", "CB")
     contract_name: str = "CT-SEQ"
     #: either a preset name ("skylake", "skylake-v4-patched", "coffee-lake")
@@ -109,6 +112,12 @@ class FuzzerConfig:
         from repro.uarch.config import preset
 
         return preset(self.cpu_preset)
+
+    def resolve_arch(self):
+        """The :class:`~repro.arch.base.Architecture` backend under test."""
+        from repro.arch import get_architecture
+
+        return get_architecture(self.arch)
 
 
 __all__ = ["FuzzerConfig", "GeneratorConfig"]

@@ -18,7 +18,6 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.isa.instruction import TestCaseProgram
-from repro.isa.instruction_set import instruction_subset
 from repro.emulator.errors import EmulationError
 from repro.emulator.state import InputData, SandboxLayout
 from repro.contracts.contract import Contract, get_contract
@@ -78,6 +77,7 @@ class TestingPipeline:
         trace_cache: Optional[ContractTraceCache] = None,
     ):
         self.config = config
+        self.arch = config.resolve_arch()
         self.layout = SandboxLayout()
         self.cpu_config = config.resolve_cpu()
         self.contract: Contract = get_contract(
@@ -99,6 +99,7 @@ class TestingPipeline:
                 noise=noise,
                 noise_seed=config.seed,
             ),
+            arch=self.arch,
         )
         self.discarded_by_priming = 0
         self.discarded_by_nesting = 0
@@ -114,7 +115,7 @@ class TestingPipeline:
         lookups cost a hash per input rather than an emulation.
         """
         fingerprint = (
-            program_fingerprint(program)
+            program_fingerprint(program, self.arch.name)
             if self.trace_cache is not None
             else None
         )
@@ -139,15 +140,15 @@ class TestingPipeline:
         if self.trace_cache is None:
             self.contract_emulations += 1
             return contract.collect_trace_and_log(
-                program, input_data, self.layout
+                program, input_data, self.layout, self.arch
             )
         if fingerprint is None:
-            fingerprint = program_fingerprint(program)
+            fingerprint = program_fingerprint(program, self.arch.name)
         key = self.trace_cache.key(fingerprint, input_data, contract)
         entry = self.trace_cache.get(key)
         if entry is None:
             entry = contract.collect_trace_and_log(
-                program, input_data, self.layout
+                program, input_data, self.layout, self.arch
             )
             self.contract_emulations += 1
             self.trace_cache.put(key, entry)
@@ -176,7 +177,7 @@ class TestingPipeline:
                 self.config.nesting_depth_for_revalidation
             )
             fingerprint = (
-                program_fingerprint(outcome.program)
+                program_fingerprint(outcome.program, self.arch.name)
                 if self.trace_cache is not None
                 else None
             )
@@ -236,7 +237,7 @@ class TestingPipeline:
             outcome, candidate.position_a
         ) | self._speculation_kinds(outcome, candidate.position_b)
         has_division = any(
-            instruction.mnemonic in ("DIV", "IDIV")
+            instruction.category == "VAR"
             for instruction in outcome.program.all_instructions()
         )
         classification = classify_speculation_kinds(
@@ -246,6 +247,7 @@ class TestingPipeline:
             program=outcome.program,
             contract_name=self.contract.name,
             cpu_name=self.cpu_config.name,
+            arch_name=self.arch.name,
             ctrace=candidate.ctrace,
             input_sequence=list(outcome.inputs),
             position_a=candidate.position_a,
@@ -285,6 +287,9 @@ class FuzzingReport:
     discarded_by_priming: int = 0
     discarded_by_nesting: int = 0
     unconfirmed_candidates: int = 0
+    #: True when the campaign stopped early on an external stop signal
+    #: (first-violation campaign mode) before draining its budget
+    cancelled: bool = False
     #: contract-model emulations actually performed (cache misses + all
     #: collections when the trace cache is disabled)
     contract_emulations: int = 0
@@ -315,18 +320,24 @@ class Fuzzer:
     def __init__(self, config: FuzzerConfig, noise: NoiseModel = NO_NOISE):
         self.config = config
         self.pipeline = TestingPipeline(config, noise)
-        self.instruction_set = instruction_subset(config.instruction_subsets)
+        self.arch = self.pipeline.arch
+        self.instruction_set = self.arch.instruction_subset(
+            config.instruction_subsets
+        )
         self.generator = TestCaseGenerator(
             self.instruction_set,
             config.generator,
             self.pipeline.layout,
             seed=config.seed,
+            arch=self.arch,
         )
         self.input_generator = InputGenerator(
             seed=config.seed + 1,
             entropy_bits=config.entropy_bits,
-            registers=config.generator.register_pool,
+            registers=config.generator.register_pool
+            or self.arch.default_register_pool,
             layout=self.pipeline.layout,
+            flag_bits=self.arch.registers.flag_bits,
         )
         self.coverage = PatternCoverage()
         self._available_patterns = available_patterns_for_subsets(
@@ -335,8 +346,14 @@ class Fuzzer:
         self._inputs_per_case = config.inputs_per_test_case
         self._feedback_stage = 0  # 0: individuals, 1: pairs, 2: saturated
 
-    def run(self) -> FuzzingReport:
-        """Fuzz until the first confirmed violation or budget exhaustion."""
+    def run(self, should_stop=None) -> FuzzingReport:
+        """Fuzz until the first confirmed violation or budget exhaustion.
+
+        ``should_stop`` is an optional zero-argument callable polled
+        before each test case; when it returns True the campaign stops
+        early with ``report.cancelled`` set (the campaign runner's
+        first-violation early-cancel signal).
+        """
         config = self.config
         report = FuzzingReport(coverage=self.coverage)
         start = time.perf_counter()
@@ -344,6 +361,9 @@ class Fuzzer:
         new_coverage_this_round = False
 
         for case_index in range(config.num_test_cases):
+            if should_stop is not None and should_stop():
+                report.cancelled = True
+                break
             if (
                 config.timeout_seconds is not None
                 and time.perf_counter() - start > config.timeout_seconds

@@ -8,11 +8,16 @@ test cases well-formed and effective:
 3. fill blocks with random instructions from the tested ISA subset;
 4. instrument to avoid faults: mask memory offsets into the sandbox
    (cache-line aligned, plus one per-test-case offset in [0, 64)), and
-   rewrite division operands so DIV/IDIV can never raise #DE;
+   rewrite division operands so division can never fault;
 5. emit the final :class:`~repro.isa.instruction.TestCaseProgram`.
 
 Only four registers are used and the sandbox is confined to one or two 4KB
 pages, raising input effectiveness (CH2).
+
+All ISA specifics — condition codes, branch mnemonics, the sandbox base
+register, masking and division-guard instrumentation — come from the
+:class:`~repro.arch.base.Architecture` descriptor, so the same generator
+serves every registered backend.
 """
 
 from __future__ import annotations
@@ -23,13 +28,9 @@ from typing import List, Optional, Sequence
 from repro.isa.instruction import (
     BasicBlock,
     Instruction,
+    InstructionSet,
     InstructionSpec,
     TestCaseProgram,
-)
-from repro.isa.instruction_set import (
-    CONDITION_CODES,
-    FULL_INSTRUCTION_SET,
-    InstructionSet,
 )
 from repro.isa.operands import (
     AgenOperand,
@@ -39,7 +40,6 @@ from repro.isa.operands import (
     Operand,
     RegisterOperand,
 )
-from repro.isa.registers import SANDBOX_BASE_REGISTER, view_name
 from repro.emulator.state import PAGE_SIZE, SandboxLayout
 from repro.core.config import GeneratorConfig
 
@@ -53,7 +53,13 @@ class TestCaseGenerator:
         config: Optional[GeneratorConfig] = None,
         layout: Optional[SandboxLayout] = None,
         seed: int = 0,
+        arch=None,
     ):
+        if arch is None:
+            from repro.arch import get_architecture
+
+            arch = get_architecture("x86_64")
+        self.arch = arch
         self.instruction_set = instruction_set
         self.config = config or GeneratorConfig()
         self.layout = layout or SandboxLayout()
@@ -70,13 +76,19 @@ class TestCaseGenerator:
         self._plain_specs = [s for s in body if not s.has_memory_operand]
         self._cond_branch_specs = instruction_set.by_category("CB")
         try:
-            self._jmp_spec = instruction_set.find("JMP", ("LABEL",))
+            self._jmp_spec = instruction_set.find(
+                arch.uncond_branch_mnemonic, ("LABEL",)
+            )
         except KeyError:
             # subsets without control flow (AR, AR+MEM, ...): blocks are
             # connected by fallthrough only
             self._jmp_spec = None
         if not self._plain_specs:
             raise ValueError("instruction set has no usable body instructions")
+
+    @property
+    def register_pool(self) -> Sequence[str]:
+        return self.config.register_pool or self.arch.default_register_pool
 
     # -- configuration hooks (diversity feedback, §5.6) ------------------------
 
@@ -104,8 +116,10 @@ class TestCaseGenerator:
             if self._cond_branch_specs and rng.random() < 0.7:
                 cond_target = rng.choice(candidates)
                 fall_target = rng.choice(candidates)
-                code = rng.choice(CONDITION_CODES)
-                spec = self.instruction_set.find(f"J{code}", ("LABEL",))
+                code = rng.choice(self.arch.condition_codes)
+                spec = self.instruction_set.find(
+                    self.arch.cond_branch_mnemonic(code), ("LABEL",)
+                )
                 block.terminators.append(
                     Instruction(spec, (LabelOperand(f"bb{cond_target}"),))
                 )
@@ -166,39 +180,49 @@ class TestCaseGenerator:
         self, spec: InstructionSpec, rng: random.Random, offset: int
     ) -> List[Instruction]:
         """Build one concrete instruction plus its instrumentation."""
+        arch = self.arch
         instrumentation: List[Instruction] = []
         operands: List[Operand] = []
-        pool = self.config.register_pool
+        pool = self.register_pool
         mask = self._address_mask()
 
         for template in spec.operands:
             if template.kind == "REG":
                 choices = pool
-                if spec.mnemonic in ("DIV", "IDIV"):
-                    # DIV RDX always overflows (#DE): the divisor would be
-                    # the dividend's own high half
-                    choices = [r for r in pool if r != "RDX"] or ["RBX"]
+                if spec.category == "VAR":
+                    choices = arch.division_register_pool(pool)
                 register = rng.choice(choices)
-                operands.append(RegisterOperand(view_name(register, template.width)))
+                operands.append(
+                    RegisterOperand(
+                        arch.registers.view_name(register, template.width)
+                    )
+                )
             elif template.kind == "IMM":
                 operands.append(
                     ImmediateOperand(rng.getrandbits(min(template.width, 31)))
                 )
             elif template.kind == "MEM":
                 index = rng.choice(pool)
-                instrumentation.append(self._masking_and(index, mask))
+                masking, displacement = arch.address_instrumentation(
+                    index, mask, offset
+                )
+                instrumentation.extend(masking)
                 operands.append(
                     MemoryOperand(
-                        SANDBOX_BASE_REGISTER,
+                        arch.registers.sandbox_base_register,
                         index,
-                        displacement=offset,
+                        displacement=displacement,
                         width=template.width,
                     )
                 )
             elif template.kind == "AGEN":
                 index = rng.choice(pool)
                 operands.append(
-                    AgenOperand(SANDBOX_BASE_REGISTER, index, rng.randrange(64))
+                    AgenOperand(
+                        arch.registers.sandbox_base_register,
+                        index,
+                        rng.randrange(64),
+                    )
                 )
             else:  # pragma: no cover - LABEL specs are filtered out
                 raise AssertionError(f"unexpected operand kind {template.kind}")
@@ -206,53 +230,10 @@ class TestCaseGenerator:
         lock = bool(spec.lockable and rng.random() < 0.2)
         instruction = Instruction(spec, tuple(operands), lock=lock)
 
-        if spec.mnemonic in ("DIV", "IDIV"):
-            instrumentation.extend(self._division_guards(instruction))
+        if spec.category == "VAR":
+            instrumentation.extend(arch.division_guards(instruction))
         instrumentation.append(instruction)
         return instrumentation
-
-    def _masking_and(self, register: str, mask: int) -> Instruction:
-        """``AND reg, 0b111111000000`` — confine an address offset (§5.1)."""
-        spec = FULL_INSTRUCTION_SET.find("AND", ("REG", "IMM"), 64)
-        return Instruction(
-            spec, (RegisterOperand(register), ImmediateOperand(mask))
-        )
-
-    def _division_guards(self, instruction: Instruction) -> List[Instruction]:
-        """Instrumentation preventing #DE (paper §5.1 step 4b).
-
-        ``MOV RDX, 0`` removes the high half of the dividend; ``AND RAX``
-        bounds the quotient so IDIV cannot overflow; ``OR divisor, 1``
-        makes the divisor nonzero.
-        """
-        guards: List[Instruction] = []
-        mov = FULL_INSTRUCTION_SET.find("MOV", ("REG", "IMM"), 64)
-        guards.append(
-            Instruction(mov, (RegisterOperand("RDX"), ImmediateOperand(0)))
-        )
-        and_spec = FULL_INSTRUCTION_SET.find("AND", ("REG", "IMM"), 64)
-        guards.append(
-            Instruction(
-                and_spec,
-                (RegisterOperand("RAX"), ImmediateOperand(0x3FFFFFFF)),
-            )
-        )
-        divisor = instruction.operands[0]
-        if isinstance(divisor, RegisterOperand):
-            or_spec = FULL_INSTRUCTION_SET.find(
-                "OR", ("REG", "IMM"), divisor.width
-            )
-            guards.append(
-                Instruction(or_spec, (divisor, ImmediateOperand(1)))
-            )
-        elif isinstance(divisor, MemoryOperand):
-            or_spec = FULL_INSTRUCTION_SET.find(
-                "OR", ("MEM", "IMM"), divisor.width
-            )
-            guards.append(
-                Instruction(or_spec, (divisor, ImmediateOperand(1)))
-            )
-        return guards
 
 
 __all__ = ["TestCaseGenerator"]

@@ -15,23 +15,37 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.isa.registers import FLAG_BITS
 from repro.emulator.state import InputData, SandboxLayout
 
 
 @dataclass
 class InputGenerator:
-    """Seeded low-entropy input generator."""
+    """Seeded low-entropy input generator.
+
+    ``registers`` and ``flag_bits`` default to the x86-64 backend's
+    register pool and flag set; pass the target architecture's values
+    (``arch.default_register_pool`` / ``arch.registers.flag_bits``) when
+    fuzzing another backend.
+    """
 
     seed: int = 0
     entropy_bits: int = 2
-    registers: Sequence[str] = ("RAX", "RBX", "RCX", "RDX")
+    registers: Optional[Sequence[str]] = None
     layout: SandboxLayout = field(default_factory=SandboxLayout)
     randomize_flags: bool = True
+    flag_bits: Optional[Sequence[str]] = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.entropy_bits <= 32:
             raise ValueError("entropy_bits must be in [1, 32]")
+        if self.registers is None or self.flag_bits is None:
+            from repro.arch import get_architecture
+
+            default = get_architecture("x86_64")
+            if self.registers is None:
+                self.registers = default.default_register_pool
+            if self.flag_bits is None:
+                self.flag_bits = default.registers.flag_bits
         self._rng = random.Random(self.seed)
 
     def _value(self, rng: random.Random) -> int:
@@ -48,7 +62,7 @@ class InputGenerator:
         rng = random.Random(seed)
         registers = {name: self._value(rng) for name in self.registers}
         flags = (
-            {flag: bool(rng.getrandbits(1)) for flag in FLAG_BITS}
+            {flag: bool(rng.getrandbits(1)) for flag in self.flag_bits}
             if self.randomize_flags
             else {}
         )

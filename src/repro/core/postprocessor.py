@@ -6,19 +6,19 @@ Three stages:
    still reproduces, finding the smallest priming sequence;
 2. **test-case minimization** — remove one instruction at a time while
    re-checking the violation;
-3. **speculative-part minimization** — insert LFENCEs starting from the
-   last instruction while the violation persists; the remaining
-   fence-free region is the location of the leakage (paper Figure 4).
+3. **speculative-part minimization** — insert serializing fences
+   (LFENCE on x86-64, DSB on AArch64; the architecture descriptor says
+   which) starting from the last instruction while the violation
+   persists; the remaining fence-free region is the location of the
+   leakage (paper Figure 4).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.isa.instruction import BasicBlock, Instruction, TestCaseProgram
-from repro.isa.instruction_set import FULL_INSTRUCTION_SET
-from repro.isa.assembler import render_program
 from repro.emulator.state import InputData
 from repro.core.fuzzer import TestingPipeline
 
@@ -34,26 +34,39 @@ class MinimizationResult:
     fences_inserted: int = 0
     #: rendered minimized test case, Figure 4 style
     text: str = ""
+    #: the architecture's serializing-instruction set (close the leak
+    #: region); ``None`` falls back to the default (x86-64) backend's set
+    serializing: Optional[FrozenSet[str]] = None
 
     @property
     def instruction_count(self) -> int:
         return self.program.num_instructions
 
     def leak_region(self) -> List[str]:
-        """The instructions not shielded by LFENCEs (the leak location).
+        """The instructions not shielded by fences (the leak location).
 
-        An LFENCE closes the region: speculation cannot flow past it, so
-        the instructions that follow — however many — are shielded until
-        an instruction that can itself *start* a new speculative path (a
-        branch, store, call or return) reopens it. Figure 4's minimized
-        test cases read exactly this way: the surviving fences bracket
-        the speculation source and the leaking accesses, and everything
-        behind a fence is out of the region.
+        A serializing fence closes the region: speculation cannot flow
+        past it, so the instructions that follow — however many — are
+        shielded until an instruction that can itself *start* a new
+        speculative path (a branch, store, call or return) reopens it.
+        Figure 4's minimized test cases read exactly this way: the
+        surviving fences bracket the speculation source and the leaking
+        accesses, and everything behind a fence is out of the region.
+
+        Which mnemonics serialize is architecture-declared (x86:
+        LFENCE/MFENCE, AArch64: DSB/ISB) — a hard-coded ``"LFENCE"``
+        check here would silently mis-report the region on any other
+        backend (or any renamed fence).
         """
+        serializing = self.serializing
+        if serializing is None:
+            from repro.arch import get_architecture
+
+            serializing = get_architecture("x86_64").serializing_instructions
         region: List[str] = []
         in_region = True
         for instruction in self.program.all_instructions():
-            if instruction.mnemonic == "LFENCE":
+            if instruction.mnemonic in serializing:
                 in_region = False
                 continue
             if not in_region and self._starts_speculation(instruction):
@@ -79,10 +92,11 @@ class Postprocessor:
 
     def __init__(self, pipeline: TestingPipeline, confirm: bool = False):
         self.pipeline = pipeline
+        self.arch = pipeline.arch
         #: when True, every shrink step re-runs the full confirmation
         #: (priming swap + nesting); much slower, used for final validation
         self.confirm = confirm
-        self._lfence = FULL_INSTRUCTION_SET.find("LFENCE", ())
+        self._fence = self.arch.fence_instruction()
 
     # -- public API ---------------------------------------------------------------
 
@@ -109,7 +123,8 @@ class Postprocessor:
             original_instruction_count=original_instructions,
             original_input_count=original_inputs,
             fences_inserted=fences,
-            text=render_program(program),
+            text=self.arch.render_program(program),
+            serializing=self.arch.serializing_instructions,
         )
 
     # -- stage 1: inputs ------------------------------------------------------------
@@ -166,13 +181,14 @@ class Postprocessor:
                 break
         return current
 
-    # -- stage 3: LFENCE boundaries -------------------------------------------------------
+    # -- stage 3: fence boundaries -------------------------------------------------------
 
     def insert_fences(
         self, program: TestCaseProgram, inputs: Sequence[InputData]
     ) -> Tuple[TestCaseProgram, int]:
-        """Insert LFENCEs from the last instruction backwards while the
-        violation persists; survivors delimit the leaking region."""
+        """Insert serializing fences from the last instruction backwards
+        while the violation persists; survivors delimit the leaking
+        region."""
         current = program.clone()
         fences = 0
         positions: List[Tuple[int, int]] = []
@@ -182,7 +198,7 @@ class Postprocessor:
         for block_index, body_index in reversed(positions):
             candidate = current.clone()
             candidate.blocks[block_index].body.insert(
-                body_index, Instruction(self._lfence, ())
+                body_index, self._fence
             )
             if self._violates(candidate, inputs):
                 current = candidate

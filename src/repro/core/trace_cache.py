@@ -35,7 +35,6 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.isa.assembler import render_program
 from repro.isa.instruction import TestCaseProgram
 from repro.emulator.state import InputData
 from repro.contracts.contract import Contract
@@ -47,16 +46,25 @@ CacheKey = Tuple[str, Optional[int], str, Tuple[str, int, int]]
 TraceEntry = Tuple[CTrace, ExecutionLog]
 
 
-def program_fingerprint(program: TestCaseProgram) -> str:
+def program_fingerprint(program: TestCaseProgram, arch_name: str = "") -> str:
     """A stable content fingerprint of a test case.
 
-    Two programs that render to the same assembly text have identical
-    semantics under every contract, so the rendered text is the right
-    identity for memoization (clones share it; any mutation — removed
-    instruction, inserted fence — changes it).
+    Two programs with the same block structure and instruction text have
+    identical semantics under every contract *within one architecture*,
+    so block names plus instruction text are the right identity for
+    memoization (clones share it; any mutation — removed instruction,
+    inserted fence — changes it). ``arch_name`` namespaces the
+    fingerprint so same-text programs of different backends (e.g. a
+    NOP-only program) can never collide.
     """
-    text = render_program(program)
-    return hashlib.sha1(text.encode("utf-8")).hexdigest()
+    hasher = hashlib.sha1()
+    hasher.update(arch_name.encode("utf-8"))
+    for block in program.blocks:
+        hasher.update(f"\n.{block.name}:".encode("utf-8"))
+        for instruction in block.instructions():
+            hasher.update(b"\n")
+            hasher.update(str(instruction).encode("utf-8"))
+    return hasher.hexdigest()
 
 
 def input_identity(input_data: InputData) -> Tuple[Optional[int], str]:

@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
-from repro.isa.assembler import render_program
 from repro.isa.instruction import TestCaseProgram
 from repro.emulator.state import InputData
 from repro.traces import CTrace, HTrace
@@ -64,6 +63,9 @@ class Violation:
     test_cases_until_found: int = 0
     inputs_until_found: int = 0
     seconds_until_found: float = 0.0
+    #: ISA backend the violating program targets (assembly syntax for
+    #: :meth:`describe` is resolved through the architecture registry)
+    arch_name: str = "x86_64"
 
     @property
     def input_a(self) -> InputData:
@@ -75,8 +77,12 @@ class Violation:
 
     def describe(self) -> str:
         """Human-readable counterexample report."""
+        from repro.arch import get_architecture
+
+        render_program = get_architecture(self.arch_name).render_program
         lines = [
-            f"contract violation: {self.contract_name} on {self.cpu_name}",
+            f"contract violation: {self.contract_name} on {self.cpu_name} "
+            f"({self.arch_name})",
             f"classified as: {self.classification}",
             f"found after {self.test_cases_until_found} test case(s), "
             f"{self.inputs_until_found} input(s), "

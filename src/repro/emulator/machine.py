@@ -12,7 +12,7 @@ from typing import Callable, List, Optional
 
 from repro.isa.instruction import LinearProgram, TestCaseProgram
 from repro.emulator.errors import ExecutionLimitExceeded, InvalidProgram
-from repro.emulator.semantics import StepResult, execute
+from repro.emulator.semantics import StepResult
 from repro.emulator.state import ArchState, InputData, SandboxLayout, Snapshot
 
 #: Default upper bound on executed instructions for one run. Programs are
@@ -27,10 +27,12 @@ class Emulator:
         self,
         program: TestCaseProgram,
         layout: Optional[SandboxLayout] = None,
+        arch=None,
     ):
         self.program = program
         self.linear: LinearProgram = program.linearize()
-        self.state = ArchState(layout)
+        self.state = ArchState(layout, arch)
+        self.arch = self.state.arch
 
     @property
     def layout(self) -> SandboxLayout:
@@ -47,7 +49,7 @@ class Emulator:
         if not 0 <= pc < len(self.linear):
             raise InvalidProgram(f"pc out of range: {pc}")
         instruction = self.linear.instructions[pc]
-        return execute(instruction, self.state, pc, self.resolve_label)
+        return self.arch.execute(instruction, self.state, pc, self.resolve_label)
 
     def checkpoint(self) -> Snapshot:
         return self.state.snapshot()

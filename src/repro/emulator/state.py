@@ -1,8 +1,13 @@
 """Architectural state: registers, flags and the memory sandbox.
 
 The paper confines all memory accesses of a test case to a *sandbox* of one
-or two 4KB pages (§5.1) whose base address lives in R14. An *input* (paper
-§5.2) is an assignment of values to registers, FLAGS and the sandbox memory.
+or two 4KB pages (§5.1) whose base address lives in a reserved register
+(R14 on x86-64, X27 on AArch64). An *input* (paper §5.2) is an assignment
+of values to registers, flag bits and the sandbox memory.
+
+The register file, flag bits and sandbox/stack conventions come from the
+:class:`~repro.arch.base.Architecture` descriptor; when none is given the
+default (x86-64) backend is used.
 """
 
 from __future__ import annotations
@@ -10,14 +15,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
-from repro.isa.registers import (
-    FLAG_BITS,
-    GPR_NAMES,
-    SANDBOX_BASE_REGISTER,
-    canonical_register,
-    register_width,
-)
 from repro.emulator.errors import SandboxViolation
+
+
+def _default_architecture():
+    from repro.arch import get_architecture
+
+    return get_architecture("x86_64")
 
 PAGE_SIZE = 4096
 
@@ -55,7 +59,7 @@ class SandboxLayout:
 
     @property
     def stack_top(self) -> int:
-        """Initial RSP for gadgets that use CALL/RET."""
+        """Initial stack pointer for gadgets that use CALL/RET."""
         return self.end - 8
 
     def contains(self, address: int, size: int = 1) -> bool:
@@ -99,24 +103,32 @@ Snapshot = Tuple[Dict[str, int], Dict[str, bool], bytes]
 
 
 class ArchState:
-    """Mutable architectural state of the emulated machine."""
+    """Mutable architectural state of the emulated machine.
 
-    def __init__(self, layout: Optional[SandboxLayout] = None):
+    ``arch`` selects the register file and the fixed-register
+    conventions; it defaults to the x86-64 backend.
+    """
+
+    def __init__(self, layout: Optional[SandboxLayout] = None, arch=None):
+        self.arch = arch or _default_architecture()
         self.layout = layout or SandboxLayout()
-        self.registers: Dict[str, int] = {name: 0 for name in GPR_NAMES}
-        self.flags: Dict[str, bool] = {flag: False for flag in FLAG_BITS}
+        regfile = self.arch.registers
+        self.registers: Dict[str, int] = {name: 0 for name in regfile.gpr_names}
+        self.flags: Dict[str, bool] = {flag: False for flag in regfile.flag_bits}
         self.memory = bytearray(self.layout.size)
         self._reset_fixed_registers()
 
     def _reset_fixed_registers(self) -> None:
-        self.registers[SANDBOX_BASE_REGISTER] = self.layout.base
-        self.registers["RSP"] = self.layout.stack_top
+        regfile = self.arch.registers
+        self.registers[regfile.sandbox_base_register] = self.layout.base
+        if regfile.stack_register is not None:
+            self.registers[regfile.stack_register] = self.layout.stack_top
 
     def load_input(self, input_data: InputData) -> None:
         """Reset the state and apply an input (paper §5.3 step 2)."""
-        for name in GPR_NAMES:
+        for name in self.arch.registers.gpr_names:
             self.registers[name] = 0
-        for flag in FLAG_BITS:
+        for flag in self.arch.registers.flag_bits:
             self.flags[flag] = False
         for name, value in input_data.registers.items():
             self.write_register(name, value)
@@ -134,13 +146,17 @@ class ArchState:
 
     def read_register(self, name: str) -> int:
         """Read a register view, masked to its width."""
-        canonical = canonical_register(name)
-        return self.registers[canonical] & _WIDTH_MASKS[register_width(name)]
+        regfile = self.arch.registers
+        return self.registers[regfile.canonical(name)] & _WIDTH_MASKS[
+            regfile.width(name)
+        ]
 
     def write_register(self, name: str, value: int) -> None:
-        """Write a register view with x86-64 merge/zero-extend semantics."""
-        canonical = canonical_register(name)
-        width = register_width(name)
+        """Write a register view: 64-bit writes replace, 32-bit writes
+        zero-extend (x86-64 and AArch64 agree), narrower views merge."""
+        regfile = self.arch.registers
+        canonical = regfile.canonical(name)
+        width = regfile.width(name)
         value &= _WIDTH_MASKS[width]
         if width >= 32:
             # 64-bit writes replace; 32-bit writes zero the upper half.

@@ -68,12 +68,14 @@ class Executor:
         mode: MeasurementMode = PRIME_PROBE,
         layout: Optional[SandboxLayout] = None,
         config: Optional[ExecutorConfig] = None,
+        arch=None,
     ):
         self.cpu_config = cpu_config
         self.mode = mode
         self.layout = layout or SandboxLayout()
         self.config = config or ExecutorConfig()
-        self.cpu = SpeculativeCPU(cpu_config, self.layout)
+        self.cpu = SpeculativeCPU(cpu_config, self.layout, arch)
+        self.arch = self.cpu.arch
         self._rng = random.Random(self.config.noise_seed)
         self.stats = MeasurementStats()
         #: per-input run info of the most recent priming sequence, used by

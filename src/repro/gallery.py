@@ -19,18 +19,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.isa.assembler import parse_program
+from repro.arch import get_architecture
 from repro.isa.instruction import TestCaseProgram
 
 
 @dataclass(frozen=True)
 class Gadget:
-    """One handwritten test case plus the setup it violates."""
+    """One handwritten test case plus the setup it violates.
+
+    All gallery gadgets are written in the x86-64 backend's syntax and
+    parse through its architecture descriptor (``arch`` names the
+    registry entry, so a gadget set for another backend can reuse this
+    class).
+    """
 
     name: str
     vulnerability: str
     asm: str
     description: str
+    #: ISA backend the gadget targets (registry name)
+    arch: str = "x86_64"
     #: contract expected to be violated
     contract: str = "CT-SEQ"
     #: CPU preset the gadget targets
@@ -46,7 +54,7 @@ class Gadget:
     references: Tuple[str, ...] = ()
 
     def program(self) -> TestCaseProgram:
-        return parse_program(self.asm, name=self.name)
+        return get_architecture(self.arch).parse_program(self.asm, name=self.name)
 
 
 SPECTRE_V1 = Gadget(

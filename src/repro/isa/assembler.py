@@ -8,7 +8,7 @@ counterexamples round-trip through text.
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.isa.instruction import (
     BasicBlock,
@@ -43,18 +43,31 @@ def render_instruction(instruction: Instruction) -> str:
     return str(instruction)
 
 
-def render_program(program: TestCaseProgram, numbered: bool = False) -> str:
-    """Render a program block-by-block, Figure 3 style."""
+def render_program_with(
+    program: TestCaseProgram,
+    render: "Callable[[Instruction], str]",
+    numbered: bool = False,
+) -> str:
+    """Render a program block-by-block with a per-ISA instruction renderer.
+
+    Shared by all architecture backends: block labelling and numbering
+    are syntax-neutral, only the instruction text differs.
+    """
     lines: List[str] = []
     for i, block in enumerate(program.blocks):
         prefix = f".{block.name}: " if i > 0 else ""
         instructions = list(block.instructions())
         for j, instruction in enumerate(instructions):
             label = prefix if j == 0 else " " * len(prefix)
-            lines.append(f"{label}{instruction}")
+            lines.append(f"{label}{render(instruction)}")
     if numbered:
         lines = [f"{i + 1:3d} {line}" for i, line in enumerate(lines)]
     return "\n".join(lines)
+
+
+def render_program(program: TestCaseProgram, numbered: bool = False) -> str:
+    """Render a program block-by-block, Figure 3 style."""
+    return render_program_with(program, render_instruction, numbered)
 
 
 def _parse_int(text: str) -> Optional[int]:
@@ -175,20 +188,24 @@ def parse_instruction(
     return Instruction(spec, operands, lock=lock)
 
 
-def parse_program(
+def parse_program_with(
     text: str,
-    name: str = "testcase",
-    instruction_set: Optional[InstructionSet] = None,
+    name: str,
+    parse_line: "Callable[[str], Instruction]",
+    comment_chars: str = "#;",
 ) -> TestCaseProgram:
-    """Parse a multi-line program into a :class:`TestCaseProgram`.
+    """Parse a multi-line program with a per-ISA line parser.
 
-    Lines starting with ``#`` or ``;`` (or inline after those characters)
-    are comments. Labels are ``.name:`` and may share a line with an
-    instruction, as in the paper's listings.
+    The block structure is syntax-neutral: lines starting with ``#`` or
+    ``;`` (or inline after those characters) are comments, labels are
+    ``.name:`` and may share a line with an instruction, as in the
+    paper's listings. ``//`` comments can be enabled via
+    ``comment_chars``.
     """
     blocks: List[BasicBlock] = [BasicBlock("entry")]
+    comment_re = re.compile("|".join(re.escape(c) for c in comment_chars))
     for raw_line in text.splitlines():
-        line = re.split(r"[#;]", raw_line, maxsplit=1)[0].strip()
+        line = comment_re.split(raw_line, maxsplit=1)[0].strip()
         if not line:
             continue
         label_match = re.match(r"^\.(\w+)\s*:\s*(.*)$", line)
@@ -197,7 +214,7 @@ def parse_program(
             line = label_match.group(2).strip()
             if not line:
                 continue
-        instruction = parse_instruction(line, instruction_set)
+        instruction = parse_line(line)
         block = blocks[-1]
         if instruction.is_control_flow and not instruction.is_call:
             block.terminators.append(instruction)
@@ -212,6 +229,17 @@ def parse_program(
     return TestCaseProgram(blocks=blocks, name=name)
 
 
+def parse_program(
+    text: str,
+    name: str = "testcase",
+    instruction_set: Optional[InstructionSet] = None,
+) -> TestCaseProgram:
+    """Parse a multi-line Intel-syntax program into a :class:`TestCaseProgram`."""
+    return parse_program_with(
+        text, name, lambda line: parse_instruction(line, instruction_set)
+    )
+
+
 def assemble(lines: Sequence[str], name: str = "testcase") -> TestCaseProgram:
     """Build a program from a list of instruction/label lines."""
     return parse_program("\n".join(lines), name=name)
@@ -221,6 +249,8 @@ __all__ = [
     "assemble",
     "parse_instruction",
     "parse_program",
+    "parse_program_with",
     "render_instruction",
     "render_program",
+    "render_program_with",
 ]

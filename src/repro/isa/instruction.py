@@ -197,6 +197,66 @@ class Instruction:
         return text
 
 
+class InstructionSet:
+    """A queryable collection of instruction specs (architecture-neutral).
+
+    Each backend's full catalog is an instance;
+    :meth:`repro.arch.base.Architecture.instruction_subset` builds the
+    per-experiment subsets of Table 2.
+    """
+
+    def __init__(self, specs: Sequence[InstructionSpec]):
+        self._specs: Tuple[InstructionSpec, ...] = tuple(specs)
+        self._by_mnemonic: Dict[str, List[InstructionSpec]] = {}
+        for spec in self._specs:
+            self._by_mnemonic.setdefault(spec.mnemonic, []).append(spec)
+
+    @property
+    def specs(self) -> Tuple[InstructionSpec, ...]:
+        return self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self):
+        return iter(self._specs)
+
+    def by_category(self, *categories: str) -> List[InstructionSpec]:
+        return [s for s in self._specs if s.category in categories]
+
+    def by_mnemonic(self, mnemonic: str) -> List[InstructionSpec]:
+        return list(self._by_mnemonic.get(mnemonic.upper(), []))
+
+    def find(
+        self,
+        mnemonic: str,
+        kinds: Sequence[str],
+        width: Optional[int] = None,
+    ) -> InstructionSpec:
+        """Find the spec matching a mnemonic and operand-kind shape.
+
+        ``kinds`` is a sequence like ``("REG", "IMM")``; ``width`` matches the
+        first operand's width when given. Used by the assembler parsers.
+        """
+        mnemonic = mnemonic.upper()
+        candidates = [
+            spec
+            for spec in self._by_mnemonic.get(mnemonic, [])
+            if tuple(t.kind for t in spec.operands) == tuple(kinds)
+        ]
+        if width is not None:
+            candidates = [
+                spec
+                for spec in candidates
+                if not spec.operands or spec.operands[0].width == width
+            ]
+        if not candidates:
+            raise KeyError(
+                f"no instruction form {mnemonic} {'/'.join(kinds)} width={width}"
+            )
+        return candidates[0]
+
+
 @dataclass
 class BasicBlock:
     """A basic block: a label, straight-line body and terminator jumps."""
@@ -319,6 +379,7 @@ __all__ = [
     "CATEGORIES",
     "OperandTemplate",
     "InstructionSpec",
+    "InstructionSet",
     "Instruction",
     "BasicBlock",
     "LinearProgram",

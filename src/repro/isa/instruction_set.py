@@ -16,7 +16,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.isa.instruction import InstructionSpec, OperandTemplate
+from repro.isa.instruction import (
+    InstructionSet,
+    InstructionSpec,
+    OperandTemplate,
+)
 
 #: All x86 condition codes implemented (16, as on real silicon).
 CONDITION_CODES: Tuple[str, ...] = (
@@ -244,12 +248,15 @@ def _unary_specs() -> List[InstructionSpec]:
 def _misc_ar_specs() -> List[InstructionSpec]:
     specs: List[InstructionSpec] = []
     for width in (16, 32, 64):
+        # SF/ZF/AF/PF are architecturally undefined after IMUL; the
+        # emulator defines them deterministically (like DIV), so the
+        # spec declares the full arithmetic-flag set as clobbered.
         specs.append(
             InstructionSpec(
                 "IMUL",
                 (_REG(width, src=True, dest=True), _REG(width)),
                 "AR",
-                flags_written=("CF", "PF", "ZF", "SF", "OF"),
+                flags_written=ARITH_FLAGS,
             )
         )
         specs.append(
@@ -257,7 +264,7 @@ def _misc_ar_specs() -> List[InstructionSpec]:
                 "IMUL",
                 (_REG(width, src=True, dest=True), _MEM(width)),
                 "MEM",
-                flags_written=("CF", "PF", "ZF", "SF", "OF"),
+                flags_written=ARITH_FLAGS,
             )
         )
     for width in WIDTHS:
@@ -379,65 +386,6 @@ def _build_catalog() -> List[InstructionSpec]:
 
 
 _CATALOG: List[InstructionSpec] = _build_catalog()
-
-
-class InstructionSet:
-    """A queryable collection of instruction specs.
-
-    The default instance contains the full catalog; :func:`instruction_subset`
-    builds the per-experiment subsets of Table 2.
-    """
-
-    def __init__(self, specs: Sequence[InstructionSpec]):
-        self._specs: Tuple[InstructionSpec, ...] = tuple(specs)
-        self._by_mnemonic: Dict[str, List[InstructionSpec]] = {}
-        for spec in self._specs:
-            self._by_mnemonic.setdefault(spec.mnemonic, []).append(spec)
-
-    @property
-    def specs(self) -> Tuple[InstructionSpec, ...]:
-        return self._specs
-
-    def __len__(self) -> int:
-        return len(self._specs)
-
-    def __iter__(self):
-        return iter(self._specs)
-
-    def by_category(self, *categories: str) -> List[InstructionSpec]:
-        return [s for s in self._specs if s.category in categories]
-
-    def by_mnemonic(self, mnemonic: str) -> List[InstructionSpec]:
-        return list(self._by_mnemonic.get(mnemonic.upper(), []))
-
-    def find(
-        self,
-        mnemonic: str,
-        kinds: Sequence[str],
-        width: Optional[int] = None,
-    ) -> InstructionSpec:
-        """Find the spec matching a mnemonic and operand-kind shape.
-
-        ``kinds`` is a sequence like ``("REG", "IMM")``; ``width`` matches the
-        first operand's width when given. Used by the assembler parser.
-        """
-        mnemonic = mnemonic.upper()
-        candidates = [
-            spec
-            for spec in self._by_mnemonic.get(mnemonic, [])
-            if tuple(t.kind for t in spec.operands) == tuple(kinds)
-        ]
-        if width is not None:
-            candidates = [
-                spec
-                for spec in candidates
-                if not spec.operands or spec.operands[0].width == width
-            ]
-        if not candidates:
-            raise KeyError(
-                f"no instruction form {mnemonic} {'/'.join(kinds)} width={width}"
-            )
-        return candidates[0]
 
 
 FULL_INSTRUCTION_SET = InstructionSet(_CATALOG)

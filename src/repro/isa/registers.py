@@ -1,18 +1,32 @@
-"""Register file description for the x86-64 subset.
+"""Register names: the cross-architecture view registry plus the x86-64
+register file.
 
-Canonical architectural registers are the 64-bit GPRs. Narrower register
-names (``EAX``, ``AX``, ``AL``, ``R8D``, ...) are *views* onto a canonical
-register, described by a width in bits. Writes to 32-bit views zero the
-upper half (x86-64 semantics); writes to 16/8-bit views merge.
+Two things live here:
 
-The FLAGS register is modelled as six independent boolean bits (CF, PF, AF,
-ZF, SF, OF), which is the subset that the implemented instructions read and
-write.
+1. **The view registry.** Operands and instructions validate and resolve
+   register names through :func:`canonical_register`,
+   :func:`register_width` and :func:`is_register`. The registry holds the
+   union of all registered architectures' register views (names are
+   namespaced by convention — ``RAX``/``R8D`` vs ``X0``/``W0`` — so the
+   union is collision-free); architecture backends contribute their views
+   via :func:`register_views` when they register themselves with
+   :mod:`repro.arch`. On a miss the registry lazily loads the built-in
+   backends, so ``RegisterOperand("X0")`` works without an explicit
+   ``import repro.arch``.
+
+2. **The x86-64 register file.** Canonical registers are the 64-bit
+   GPRs; narrower names (``EAX``, ``AX``, ``AL``, ``R8D``, ...) are
+   *views* described by a width in bits. Writes to 32-bit views zero the
+   upper half (x86-64 semantics); writes to 16/8-bit views merge. The
+   FLAGS register is modelled as six independent boolean bits (CF, PF,
+   AF, ZF, SF, OF). These constants remain here as the x86-64 backend's
+   data (re-exported by :mod:`repro.arch.x86_64`); pipeline code should
+   consume them through the architecture descriptor, never directly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Mapping, Tuple
 
 #: Canonical 64-bit general-purpose registers. R14 is reserved by the test
 #: case generator as the sandbox base pointer (as in the paper's Figure 3).
@@ -75,19 +89,52 @@ def _build_views() -> None:
 
 _build_views()
 
+#: The cross-architecture view registry: name -> (canonical, width).
+#: Seeded with the x86-64 views; other backends add theirs through
+#: :func:`register_views`.
+_ALL_VIEWS: Dict[str, Tuple[str, int]] = dict(_LEGACY_VIEWS)
+
+_BACKENDS_LOADED = False
+
+
+def register_views(views: Mapping[str, Tuple[str, int]]) -> None:
+    """Add an architecture's register views to the global registry."""
+    _ALL_VIEWS.update(
+        (name.upper(), (canonical.upper(), width))
+        for name, (canonical, width) in views.items()
+    )
+
+
+def _lookup(name: str) -> Tuple[str, int]:
+    key = name.upper()
+    try:
+        return _ALL_VIEWS[key]
+    except KeyError:
+        pass
+    # Lazily register the built-in backends (they contribute their views
+    # on import) and retry once: this keeps ``RegisterOperand("X0")``
+    # working even before repro.arch was imported explicitly.
+    global _BACKENDS_LOADED
+    if not _BACKENDS_LOADED:
+        _BACKENDS_LOADED = True
+        import repro.arch  # noqa: F401  (import side effect: registration)
+
+        try:
+            return _ALL_VIEWS[key]
+        except KeyError:
+            pass
+    raise ValueError(f"unknown register: {name!r}")
+
 
 def canonical_register(name: str) -> str:
-    """Return the canonical 64-bit register backing ``name``.
+    """Return the canonical register backing ``name`` (any architecture).
 
     >>> canonical_register("EAX")
     'RAX'
     >>> canonical_register("r9d")
     'R9'
     """
-    try:
-        return _LEGACY_VIEWS[name.upper()][0]
-    except KeyError:
-        raise ValueError(f"unknown register: {name!r}") from None
+    return _lookup(name)[0]
 
 
 def register_width(name: str) -> int:
@@ -96,15 +143,16 @@ def register_width(name: str) -> int:
     >>> register_width("AX")
     16
     """
-    try:
-        return _LEGACY_VIEWS[name.upper()][1]
-    except KeyError:
-        raise ValueError(f"unknown register: {name!r}") from None
+    return _lookup(name)[1]
 
 
 def is_register(name: str) -> bool:
     """Return True if ``name`` names a known register view."""
-    return name.upper() in _LEGACY_VIEWS
+    try:
+        _lookup(name)
+        return True
+    except ValueError:
+        return False
 
 
 def view_name(canonical: str, width: int) -> str:

@@ -34,9 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.isa.instruction import Instruction, LinearProgram
-from repro.isa.registers import FLAG_BITS, GPR_NAMES
 from repro.emulator.errors import EmulationFault, ExecutionLimitExceeded
-from repro.emulator.semantics import execute
 from repro.emulator.state import ArchState, InputData, SandboxLayout, Snapshot
 from repro.uarch.cache import L1DCache
 from repro.uarch.config import UarchConfig
@@ -108,7 +106,12 @@ class SpeculativeCPU:
     """A simulated CPU under test: black box from (program, input, context)
     to microarchitectural cache state."""
 
-    def __init__(self, config: UarchConfig, layout: Optional[SandboxLayout] = None):
+    def __init__(
+        self,
+        config: UarchConfig,
+        layout: Optional[SandboxLayout] = None,
+        arch=None,
+    ):
         self.config = config
         self.layout = layout or SandboxLayout()
         self.cache = L1DCache()
@@ -120,7 +123,8 @@ class SpeculativeCPU:
         )
         self.lfb = LineFillBuffer()
         self.assist_pages: Set[int] = set()
-        self.state = ArchState(self.layout)
+        self.state = ArchState(self.layout, arch)
+        self.arch = self.state.arch
 
     # -- context management (executor interface) ---------------------------
 
@@ -158,8 +162,9 @@ class SpeculativeCPU:
         config = self.config
         info = RunInfo()
 
-        reg_ready: Dict[str, int] = {name: 0 for name in GPR_NAMES}
-        flag_ready: Dict[str, int] = {flag: 0 for flag in FLAG_BITS}
+        regfile = self.arch.registers
+        reg_ready: Dict[str, int] = {name: 0 for name in regfile.gpr_names}
+        flag_ready: Dict[str, int] = {flag: 0 for flag in regfile.flag_bits}
         store_buffer: List[_StoreEntry] = []
         frames: List[_Frame] = []
         pc = 0
@@ -218,9 +223,10 @@ class SpeculativeCPU:
             instruction = linear.instructions[pc]
             speculative = bool(frames)
 
-            # LFENCE/MFENCE: wait for all older work; any open misprediction
+            # A serializing fence (LFENCE/MFENCE on x86, DSB/ISB on
+            # AArch64) waits for all older work; any open misprediction
             # resolves, squashing the wrong path the fence sits on.
-            if speculative and instruction.is_fence:
+            if speculative and self.arch.is_serializing(instruction):
                 pc = squash(earliest_frame())
                 continue
 
@@ -347,7 +353,7 @@ class SpeculativeCPU:
 
             # -- architectural execution ---------------------------------------
             try:
-                result = execute(instruction, state, pc, resolve_label)
+                result = self.arch.execute(instruction, state, pc, resolve_label)
             except EmulationFault:
                 # a fault inside speculation squashes; the rollback also
                 # undoes any pending value-injection patch
@@ -365,10 +371,10 @@ class SpeculativeCPU:
                     # architectural for the rest of the transient window
                     state.write_memory(address, size, value)
 
-            # -- division latency needs pre-division operands -------------------
-            if instruction.mnemonic in ("DIV", "IDIV"):
-                latency = self._division_latency_of(result)
-            elif instruction.mnemonic == "IMUL":
+            # -- division latency needs post-division results -------------------
+            if instruction.category == "VAR":
+                latency = self._division_latency_of(instruction)
+            elif instruction.mnemonic in self.arch.multiply_mnemonics:
                 latency = config.multiply_latency
             else:
                 latency = config.base_latency
@@ -475,14 +481,15 @@ class SpeculativeCPU:
                 return entry
         raise AssertionError("caller guarantees an unresolved overlap exists")
 
-    def _division_latency_of(self, result) -> int:
-        """Operand-dependent latency of a DIV/IDIV (the §6.3 leak source).
+    def _division_latency_of(self, instruction: Instruction) -> int:
+        """Operand-dependent latency of a division (the §6.3 leak source).
 
-        After execution RAX/EAX holds the quotient; the divider's latency
-        grows with the number of significant quotient bits, as on real
+        The architecture says where the quotient lands (RAX on x86, the
+        destination register on AArch64); the divider's latency grows
+        with the number of significant quotient bits, as on real
         radix-16 dividers.
         """
-        quotient = self.state.read_register("RAX")
+        quotient = self.arch.division_latency_value(self.state, instruction)
         return (
             self.config.div_base_latency
             + self.config.div_per_bit_latency * quotient.bit_length()

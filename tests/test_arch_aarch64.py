@@ -1,0 +1,244 @@
+"""Tests for the AArch64 backend: semantics, assembler, and the full
+MRT pipeline (generate -> contract trace -> uarch trace -> analyze ->
+minimize) running end to end on a second architecture."""
+
+import pytest
+
+from repro.arch import get_architecture
+from repro.contracts.contract import get_contract
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import Fuzzer, TestingPipeline
+from repro.core.input_gen import InputGenerator
+from repro.core.postprocessor import Postprocessor
+from repro.emulator.machine import Emulator
+from repro.emulator.state import ArchState, InputData, SandboxLayout
+
+ARCH = get_architecture("aarch64")
+
+
+def run_snippet(asm, registers=None, flags=None, memory=b""):
+    """Execute an AArch64 snippet; return the final state."""
+    program = ARCH.parse_program(asm)
+    emulator = Emulator(program, SandboxLayout(), ARCH)
+    emulator.run(
+        InputData(registers=registers or {}, flags=flags or {}, memory=memory)
+    )
+    return emulator.state
+
+
+class TestSemantics:
+    def test_three_operand_add(self):
+        state = run_snippet("ADD X0, X1, X2", {"X1": 40, "X2": 2})
+        assert state.read_register("X0") == 42
+        # plain ADD leaves NZCV untouched
+        assert not any(state.flags.values())
+
+    def test_subs_carry_is_inverted_borrow(self):
+        # AArch64: C set when NO borrow occurred (opposite of x86 CF)
+        state = run_snippet("SUBS X0, X1, X2", {"X1": 5, "X2": 3})
+        assert state.read_register("X0") == 2
+        assert state.read_flag("C") and not state.read_flag("N")
+        state = run_snippet("SUBS X0, X1, X2", {"X1": 3, "X2": 5})
+        assert not state.read_flag("C") and state.read_flag("N")
+
+    def test_adds_signed_overflow(self):
+        state = run_snippet(
+            "ADDS X0, X1, X2", {"X1": (1 << 63) - 1, "X2": 1}
+        )
+        assert state.read_flag("V") and state.read_flag("N")
+
+    def test_cmp_sets_zero_flag(self):
+        state = run_snippet("CMP X1, X2", {"X1": 7, "X2": 7})
+        assert state.read_flag("Z") and state.read_flag("C")
+
+    def test_udiv_by_zero_yields_zero(self):
+        state = run_snippet("UDIV X0, X1, X2", {"X1": 100, "X2": 0})
+        assert state.read_register("X0") == 0
+
+    def test_udiv_quotient(self):
+        state = run_snippet("UDIV X0, X1, X2", {"X1": 100, "X2": 7})
+        assert state.read_register("X0") == 14
+
+    def test_w_register_writes_zero_extend(self):
+        state = run_snippet(
+            "MOV W0, W1", {"X0": 0xDEADBEEF_00000000, "X1": 0x1_2345}
+        )
+        assert state.read_register("X0") == 0x1_2345
+
+    def test_ldr_str_round_trip(self):
+        state = run_snippet(
+            "STR X1, [X27, #64]\nLDR X2, [X27, #64]", {"X1": 0xABCD}
+        )
+        assert state.read_register("X2") == 0xABCD
+
+    def test_str_w_is_32_bit(self):
+        state = run_snippet(
+            "STR W1, [X27, #8]\nLDR X2, [X27, #8]",
+            {"X1": 0xFFFF_FFFF_FFFF_FFFF},
+        )
+        assert state.read_register("X2") == 0xFFFF_FFFF
+
+    def test_register_offset_addressing(self):
+        state = run_snippet(
+            "STR X1, [X27, X2]\nLDR X3, [X27, X2]", {"X1": 99, "X2": 128}
+        )
+        assert state.read_register("X3") == 99
+
+    def test_conditional_branch_on_nzcv(self):
+        # Z set -> B.EQ taken -> the MOV is skipped
+        state = run_snippet(
+            "B.EQ .end\nMOV X0, #1\n.end: NOP", flags={"Z": True}
+        )
+        assert state.read_register("X0") == 0
+        state = run_snippet(
+            "B.EQ .end\nMOV X0, #1\n.end: NOP", flags={"Z": False}
+        )
+        assert state.read_register("X0") == 1
+
+    def test_indirect_branch(self):
+        state = run_snippet(
+            "ADR X0, .skip\nBR X0\n.mid: MOV X1, #1\n.skip: NOP"
+        )
+        assert state.read_register("X1") == 0
+
+    def test_sandbox_base_is_fixed(self):
+        state = ArchState(SandboxLayout(), ARCH)
+        assert state.read_register("X27") == state.layout.base
+        state.load_input(InputData(registers={"X27": 5}))
+        # inputs cannot move the sandbox base
+        assert state.read_register("X27") == state.layout.base
+
+
+class TestAssembler:
+    def test_program_round_trip(self):
+        source = "\n".join(
+            [
+                "CMP X1, #0",
+                "B.NE .skip",
+                "AND X2, X2, #4032",
+                "LDR X3, [X27, X2]",
+                "STR W1, [X27, #16]",
+                ".skip: DSB",
+            ]
+        )
+        program = ARCH.parse_program(source)
+        rendered = ARCH.render_program(program)
+        again = ARCH.parse_program(rendered)
+        assert ARCH.render_program(again) == rendered
+
+    def test_condition_alias(self):
+        program = ARCH.parse_program("B.HS .end\n.end: NOP")
+        assert next(program.all_instructions()).mnemonic == "B.CS"
+
+    def test_comments(self):
+        program = ARCH.parse_program(
+            "MOV X0, #1 // move\nNOP ; trailing\n// full line\nNOP"
+        )
+        assert [i.mnemonic for i in program.all_instructions()] == [
+            "MOV",
+            "NOP",
+            "NOP",
+        ]
+
+    def test_x86_register_rejected(self):
+        with pytest.raises((ValueError, KeyError)):
+            ARCH.parse_program("MOV RAX, #1")
+
+
+SPECTRE_V1_A64 = """
+    B.PL .end
+    AND X1, X1, #0b111111000000
+    LDR X2, [X27, X1]
+.end: NOP
+"""
+
+
+class TestContractTraces:
+    def test_dsb_closes_speculation_window(self):
+        """The wrong-path load behind a DSB is never observed: the
+        architecture's serializing set closes the window."""
+        contract = get_contract("CT-COND")
+        layout = SandboxLayout()
+        naked = ARCH.parse_program(SPECTRE_V1_A64)
+        fenced = ARCH.parse_program(
+            """
+            B.PL .end
+            DSB
+            AND X1, X1, #0b111111000000
+            LDR X2, [X27, X1]
+        .end: NOP
+        """
+        )
+        input_data = InputData(registers={"X1": 0x180}, flags={"N": False})
+        naked_trace = contract.collect_trace(naked, input_data, layout, ARCH)
+        fenced_trace = contract.collect_trace(fenced, input_data, layout, ARCH)
+        assert layout.base + 0x180 in naked_trace.addresses("ld")
+        assert layout.base + 0x180 not in fenced_trace.addresses("ld")
+
+
+def aarch64_config(**overrides):
+    defaults = dict(
+        arch="aarch64",
+        instruction_subsets=("AR", "MEM", "CB"),
+        contract_name="CT-SEQ",
+        cpu_preset="skylake",
+        num_test_cases=120,
+        inputs_per_test_case=50,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return FuzzerConfig(**defaults)
+
+
+class TestPipeline:
+    def test_handwritten_v1_gadget_detected(self):
+        """The AArch64 Spectre-V1 analogue violates CT-SEQ on the
+        simulated CPU, exactly like the x86 gallery gadget."""
+        pipeline = TestingPipeline(aarch64_config())
+        program = ARCH.parse_program(SPECTRE_V1_A64, name="spectre-v1-a64")
+        generator = InputGenerator(
+            seed=42,
+            layout=pipeline.layout,
+            registers=ARCH.default_register_pool,
+            flag_bits=ARCH.registers.flag_bits,
+        )
+        found = None
+        count = 4
+        while count <= 128 and found is None:
+            found = pipeline.check_violation(
+                program, generator.generate(count), confirm=True
+            )
+            count *= 2
+        assert found is not None
+
+    def test_fuzz_finds_seeded_violation_end_to_end(self):
+        """Full pipeline on aarch64: generate -> contract trace ->
+        uarch trace -> analyze -> confirm."""
+        report = Fuzzer(aarch64_config()).run()
+        assert report.found
+        violation = report.violation
+        assert violation.arch_name == "aarch64"
+        assert violation.classification.startswith("V1")
+        # the report renders in AArch64 syntax
+        assert "X27" in violation.describe()
+        assert "R14" not in violation.describe()
+
+    def test_minimization_inserts_dsb_fences(self):
+        """Stage-3 postprocessing on aarch64 uses the architecture's
+        fence, and the leak region honours DSB/ISB."""
+        fuzzer = Fuzzer(aarch64_config())
+        report = fuzzer.run()
+        assert report.found
+        result = Postprocessor(fuzzer.pipeline).minimize(
+            report.violation.program, list(report.violation.input_sequence)
+        )
+        assert result.instruction_count <= report.violation.program.num_instructions
+        assert result.serializing == frozenset({"DSB", "ISB"})
+        mnemonics = {
+            instruction.mnemonic
+            for instruction in result.program.all_instructions()
+        }
+        if result.fences_inserted:
+            assert "DSB" in mnemonics
+            assert "LFENCE" not in mnemonics
+        assert result.leak_region()  # something is left leaking

@@ -1,0 +1,325 @@
+"""Tests for the architecture-plugin layer (repro.arch).
+
+The core guarantee of the registry: for *every* registered backend,
+every catalog entry can be instantiated the way the generator would,
+round-tripped through the backend's assembler, and single-stepped on the
+emulator — and the execution's observable register/flag writes stay
+within the spec's declared clobbers. A backend whose semantics disagree
+with its own catalog metadata would silently corrupt the dependency
+analysis (issue cycles, pattern mining), so this is checked exhaustively.
+
+Also here: the renamed-fence regression tests. Contracts and the
+postprocessor must consult the architecture's serializing-instruction
+set; a hard-coded ``"LFENCE"`` check would mis-handle any backend (or
+any renamed fence).
+"""
+
+import os
+
+import pytest
+
+from repro.arch import Architecture, architecture_names, get_architecture
+from repro.arch.x86_64 import X86_64
+from repro.contracts.contract import get_contract
+from repro.emulator.state import ArchState, InputData, SandboxLayout
+from repro.isa.instruction import Instruction
+from repro.isa.operands import (
+    AgenOperand,
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    RegisterOperand,
+)
+from repro.isa.registers import canonical_register, is_register, register_width
+from repro.core.postprocessor import MinimizationResult
+
+ARCHS = architecture_names()
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert "x86_64" in ARCHS
+        assert "aarch64" in ARCHS
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_architecture("X86_64") is get_architecture("x86_64")
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(KeyError, match="unknown architecture"):
+            get_architecture("riscv64")
+
+    def test_descriptor_fields_populated(self):
+        for name in ARCHS:
+            arch = get_architecture(name)
+            assert arch.name == name
+            assert arch.registers.gpr_names
+            assert arch.registers.flag_bits
+            assert arch.registers.sandbox_base_register in arch.registers.gpr_names
+            assert len(arch.instruction_set) > 0
+            assert arch.condition_codes
+            assert arch.serializing_instructions
+            assert arch.fence_mnemonic in arch.serializing_instructions
+            assert arch.default_register_pool
+            # the fence is constructible from the catalog
+            assert arch.fence_instruction().mnemonic == arch.fence_mnemonic
+            # every condition code has a branch in the catalog
+            for code in arch.condition_codes:
+                spec = arch.instruction_set.find(
+                    arch.cond_branch_mnemonic(code), ("LABEL",)
+                )
+                assert spec.category == "CB"
+
+    def test_subset_expressions(self):
+        for name in ARCHS:
+            arch = get_architecture(name)
+            subset = arch.parse_subset_expression("AR+MEM+CB")
+            assert len(subset) > 0
+            categories = {spec.category for spec in subset}
+            assert categories <= {"AR", "MEM", "VAR", "CB", "UNCOND"}
+            with pytest.raises(ValueError):
+                arch.instruction_subset(["NOPE"])
+
+    def test_register_view_registry_spans_architectures(self):
+        # x86 and aarch64 names resolve through the same global registry
+        assert canonical_register("EAX") == "RAX"
+        assert canonical_register("W5") == "X5"
+        assert register_width("W5") == 32
+        assert register_width("X5") == 64
+        assert is_register("R14") and is_register("X27")
+        assert not is_register("XZR")
+
+    def test_view_names_round_trip(self):
+        for name in ARCHS:
+            regfile = get_architecture(name).registers
+            for canonical in regfile.gpr_names:
+                assert regfile.view_name(canonical, 64) == canonical
+                narrow = regfile.view_name(canonical, 32)
+                assert regfile.canonical(narrow) == canonical
+                assert regfile.width(narrow) == 32
+
+
+# -- exhaustive catalog round-trip (generator -> assembler -> emulator) -------
+
+
+def _concrete_operands(arch, spec):
+    """Instantiate a spec the way the generator would (deterministically)."""
+    pool = list(arch.default_register_pool)
+    if spec.category == "VAR":
+        pool = list(arch.division_register_pool(pool))
+    operands = []
+    position = 0
+    for template in spec.operands:
+        if template.kind == "REG":
+            register = pool[position % len(pool)]
+            position += 1
+            operands.append(
+                RegisterOperand(
+                    arch.registers.view_name(register, template.width)
+                )
+            )
+        elif template.kind == "IMM":
+            operands.append(ImmediateOperand(3))
+        elif template.kind == "MEM":
+            operands.append(
+                MemoryOperand(
+                    arch.registers.sandbox_base_register,
+                    pool[0],
+                    displacement=16,
+                    width=template.width,
+                )
+            )
+        elif template.kind == "AGEN":
+            operands.append(
+                AgenOperand(
+                    arch.registers.sandbox_base_register, pool[0], 16
+                )
+            )
+        elif template.kind == "LABEL":
+            operands.append(LabelOperand("target"))
+        else:  # pragma: no cover
+            raise AssertionError(template.kind)
+    return tuple(operands)
+
+
+def _prepared_state(arch):
+    """A state whose pool registers hold small values (sandbox-safe
+    addresses, non-faulting divisions)."""
+    state = ArchState(SandboxLayout(), arch)
+    for register in arch.default_register_pool:
+        state.write_register(register, 3)
+    return state
+
+
+@pytest.mark.parametrize("arch_name", ARCHS)
+def test_catalog_round_trips_and_single_steps(arch_name):
+    """Satellite guarantee: every catalog entry survives
+    generator-style instantiation -> render -> parse, and a single
+    emulator step honours the spec's declared register/flag clobbers."""
+    arch = get_architecture(arch_name)
+    resolve = lambda label: 7
+
+    for spec in arch.instruction_set:
+        instruction = Instruction(spec, _concrete_operands(arch, spec))
+
+        # -- assembler round trip ------------------------------------------
+        rendered = arch.render_instruction(instruction)
+        reparsed_program = arch.parse_program(rendered)
+        reparsed = list(reparsed_program.all_instructions())
+        assert len(reparsed) == 1, rendered
+        parsed = reparsed[0]
+        assert parsed.mnemonic == instruction.mnemonic, rendered
+        assert parsed.category == instruction.category, rendered
+        assert [str(op) for op in parsed.operands] == [
+            str(op) for op in instruction.operands
+        ], rendered
+
+        # -- emulator single step under both flag polarities ----------------
+        for polarity in (False, True):
+            state = _prepared_state(arch)
+            for flag in arch.registers.flag_bits:
+                state.write_flag(flag, polarity)
+            # division guards make the (possibly faulting) division safe,
+            # exactly as the generator instruments it
+            if spec.category == "VAR":
+                for guard in arch.division_guards(instruction):
+                    arch.execute(guard, state, 0, resolve)
+            registers_before = dict(state.registers)
+            flags_before = dict(state.flags)
+
+            result = arch.execute(instruction, state, 0, resolve)
+            assert result.instruction is instruction
+
+            changed_registers = {
+                name
+                for name, value in state.registers.items()
+                if registers_before[name] != value
+            }
+            declared = set(instruction.registers_written())
+            assert changed_registers <= declared, (
+                f"{rendered}: wrote {changed_registers - declared} "
+                f"beyond declared clobbers {declared}"
+            )
+            changed_flags = {
+                flag
+                for flag, value in state.flags.items()
+                if flags_before[flag] != value
+            }
+            declared_flags = set(spec.flags_written)
+            assert changed_flags <= declared_flags, (
+                f"{rendered}: clobbered flags {changed_flags - declared_flags} "
+                f"beyond declared {declared_flags}"
+            )
+
+
+# -- CI matrix entry point: fuzz whichever backend REPRO_ARCH selects ---------
+
+#: per-backend budgets known to surface a V1-style violation quickly
+_SMOKE_BUDGETS = {
+    "x86_64": dict(seed=7, num_test_cases=160, inputs_per_test_case=25),
+    "aarch64": dict(seed=3, num_test_cases=120, inputs_per_test_case=50),
+}
+
+
+def test_env_selected_arch_fuzzes_end_to_end():
+    """CI runs the suite as a matrix over REPRO_ARCH; this smoke test
+    drives the full generate -> trace -> analyze pipeline on whichever
+    backend the matrix leg selects (x86_64 when unset)."""
+    from repro.core.config import FuzzerConfig
+    from repro.core.fuzzer import Fuzzer
+
+    arch_name = os.environ.get("REPRO_ARCH", "x86_64")
+    config = FuzzerConfig(
+        arch=arch_name,
+        instruction_subsets=("AR", "MEM", "CB"),
+        contract_name="CT-SEQ",
+        cpu_preset="skylake-v4-patched",
+        **_SMOKE_BUDGETS[arch_name],
+    )
+    report = Fuzzer(config).run()
+    assert report.found
+    assert report.violation.arch_name == arch_name
+
+
+# -- renamed-fence regression (serializing set, not a literal mnemonic) -------
+
+
+class RenamedFenceArch(X86_64):
+    """x86-64 with the serializing set renamed: only MFENCE serializes.
+
+    If any layer still checked the literal ``"LFENCE"``, traces and leak
+    regions under this backend would silently keep x86 behaviour.
+    """
+
+    name = "x86_64-renamed-fence"
+    serializing_instructions = frozenset({"MFENCE"})
+    fence_mnemonic = "MFENCE"
+
+
+class TestRenamedFence:
+    GADGET = """
+        JNS .end
+        LFENCE
+        AND RBX, 0b111111000000
+        MOV RCX, qword ptr [R14 + RBX]
+    .end: NOP
+    """
+
+    def _trace(self, arch, flags):
+        program = get_architecture("x86_64").parse_program(self.GADGET)
+        contract = get_contract("CT-COND")
+        layout = SandboxLayout()
+        input_data = InputData(registers={"RBX": 0x140}, flags=flags)
+        return contract.collect_trace(program, input_data, layout, arch)
+
+    def test_contract_uses_architecture_serializing_set(self):
+        # Branch taken (SF clear is false -> JNS not taken? use SF=False
+        # so JNS *is* taken and the wrong path is the fallthrough).
+        flags = {"SF": False}
+        default_trace = self._trace(get_architecture("x86_64"), flags)
+        renamed_trace = self._trace(RenamedFenceArch(), flags)
+        # Default backend: LFENCE closes the window before the wrong-path
+        # load; renamed backend: LFENCE no longer serializes, the load's
+        # address is observed.
+        assert 0x10140 not in default_trace.addresses("ld")
+        assert 0x10140 in renamed_trace.addresses("ld")
+
+    def test_leak_region_uses_architecture_serializing_set(self):
+        program = get_architecture("x86_64").parse_program(
+            """
+            LFENCE
+            MOV RAX, qword ptr [R14 + 8]
+            """
+        )
+        shielded = MinimizationResult(
+            program=program,
+            inputs=[],
+            original_instruction_count=2,
+            original_input_count=0,
+            serializing=frozenset({"LFENCE", "MFENCE"}),
+        )
+        assert shielded.leak_region() == []
+        renamed = MinimizationResult(
+            program=program,
+            inputs=[],
+            original_instruction_count=2,
+            original_input_count=0,
+            serializing=frozenset({"MFENCE"}),
+        )
+        # under the renamed set the LFENCE is an ordinary instruction:
+        # it no longer closes the region and the load stays leaking
+        assert renamed.leak_region() == [
+            "LFENCE",
+            "MOV RAX, qword ptr [R14 + 8]",
+        ]
+
+    def test_leak_region_defaults_to_x86_backend(self):
+        program = get_architecture("x86_64").parse_program(
+            "LFENCE\nMOV RAX, qword ptr [R14 + 8]"
+        )
+        result = MinimizationResult(
+            program=program,
+            inputs=[],
+            original_instruction_count=2,
+            original_input_count=0,
+        )
+        assert result.leak_region() == []

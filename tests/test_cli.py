@@ -31,6 +31,18 @@ class TestParser:
         assert args.shards is None
         assert args.cache is False
         assert args.cache_entries == 65536
+        assert args.first_violation is False
+
+    def test_arch_flag(self):
+        args = build_parser().parse_args(["fuzz", "--arch", "aarch64"])
+        assert args.arch == "aarch64"
+        assert build_parser().parse_args(["fuzz"]).arch == "x86_64"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--arch", "riscv64"])
+
+    def test_campaign_first_violation_flag(self):
+        args = build_parser().parse_args(["campaign", "--first-violation"])
+        assert args.first_violation is True
 
     def test_campaign_custom(self):
         args = build_parser().parse_args(
@@ -90,3 +102,30 @@ class TestCommands:
         assert code == 0
         output = capsys.readouterr().out
         assert "ld:" in output
+
+    def test_trace_command_aarch64(self, tmp_path, capsys):
+        asm = tmp_path / "gadget.s"
+        asm.write_text("LDR X1, [X27, #64]\n")
+        code = main(
+            ["trace", str(asm), "--arch", "aarch64", "-c", "MEM-SEQ",
+             "-i", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ld:" in output
+        assert "X27" in output
+
+    def test_fuzz_aarch64_finds_violation(self, capsys):
+        code = main(
+            ["fuzz", "--arch", "aarch64", "-s", "AR+MEM+CB", "-n", "120",
+             "-i", "50", "--seed", "3"]
+        )
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "contract violation" in output
+        assert "aarch64" in output
+
+    def test_list_shows_architectures(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "aarch64" in output and "x86_64" in output

@@ -186,3 +186,77 @@ class TestCampaignRuns:
             CampaignRunner(quick_config(), workers=0)
         with pytest.raises(ValueError):
             CampaignRunner(quick_config(), workers=2, shards=0)
+        with pytest.raises(ValueError):
+            CampaignRunner(quick_config(), mode="sometimes")
+
+
+def violating_config(**overrides):
+    """A config whose shards reliably find a V1 within their budget."""
+    defaults = dict(
+        instruction_subsets=("AR", "MEM", "CB"),
+        num_test_cases=160,
+        inputs_per_test_case=25,
+        diversity_feedback=True,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return quick_config(**defaults)
+
+
+class TestFirstViolationMode:
+    def test_fuzzer_honours_stop_signal(self):
+        from repro.core.fuzzer import Fuzzer
+
+        report = Fuzzer(quick_config()).run(should_stop=lambda: True)
+        assert report.cancelled
+        assert report.test_cases == 0
+
+    def test_inline_early_cancel_skips_remaining_shards(self):
+        config = violating_config()
+        full = CampaignRunner(config, workers=1, shards=4).run()
+        early = CampaignRunner(
+            config, workers=1, shards=4, mode="first-violation"
+        ).run()
+        assert full.found and early.found
+        assert early.mode == "first-violation"
+        winner = early.winning_shard
+        # shards up to and including the winner ran exactly as in full
+        # mode (merged-report determinism for completed shards) ...
+        for index in range(winner + 1):
+            assert (
+                early.shard_reports[index].test_cases
+                == full.shard_reports[index].test_cases
+            )
+            assert not early.shard_reports[index].cancelled
+        # ... and every later shard was cancelled without spending budget
+        for index in range(winner + 1, 4):
+            assert early.shard_reports[index].cancelled
+            assert early.shard_reports[index].test_cases == 0
+        assert early.cancelled_shards == 4 - (winner + 1)
+        assert early.merged.test_cases <= full.merged.test_cases
+        assert (
+            early.violation.test_cases_until_found
+            == full.shard_reports[winner].violation.test_cases_until_found
+        )
+
+    def test_inline_clean_campaign_runs_everything(self):
+        report = CampaignRunner(
+            quick_config(), workers=1, shards=2, mode="first-violation"
+        ).run()
+        assert not report.found
+        assert report.cancelled_shards == 0
+        assert sum(r.test_cases for r in report.shard_reports) == 16
+
+    def test_pooled_early_cancel(self):
+        config = violating_config()
+        report = CampaignRunner(
+            config, workers=2, shards=2, mode="first-violation"
+        ).run()
+        assert report.found
+        assert report.violation.classification.startswith("V1")
+        # no shard overshoots its deterministic budget
+        budgets = shard_budgets(config.num_test_cases, 2)
+        for shard, budget in zip(report.shard_reports, budgets):
+            assert shard.test_cases <= budget
+        if report.cancelled_shards:
+            assert "cancelled early" in report.summary()
