@@ -1,4 +1,4 @@
-"""Ablation benchmarks for the design choices DESIGN.md calls out:
+"""Ablation benchmarks for the paper's load-bearing design choices:
 
 1. analyzer trace equivalence: subset vs strict (§5.5);
 2. input entropy masking vs input effectiveness (§5.2, CH2);

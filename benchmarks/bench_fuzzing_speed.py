@@ -4,7 +4,7 @@ The paper reports over 200 test cases per hour (with several hundred
 inputs each) on real silicon, where each measurement involves 50 kernel-
 module repetitions. The simulator is much faster per case; the bench
 times a non-detecting configuration and reports cases/hour and
-inputs/second for the record in EXPERIMENTS.md.
+inputs/second for the record.
 """
 
 from repro.core.config import FuzzerConfig

@@ -5,7 +5,8 @@ the corresponding experiment on the simulated CPUs and prints the same
 rows/series the paper reports. Absolute numbers differ (the substrate is
 a simulator, not the authors' Skylake/Coffee Lake testbeds); the *shape*
 — who wins, which cells are violated, relative detection effort — is the
-reproduction target. Expected-vs-measured notes live in EXPERIMENTS.md.
+reproduction target. Expected-vs-measured notes live in each
+benchmark's docstring.
 
 Budgets are deliberately modest so `pytest benchmarks/ --benchmark-only`
 finishes in minutes; set REPRO_BENCH_SCALE=N to multiply search budgets.

@@ -5,7 +5,7 @@ against Speculation Contracts"* (ASPLOS 2022) as a self-contained Python
 library. The real Intel CPUs are replaced by a deterministic speculative
 CPU simulator (:mod:`repro.uarch`); everything else — contracts, the
 executor logic, the relational analyzer, generators, pattern coverage and
-the postprocessor — follows the paper's design (see DESIGN.md).
+the postprocessor — follows the paper's design (see docs/index.md).
 
 Quickstart::
 

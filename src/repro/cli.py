@@ -4,6 +4,7 @@ Subcommands:
 
 - ``fuzz``      run a fuzzing campaign against one target/contract;
 - ``campaign``  run the same campaign sharded over N worker processes;
+- ``sweep``     run a campaign grid over arch x contract x cpu;
 - ``reproduce`` run a handwritten gadget from the gallery;
 - ``trace``     print contract trace(s) of an assembly file;
 - ``minimize``  fuzz until a violation, then postprocess it;
@@ -14,6 +15,8 @@ Examples::
     revizor fuzz -s AR+MEM+CB -c CT-SEQ --cpu skylake -n 200 -i 50
     revizor fuzz --arch aarch64 -s AR+MEM+CB -n 200 -i 50
     revizor campaign -s AR+MEM+CB -n 2000 --workers 8 --cache
+    revizor sweep --arch x86_64,aarch64 --contract CT-SEQ,CT-COND \
+        --cpu skylake,coffee-lake -n 100 --cache-dir /tmp/traces
 
 ``--arch`` selects the ISA backend (x86_64 default, aarch64); it is
 plumbed through the campaign workers, so sharded campaigns fuzz the
@@ -34,6 +37,7 @@ from repro.emulator.state import SandboxLayout
 from repro.contracts import contract_names, get_contract
 from repro.core.campaign import CampaignRunner
 from repro.core.config import FuzzerConfig, GeneratorConfig
+from repro.core.sweep import SweepRunner, SweepSpec
 from repro.core.fuzzer import Fuzzer, TestingPipeline
 from repro.core.input_gen import InputGenerator
 from repro.core.postprocessor import Postprocessor
@@ -58,6 +62,7 @@ def _build_config(args: argparse.Namespace) -> FuzzerConfig:
         generator=GeneratorConfig(sandbox_pages=args.pages),
         contract_trace_cache=args.cache,
         trace_cache_entries=args.cache_entries,
+        trace_cache_dir=args.cache_dir,
     )
 
 
@@ -96,6 +101,10 @@ def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
                         help="memoize contract traces across collections")
     parser.add_argument("--cache-entries", type=_positive_int, default=65536,
                         help="LRU capacity of the contract-trace cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory of the persistent cross-process "
+                        "trace cache (implies --cache); shared by campaign "
+                        "shard workers, sweep cells and later runs")
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -138,6 +147,70 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(report.violation.describe())
         return 1
     return 0
+
+
+def _axis_list(text: str) -> List[str]:
+    """Parse one comma-separated sweep axis, e.g. ``x86_64,aarch64``."""
+    values = [value.strip() for value in text.split(",") if value.strip()]
+    if not values:
+        raise argparse.ArgumentTypeError("expected a comma-separated list")
+    return values
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a campaign grid over ``arch x contract x cpu``.
+
+    Each grid cell is one sharded campaign (see ``campaign``) with a
+    deterministic cell seed derived from ``--seed`` and the cell's
+    (arch, contract) coordinates — cells along the cpu axis replay the
+    identical test battery, so with ``--cache-dir`` they share contract
+    traces through the persistent cache. Prints the per-arch violation
+    matrix; ``--json`` additionally writes the full report. Exits 1
+    when any cell surfaced a violation, like ``fuzz``.
+    """
+    spec = SweepSpec(
+        arches=tuple(args.arch),
+        contracts=tuple(args.contract),
+        cpus=tuple(args.cpu),
+        base_config=_build_config(
+            replace_namespace(args, arch="x86_64", contract="CT-SEQ",
+                              cpu="skylake")
+        ),
+        workers=args.workers,
+        shards=args.shards,
+        mode="first-violation" if args.first_violation else "full",
+        total_budget=args.total_budget,
+    )
+    cells = spec.cells()
+    print(f"sweeping {len(cells)} cells "
+          f"({len(spec.arches)} arch x {len(spec.contracts)} contract x "
+          f"{len(spec.cpus)} cpu), {args.workers} worker(s) per cell")
+
+    def progress(cell, campaign):
+        print(f"  {cell.label}: {campaign.merged.summary()}")
+
+    report = SweepRunner(spec, cache_dir=args.cache_dir).run(
+        progress=progress
+    )
+    print()
+    print(report.to_markdown())
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w") as handle:
+            _json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nfull report written to {args.json}")
+    return 1 if report.violations_found else 0
+
+
+def replace_namespace(args: argparse.Namespace, **overrides):
+    """A shallow namespace copy with some attributes replaced (the sweep
+    axes are lists; ``_build_config`` expects the scalar fields)."""
+    clone = argparse.Namespace(**vars(args))
+    for name, value in overrides.items():
+        setattr(clone, name, value)
+    return clone
 
 
 def cmd_minimize(args: argparse.Namespace) -> int:
@@ -264,6 +337,70 @@ def build_parser() -> argparse.ArgumentParser:
         "violation instead of draining the full budget",
     )
     campaign_parser.set_defaults(handler=cmd_campaign)
+
+    sweep_parser = commands.add_parser(
+        "sweep",
+        help="run a campaign grid over arch x contract x cpu",
+    )
+    sweep_parser.add_argument(
+        "--arch", type=_axis_list, default=["x86_64"],
+        help="comma-separated ISA backends, e.g. x86_64,aarch64",
+    )
+    sweep_parser.add_argument(
+        "--contract", type=_axis_list, default=["CT-SEQ"],
+        help="comma-separated contracts, e.g. CT-SEQ,CT-COND",
+    )
+    sweep_parser.add_argument(
+        "--cpu", type=_axis_list, default=["skylake"],
+        help="comma-separated CPU presets, e.g. skylake,coffee-lake",
+    )
+    sweep_parser.add_argument("-s", "--subsets", default="AR+MEM+CB",
+                              help="instruction subsets, e.g. AR+MEM+CB")
+    sweep_parser.add_argument("-m", "--mode", default="P+P",
+                              help="executor mode (P+P, F+R, E+R, ...)")
+    sweep_parser.add_argument("-n", "--num-test-cases", type=int, default=100,
+                              help="test-case budget per grid cell")
+    sweep_parser.add_argument(
+        "--total-budget", type=_positive_int, default=None,
+        help="grid-wide budget split over the cells (overrides -n)",
+    )
+    sweep_parser.add_argument("-i", "--inputs", type=int, default=50,
+                              help="inputs per test case")
+    sweep_parser.add_argument("-e", "--entropy", type=int, default=2,
+                              help="PRNG entropy bits")
+    sweep_parser.add_argument("--timeout", type=float, default=None,
+                              help="wall-clock budget per shard in seconds")
+    sweep_parser.add_argument("--analyzer", default="subset",
+                              choices=("subset", "strict"))
+    sweep_parser.add_argument("--pages", type=int, default=1,
+                              help="sandbox pages used by generated code")
+    sweep_parser.add_argument("--seed", type=int, default=0,
+                              help="base seed the per-cell seeds derive from")
+    sweep_parser.add_argument(
+        "-w", "--workers", type=_positive_int, default=1,
+        help="worker processes per grid cell",
+    )
+    sweep_parser.add_argument(
+        "--shards", type=_positive_int, default=None,
+        help="seed/budget shards per cell (default: one per worker)",
+    )
+    sweep_parser.add_argument(
+        "--first-violation", action="store_true",
+        help="cancel each cell's remaining shards at its first violation",
+    )
+    sweep_parser.add_argument("--cache", action="store_true",
+                              help="memoize contract traces in memory")
+    sweep_parser.add_argument("--cache-entries", type=_positive_int,
+                              default=65536,
+                              help="LRU capacity of the trace cache")
+    sweep_parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent trace cache shared by every cell and shard "
+        "worker of the sweep (and by later runs)",
+    )
+    sweep_parser.add_argument("--json", default=None, metavar="PATH",
+                              help="write the full sweep report as JSON")
+    sweep_parser.set_defaults(handler=cmd_sweep)
 
     minimize_parser = commands.add_parser(
         "minimize", help="fuzz until a violation, then minimize it"

@@ -33,6 +33,13 @@ from repro.core.campaign import (
     CampaignRunner,
     run_campaign,
 )
+from repro.core.sweep import (
+    SweepCell,
+    SweepReport,
+    SweepRunner,
+    SweepSpec,
+    run_sweep,
+)
 
 __all__ = [
     "ALL_PATTERNS",
@@ -50,6 +57,10 @@ __all__ = [
     "PatternCoverage",
     "Postprocessor",
     "RelationalAnalyzer",
+    "SweepCell",
+    "SweepReport",
+    "SweepRunner",
+    "SweepSpec",
     "TestCaseGenerator",
     "TestingPipeline",
     "Violation",
@@ -58,4 +69,5 @@ __all__ = [
     "patterns_in_log",
     "program_fingerprint",
     "run_campaign",
+    "run_sweep",
 ]

@@ -136,6 +136,7 @@ def merge_reports(
         merged.unconfirmed_candidates += report.unconfirmed_candidates
         merged.contract_emulations += report.contract_emulations
         merged.trace_cache_hits += report.trace_cache_hits
+        merged.trace_cache_disk_hits += report.trace_cache_disk_hits
         effectiveness_weighted += report.mean_effectiveness * report.test_cases
         if report.coverage is not None:
             merged.coverage.covered |= report.coverage.covered

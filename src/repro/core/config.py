@@ -103,6 +103,10 @@ class FuzzerConfig:
     contract_trace_cache: bool = False
     #: LRU capacity of the trace cache when enabled
     trace_cache_entries: int = 65536
+    #: directory of the persistent cross-process trace cache; setting it
+    #: implies caching and shares results between campaign shard workers,
+    #: sweep cells with the same (arch, contract) pair, and later runs
+    trace_cache_dir: Optional[str] = None
 
     seed: int = 0
 

@@ -39,7 +39,11 @@ from repro.core.patterns import (
     available_patterns_for_subsets,
     patterns_in_log,
 )
-from repro.core.trace_cache import ContractTraceCache, program_fingerprint
+from repro.core.trace_cache import (
+    ContractTraceCache,
+    make_trace_cache,
+    program_fingerprint,
+)
 from repro.core.violation import Violation, classify_speculation_kinds
 
 
@@ -83,8 +87,12 @@ class TestingPipeline:
         self.contract: Contract = get_contract(
             config.contract_name, speculation_window=config.speculation_window
         )
-        if trace_cache is None and config.contract_trace_cache:
-            trace_cache = ContractTraceCache(config.trace_cache_entries)
+        if trace_cache is None:
+            trace_cache = make_trace_cache(
+                config.contract_trace_cache,
+                config.trace_cache_dir,
+                config.trace_cache_entries,
+            )
         self.trace_cache = trace_cache
         self.contract_emulations = 0
         self.analyzer = RelationalAnalyzer(config.analyzer_mode)
@@ -295,6 +303,9 @@ class FuzzingReport:
     contract_emulations: int = 0
     #: emulations skipped by the contract-trace cache
     trace_cache_hits: int = 0
+    #: subset of the hits served from the persistent on-disk tier, i.e.
+    #: traces computed by another process or an earlier run
+    trace_cache_disk_hits: int = 0
 
     @property
     def found(self) -> bool:
@@ -413,6 +424,9 @@ class Fuzzer:
         report.contract_emulations = self.pipeline.contract_emulations
         if self.pipeline.trace_cache is not None:
             report.trace_cache_hits = self.pipeline.trace_cache.stats.hits
+            report.trace_cache_disk_hits = (
+                self.pipeline.trace_cache.stats.disk_hits
+            )
         return report
 
     # -- diversity feedback ------------------------------------------------------

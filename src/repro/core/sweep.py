@@ -1,0 +1,445 @@
+"""Cross-ISA sweeps: campaign grids over ``arch x contract x cpu``.
+
+The paper's headline evaluation is a grid (Table 3): run the MRT loop
+once per target CPU per contract and report which cells surface
+violations, and how fast (Table 4). With the architecture-plugin layer
+the same grid extends across ISAs, so fence/serialization findings are
+reported *per architecture* instead of per hard-coded ISA ("Don't sit
+on the fence"): the same sweep shows LFENCE-bounded speculation on
+x86-64 next to DSB/ISB-bounded speculation on AArch64.
+
+- :class:`SweepSpec` describes the grid: the three axes, a base
+  :class:`FuzzerConfig` every cell inherits, and the per-cell campaign
+  shape (workers/shards/mode). Each cell fuzzes with a deterministic
+  seed derived by :func:`derive_cell_seed` — the cell-level mirror of
+  :func:`repro.core.campaign.derive_shard_seed`. The derivation mixes
+  the base seed with the ``(arch, contract)`` coordinates but
+  **deliberately not the cpu**: cells along the cpu axis replay the
+  identical program/input battery, which is both the fair comparison
+  (same tests against every CPU) and what lets them share contract
+  traces through the persistent cache.
+- :class:`SweepRunner` executes each cell through the existing
+  :class:`~repro.core.campaign.CampaignRunner` and merges the outcomes
+  into a :class:`SweepReport`: the violation matrix, detection time to
+  first violation per cell, and observed shard concurrency. When a
+  ``cache_dir`` is set, every cell (and every shard worker process
+  inside a cell) shares one on-disk
+  :class:`~repro.core.trace_cache.PersistentTraceCache`, so cells with
+  the same ``(arch, contract)`` pair emulate each trace once.
+- :class:`SweepReport` renders as JSON and as a markdown matrix (one
+  ``contract x cpu`` table per architecture). The per-cell
+  ``deterministic_report()`` dicts exclude wall-clock and cache
+  counters, so for budget-bound sweeps they are byte-identical across
+  runs, worker counts, and cache on/off — the sweep-level analogue of
+  the campaign engine's merged-report invariance.
+
+CLI::
+
+    python -m repro sweep --arch x86_64,aarch64 \
+        --contract CT-SEQ,CT-COND --cpu skylake,coffee-lake -n 100
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.arch import architecture_names
+from repro.contracts import contract_names
+from repro.core.campaign import (
+    CampaignReport,
+    CampaignRunner,
+    derive_shard_seed,
+    shard_budgets,
+)
+from repro.core.config import FuzzerConfig
+from repro.core.trace_cache import PersistentTraceCache, program_fingerprint
+from repro.uarch.config import preset_names
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid coordinate: an (arch, contract, cpu) triple."""
+
+    arch: str
+    contract: str
+    cpu: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.arch}/{self.contract}/{self.cpu}"
+
+
+def derive_cell_seed(base_seed: int, cell: SweepCell) -> int:
+    """Deterministic, well-separated seed for one sweep cell.
+
+    Mirrors :func:`~repro.core.campaign.derive_shard_seed`: the cell's
+    ``(arch, contract)`` coordinates are digested into a stable index
+    and pushed through the same splitmix64 finalizer, so nearby base
+    seeds or similar coordinates still yield uncorrelated streams. The
+    cpu coordinate deliberately does not participate: cells along the
+    cpu axis run the identical program/input battery (fair comparison,
+    maximal trace-cache sharing); within a cell, shards then derive
+    their seeds from this value as usual.
+    """
+    digest = hashlib.sha1(
+        f"{cell.arch}|{cell.contract}".encode("utf-8")
+    ).digest()
+    coordinate = int.from_bytes(digest[:8], "big")
+    return derive_shard_seed(base_seed, coordinate)
+
+
+@dataclass
+class SweepSpec:
+    """A cartesian campaign grid over ``arch x contract x cpu``.
+
+    Every cell inherits ``base_config`` with its arch/contract/cpu and
+    seed replaced. The per-cell test-case budget is
+    ``base_config.num_test_cases`` unless ``total_budget`` is set, in
+    which case the total is split over the cells with
+    :func:`~repro.core.campaign.shard_budgets` (the same near-equal
+    slicing the campaign engine uses for shards); ``budget_overrides``
+    pins individual cells (keyed by ``(arch, contract, cpu)``) for
+    heterogeneous grids like Table 3.
+    """
+
+    arches: Tuple[str, ...] = ("x86_64",)
+    contracts: Tuple[str, ...] = ("CT-SEQ",)
+    cpus: Tuple[str, ...] = ("skylake",)
+    base_config: FuzzerConfig = field(default_factory=FuzzerConfig)
+    #: per-cell campaign shape (see :class:`CampaignRunner`)
+    workers: int = 1
+    shards: Optional[int] = None
+    mode: str = "full"
+    #: optional grid-wide budget, split over cells like shard_budgets
+    total_budget: Optional[int] = None
+    #: optional per-cell budget pins, keyed by (arch, contract, cpu)
+    budget_overrides: Mapping[Tuple[str, str, str], int] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        for axis, values, known in (
+            ("arch", self.arches, architecture_names()),
+            ("contract", self.contracts, contract_names()),
+            ("cpu", self.cpus, preset_names()),
+        ):
+            if not values:
+                raise ValueError(f"sweep {axis} axis must not be empty")
+            if len(set(values)) != len(values):
+                raise ValueError(
+                    f"duplicate {axis} values in {values!r}: a repeated "
+                    "cell would rerun the identical campaign"
+                )
+            for value in values:
+                if value not in known:
+                    raise ValueError(
+                        f"unknown {axis} {value!r}; "
+                        f"available: {', '.join(known)}"
+                    )
+        valid_keys = {
+            (cell.arch, cell.contract, cell.cpu) for cell in self.cells()
+        }
+        for key in self.budget_overrides:
+            if key not in valid_keys:
+                raise ValueError(
+                    f"budget override {key!r} matches no grid cell"
+                )
+
+    def cells(self) -> List[SweepCell]:
+        """Grid cells in deterministic arch-major order."""
+        return [
+            SweepCell(arch, contract, cpu)
+            for arch in self.arches
+            for contract in self.contracts
+            for cpu in self.cpus
+        ]
+
+    def cell_budget(self, cell: SweepCell, index: int, count: int) -> int:
+        override = self.budget_overrides.get(
+            (cell.arch, cell.contract, cell.cpu)
+        )
+        if override is not None:
+            return override
+        if self.total_budget is not None:
+            return shard_budgets(self.total_budget, count)[index]
+        return self.base_config.num_test_cases
+
+    def cell_config(self, cell: SweepCell, index: int = 0,
+                    count: int = 1) -> FuzzerConfig:
+        """The :class:`FuzzerConfig` one cell's campaign runs with."""
+        return replace(
+            self.base_config,
+            arch=cell.arch,
+            contract_name=cell.contract,
+            cpu_preset=cell.cpu,
+            cpu_config=None,
+            seed=derive_cell_seed(self.base_config.seed, cell),
+            num_test_cases=self.cell_budget(cell, index, count),
+        )
+
+
+@dataclass
+class SweepCellResult:
+    """Outcome of one cell's campaign."""
+
+    cell: SweepCell
+    seed: int
+    campaign: CampaignReport
+
+    @property
+    def found(self) -> bool:
+        return self.campaign.found
+
+    @property
+    def classification(self) -> Optional[str]:
+        violation = self.campaign.violation
+        return violation.classification if violation else None
+
+    @property
+    def time_to_first_violation(self) -> Optional[float]:
+        """Wall-clock seconds inside the winning shard until detection
+        (the Table 4 metric), or ``None`` without a violation."""
+        violation = self.campaign.violation
+        return violation.seconds_until_found if violation else None
+
+    def matrix_entry(self) -> str:
+        """The human-readable violation-matrix cell."""
+        if not self.found:
+            return "-"
+        violation = self.campaign.violation
+        return (
+            f"{self.classification} "
+            f"({violation.test_cases_until_found} cases, "
+            f"{violation.seconds_until_found:.1f}s)"
+        )
+
+    def deterministic_report(self) -> Dict[str, object]:
+        """The cell outcome minus anything scheduling-dependent.
+
+        Wall-clock times, observed concurrency and cache counters are
+        excluded, so for budget-bound full-mode sweeps this dict is
+        identical across runs, worker counts, and cache on/off.
+        """
+        merged = self.campaign.merged
+        violation = merged.violation
+        report: Dict[str, object] = {
+            "arch": self.cell.arch,
+            "contract": self.cell.contract,
+            "cpu": self.cell.cpu,
+            "seed": self.seed,
+            "shards": self.campaign.shards,
+            "mode": self.campaign.mode,
+            "test_cases": merged.test_cases,
+            "inputs_tested": merged.inputs_tested,
+            "patterns_covered": (
+                len(merged.coverage.covered) if merged.coverage else 0
+            ),
+            "found": self.found,
+            "winning_shard": self.campaign.winning_shard,
+            "violation": None,
+        }
+        if violation is not None:
+            report["violation"] = {
+                "classification": violation.classification,
+                "program_fingerprint": program_fingerprint(
+                    violation.program, self.cell.arch
+                ),
+                "positions": [violation.position_a, violation.position_b],
+                "test_cases_until_found": violation.test_cases_until_found,
+                "inputs_until_found": violation.inputs_until_found,
+            }
+        return report
+
+    def timing_report(self) -> Dict[str, object]:
+        """The scheduling-dependent counters, reported separately."""
+        merged = self.campaign.merged
+        return {
+            "wall_seconds": self.campaign.wall_seconds,
+            "aggregate_seconds": merged.duration_seconds,
+            "observed_concurrency": self.campaign.observed_concurrency,
+            "seconds_until_found": self.time_to_first_violation,
+            "contract_emulations": merged.contract_emulations,
+            "trace_cache_hits": merged.trace_cache_hits,
+            "trace_cache_disk_hits": merged.trace_cache_disk_hits,
+            "cancelled_shards": self.campaign.cancelled_shards,
+        }
+
+
+@dataclass
+class SweepReport:
+    """Merged outcome of one grid sweep."""
+
+    spec: SweepSpec
+    results: List[SweepCellResult]
+    wall_seconds: float
+    cache_dir: Optional[str] = None
+
+    @property
+    def violations_found(self) -> int:
+        return sum(1 for result in self.results if result.found)
+
+    @property
+    def trace_cache_disk_hits(self) -> int:
+        """Traces reused from the shared on-disk cache across the sweep
+        (nonzero when sibling shards, neighboring cells or an earlier
+        run already emulated them)."""
+        return sum(
+            result.campaign.merged.trace_cache_disk_hits
+            for result in self.results
+        )
+
+    def cell_result(self, cell: SweepCell) -> SweepCellResult:
+        for result in self.results:
+            if result.cell == cell:
+                return result
+        raise KeyError(cell.label)
+
+    # -- rendering ---------------------------------------------------------
+
+    def to_markdown(self) -> str:
+        """The violation matrix: one ``contract x cpu`` table per arch."""
+        lines: List[str] = ["# Sweep violation matrix", ""]
+        for arch in self.spec.arches:
+            lines.append(f"## {arch}")
+            lines.append("")
+            header = ["contract \\ cpu"] + list(self.spec.cpus)
+            lines.append("| " + " | ".join(header) + " |")
+            lines.append("|" + "---|" * len(header))
+            for contract in self.spec.contracts:
+                row = [contract]
+                for cpu in self.spec.cpus:
+                    result = self.cell_result(
+                        SweepCell(arch, contract, cpu)
+                    )
+                    row.append(result.matrix_entry())
+                lines.append("| " + " | ".join(row) + " |")
+            lines.append("")
+        lines.append(
+            f"{self.violations_found}/{len(self.results)} cells violated "
+            f"in {self.wall_seconds:.1f}s"
+            + (
+                f" ({self.trace_cache_disk_hits} traces reused from "
+                f"{self.cache_dir})"
+                if self.cache_dir
+                else ""
+            )
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, object]:
+        """Full JSON report: deterministic cell reports under ``cells``,
+        scheduling-dependent counters under ``timing``."""
+        return {
+            "grid": {
+                "arches": list(self.spec.arches),
+                "contracts": list(self.spec.contracts),
+                "cpus": list(self.spec.cpus),
+                "mode": self.spec.mode,
+                "workers": self.spec.workers,
+                "base_seed": self.spec.base_config.seed,
+            },
+            "cells": [
+                result.deterministic_report() for result in self.results
+            ],
+            "timing": {
+                result.cell.label: result.timing_report()
+                for result in self.results
+            },
+            "wall_seconds": self.wall_seconds,
+            "trace_cache_disk_hits": self.trace_cache_disk_hits,
+        }
+
+    def cell_reports_json(self) -> str:
+        """Canonical JSON of the deterministic per-cell reports — the
+        byte-comparable artifact for reproducibility checks."""
+        return json.dumps(
+            [result.deterministic_report() for result in self.results],
+            indent=2,
+            sort_keys=True,
+        ) + "\n"
+
+    def summary(self) -> str:
+        cache = (
+            f", {self.trace_cache_disk_hits} traces reused from disk"
+            if self.cache_dir
+            else ""
+        )
+        return (
+            f"{self.violations_found}/{len(self.results)} cells violated "
+            f"across {len(self.spec.arches)} arch(es) in "
+            f"{self.wall_seconds:.1f}s{cache}"
+        )
+
+
+class SweepRunner:
+    """Executes a :class:`SweepSpec` cell by cell.
+
+    Cells run sequentially (parallelism lives *inside* a cell, via the
+    campaign engine's shard workers); ``cache_dir`` points every cell
+    and every shard worker at one shared persistent trace cache.
+    """
+
+    def __init__(self, spec: SweepSpec, cache_dir: Optional[str] = None):
+        self.spec = spec
+        self.cache_dir = (
+            cache_dir
+            if cache_dir is not None
+            else spec.base_config.trace_cache_dir
+        )
+
+    def cell_configs(self) -> List[Tuple[SweepCell, FuzzerConfig]]:
+        cells = self.spec.cells()
+        configs = []
+        for index, cell in enumerate(cells):
+            config = self.spec.cell_config(cell, index, len(cells))
+            if self.cache_dir is not None:
+                config = replace(config, trace_cache_dir=self.cache_dir)
+            configs.append((cell, config))
+        return configs
+
+    def run(self, progress=None) -> SweepReport:
+        """Run the grid; ``progress`` is an optional callable invoked
+        with (cell, campaign_report) after each cell completes."""
+        start = time.perf_counter()
+        if self.cache_dir is not None:
+            # create eagerly so an empty grid still leaves a valid dir
+            PersistentTraceCache(self.cache_dir)
+        results: List[SweepCellResult] = []
+        for cell, config in self.cell_configs():
+            campaign = CampaignRunner(
+                config,
+                workers=self.spec.workers,
+                shards=self.spec.shards,
+                mode=self.spec.mode,
+            ).run()
+            results.append(SweepCellResult(cell, config.seed, campaign))
+            if progress is not None:
+                progress(cell, campaign)
+        return SweepReport(
+            spec=self.spec,
+            results=results,
+            wall_seconds=time.perf_counter() - start,
+            cache_dir=self.cache_dir,
+        )
+
+
+def run_sweep(
+    spec: SweepSpec, cache_dir: Optional[str] = None, progress=None
+) -> SweepReport:
+    """Convenience one-call grid sweep."""
+    return SweepRunner(spec, cache_dir=cache_dir).run(progress=progress)
+
+
+__all__ = [
+    "SweepCell",
+    "SweepCellResult",
+    "SweepReport",
+    "SweepRunner",
+    "SweepSpec",
+    "derive_cell_seed",
+    "run_sweep",
+]

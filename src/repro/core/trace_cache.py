@@ -1,36 +1,40 @@
 """Cross-call memoization of contract traces.
 
-The MRT loop re-emulates the contract model for the same ``(program,
-input)`` pair in several places: the nesting revalidation of candidate
-violations (§5.4), repeated :meth:`TestingPipeline.check_violation` calls
-during the priming-swap re-measurements, and — most heavily — the
-postprocessor's shrinking loops, which re-collect identical contract
-traces for every shrink candidate (§5.7 re-checks the violation after
-every removed input or instruction, against a mostly-unchanged program
-and an unchanged input pool).
-
 Contract emulation is deterministic: ``Contract(Prog, Data) -> CTrace``
 is a pure function of the program text, the input assignment and the
 contract parameters, so its results can be memoized safely.
-:class:`ContractTraceCache` is a bounded LRU map from
+:class:`ContractTraceCache` is a bounded in-memory LRU map from
 ``(program fingerprint, input identity, contract key)`` to the
 ``(CTrace, ExecutionLog)`` pair produced by
-:meth:`Contract.collect_trace_and_log`. The contract key
-(:attr:`Contract.cache_key`) includes the speculation window *and* the
-nesting depth, so the §5.4 revalidation — which runs the same-named
-contract with deeper nesting — never collides with the base model.
+:meth:`Contract.collect_trace_and_log`; :class:`PersistentTraceCache`
+adds an on-disk tier shared by every process pointed at the same
+directory (campaign shard workers, neighboring sweep cells, repeated
+runs). The full key/eviction/persistence contract is documented in
+``docs/campaigns-and-sweeps.md``; the short version:
+
+- keys include the nesting depth (:attr:`Contract.cache_key`), so the
+  §5.4 revalidation never collides with the base model, and program
+  fingerprints are namespaced by architecture;
+- the memory tier evicts least-recently-used entries at ``max_entries``;
+- the disk tier is append-only and crash-safe: entries are written to a
+  temporary file and published with an atomic ``os.replace``, so
+  concurrent shard writers can never expose a torn entry.
 
 Knobs (also exposed on :class:`repro.core.config.FuzzerConfig` and the
-CLI as ``--cache`` / ``--cache-entries``):
+CLI as ``--cache`` / ``--cache-entries`` / ``--cache-dir``):
 
-- ``max_entries`` bounds memory; the least recently used entry is
-  evicted first. The default of 65536 entries comfortably covers a
-  postprocessor run (one program family x a few hundred inputs).
+- ``max_entries`` bounds memory; the default of 65536 entries
+  comfortably covers a postprocessor run (one program family x a few
+  hundred inputs);
+- ``cache_dir`` (``trace_cache_dir``) selects the persistent backend.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
+import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
@@ -96,6 +100,12 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: subset of ``hits`` served from the on-disk tier — i.e. results
+    #: computed by another process (or an earlier run) of the same cache
+    #: directory. Always 0 for the purely in-memory cache.
+    disk_hits: int = 0
+    #: entries published to the on-disk tier by this process
+    disk_writes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -106,9 +116,12 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def __str__(self) -> str:
+        disk = (
+            f", {self.disk_hits} from disk" if self.disk_hits else ""
+        )
         return (
             f"{self.hits} hits / {self.lookups} lookups "
-            f"({self.hit_rate:.0%}), {self.evictions} evictions"
+            f"({self.hit_rate:.0%}){disk}, {self.evictions} evictions"
         )
 
 
@@ -142,6 +155,10 @@ class ContractTraceCache:
         return entry
 
     def put(self, key: CacheKey, entry: TraceEntry) -> None:
+        self._remember(key, entry)
+
+    def _remember(self, key: CacheKey, entry: TraceEntry) -> None:
+        """Insert into the in-memory LRU tier only."""
         self._entries[key] = entry
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
@@ -158,10 +175,154 @@ class ContractTraceCache:
         return len(self._entries)
 
 
+def key_digest(key: CacheKey) -> str:
+    """Stable hex digest of a cache key, usable as a file name.
+
+    ``repr`` of the key tuple is deterministic across processes (the
+    components are strings, ints and tuples thereof — no salted
+    ``hash()`` participates), so sibling shard processes derive the same
+    file name for the same (program, input, contract) triple.
+    """
+    return hashlib.sha1(repr(key).encode("utf-8")).hexdigest()
+
+
+class PersistentTraceCache(ContractTraceCache):
+    """A two-tier trace cache: in-memory LRU over an on-disk store.
+
+    The disk tier lives in ``cache_dir`` (one pickle file per entry,
+    fanned out over 256 subdirectories by digest prefix) and is shared
+    by *every* process pointed at the same directory — campaign shard
+    workers, neighboring sweep cells with the same ``(arch, contract)``
+    pair, and later runs. Safety under concurrent writers comes from
+    atomic publication: an entry is pickled to a ``tempfile`` in the
+    target directory and moved into place with ``os.replace``, so a
+    reader either sees a complete entry or none. Racing writers of the
+    same key publish identical bytes (contract emulation is
+    deterministic), so last-writer-wins is harmless.
+
+    The disk tier is append-only — there is no cross-process eviction
+    protocol; :meth:`clear` drops the memory tier only and
+    :meth:`clear_disk` deletes the stored entries. Unreadable files
+    (torn by a crash, or written by an incompatible version) are treated
+    as misses and deleted best-effort.
+    """
+
+    #: format version prefix of stored entries; bump on layout changes
+    FORMAT = 1
+
+    def __init__(self, cache_dir: str, max_entries: int = 65536):
+        super().__init__(max_entries)
+        self.cache_dir = os.fspath(cache_dir)
+        os.makedirs(self.cache_dir, exist_ok=True)
+
+    def _path(self, key: CacheKey) -> str:
+        digest = key_digest(key)
+        return os.path.join(self.cache_dir, digest[:2], digest + ".trace")
+
+    def get(self, key: CacheKey) -> Optional[TraceEntry]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        entry = self._disk_get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._remember(key, entry)
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: CacheKey, entry: TraceEntry) -> None:
+        self._remember(key, entry)
+        self._disk_put(key, entry)
+
+    def _disk_get(self, key: CacheKey) -> Optional[TraceEntry]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                version, stored_key, entry = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, TypeError, ValueError):
+            # missing, torn, or incompatible entry: a miss, not an error
+            self._discard(path)
+            return None
+        if version != self.FORMAT or stored_key != key:
+            # format drift, or a digest collision (store the full key so
+            # a collision degrades to a miss instead of a wrong trace)
+            return None
+        return entry
+
+    def _disk_put(self, key: CacheKey, entry: TraceEntry) -> None:
+        path = self._path(key)
+        if os.path.exists(path):
+            return  # another process already published this entry
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        descriptor, tmp_path = tempfile.mkstemp(
+            prefix=".tmp-", dir=directory
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump((self.FORMAT, key, entry), handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)  # atomic publication
+            self.stats.disk_writes += 1
+        except Exception:
+            # a failed publication (disk full, unpicklable entry) is a
+            # skipped memoization, never a fuzzing-loop error
+            self._discard(tmp_path)
+
+    @staticmethod
+    def _discard(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def clear_disk(self) -> None:
+        """Delete every stored entry, including temp files orphaned by
+        killed writers (leaves the directory tree in place)."""
+        for root, _dirs, files in os.walk(self.cache_dir):
+            for name in files:
+                if name.endswith(".trace") or name.startswith(".tmp-"):
+                    self._discard(os.path.join(root, name))
+
+    def disk_entries(self) -> int:
+        """Number of entries currently stored on disk."""
+        return sum(
+            1
+            for _root, _dirs, files in os.walk(self.cache_dir)
+            for name in files
+            if name.endswith(".trace")
+        )
+
+
+def make_trace_cache(
+    enabled: bool,
+    cache_dir: Optional[str],
+    max_entries: int,
+) -> Optional[ContractTraceCache]:
+    """Build the cache a pipeline's config asks for (or ``None``).
+
+    ``cache_dir`` implies caching even when the boolean knob is off —
+    pointing a run at a directory is an explicit opt-in.
+    """
+    if cache_dir:
+        return PersistentTraceCache(cache_dir, max_entries)
+    if enabled:
+        return ContractTraceCache(max_entries)
+    return None
+
+
 __all__ = [
     "CacheKey",
     "CacheStats",
     "ContractTraceCache",
+    "PersistentTraceCache",
     "input_identity",
+    "key_digest",
+    "make_trace_cache",
     "program_fingerprint",
 ]

@@ -54,6 +54,37 @@ class TestParser:
         assert args.cache is True
         assert args.cache_entries == 1024
 
+    def test_cache_dir_flag(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--cache-dir", "/tmp/traces"]
+        )
+        assert args.cache_dir == "/tmp/traces"
+        assert build_parser().parse_args(["campaign"]).cache_dir is None
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.arch == ["x86_64"]
+        assert args.contract == ["CT-SEQ"]
+        assert args.cpu == ["skylake"]
+        assert args.workers == 1
+        assert args.total_budget is None
+        assert args.json is None
+
+    def test_sweep_axis_lists(self):
+        args = build_parser().parse_args(
+            ["sweep", "--arch", "x86_64,aarch64",
+             "--contract", "CT-SEQ,CT-COND",
+             "--cpu", "skylake,coffee-lake", "-n", "10"]
+        )
+        assert args.arch == ["x86_64", "aarch64"]
+        assert args.contract == ["CT-SEQ", "CT-COND"]
+        assert args.cpu == ["skylake", "coffee-lake"]
+        assert args.num_test_cases == 10
+
+    def test_sweep_rejects_empty_axis(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--arch", ","])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -86,6 +117,32 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "no violation" in output
         assert "shard 1" in output
+
+    def test_sweep_prints_matrix_and_exits_zero_when_clean(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            ["sweep", "--arch", "x86_64,aarch64", "--contract", "CT-SEQ",
+             "--cpu", "skylake,coffee-lake", "-s", "AR", "-n", "3",
+             "-i", "6", "--cache-dir", str(tmp_path / "traces"),
+             "--json", str(tmp_path / "sweep.json")]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "## x86_64" in output
+        assert "## aarch64" in output
+        assert "contract \\ cpu" in output
+        assert (tmp_path / "sweep.json").exists()
+        # the cpu-axis sibling was served from the shared cache
+        assert "traces reused" in output
+
+    def test_sweep_finding_violation_exits_one(self, capsys):
+        code = main(
+            ["sweep", "--contract", "CT-SEQ", "--cpu", "skylake-v4-patched",
+             "-s", "AR+MEM+CB", "-n", "150", "-i", "25", "--seed", "21"]
+        )
+        assert code == 1
+        assert "V1" in capsys.readouterr().out
 
     def test_reproduce_gadget(self, capsys):
         code = main(["reproduce", "spectre-v5-ret", "--max-inputs", "32"])

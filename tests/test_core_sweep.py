@@ -1,0 +1,247 @@
+"""Tests for the cross-ISA sweep engine: grid construction, cell seed
+derivation, report rendering, determinism across runs, and trace-cache
+sharing between cells and across processes."""
+
+import json
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.sweep import (
+    SweepCell,
+    SweepRunner,
+    SweepSpec,
+    derive_cell_seed,
+    run_sweep,
+)
+
+
+def tiny_config(**overrides):
+    """A fast, budget-bound base config for grid tests."""
+    defaults = dict(
+        instruction_subsets=("AR",),
+        num_test_cases=4,
+        inputs_per_test_case=6,
+        diversity_feedback=False,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return FuzzerConfig(**defaults)
+
+
+class TestSpec:
+    def test_cells_are_arch_major_cartesian(self):
+        spec = SweepSpec(
+            arches=("x86_64", "aarch64"),
+            contracts=("CT-SEQ", "CT-COND"),
+            cpus=("skylake",),
+        )
+        labels = [cell.label for cell in spec.cells()]
+        assert labels == [
+            "x86_64/CT-SEQ/skylake",
+            "x86_64/CT-COND/skylake",
+            "aarch64/CT-SEQ/skylake",
+            "aarch64/CT-COND/skylake",
+        ]
+
+    def test_unknown_axis_values_rejected(self):
+        with pytest.raises(ValueError, match="unknown arch"):
+            SweepSpec(arches=("riscv64",))
+        with pytest.raises(ValueError, match="unknown contract"):
+            SweepSpec(contracts=("CT-BOGUS",))
+        with pytest.raises(ValueError, match="unknown cpu"):
+            SweepSpec(cpus=("m1",))
+        with pytest.raises(ValueError, match="must not be empty"):
+            SweepSpec(arches=())
+
+    def test_duplicate_axis_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate cpu"):
+            SweepSpec(cpus=("skylake", "skylake"))
+
+    def test_override_for_missing_cell_rejected(self):
+        with pytest.raises(ValueError, match="matches no grid cell"):
+            SweepSpec(
+                budget_overrides={("x86-64", "CT-SEQ", "skylake"): 5}
+            )
+
+    def test_cell_config_inherits_base_and_replaces_target(self):
+        spec = SweepSpec(
+            arches=("aarch64",),
+            contracts=("CT-COND",),
+            cpus=("coffee-lake",),
+            base_config=tiny_config(inputs_per_test_case=13),
+        )
+        config = spec.cell_config(spec.cells()[0])
+        assert config.arch == "aarch64"
+        assert config.contract_name == "CT-COND"
+        assert config.cpu_preset == "coffee-lake"
+        assert config.inputs_per_test_case == 13
+        assert config.seed == derive_cell_seed(7, spec.cells()[0])
+
+    def test_total_budget_splits_like_shard_budgets(self):
+        spec = SweepSpec(
+            arches=("x86_64",),
+            contracts=("CT-SEQ", "CT-COND"),
+            cpus=("skylake", "coffee-lake"),
+            base_config=tiny_config(),
+            total_budget=10,
+        )
+        cells = spec.cells()
+        budgets = [
+            spec.cell_config(cell, index, len(cells)).num_test_cases
+            for index, cell in enumerate(cells)
+        ]
+        assert budgets == [3, 3, 2, 2]
+        assert sum(budgets) == 10
+
+    def test_budget_overrides_pin_cells(self):
+        spec = SweepSpec(
+            arches=("x86_64",),
+            contracts=("CT-SEQ", "CT-COND"),
+            cpus=("skylake",),
+            base_config=tiny_config(num_test_cases=50),
+            budget_overrides={("x86_64", "CT-COND", "skylake"): 5},
+        )
+        by_contract = {
+            cell.contract: spec.cell_config(cell).num_test_cases
+            for cell in spec.cells()
+        }
+        assert by_contract == {"CT-SEQ": 50, "CT-COND": 5}
+
+
+class TestCellSeeds:
+    def test_deterministic(self):
+        cell = SweepCell("x86_64", "CT-SEQ", "skylake")
+        assert derive_cell_seed(3, cell) == derive_cell_seed(3, cell)
+
+    def test_varies_with_base_seed_arch_and_contract(self):
+        cell = SweepCell("x86_64", "CT-SEQ", "skylake")
+        assert derive_cell_seed(3, cell) != derive_cell_seed(4, cell)
+        assert derive_cell_seed(3, cell) != derive_cell_seed(
+            3, SweepCell("aarch64", "CT-SEQ", "skylake")
+        )
+        assert derive_cell_seed(3, cell) != derive_cell_seed(
+            3, SweepCell("x86_64", "CT-COND", "skylake")
+        )
+
+    def test_cpu_axis_shares_the_battery(self):
+        # deliberate: cells along the cpu axis replay identical
+        # program/input streams (fair comparison + cache sharing)
+        assert derive_cell_seed(
+            3, SweepCell("x86_64", "CT-SEQ", "skylake")
+        ) == derive_cell_seed(
+            3, SweepCell("x86_64", "CT-SEQ", "coffee-lake")
+        )
+
+
+class TestRunnerAndReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        spec = SweepSpec(
+            arches=("x86_64",),
+            contracts=("CT-SEQ", "CT-COND"),
+            cpus=("skylake", "coffee-lake"),
+            base_config=tiny_config(),
+        )
+        return run_sweep(spec)
+
+    def test_one_result_per_cell(self, report):
+        assert len(report.results) == 4
+        assert [result.cell for result in report.results] == (
+            report.spec.cells()
+        )
+        for result in report.results:
+            assert result.campaign.merged.test_cases == 4
+
+    def test_markdown_matrix_shape(self, report):
+        markdown = report.to_markdown()
+        assert "## x86_64" in markdown
+        assert "| contract \\ cpu | skylake | coffee-lake |" in markdown
+        assert "| CT-SEQ |" in markdown
+        assert "| CT-COND |" in markdown
+
+    def test_json_report_shape(self, report):
+        data = report.to_json()
+        assert data["grid"]["contracts"] == ["CT-SEQ", "CT-COND"]
+        assert len(data["cells"]) == 4
+        assert set(data["timing"]) == {
+            result.cell.label for result in report.results
+        }
+        # the full report is json-serializable as-is
+        json.dumps(data)
+
+    def test_cell_result_lookup(self, report):
+        cell = SweepCell("x86_64", "CT-COND", "coffee-lake")
+        assert report.cell_result(cell).cell == cell
+        with pytest.raises(KeyError):
+            report.cell_result(SweepCell("aarch64", "CT-SEQ", "skylake"))
+
+    def test_same_spec_reproduces_cell_reports_byte_for_byte(self, report):
+        spec = SweepSpec(
+            arches=("x86_64",),
+            contracts=("CT-SEQ", "CT-COND"),
+            cpus=("skylake", "coffee-lake"),
+            base_config=tiny_config(),
+        )
+        again = run_sweep(spec)
+        assert again.cell_reports_json() == report.cell_reports_json()
+
+    def test_progress_callback_sees_every_cell(self):
+        spec = SweepSpec(
+            arches=("x86_64",), contracts=("CT-SEQ",),
+            cpus=("skylake",), base_config=tiny_config(),
+        )
+        seen = []
+        SweepRunner(spec).run(
+            progress=lambda cell, campaign: seen.append(cell.label)
+        )
+        assert seen == ["x86_64/CT-SEQ/skylake"]
+
+
+class TestCacheSharing:
+    def test_cpu_axis_cells_reuse_traces_from_disk(self, tmp_path):
+        spec = SweepSpec(
+            arches=("x86_64",),
+            contracts=("CT-SEQ",),
+            cpus=("skylake", "coffee-lake"),
+            base_config=tiny_config(),
+        )
+        report = SweepRunner(spec, cache_dir=str(tmp_path)).run()
+        skylake, coffee = report.results
+        # the first cell misses (cold cache), the second replays the
+        # identical battery and resolves it from the shared disk tier
+        assert skylake.campaign.merged.trace_cache_disk_hits == 0
+        assert coffee.campaign.merged.trace_cache_disk_hits > 0
+
+    def test_cache_does_not_change_results(self, tmp_path):
+        spec = SweepSpec(
+            arches=("x86_64",),
+            contracts=("CT-SEQ", "CT-COND"),
+            cpus=("skylake", "coffee-lake"),
+            base_config=tiny_config(),
+        )
+        uncached = SweepRunner(spec).run()
+        cached = SweepRunner(spec, cache_dir=str(tmp_path)).run()
+        warm = SweepRunner(spec, cache_dir=str(tmp_path)).run()
+        assert (
+            uncached.cell_reports_json()
+            == cached.cell_reports_json()
+            == warm.cell_reports_json()
+        )
+        assert warm.trace_cache_disk_hits > cached.trace_cache_disk_hits
+
+    def test_sharded_workers_share_the_cache_across_processes(self, tmp_path):
+        # two pooled worker processes populate the cache; a second
+        # campaign (new processes) resolves their traces from disk
+        spec = SweepSpec(
+            arches=("x86_64",),
+            contracts=("CT-SEQ",),
+            cpus=("skylake",),
+            base_config=tiny_config(num_test_cases=6),
+            workers=2,
+            shards=2,
+        )
+        cold = SweepRunner(spec, cache_dir=str(tmp_path)).run()
+        warm = SweepRunner(spec, cache_dir=str(tmp_path)).run()
+        assert warm.trace_cache_disk_hits > 0
+        assert warm.cell_reports_json() == cold.cell_reports_json()

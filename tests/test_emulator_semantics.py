@@ -1,5 +1,10 @@
-"""Unit tests for instruction semantics: arithmetic, flags, memory,
-division and control flow."""
+"""Unit tests for x86-64 instruction semantics: arithmetic, flags,
+memory, division and control flow.
+
+The semantics under test live in :mod:`repro.arch.x86_64.semantics`
+(the x86-64 backend); ``repro.emulator.semantics`` — exercised here on
+purpose — is the architecture-neutral substrate plus the compatibility
+shims that delegate to that default backend."""
 
 import pytest
 

@@ -2,6 +2,9 @@
 and the pipeline integration (cache hits skip model emulations without
 changing any collected trace)."""
 
+import multiprocessing
+import os
+
 import pytest
 
 from repro.isa.assembler import parse_program
@@ -12,7 +15,10 @@ from repro.core.fuzzer import TestingPipeline
 from repro.core.input_gen import InputGenerator
 from repro.core.trace_cache import (
     ContractTraceCache,
+    PersistentTraceCache,
     input_identity,
+    key_digest,
+    make_trace_cache,
     program_fingerprint,
 )
 
@@ -104,6 +110,143 @@ class TestLRU:
         )
 
 
+KEY = ("fp", None, "digest", ("CT-SEQ", 250, 1))
+OTHER_KEY = ("fp2", 7, "digest2", ("CT-COND", 250, 3))
+
+
+def _populate_from_child(cache_dir):
+    """Child-process body: publish one entry into the shared cache."""
+    PersistentTraceCache(cache_dir).put(KEY, ("trace", "log"))
+
+
+class TestPersistentCache:
+    def test_roundtrip_through_disk(self, tmp_path):
+        writer = PersistentTraceCache(str(tmp_path))
+        writer.put(KEY, ("trace", "log"))
+        assert writer.stats.disk_writes == 1
+        # a fresh instance (cold memory tier) resolves from disk ...
+        reader = PersistentTraceCache(str(tmp_path))
+        assert reader.get(KEY) == ("trace", "log")
+        assert reader.stats.disk_hits == 1
+        # ... and promotes the entry, so the next hit is memory-tier
+        assert reader.get(KEY) == ("trace", "log")
+        assert reader.stats.hits == 2
+        assert reader.stats.disk_hits == 1
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        cache = PersistentTraceCache(str(tmp_path))
+        assert cache.get(OTHER_KEY) is None
+        assert cache.stats.misses == 1
+
+    def test_disk_entries_and_clear_semantics(self, tmp_path):
+        cache = PersistentTraceCache(str(tmp_path))
+        cache.put(KEY, ("trace", "log"))
+        cache.put(OTHER_KEY, ("trace2", "log2"))
+        assert cache.disk_entries() == 2
+        cache.clear()  # memory only; the disk tier persists
+        assert len(cache) == 0
+        assert cache.disk_entries() == 2
+        assert cache.get(KEY) == ("trace", "log")
+        cache.clear_disk()
+        assert cache.disk_entries() == 0
+
+    def test_clear_disk_sweeps_orphaned_temp_files(self, tmp_path):
+        # a writer killed between mkstemp and os.replace leaves a
+        # .tmp-* file behind; clear_disk must sweep those too
+        cache = PersistentTraceCache(str(tmp_path))
+        orphan_dir = tmp_path / "ab"
+        orphan_dir.mkdir()
+        orphan = orphan_dir / ".tmp-killed-writer"
+        orphan.write_bytes(b"partial")
+        cache.clear_disk()
+        assert not orphan.exists()
+
+    def test_unpicklable_entry_degrades_to_memory_only(self, tmp_path):
+        cache = PersistentTraceCache(str(tmp_path))
+        unpicklable = (lambda: None, "log")
+        cache.put(KEY, unpicklable)  # must not raise mid-fuzz
+        assert cache.get(KEY) == unpicklable  # memory tier still serves
+        assert cache.disk_entries() == 0
+        assert not any(  # and no temp file leaked
+            name.startswith(".tmp-")
+            for _root, _dirs, files in os.walk(tmp_path)
+            for name in files
+        )
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = PersistentTraceCache(str(tmp_path))
+        cache.put(KEY, ("trace", "log"))
+        digest = key_digest(KEY)
+        path = tmp_path / digest[:2] / (digest + ".trace")
+        path.write_bytes(b"torn write")
+        cache.clear()
+        assert cache.get(KEY) is None
+        assert not path.exists()  # the torn file was discarded
+        # and the slot is writable again
+        cache.put(KEY, ("trace", "log"))
+        assert PersistentTraceCache(str(tmp_path)).get(KEY) == (
+            "trace", "log"
+        )
+
+    def test_digest_collision_degrades_to_miss(self, tmp_path):
+        # simulate two keys hashing to one file: the stored key wins,
+        # the other key misses instead of reading a wrong trace
+        cache = PersistentTraceCache(str(tmp_path))
+        cache.put(KEY, ("trace", "log"))
+        source = cache._path(KEY)
+        target = cache._path(OTHER_KEY)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        os.replace(source, target)
+        cache.clear()
+        assert cache.get(OTHER_KEY) is None
+
+    def test_existing_entry_not_rewritten(self, tmp_path):
+        first = PersistentTraceCache(str(tmp_path))
+        first.put(KEY, ("trace", "log"))
+        second = PersistentTraceCache(str(tmp_path))
+        second.put(KEY, ("trace", "log"))
+        assert second.stats.disk_writes == 0
+
+    def test_entry_written_by_another_process_is_visible(self, tmp_path):
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        child = context.Process(
+            target=_populate_from_child, args=(str(tmp_path),)
+        )
+        child.start()
+        child.join()
+        assert child.exitcode == 0
+        cache = PersistentTraceCache(str(tmp_path))
+        assert cache.get(KEY) == ("trace", "log")
+        assert cache.stats.disk_hits == 1
+
+    def test_memory_tier_still_bounded(self, tmp_path):
+        cache = PersistentTraceCache(str(tmp_path), max_entries=2)
+        for index in range(4):
+            cache.put((f"fp{index}", None, "d", ("CT-SEQ", 250, 1)), index)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 2
+        assert cache.disk_entries() == 4  # disk keeps everything
+
+
+class TestMakeTraceCache:
+    def test_disabled(self):
+        assert make_trace_cache(False, None, 16) is None
+
+    def test_memory_only(self):
+        cache = make_trace_cache(True, None, 16)
+        assert type(cache) is ContractTraceCache
+        assert cache.max_entries == 16
+
+    def test_cache_dir_implies_persistent(self, tmp_path):
+        cache = make_trace_cache(False, str(tmp_path), 16)
+        assert isinstance(cache, PersistentTraceCache)
+        assert cache.cache_dir == str(tmp_path)
+
+
 class TestPipelineIntegration:
     def test_repeat_collection_is_served_from_cache(self):
         pipeline = TestingPipeline(cached_config())
@@ -132,6 +275,26 @@ class TestPipelineIntegration:
         assert cached.collect_contract_traces(program, inputs)[0] == (
             plain.collect_contract_traces(program, inputs)[0]
         )
+
+    def test_persistent_cache_shared_between_pipelines(self, tmp_path):
+        program = parse_program(V1)
+        first = TestingPipeline(
+            cached_config(contract_trace_cache=False,
+                          trace_cache_dir=str(tmp_path))
+        )
+        inputs = InputGenerator(seed=3, layout=first.layout).generate(8)
+        reference, _ = first.collect_contract_traces(program, inputs)
+        assert first.contract_emulations == 8
+        # a second pipeline (fresh memory tier) re-collects without a
+        # single model emulation, with identical traces
+        second = TestingPipeline(
+            cached_config(contract_trace_cache=False,
+                          trace_cache_dir=str(tmp_path))
+        )
+        replayed, _ = second.collect_contract_traces(program, inputs)
+        assert second.contract_emulations == 0
+        assert second.trace_cache.stats.disk_hits == 8
+        assert replayed == reference
 
     def test_check_violation_identical_with_cache(self):
         program = parse_program(V1)

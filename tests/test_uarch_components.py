@@ -250,6 +250,6 @@ class TestConfig:
 
     def test_disambiguation_window_exceeds_miss_latency(self):
         # dependents of a bypassed load must be able to issue before the
-        # squash even when the load misses (see DESIGN.md)
+        # squash even when the load misses
         config = skylake()
         assert config.disambiguation_penalty > config.load_miss_latency - config.store_agu_latency

@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Documentation consistency checks (the CI docs job).
+
+Three invariants, each also asserted by ``tests/test_docs.py``:
+
+1. every intra-repo markdown link in ``docs/*.md`` (and the root
+   markdown files) resolves to an existing file;
+2. every page under ``docs/`` is reachable from ``docs/index.md`` by
+   following intra-repo links;
+3. the CLI and ``docs/getting-started.md`` agree on the subcommand
+   list: every registered ``python -m repro`` subcommand is documented
+   there, every ``python -m repro <sub>`` the page shows actually
+   exists, and ``python -m repro <sub> --help`` runs cleanly for each
+   registered subcommand.
+
+Run from the repository root with ``src`` importable::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+
+#: [text](target) — targets starting with a scheme or "#" are skipped
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: the CLI invocations getting-started documents
+_CLI_COMMAND = re.compile(r"python -m repro(?:\.cli)?\s+([a-z][a-z-]*)")
+
+
+def markdown_files() -> List[str]:
+    """The root markdown files plus everything under docs/."""
+    paths = [
+        os.path.join(REPO_ROOT, name)
+        for name in sorted(os.listdir(REPO_ROOT))
+        if name.endswith(".md")
+    ]
+    for base, _dirs, files in os.walk(DOCS_DIR):
+        paths.extend(
+            os.path.join(base, name)
+            for name in sorted(files)
+            if name.endswith(".md")
+        )
+    return paths
+
+
+def intra_repo_links(path: str) -> List[Tuple[str, str]]:
+    """(raw target, resolved absolute path) of each intra-repo link."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    links = []
+    for target in _LINK.findall(text):
+        if "://" in target or target.startswith(("#", "mailto:")):
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), target.split("#", 1)[0])
+        )
+        links.append((target, resolved))
+    return links
+
+
+def check_links() -> List[str]:
+    """Invariant 1: intra-repo markdown links resolve."""
+    errors = []
+    for path in markdown_files():
+        for target, resolved in intra_repo_links(path):
+            if not os.path.exists(resolved):
+                errors.append(
+                    f"{os.path.relpath(path, REPO_ROOT)}: "
+                    f"broken link ({target})"
+                )
+    return errors
+
+
+def check_docs_reachable() -> List[str]:
+    """Invariant 2: every docs page is reachable from docs/index.md."""
+    index = os.path.join(DOCS_DIR, "index.md")
+    if not os.path.exists(index):
+        return ["docs/index.md is missing"]
+    reachable: Set[str] = set()
+    frontier = [index]
+    while frontier:
+        page = frontier.pop()
+        if page in reachable:
+            continue
+        reachable.add(page)
+        frontier.extend(
+            resolved
+            for _target, resolved in intra_repo_links(page)
+            if resolved.startswith(DOCS_DIR) and resolved.endswith(".md")
+            and os.path.exists(resolved)
+        )
+    return [
+        f"docs/{os.path.relpath(path, DOCS_DIR)}: "
+        "not reachable from docs/index.md"
+        for path in markdown_files()
+        if path.startswith(DOCS_DIR) and path not in reachable
+    ]
+
+
+def registered_subcommands() -> Set[str]:
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:
+        return set(action.choices)
+    return set()
+
+
+def documented_subcommands() -> Set[str]:
+    with open(
+        os.path.join(DOCS_DIR, "getting-started.md"), encoding="utf-8"
+    ) as handle:
+        return set(_CLI_COMMAND.findall(handle.read()))
+
+
+def check_cli_sync() -> List[str]:
+    """Invariant 3: the CLI and getting-started agree on subcommands."""
+    errors = []
+    try:
+        registered = registered_subcommands()
+    except Exception as error:  # pragma: no cover - import failure
+        return [f"could not load the CLI parser: {error!r}"]
+    documented = documented_subcommands()
+    for missing in sorted(registered - documented):
+        errors.append(
+            f"docs/getting-started.md: subcommand {missing!r} is not "
+            "documented"
+        )
+    for phantom in sorted(documented - registered):
+        errors.append(
+            f"docs/getting-started.md: documents unknown subcommand "
+            f"{phantom!r}"
+        )
+    env = {**os.environ,
+           "PYTHONPATH": os.path.join(REPO_ROOT, "src")
+           + os.pathsep + os.environ.get("PYTHONPATH", "")}
+    for subcommand in sorted(registered):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", subcommand, "--help"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        if result.returncode != 0:
+            errors.append(
+                f"`python -m repro {subcommand} --help` failed: "
+                f"{result.stderr.strip()}"
+            )
+    return errors
+
+
+CHECKS: Dict[str, object] = {
+    "markdown links": check_links,
+    "docs reachability": check_docs_reachable,
+    "CLI/docs sync": check_cli_sync,
+}
+
+
+def main() -> int:
+    failed = False
+    for name, check in CHECKS.items():
+        errors = check()
+        status = "ok" if not errors else f"{len(errors)} problem(s)"
+        print(f"{name}: {status}")
+        for error in errors:
+            print(f"  - {error}")
+        failed = failed or bool(errors)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
