@@ -20,9 +20,17 @@ separate processes). A follow-up mini-sweep over the same cache
 directory re-resolves one cell entirely from disk and must reproduce a
 byte-identical deterministic cell report — the reproducibility claim of
 ``docs/campaigns-and-sweeps.md``.
+
+Set ``REPRO_SWEEP_PARALLEL_CELLS=N`` to execute the grid with N cells
+in flight (CI sets 2, so the parallel scheduler is exercised on every
+PR); the deterministic cell reports — and therefore every paper-shaped
+assertion below — are identical for any value. The recorded JSON keeps
+the scheduling knobs and the cache GC statistics next to the
+measurements so the artifacts track them over time.
 """
 
 import json
+import os
 
 import pytest
 
@@ -58,12 +66,21 @@ def cross_isa_spec(scale, shards=2):
     )
 
 
+def _parallel_cells() -> int:
+    return max(1, int(os.environ.get("REPRO_SWEEP_PARALLEL_CELLS", "1")))
+
+
 def test_sweep_cross_isa(benchmark, scale, tmp_path):
     cache_dir = tmp_path / "traces"
     spec = cross_isa_spec(scale)
+    parallel_cells = _parallel_cells()
 
     report = benchmark.pedantic(
-        lambda: SweepRunner(spec, cache_dir=str(cache_dir)).run(),
+        lambda: SweepRunner(
+            spec,
+            cache_dir=str(cache_dir),
+            max_parallel_cells=parallel_cells,
+        ).run(),
         rounds=1, iterations=1,
     )
 
@@ -97,8 +114,12 @@ def test_sweep_cross_isa(benchmark, scale, tmp_path):
 
     # cpu-axis cache sharing: coffee-lake cells replay their skylake
     # siblings' batteries, so the shared on-disk cache must have served
-    # traces across process boundaries already within this one sweep
-    assert report.trace_cache_disk_hits > 0
+    # traces across process boundaries already within this one sweep.
+    # (Only guaranteed when cells run one at a time — concurrent
+    # cpu-axis siblings race on the same battery and may each emulate
+    # it; the rerun assertion below covers reuse in every mode.)
+    if parallel_cells == 1:
+        assert report.trace_cache_disk_hits > 0
 
     # cross-run reuse: a mini-sweep over one already-swept cell resolves
     # its contract traces from the populated cache and reproduces the
@@ -116,14 +137,19 @@ def test_sweep_cross_isa(benchmark, scale, tmp_path):
         rerun.results[0].deterministic_report(), sort_keys=True
     ) == json.dumps(first.deterministic_report(), sort_keys=True)
 
+    report_json = report.to_json()
     emit_json(
         "sweep_cross_isa",
         {
-            "grid": report.to_json()["grid"],
+            "grid": report_json["grid"],
             "cells": [r.deterministic_report() for r in report.results],
             "timing": {
                 r.cell.label: r.timing_report() for r in report.results
             },
+            # scheduling knobs and cache GC statistics, tracked over
+            # time by the CI artifacts
+            "scheduling": report_json["scheduling"],
+            "trace_cache": report_json["trace_cache"],
             "wall_seconds": report.wall_seconds,
             "trace_cache_disk_hits": report.trace_cache_disk_hits,
             "rerun_disk_hits": rerun.trace_cache_disk_hits,

@@ -23,7 +23,11 @@ plumbed through the campaign workers, so sharded campaigns fuzz the
 selected backend too. All fuzzing subcommands accept the
 contract-trace-cache knobs: ``--cache`` memoizes contract traces across
 collections (pure-function results keyed by program/input/contract, see
-:mod:`repro.core.trace_cache`) and ``--cache-entries`` bounds the LRU.
+:mod:`repro.core.trace_cache`), ``--cache-entries`` bounds the LRU,
+``--cache-dir`` selects the persistent cross-process tier and
+``--cache-max-bytes`` bounds its disk footprint (LRU garbage
+collection). ``sweep --parallel-cells N`` executes up to N grid cells
+concurrently without changing any deterministic cell report.
 """
 
 from __future__ import annotations
@@ -47,6 +51,11 @@ from repro.uarch.config import preset_names
 
 
 def _build_config(args: argparse.Namespace) -> FuzzerConfig:
+    if args.cache_max_bytes is not None and not args.cache_dir:
+        raise SystemExit(
+            "--cache-max-bytes bounds the persistent disk tier and "
+            "requires --cache-dir"
+        )
     return FuzzerConfig(
         arch=args.arch,
         instruction_subsets=tuple(args.subsets.split("+")),
@@ -63,6 +72,7 @@ def _build_config(args: argparse.Namespace) -> FuzzerConfig:
         contract_trace_cache=args.cache,
         trace_cache_entries=args.cache_entries,
         trace_cache_dir=args.cache_dir,
+        trace_cache_max_bytes=args.cache_max_bytes,
     )
 
 
@@ -105,6 +115,10 @@ def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
                         help="directory of the persistent cross-process "
                         "trace cache (implies --cache); shared by campaign "
                         "shard workers, sweep cells and later runs")
+    parser.add_argument("--cache-max-bytes", type=_positive_int, default=None,
+                        help="disk-footprint bound of the persistent trace "
+                        "cache; least-recently-used entries are garbage-"
+                        "collected once the bound is exceeded")
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -184,14 +198,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     cells = spec.cells()
     print(f"sweeping {len(cells)} cells "
           f"({len(spec.arches)} arch x {len(spec.contracts)} contract x "
-          f"{len(spec.cpus)} cpu), {args.workers} worker(s) per cell")
+          f"{len(spec.cpus)} cpu), up to {args.parallel_cells} cell(s) "
+          f"at a time, {args.workers} worker(s) per cell")
 
     def progress(cell, campaign):
         print(f"  {cell.label}: {campaign.merged.summary()}")
 
-    report = SweepRunner(spec, cache_dir=args.cache_dir).run(
-        progress=progress
-    )
+    report = SweepRunner(
+        spec,
+        cache_dir=args.cache_dir,
+        max_parallel_cells=args.parallel_cells,
+    ).run(progress=progress)
     print()
     print(report.to_markdown())
     if args.json:
@@ -381,6 +398,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes per grid cell",
     )
     sweep_parser.add_argument(
+        "--parallel-cells", type=_positive_int, default=1,
+        help="grid cells to execute concurrently (cell reports are "
+        "byte-identical for every value; shard workers per cell are "
+        "scaled down so cells x workers never oversubscribes the host)",
+    )
+    sweep_parser.add_argument(
         "--shards", type=_positive_int, default=None,
         help="seed/budget shards per cell (default: one per worker)",
     )
@@ -397,6 +420,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="persistent trace cache shared by every cell and shard "
         "worker of the sweep (and by later runs)",
+    )
+    sweep_parser.add_argument(
+        "--cache-max-bytes", type=_positive_int, default=None,
+        help="disk-footprint bound of the persistent trace cache; "
+        "least-recently-used entries are garbage-collected once the "
+        "bound is exceeded",
     )
     sweep_parser.add_argument("--json", default=None, metavar="PATH",
                               help="write the full sweep report as JSON")

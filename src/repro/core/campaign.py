@@ -28,12 +28,13 @@ pickled reports.
 
 - **Early cancel.** ``mode="first-violation"`` stops the campaign at the
   first confirmed violation instead of draining the full budget: a
-  shared cancel event is polled by every shard between test cases, and
-  the runner sets it as soon as a finished shard reports a violation.
-  Shards that completed before the signal produce exactly the reports
-  they would in ``mode="full"`` (deterministic merging for completed
-  shards); cancelled shards return partial reports flagged
-  ``cancelled``. How far an interrupted shard got depends on
+  shared cancel event is polled by every shard between measurement
+  batches (at most one diversity round of test cases apart; every test
+  case when ``batch_measurements`` is off), and the runner sets it as
+  soon as a finished shard reports a violation. Shards that completed
+  before the signal produce exactly the reports they would in
+  ``mode="full"`` (deterministic merging for completed shards);
+  cancelled shards return partial reports flagged ``cancelled``. How far an interrupted shard got depends on
   scheduling, so first-violation campaigns trade the full mode's
   merged-report invariance for wall-clock savings.
 
@@ -59,6 +60,16 @@ from repro.core.patterns import PatternCoverage
 from repro.core.violation import Violation
 
 _MASK64 = (1 << 64) - 1
+
+
+def default_start_context():
+    """The multiprocessing context the engines agree on: fork where the
+    platform offers it (cheap, inherits the loaded catalog), spawn
+    otherwise. One definition, shared by campaign and sweep runners."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
 
 
 def derive_shard_seed(base_seed: int, shard_index: int) -> int:
@@ -137,6 +148,8 @@ def merge_reports(
         merged.contract_emulations += report.contract_emulations
         merged.trace_cache_hits += report.trace_cache_hits
         merged.trace_cache_disk_hits += report.trace_cache_disk_hits
+        merged.trace_cache_gc_evictions += report.trace_cache_gc_evictions
+        merged.trace_cache_gc_bytes += report.trace_cache_gc_bytes
         effectiveness_weighted += report.mean_effectiveness * report.test_cases
         if report.coverage is not None:
             merged.coverage.covered |= report.coverage.covered
@@ -262,10 +275,7 @@ class CampaignRunner:
     def _context(self):
         if self.start_method is not None:
             return multiprocessing.get_context(self.start_method)
-        methods = multiprocessing.get_all_start_methods()
-        return multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn"
-        )
+        return default_start_context()
 
     def run(self) -> CampaignReport:
         start = time.perf_counter()
@@ -358,6 +368,7 @@ def run_campaign(
 __all__ = [
     "CampaignReport",
     "CampaignRunner",
+    "default_start_context",
     "derive_shard_seed",
     "merge_reports",
     "run_campaign",

@@ -95,6 +95,15 @@ class FuzzerConfig:
     executor_repetitions: int = 3
     executor_warmups: int = 1
     outlier_threshold: int = 1
+    #: collect hardware traces for the test cases of one diversity round
+    #: in a single executor batch (linearization, noise calibration and
+    #: side-channel dispatch amortized across the round) instead of one
+    #: executor call per case. Deterministic campaigns produce the
+    #: identical report either way; timed campaigns (``timeout_seconds``)
+    #: and noise-injected executors always measure case by case (the
+    #: clock must be checked, and the noise RNG stream must not be
+    #: reordered, between test cases)
+    batch_measurements: bool = True
 
     # contract-trace memoization (see repro.core.trace_cache): contract
     # traces are pure functions of (program, input, contract), so repeated
@@ -107,6 +116,11 @@ class FuzzerConfig:
     #: implies caching and shares results between campaign shard workers,
     #: sweep cells with the same (arch, contract) pair, and later runs
     trace_cache_dir: Optional[str] = None
+    #: size bound (bytes) of the persistent tier's disk footprint; when
+    #: set, a garbage collector evicts least-recently-used entries (by
+    #: file mtime) whenever the tier outgrows the bound. None keeps the
+    #: historical append-only behavior
+    trace_cache_max_bytes: Optional[int] = None
 
     seed: int = 0
 

@@ -41,6 +41,7 @@ from repro.core.patterns import (
 )
 from repro.core.trace_cache import (
     ContractTraceCache,
+    PersistentTraceCache,
     make_trace_cache,
     program_fingerprint,
 )
@@ -92,6 +93,7 @@ class TestingPipeline:
                 config.contract_trace_cache,
                 config.trace_cache_dir,
                 config.trace_cache_entries,
+                config.trace_cache_max_bytes,
             )
         self.trace_cache = trace_cache
         self.contract_emulations = 0
@@ -173,6 +175,62 @@ class TestingPipeline:
         return TestOutcome(
             program, inputs, ctraces, htraces, logs, analysis, run_infos
         )
+
+    def measure_batch(self, cases):
+        """Hardware half of a batched round: one executor batch over
+        every case. Returns ``(htraces, run_infos)`` per case, ``None``
+        traces where the measurement faulted (the sequential skip)."""
+        trace_batches = self.executor.collect_hardware_traces_batched(
+            [program for program, _inputs in cases],
+            [inputs for _program, inputs in cases],
+            skip_faulting=True,
+        )
+        return list(zip(trace_batches, self.executor.last_batch_run_infos))
+
+    def outcome_from_measurement(
+        self,
+        program: TestCaseProgram,
+        inputs: Sequence[InputData],
+        htraces: Optional[List[HTrace]],
+        run_infos,
+    ) -> Optional[TestOutcome]:
+        """Contract half of a batched round, per case: collect the
+        model traces and analyze against already-measured hardware
+        traces. ``None`` when either side faulted — exactly the case
+        the sequential loop skips. Deferring this per case is what
+        keeps batched campaigns' contract-emulation counts identical to
+        sequential ones: a violation stops the round before the
+        remaining cases' models are ever emulated."""
+        if htraces is None:
+            return None
+        try:
+            ctraces, logs = self.collect_contract_traces(program, inputs)
+        except EmulationError:
+            return None  # instrumentation gap: the sequential skip
+        analysis = self.analyzer.analyze(ctraces, htraces)
+        return TestOutcome(
+            program, inputs, ctraces, htraces, logs, analysis, run_infos
+        )
+
+    def test_programs(
+        self, cases: Sequence[Tuple[TestCaseProgram, Sequence[InputData]]]
+    ) -> List[Optional[TestOutcome]]:
+        """Batched :meth:`test_program`: one entry per case, in order.
+
+        Hardware traces of the whole batch are collected in a single
+        executor batch (:meth:`~repro.executor.executor.Executor
+        .collect_hardware_traces_batched`), then each case's contract
+        traces and analysis follow. A case whose measurement or
+        contract emulation faults yields ``None`` — exactly the case
+        the sequential loop would skip. Traces and analyses are
+        identical to per-case :meth:`test_program` calls.
+        """
+        return [
+            self.outcome_from_measurement(program, inputs, htraces, run_infos)
+            for (program, inputs), (htraces, run_infos) in zip(
+                cases, self.measure_batch(cases)
+            )
+        ]
 
     # -- false-positive filters ----------------------------------------------------
 
@@ -306,6 +364,11 @@ class FuzzingReport:
     #: subset of the hits served from the persistent on-disk tier, i.e.
     #: traces computed by another process or an earlier run
     trace_cache_disk_hits: int = 0
+    #: disk entries evicted by this run's trace-cache GC passes (only
+    #: nonzero when ``trace_cache_max_bytes`` bounds the disk tier)
+    trace_cache_gc_evictions: int = 0
+    #: bytes those GC passes reclaimed
+    trace_cache_gc_bytes: int = 0
 
     @property
     def found(self) -> bool:
@@ -330,6 +393,7 @@ class Fuzzer:
 
     def __init__(self, config: FuzzerConfig, noise: NoiseModel = NO_NOISE):
         self.config = config
+        self.noise = noise
         self.pipeline = TestingPipeline(config, noise)
         self.arch = self.pipeline.arch
         self.instruction_set = self.arch.instruction_subset(
@@ -361,17 +425,45 @@ class Fuzzer:
         """Fuzz until the first confirmed violation or budget exhaustion.
 
         ``should_stop`` is an optional zero-argument callable polled
-        before each test case; when it returns True the campaign stops
-        early with ``report.cancelled`` set (the campaign runner's
-        first-violation early-cancel signal).
+        between measurement batches (at most ``round_size`` test cases
+        apart; every case when batching is off); when it returns True
+        the campaign stops early with ``report.cancelled`` set (the
+        campaign runner's first-violation early-cancel signal).
+
+        With ``config.batch_measurements`` (the default) the hardware
+        traces of one diversity round's test cases are collected in a
+        single executor batch. Generation order, analysis order and the
+        round-boundary reconfiguration points are unchanged, so the
+        report is identical to the case-by-case loop (the one corner
+        that can differ: a case whose *hardware* run faults while its
+        contract model would not — the batch skips it before any
+        contract emulation, so only the emulation/cache counters move,
+        never a finding). Timed campaigns (``timeout_seconds``) and
+        noisy executors (an armed :class:`NoiseModel` draws from one
+        RNG stream, which measurement reordering would shift) fall back
+        to per-case measurement.
         """
         config = self.config
         report = FuzzingReport(coverage=self.coverage)
         start = time.perf_counter()
         effectiveness_sum = 0.0
         new_coverage_this_round = False
+        # Batch only when the round's measurement order cannot matter:
+        # an armed noise model draws from one RNG stream, so reordering
+        # measurements (the batch measures hardware before the swap
+        # checks and contract collections) would change its draws.
+        batch_limit = (
+            max(1, config.round_size)
+            if (
+                config.batch_measurements
+                and config.timeout_seconds is None
+                and self.noise.is_silent
+            )
+            else 1
+        )
 
-        for case_index in range(config.num_test_cases):
+        case_index = 0
+        while case_index < config.num_test_cases:
             if should_stop is not None and should_stop():
                 report.cancelled = True
                 break
@@ -380,41 +472,71 @@ class Fuzzer:
                 and time.perf_counter() - start > config.timeout_seconds
             ):
                 break
-            program = self.generator.generate()
-            inputs = self.input_generator.generate(self._inputs_per_case)
-            try:
-                outcome = self.pipeline.test_program(program, inputs)
-            except EmulationError:
-                # an instrumentation gap let a fault through: skip the case
-                continue
-            report.test_cases += 1
-            report.inputs_tested += len(inputs)
-            effectiveness_sum += outcome.analysis.effectiveness
-
-            candidates = outcome.analysis.candidates[
-                : config.max_candidates_per_test_case
+            end = min(config.num_test_cases, case_index + batch_limit)
+            if batch_limit > 1:
+                # a batch never crosses a round boundary: the boundary's
+                # reconfiguration changes the generator for later cases
+                boundary = (
+                    (case_index // config.round_size) + 1
+                ) * config.round_size
+                end = min(end, boundary)
+            cases = [
+                (
+                    self.generator.generate(),
+                    self.input_generator.generate(self._inputs_per_case),
+                )
+                for _ in range(case_index, end)
             ]
-            for candidate in candidates:
-                if self.pipeline.confirm_candidate(outcome, candidate):
-                    violation = self.pipeline.build_violation(outcome, candidate)
-                    violation.test_cases_until_found = report.test_cases
-                    violation.inputs_until_found = report.inputs_tested
-                    violation.seconds_until_found = time.perf_counter() - start
-                    report.violation = violation
+            # hardware first, in one batch; contract traces lazily per
+            # case below, so a violation mid-round leaves the remaining
+            # cases' models unemulated — as in the sequential loop
+            measured = self.pipeline.measure_batch(cases)
+
+            for offset, ((program, inputs), (htraces, run_infos)) in (
+                enumerate(zip(cases, measured))
+            ):
+                index = case_index + offset
+                outcome = self.pipeline.outcome_from_measurement(
+                    program, inputs, htraces, run_infos
+                )
+                if outcome is None:
+                    # an instrumentation gap let a fault through: skip
+                    continue
+                report.test_cases += 1
+                report.inputs_tested += len(outcome.inputs)
+                effectiveness_sum += outcome.analysis.effectiveness
+
+                candidates = outcome.analysis.candidates[
+                    : config.max_candidates_per_test_case
+                ]
+                for candidate in candidates:
+                    if self.pipeline.confirm_candidate(outcome, candidate):
+                        violation = self.pipeline.build_violation(
+                            outcome, candidate
+                        )
+                        violation.test_cases_until_found = report.test_cases
+                        violation.inputs_until_found = report.inputs_tested
+                        violation.seconds_until_found = (
+                            time.perf_counter() - start
+                        )
+                        report.violation = violation
+                        break
+                    report.unconfirmed_candidates += 1
+                if report.violation is not None:
                     break
-                report.unconfirmed_candidates += 1
+
+                # diversity analysis (§5.6)
+                if config.diversity_feedback:
+                    if self._update_coverage(outcome):
+                        new_coverage_this_round = True
+                    if (index + 1) % config.round_size == 0:
+                        report.rounds += 1
+                        if self._maybe_reconfigure(new_coverage_this_round):
+                            report.reconfigurations += 1
+                        new_coverage_this_round = False
             if report.violation is not None:
                 break
-
-            # diversity analysis (§5.6)
-            if config.diversity_feedback:
-                if self._update_coverage(outcome):
-                    new_coverage_this_round = True
-                if (case_index + 1) % config.round_size == 0:
-                    report.rounds += 1
-                    if self._maybe_reconfigure(new_coverage_this_round):
-                        report.reconfigurations += 1
-                    new_coverage_this_round = False
+            case_index = end
 
         report.duration_seconds = time.perf_counter() - start
         if report.test_cases:
@@ -422,11 +544,23 @@ class Fuzzer:
         report.discarded_by_priming = self.pipeline.discarded_by_priming
         report.discarded_by_nesting = self.pipeline.discarded_by_nesting
         report.contract_emulations = self.pipeline.contract_emulations
-        if self.pipeline.trace_cache is not None:
-            report.trace_cache_hits = self.pipeline.trace_cache.stats.hits
-            report.trace_cache_disk_hits = (
-                self.pipeline.trace_cache.stats.disk_hits
-            )
+        cache = self.pipeline.trace_cache
+        if cache is not None:
+            if (
+                isinstance(cache, PersistentTraceCache)
+                and cache.max_bytes is not None
+                and cache.stats.disk_writes > 0
+            ):
+                # leave the shared tier within its bound even when this
+                # run's own writes never tripped the overflow check; a
+                # run that wrote nothing cannot have grown the tier, so
+                # it skips the directory scan (sibling writers and the
+                # sweep runner's finalizing pass cover their own)
+                cache.gc()
+            report.trace_cache_hits = cache.stats.hits
+            report.trace_cache_disk_hits = cache.stats.disk_hits
+            report.trace_cache_gc_evictions = cache.stats.gc_evicted_entries
+            report.trace_cache_gc_bytes = cache.stats.gc_evicted_bytes
         return report
 
     # -- diversity feedback ------------------------------------------------------

@@ -21,11 +21,19 @@ x86-64 next to DSB/ISB-bounded speculation on AArch64.
 - :class:`SweepRunner` executes each cell through the existing
   :class:`~repro.core.campaign.CampaignRunner` and merges the outcomes
   into a :class:`SweepReport`: the violation matrix, detection time to
-  first violation per cell, and observed shard concurrency. When a
+  first violation per cell, and observed shard concurrency. Cells are
+  independent campaigns, so ``max_parallel_cells`` (CLI
+  ``--parallel-cells``) fans them out over worker processes; cell seeds
+  are derived from the grid coordinates alone, so the scheduling order
+  never changes a deterministic cell report, and
+  :func:`cell_worker_budget` caps each concurrent cell's shard workers
+  so the nested pools never oversubscribe the host. When a
   ``cache_dir`` is set, every cell (and every shard worker process
   inside a cell) shares one on-disk
   :class:`~repro.core.trace_cache.PersistentTraceCache`, so cells with
-  the same ``(arch, contract)`` pair emulate each trace once.
+  the same ``(arch, contract)`` pair emulate each trace once; a
+  ``trace_cache_max_bytes`` bound on the base config arms the cache's
+  size-bounded GC, which the runner also finalizes after the grid.
 - :class:`SweepReport` renders as JSON and as a markdown matrix (one
   ``contract x cpu`` table per architecture). The per-cell
   ``deterministic_report()`` dicts exclude wall-clock and cache
@@ -43,7 +51,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import multiprocessing
+import queue as queue_module
+import signal
+import sys
 import time
+import traceback
+from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -52,6 +66,7 @@ from repro.contracts import contract_names
 from repro.core.campaign import (
     CampaignReport,
     CampaignRunner,
+    default_start_context,
     derive_shard_seed,
     shard_budgets,
 )
@@ -90,6 +105,58 @@ def derive_cell_seed(base_seed: int, cell: SweepCell) -> int:
     ).digest()
     coordinate = int.from_bytes(digest[:8], "big")
     return derive_shard_seed(base_seed, coordinate)
+
+
+def cell_worker_budget(workers: int, parallel_cells: int) -> int:
+    """Shard workers each cell may run when cells execute in parallel.
+
+    The host budget is ``max(workers, parallel_cells)`` processes: with
+    one cell at a time a cell gets the full ``workers``; with several,
+    each gets ``workers // parallel_cells`` (at least one), so
+    ``cell processes x shard workers per cell`` never exceeds the
+    budget. Only the *pool size* shrinks — the shard partition (seeds
+    and budgets) is pinned separately, which is what keeps parallel and
+    sequential sweeps byte-identical.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if parallel_cells < 1:
+        raise ValueError("parallel_cells must be >= 1")
+    if parallel_cells == 1:
+        return workers
+    return max(1, workers // parallel_cells)
+
+
+def _run_cell_worker(task, result_queue) -> None:
+    """Process entry point for one parallel sweep cell.
+
+    Runs the cell's campaign and ships ``(index, error, report)`` back;
+    a failure travels as a formatted traceback instead of poisoning the
+    queue. The process is non-daemonic, so the campaign runner inside is
+    free to spawn its own shard pool and cancel-event manager — the
+    first-violation early-cancel machinery works unchanged across
+    parallel cells.
+    """
+    # The scheduler terminates sibling workers when one cell fails.
+    # SIGTERM's default action would skip Python cleanup and orphan
+    # this worker's own children (shard pool, cancel-event manager) to
+    # keep fuzzing; converting it to SystemExit unwinds the campaign
+    # runner's context managers so the whole cell dies with its worker.
+    try:
+        signal.signal(signal.SIGTERM, lambda *_args: sys.exit(1))
+    except (ValueError, OSError):  # pragma: no cover - exotic platform
+        pass
+    index, config, workers, shards, mode = task
+    try:
+        report = CampaignRunner(
+            config, workers=workers, shards=shards, mode=mode
+        ).run()
+    except SystemExit:
+        raise
+    except BaseException:
+        result_queue.put((index, traceback.format_exc(), None))
+    else:
+        result_queue.put((index, None, report))
 
 
 @dataclass
@@ -265,6 +332,8 @@ class SweepCellResult:
             "contract_emulations": merged.contract_emulations,
             "trace_cache_hits": merged.trace_cache_hits,
             "trace_cache_disk_hits": merged.trace_cache_disk_hits,
+            "trace_cache_gc_evictions": merged.trace_cache_gc_evictions,
+            "trace_cache_gc_bytes": merged.trace_cache_gc_bytes,
             "cancelled_shards": self.campaign.cancelled_shards,
         }
 
@@ -277,6 +346,18 @@ class SweepReport:
     results: List[SweepCellResult]
     wall_seconds: float
     cache_dir: Optional[str] = None
+    #: cell-level parallelism the runner was allowed (scheduling only —
+    #: deterministic cell reports are identical for every value)
+    max_parallel_cells: int = 1
+    #: shard workers each cell actually ran with (the budgeted count)
+    cell_workers: int = 1
+    #: disk entries / bytes the trace-cache GC evicted across the sweep
+    #: (cells' own passes plus the runner's finalizing pass)
+    trace_cache_gc_evictions: int = 0
+    trace_cache_gc_bytes: int = 0
+    #: disk footprint of the shared cache after the finalizing GC pass
+    #: (``None`` without a cache directory)
+    trace_cache_disk_bytes: Optional[int] = None
 
     @property
     def violations_found(self) -> int:
@@ -349,6 +430,17 @@ class SweepReport:
                 result.cell.label: result.timing_report()
                 for result in self.results
             },
+            "scheduling": {
+                "max_parallel_cells": self.max_parallel_cells,
+                "cell_workers": self.cell_workers,
+            },
+            "trace_cache": {
+                "disk_hits": self.trace_cache_disk_hits,
+                "gc_evictions": self.trace_cache_gc_evictions,
+                "gc_bytes": self.trace_cache_gc_bytes,
+                "disk_bytes": self.trace_cache_disk_bytes,
+                "max_bytes": self.spec.base_config.trace_cache_max_bytes,
+            },
             "wall_seconds": self.wall_seconds,
             "trace_cache_disk_hits": self.trace_cache_disk_hits,
         }
@@ -376,15 +468,32 @@ class SweepReport:
 
 
 class SweepRunner:
-    """Executes a :class:`SweepSpec` cell by cell.
+    """Executes a :class:`SweepSpec`, up to ``max_parallel_cells`` at once.
 
-    Cells run sequentially (parallelism lives *inside* a cell, via the
-    campaign engine's shard workers); ``cache_dir`` points every cell
-    and every shard worker at one shared persistent trace cache.
+    Cells are independent campaigns with coordinate-derived seeds, so
+    scheduling them onto worker processes changes wall clock only:
+    deterministic cell reports are byte-identical for every
+    ``max_parallel_cells`` value. When cells run in parallel, each one's
+    shard-worker pool is capped by :func:`cell_worker_budget` (the shard
+    *partition* — seeds and budgets — stays exactly as specified), and
+    cell workers are non-daemonic processes, so a cell's own
+    first-violation early-cancel machinery (shard pool + cancel-event
+    manager) runs unchanged inside them. ``cache_dir`` points every
+    cell and every shard worker at one shared persistent trace cache;
+    ``base_config.trace_cache_max_bytes`` bounds that cache's disk
+    footprint, with a finalizing GC pass after the grid.
     """
 
-    def __init__(self, spec: SweepSpec, cache_dir: Optional[str] = None):
+    def __init__(
+        self,
+        spec: SweepSpec,
+        cache_dir: Optional[str] = None,
+        max_parallel_cells: int = 1,
+    ):
+        if max_parallel_cells < 1:
+            raise ValueError("max_parallel_cells must be >= 1")
         self.spec = spec
+        self.max_parallel_cells = max_parallel_cells
         self.cache_dir = (
             cache_dir
             if cache_dir is not None
@@ -403,13 +512,54 @@ class SweepRunner:
 
     def run(self, progress=None) -> SweepReport:
         """Run the grid; ``progress`` is an optional callable invoked
-        with (cell, campaign_report) after each cell completes."""
+        with (cell, campaign_report) after each cell completes — in
+        completion order when cells run in parallel."""
         start = time.perf_counter()
+        cache: Optional[PersistentTraceCache] = None
+        max_bytes = self.spec.base_config.trace_cache_max_bytes
         if self.cache_dir is not None:
             # create eagerly so an empty grid still leaves a valid dir
-            PersistentTraceCache(self.cache_dir)
+            cache = PersistentTraceCache(self.cache_dir, max_bytes=max_bytes)
+        pairs = self.cell_configs()
+        parallel = min(self.max_parallel_cells, len(pairs))
+        if parallel <= 1:
+            results = self._run_sequential(pairs, progress)
+        else:
+            results = self._run_parallel(pairs, parallel, progress)
+        gc_evictions = sum(
+            result.campaign.merged.trace_cache_gc_evictions
+            for result in results
+        )
+        gc_bytes = sum(
+            result.campaign.merged.trace_cache_gc_bytes for result in results
+        )
+        disk_bytes: Optional[int] = None
+        if cache is not None:
+            if max_bytes is not None:
+                # finalizing pass: concurrent writers enforce the bound
+                # cooperatively, so trim whatever the last writers left;
+                # its scan doubles as the footprint measurement
+                evicted, freed = cache.gc()
+                gc_evictions += evicted
+                gc_bytes += freed
+                disk_bytes = cache.known_disk_bytes()
+            else:
+                disk_bytes = cache.disk_usage_bytes()
+        return SweepReport(
+            spec=self.spec,
+            results=results,
+            wall_seconds=time.perf_counter() - start,
+            cache_dir=self.cache_dir,
+            max_parallel_cells=self.max_parallel_cells,
+            cell_workers=cell_worker_budget(self.spec.workers, parallel),
+            trace_cache_gc_evictions=gc_evictions,
+            trace_cache_gc_bytes=gc_bytes,
+            trace_cache_disk_bytes=disk_bytes,
+        )
+
+    def _run_sequential(self, pairs, progress) -> List[SweepCellResult]:
         results: List[SweepCellResult] = []
-        for cell, config in self.cell_configs():
+        for cell, config in pairs:
             campaign = CampaignRunner(
                 config,
                 workers=self.spec.workers,
@@ -419,19 +569,100 @@ class SweepRunner:
             results.append(SweepCellResult(cell, config.seed, campaign))
             if progress is not None:
                 progress(cell, campaign)
-        return SweepReport(
-            spec=self.spec,
-            results=results,
-            wall_seconds=time.perf_counter() - start,
-            cache_dir=self.cache_dir,
+        return results
+
+    def _run_parallel(
+        self, pairs, parallel: int, progress
+    ) -> List[SweepCellResult]:
+        """Fan the cells out over ``parallel`` worker processes.
+
+        A hand-rolled scheduler rather than a ``Pool``: cell workers
+        must be non-daemonic (each may spawn its own shard pool and
+        cancel-event manager), and forking only from the scheduler loop
+        keeps the parent single-threaded. The shard partition is pinned
+        explicitly so shrinking the per-cell pool cannot shift it.
+        """
+        # pin the partition the sequential path would use implicitly
+        shards = (
+            self.spec.shards
+            if self.spec.shards is not None
+            else self.spec.workers
         )
+        workers = cell_worker_budget(self.spec.workers, parallel)
+        context = default_start_context()
+        result_queue = context.Queue()
+        tasks = deque(
+            (index, config, workers, shards, self.spec.mode)
+            for index, (_cell, config) in enumerate(pairs)
+        )
+        #: cell index -> worker process, for the cells still in flight
+        in_flight: Dict[int, multiprocessing.Process] = {}
+        processes: List[multiprocessing.Process] = []
+        results: List[Optional[SweepCellResult]] = [None] * len(pairs)
+
+        def launch() -> None:
+            task = tasks.popleft()
+            process = context.Process(
+                target=_run_cell_worker, args=(task, result_queue)
+            )
+            process.start()
+            in_flight[task[0]] = process
+            processes.append(process)
+
+        try:
+            for _ in range(min(parallel, len(tasks))):
+                launch()
+            collected = 0
+            while collected < len(pairs):
+                try:
+                    index, error, campaign = result_queue.get(timeout=1.0)
+                except queue_module.Empty:
+                    # a worker killed by the OS (OOM, signal) can never
+                    # enqueue its result — surface it instead of
+                    # blocking forever. exitcode 0 with a pending
+                    # result just means the payload is still in transit
+                    for cell_index, process in in_flight.items():
+                        if not process.is_alive() and process.exitcode != 0:
+                            raise RuntimeError(
+                                f"sweep cell {pairs[cell_index][0].label} "
+                                f"worker died with exit code "
+                                f"{process.exitcode} before reporting"
+                            )
+                    continue
+                collected += 1
+                in_flight.pop(index, None)
+                cell, config = pairs[index]
+                if error is not None:
+                    raise RuntimeError(
+                        f"sweep cell {cell.label} failed in its worker "
+                        f"process:\n{error}"
+                    )
+                results[index] = SweepCellResult(cell, config.seed, campaign)
+                if progress is not None:
+                    progress(cell, campaign)
+                if tasks:
+                    launch()
+        except BaseException:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            raise
+        finally:
+            for process in processes:
+                process.join()
+        return results
 
 
 def run_sweep(
-    spec: SweepSpec, cache_dir: Optional[str] = None, progress=None
+    spec: SweepSpec,
+    cache_dir: Optional[str] = None,
+    progress=None,
+    max_parallel_cells: int = 1,
 ) -> SweepReport:
     """Convenience one-call grid sweep."""
-    return SweepRunner(spec, cache_dir=cache_dir).run(progress=progress)
+    return SweepRunner(
+        spec, cache_dir=cache_dir, max_parallel_cells=max_parallel_cells
+    ).run(progress=progress)
 
 
 __all__ = [
@@ -440,6 +671,7 @@ __all__ = [
     "SweepReport",
     "SweepRunner",
     "SweepSpec",
+    "cell_worker_budget",
     "derive_cell_seed",
     "run_sweep",
 ]

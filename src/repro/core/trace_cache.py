@@ -16,17 +16,25 @@ runs). The full key/eviction/persistence contract is documented in
   §5.4 revalidation never collides with the base model, and program
   fingerprints are namespaced by architecture;
 - the memory tier evicts least-recently-used entries at ``max_entries``;
-- the disk tier is append-only and crash-safe: entries are written to a
-  temporary file and published with an atomic ``os.replace``, so
-  concurrent shard writers can never expose a torn entry.
+- the disk tier is crash-safe: entries are written to a temporary file
+  and published with an atomic ``os.replace``, so concurrent shard
+  writers can never expose a torn entry;
+- the disk tier is append-only by default, but a size bound
+  (``max_bytes``) arms a garbage collector that evicts
+  least-recently-used entries (by file mtime; disk hits refresh it)
+  under the same atomic discipline — an evicted entry degrades to a
+  cache miss for concurrent readers, never to a torn read.
 
 Knobs (also exposed on :class:`repro.core.config.FuzzerConfig` and the
-CLI as ``--cache`` / ``--cache-entries`` / ``--cache-dir``):
+CLI as ``--cache`` / ``--cache-entries`` / ``--cache-dir`` /
+``--cache-max-bytes``):
 
 - ``max_entries`` bounds memory; the default of 65536 entries
   comfortably covers a postprocessor run (one program family x a few
   hundred inputs);
-- ``cache_dir`` (``trace_cache_dir``) selects the persistent backend.
+- ``cache_dir`` (``trace_cache_dir``) selects the persistent backend;
+- ``max_bytes`` (``trace_cache_max_bytes``) bounds the persistent
+  backend's disk footprint.
 """
 
 from __future__ import annotations
@@ -35,9 +43,10 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.isa.instruction import TestCaseProgram
 from repro.emulator.state import InputData
@@ -106,6 +115,12 @@ class CacheStats:
     disk_hits: int = 0
     #: entries published to the on-disk tier by this process
     disk_writes: int = 0
+    #: garbage-collection passes this process ran over the disk tier
+    gc_runs: int = 0
+    #: disk entries evicted by this process's GC passes
+    gc_evicted_entries: int = 0
+    #: bytes reclaimed by this process's GC passes
+    gc_evicted_bytes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -200,19 +215,45 @@ class PersistentTraceCache(ContractTraceCache):
     same key publish identical bytes (contract emulation is
     deterministic), so last-writer-wins is harmless.
 
-    The disk tier is append-only — there is no cross-process eviction
+    The disk tier is append-only by default (no cross-process eviction
     protocol; :meth:`clear` drops the memory tier only and
-    :meth:`clear_disk` deletes the stored entries. Unreadable files
-    (torn by a crash, or written by an incompatible version) are treated
-    as misses and deleted best-effort.
+    :meth:`clear_disk` deletes the stored entries), but ``max_bytes``
+    arms a size-bounded garbage collector: whenever this process's
+    accounting sees the tier exceed the bound, :meth:`gc` rescans the
+    directory and evicts least-recently-used entries — by file mtime,
+    which disk hits refresh — until the footprint is back under the
+    bound (with headroom, so a hot writer does not rescan on every
+    publication). Eviction is a plain ``unlink`` under the existing
+    atomic-publication discipline: a concurrent reader of an evicted
+    entry sees a miss and re-emulates, never a torn read, and a racing
+    re-publication of the same key is harmless (identical bytes).
+    Unreadable files (torn by a crash, or written by an incompatible
+    version) are treated as misses and deleted best-effort.
     """
 
     #: format version prefix of stored entries; bump on layout changes
     FORMAT = 1
+    #: fraction of ``max_bytes`` a GC pass evicts down to — the headroom
+    #: that keeps a hot writer from rescanning the directory per put
+    GC_TARGET_FRACTION = 0.75
+    #: age (seconds) under which an orphaned ``.tmp-`` file is presumed
+    #: to belong to an in-flight writer and is left alone by the GC
+    TMP_GRACE_SECONDS = 300.0
 
-    def __init__(self, cache_dir: str, max_entries: int = 65536):
+    def __init__(
+        self,
+        cache_dir: str,
+        max_entries: int = 65536,
+        max_bytes: Optional[int] = None,
+    ):
         super().__init__(max_entries)
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
         self.cache_dir = os.fspath(cache_dir)
+        self.max_bytes = max_bytes
+        #: disk footprint as of the last scan plus this process's writes
+        #: since; ``None`` until the first scan
+        self._disk_bytes: Optional[int] = None
         os.makedirs(self.cache_dir, exist_ok=True)
 
     def _path(self, key: CacheKey) -> str:
@@ -252,6 +293,13 @@ class PersistentTraceCache(ContractTraceCache):
             # format drift, or a digest collision (store the full key so
             # a collision degrades to a miss instead of a wrong trace)
             return None
+        if self.max_bytes is not None:
+            # refresh the mtime so the GC's LRU order tracks use, not
+            # just publication
+            try:
+                os.utime(path)
+            except OSError:
+                pass
         return entry
 
     def _disk_put(self, key: CacheKey, entry: TraceEntry) -> None:
@@ -267,12 +315,97 @@ class PersistentTraceCache(ContractTraceCache):
             with os.fdopen(descriptor, "wb") as handle:
                 pickle.dump((self.FORMAT, key, entry), handle,
                             protocol=pickle.HIGHEST_PROTOCOL)
+                size = handle.tell()
             os.replace(tmp_path, path)  # atomic publication
             self.stats.disk_writes += 1
         except Exception:
             # a failed publication (disk full, unpicklable entry) is a
             # skipped memoization, never a fuzzing-loop error
             self._discard(tmp_path)
+            return
+        if self.max_bytes is not None:
+            self._account_write(size)
+
+    def _account_write(self, size: int) -> None:
+        """Track this process's disk footprint; trigger the GC on
+        overflow. Sibling writers are accounted at every rescan, so the
+        bound is enforced cooperatively: each process trims as soon as
+        its own view of the footprint exceeds the limit."""
+        if self._disk_bytes is None:
+            self.gc()  # first bounded write: scan (and trim) the tier
+            return
+        self._disk_bytes += size
+        if self._disk_bytes > self.max_bytes:
+            self.gc()
+
+    def _scan_disk(self) -> Tuple[List[Tuple[float, int, str]], int]:
+        """(mtime, size, path) of every stored entry, plus total bytes.
+        Also sweeps ``.tmp-`` orphans past the in-flight grace age."""
+        now = time.time()
+        entries: List[Tuple[float, int, str]] = []
+        total = 0
+        for root, _dirs, files in os.walk(self.cache_dir):
+            for name in files:
+                path = os.path.join(root, name)
+                if name.startswith(".tmp-"):
+                    try:
+                        age = now - os.path.getmtime(path)
+                    except OSError:
+                        continue
+                    if age > self.TMP_GRACE_SECONDS:
+                        self._discard(path)  # orphan of a killed writer
+                    continue
+                if not name.endswith(".trace"):
+                    continue
+                try:
+                    status = os.stat(path)
+                except OSError:
+                    continue  # evicted by a concurrent GC mid-walk
+                entries.append((status.st_mtime, status.st_size, path))
+                total += status.st_size
+        return entries, total
+
+    def gc(self, max_bytes: Optional[int] = None) -> Tuple[int, int]:
+        """Size-bounded disk GC: evict LRU entries until under the bound.
+
+        Scans the tier, then — when the footprint exceeds ``max_bytes``
+        (argument, or the instance bound) — unlinks entries oldest-mtime
+        first until the footprint is at or below
+        ``max_bytes * GC_TARGET_FRACTION``. Safe under concurrent
+        readers and writers: an evicted entry degrades to a miss, a
+        concurrently-evicted file is skipped. Returns
+        ``(entries evicted, bytes reclaimed)``.
+        """
+        limit = self.max_bytes if max_bytes is None else max_bytes
+        entries, total = self._scan_disk()
+        evicted = 0
+        freed = 0
+        if limit is not None and total > limit:
+            target = int(limit * self.GC_TARGET_FRACTION)
+            entries.sort()  # oldest mtime first == least recently used
+            for _mtime, size, path in entries:
+                if total <= target:
+                    break
+                self._discard(path)
+                total -= size
+                evicted += 1
+                freed += size
+        self._disk_bytes = total
+        self.stats.gc_runs += 1
+        self.stats.gc_evicted_entries += evicted
+        self.stats.gc_evicted_bytes += freed
+        return evicted, freed
+
+    def disk_usage_bytes(self) -> int:
+        """Current disk footprint of the stored entries (full scan)."""
+        _entries, total = self._scan_disk()
+        return total
+
+    def known_disk_bytes(self) -> Optional[int]:
+        """Footprint as of the last scan plus this process's writes
+        since — scan-free; ``None`` before the first scan. Exact right
+        after :meth:`gc` (callers avoid a second directory walk)."""
+        return self._disk_bytes
 
     @staticmethod
     def _discard(path: str) -> None:
@@ -288,6 +421,7 @@ class PersistentTraceCache(ContractTraceCache):
             for name in files:
                 if name.endswith(".trace") or name.startswith(".tmp-"):
                     self._discard(os.path.join(root, name))
+        self._disk_bytes = 0 if self.max_bytes is not None else None
 
     def disk_entries(self) -> int:
         """Number of entries currently stored on disk."""
@@ -303,14 +437,16 @@ def make_trace_cache(
     enabled: bool,
     cache_dir: Optional[str],
     max_entries: int,
+    max_bytes: Optional[int] = None,
 ) -> Optional[ContractTraceCache]:
     """Build the cache a pipeline's config asks for (or ``None``).
 
     ``cache_dir`` implies caching even when the boolean knob is off —
-    pointing a run at a directory is an explicit opt-in.
+    pointing a run at a directory is an explicit opt-in. ``max_bytes``
+    arms the persistent tier's garbage collector.
     """
     if cache_dir:
-        return PersistentTraceCache(cache_dir, max_entries)
+        return PersistentTraceCache(cache_dir, max_entries, max_bytes)
     if enabled:
         return ContractTraceCache(max_entries)
     return None

@@ -21,9 +21,10 @@ from __future__ import annotations
 import random
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Set
+from typing import Callable, List, Optional, Sequence, Set, Union
 
 from repro.isa.instruction import LinearProgram, TestCaseProgram
+from repro.emulator.errors import EmulationError
 from repro.emulator.state import InputData, SandboxLayout
 from repro.traces import HTrace
 from repro.uarch.config import UarchConfig
@@ -77,21 +78,30 @@ class Executor:
         self.cpu = SpeculativeCPU(cpu_config, self.layout, arch)
         self.arch = self.cpu.arch
         self._rng = random.Random(self.config.noise_seed)
+        # One noise-calibration pass, reused across every measurement
+        # batch: the model parameters are frozen for the executor's
+        # lifetime, so the former per-input re-derivation inside
+        # _measure_once was pure hot-path overhead (executor/noise.py).
+        self._calibration = self.config.noise.calibrate()
+        self._prime_probe = mode.technique == "prime_probe"
         self.stats = MeasurementStats()
         #: per-input run info of the most recent priming sequence, used by
         #: the fuzzer to classify speculation provenance
         self.last_run_infos: List[List[RunInfo]] = []
+        #: per-item run infos of the most recent batched collection
+        #: (``None`` entries mirror skipped, faulting batch items)
+        self.last_batch_run_infos: List[Optional[List[List[RunInfo]]]] = []
 
     # -- one measurement ------------------------------------------------------
 
     def _prepare_side_channel(self) -> None:
-        if self.mode.technique == "prime_probe":
+        if self._prime_probe:
             self.cpu.cache.prime()
         else:  # flush_reload / evict_reload: clear the monitored region
             self.cpu.cache.evict_region(self.layout.base, self.layout.size)
 
     def _probe_side_channel(self) -> Set[int]:
-        if self.mode.technique == "prime_probe":
+        if self._prime_probe:
             return self.cpu.cache.probe()
         return self.cpu.cache.cached_lines(self.layout.base, self.layout.size)
 
@@ -108,7 +118,7 @@ class Executor:
         if len(self.stats.run_infos) > 8192:  # bound memory on long campaigns
             del self.stats.run_infos[:4096]
         signals = self._probe_side_channel()
-        signals, smi_detected = self.config.noise.perturb(signals, self._rng)
+        signals, smi_detected = self._calibration.perturb(signals, self._rng)
         if smi_detected:
             self.stats.discarded_smi += 1
             return None
@@ -162,6 +172,67 @@ class Executor:
 
         return [self._merge(traces) for traces in per_input_traces]
 
+    def collect_hardware_traces_batched(
+        self,
+        programs: Sequence[Union[TestCaseProgram, LinearProgram]],
+        input_batches: Sequence[Sequence[InputData]],
+        fresh_context: bool = True,
+        skip_faulting: bool = False,
+    ) -> List[Optional[List[HTrace]]]:
+        """Measure a batch of (program, input sequence) pairs in one call.
+
+        The batch path of the campaign shards and the priming-swap
+        check: each distinct program is linearized exactly once (repeats
+        — the swap check measures one program against three sequences —
+        reuse the flat stream), the noise calibration and side-channel
+        dispatch are shared across the whole batch, and each pair is
+        still measured against a fresh microarchitectural context, so a
+        batch produces bit-identical traces to one
+        :meth:`collect_hardware_traces` call per pair.
+
+        Returns one trace list per pair, in order. With ``skip_faulting``
+        a pair whose measurement faults architecturally (an
+        :class:`~repro.emulator.errors.EmulationError` — instrumentation
+        gap or runaway control flow) yields ``None`` instead of aborting
+        the batch; without it the error propagates, matching the
+        unbatched path. Per-item run infos are kept in
+        ``last_batch_run_infos`` (``None`` for skipped items).
+        """
+        if len(programs) != len(input_batches):
+            raise ValueError(
+                f"batch shape mismatch: {len(programs)} program(s) vs "
+                f"{len(input_batches)} input sequence(s)"
+            )
+        linearized = {}
+        results: List[Optional[List[HTrace]]] = []
+        batch_run_infos: List[Optional[List[List[RunInfo]]]] = []
+        for program, inputs in zip(programs, input_batches):
+            if isinstance(program, LinearProgram):
+                linear = program
+            else:
+                linear = linearized.get(id(program))
+                if linear is None:
+                    linear = program.linearize()
+                    linearized[id(program)] = linear
+            try:
+                traces = self.collect_hardware_traces_linearized(
+                    linear, inputs, fresh_context
+                )
+            except EmulationError:
+                if not skip_faulting:
+                    self.last_batch_run_infos = batch_run_infos
+                    raise
+                self.last_run_infos = []
+                results.append(None)
+                batch_run_infos.append(None)
+                continue
+            results.append(traces)
+            batch_run_infos.append(
+                [list(infos) for infos in self.last_run_infos]
+            )
+        self.last_batch_run_infos = batch_run_infos
+        return results
+
     def _merge(self, traces: List[frozenset]) -> HTrace:
         """Discard one-off outliers, then union (paper §5.3 step 3)."""
         if not traces:
@@ -201,16 +272,16 @@ class Executor:
         """
         if position_a > position_b:
             position_a, position_b = position_b, position_a
-        linear = program.linearize()
-        original = self.collect_hardware_traces_linearized(linear, inputs)
-
         swapped_to_a = list(inputs)
         swapped_to_a[position_a] = inputs[position_b]
-        traces_a = self.collect_hardware_traces_linearized(linear, swapped_to_a)
-
         swapped_to_b = list(inputs)
         swapped_to_b[position_b] = inputs[position_a]
-        traces_b = self.collect_hardware_traces_linearized(linear, swapped_to_b)
+        # one batch: the program is linearized once and the calibration
+        # is shared across the three priming sequences
+        linear = program.linearize()
+        original, traces_a, traces_b = self.collect_hardware_traces_batched(
+            [linear, linear, linear], [inputs, swapped_to_a, swapped_to_b]
+        )
 
         # input_b measured in context of position_a vs. input_a there:
         b_reproduces_a = equivalent(traces_a[position_a], original[position_a])

@@ -5,6 +5,16 @@ prefetchers, imprecise timers and System Management Interrupts. The
 simulated CPU is deterministic, so noise is injected synthetically to
 exercise the executor's filtering machinery (repetition, one-off outlier
 discarding, SMI detection) and the ablation benchmarks.
+
+The executor's measurement loop is the hottest path of a campaign
+(``repetitions x inputs x test cases`` calls), so the per-measurement
+decision "does noise apply at all, and with which parameters?" is
+factored out into a :class:`NoiseCalibration`: the model is calibrated
+once per measurement batch (:meth:`NoiseModel.calibrate`) and the
+resulting flat object is consulted per measurement, instead of
+re-deriving the silence check and rate lookups from the dataclass on
+every input. Calibration never consumes PRNG state, so a calibrated
+executor produces bit-identical traces to the uncalibrated one.
 """
 
 from __future__ import annotations
@@ -13,6 +23,47 @@ from dataclasses import dataclass
 from typing import Set, Tuple
 
 import random
+
+
+@dataclass(frozen=True)
+class NoiseCalibration:
+    """Per-batch snapshot of one :class:`NoiseModel`'s decisions.
+
+    A flat, attribute-cheap object the executor derives once per
+    measurement batch and consults on every measurement: the ``silent``
+    short-circuit and the rate parameters are precomputed here, so the
+    hot path performs no dataclass-property evaluation per input.
+    """
+
+    silent: bool
+    spurious_rate: float
+    drop_rate: float
+    smi_rate: float
+    num_slots: int
+
+    def perturb(
+        self, signals: Set[int], rng: random.Random
+    ) -> Tuple[Set[int], bool]:
+        """Return (perturbed signals, smi_detected).
+
+        Consumes PRNG state exactly like :meth:`NoiseModel.perturb`
+        (and nothing at all when silent), so swapping the calibrated
+        path in changes no collected trace.
+        """
+        if self.silent:
+            return signals, False
+        if self.smi_rate and rng.random() < self.smi_rate:
+            # an SMI pollutes the measurement arbitrarily; the executor
+            # detects it via the SMI counter and discards the measurement
+            polluted = set(signals)
+            polluted.add(rng.randrange(self.num_slots))
+            return polluted, True
+        perturbed = set(signals)
+        if self.spurious_rate and rng.random() < self.spurious_rate:
+            perturbed.add(rng.randrange(self.num_slots))
+        if self.drop_rate and perturbed and rng.random() < self.drop_rate:
+            perturbed.discard(rng.choice(sorted(perturbed)))
+        return perturbed, False
 
 
 @dataclass(frozen=True)
@@ -36,26 +87,32 @@ class NoiseModel:
     def is_silent(self) -> bool:
         return not (self.spurious_rate or self.drop_rate or self.smi_rate)
 
+    def calibrate(self) -> NoiseCalibration:
+        """One calibration pass: precompute the per-measurement decisions.
+
+        Call once per measurement batch; the returned calibration is
+        valid for as long as the model's parameters are (they are frozen,
+        so for the owning executor's lifetime).
+        """
+        return NoiseCalibration(
+            silent=self.is_silent,
+            spurious_rate=self.spurious_rate,
+            drop_rate=self.drop_rate,
+            smi_rate=self.smi_rate,
+            num_slots=self.num_slots,
+        )
+
     def perturb(
         self, signals: Set[int], rng: random.Random
     ) -> Tuple[Set[int], bool]:
-        """Return (perturbed signals, smi_detected)."""
-        if self.is_silent:
-            return signals, False
-        if self.smi_rate and rng.random() < self.smi_rate:
-            # an SMI pollutes the measurement arbitrarily; the executor
-            # detects it via the SMI counter and discards the measurement
-            polluted = set(signals)
-            polluted.add(rng.randrange(self.num_slots))
-            return polluted, True
-        perturbed = set(signals)
-        if self.spurious_rate and rng.random() < self.spurious_rate:
-            perturbed.add(rng.randrange(self.num_slots))
-        if self.drop_rate and perturbed and rng.random() < self.drop_rate:
-            perturbed.discard(rng.choice(sorted(perturbed)))
-        return perturbed, False
+        """Return (perturbed signals, smi_detected).
+
+        Convenience single-shot path; batch callers calibrate once and
+        reuse :meth:`NoiseCalibration.perturb` instead.
+        """
+        return self.calibrate().perturb(signals, rng)
 
 
 NO_NOISE = NoiseModel()
 
-__all__ = ["NO_NOISE", "NoiseModel"]
+__all__ = ["NO_NOISE", "NoiseCalibration", "NoiseModel"]

@@ -85,6 +85,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--arch", ","])
 
+    def test_parallel_cells_flag(self):
+        assert build_parser().parse_args(["sweep"]).parallel_cells == 1
+        args = build_parser().parse_args(["sweep", "--parallel-cells", "4"])
+        assert args.parallel_cells == 4
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--parallel-cells", "0"])
+
+    def test_cache_max_bytes_flag(self):
+        # on every fuzzing subcommand, like the other cache knobs
+        for command in ("fuzz", "campaign", "minimize", "sweep"):
+            assert (
+                build_parser().parse_args([command]).cache_max_bytes is None
+            )
+        args = build_parser().parse_args(
+            ["sweep", "--cache-max-bytes", "65536"]
+        )
+        assert args.cache_max_bytes == 65536
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--cache-max-bytes", "0"])
+
+    def test_cache_max_bytes_requires_cache_dir(self):
+        # the bound applies to the disk tier; silently ignoring it on an
+        # in-memory cache would fake enforcement
+        with pytest.raises(SystemExit, match="requires --cache-dir"):
+            main(["fuzz", "-n", "1", "--cache-max-bytes", "4096"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -135,6 +161,32 @@ class TestCommands:
         assert (tmp_path / "sweep.json").exists()
         # the cpu-axis sibling was served from the shared cache
         assert "traces reused" in output
+
+    def test_sweep_parallel_cells_bounded_cache(self, tmp_path, capsys):
+        """The new scheduler end to end: two cells in flight, a bounded
+        shared cache, and the same matrix output as a sequential run."""
+        arguments = [
+            "sweep", "--arch", "x86_64", "--contract", "CT-SEQ",
+            "--cpu", "skylake,coffee-lake", "-s", "AR", "-n", "4",
+            "-i", "6",
+        ]
+        assert main(arguments) == 0
+        sequential = capsys.readouterr().out
+        code = main(
+            arguments
+            + ["--parallel-cells", "2",
+               "--cache-dir", str(tmp_path / "traces"),
+               "--cache-max-bytes", "4096"]
+        )
+        assert code == 0
+        parallel = capsys.readouterr().out
+        assert "up to 2 cell(s)" in parallel
+        # the violation matrix itself is scheduling-independent
+        matrix = [
+            line for line in sequential.splitlines()
+            if line.startswith("| CT-SEQ")
+        ]
+        assert matrix and matrix[0] in parallel
 
     def test_sweep_finding_violation_exits_one(self, capsys):
         code = main(

@@ -206,3 +206,141 @@ class TestFalsePositiveFilters:
     def test_priming_can_be_disabled(self):
         report = fuzz(quick_config(verify_with_priming=False, num_test_cases=60))
         assert report.discarded_by_priming == 0
+
+
+class TestBatchedMeasurement:
+    """The round-batched measurement path (config.batch_measurements)
+    must be invisible in the report: identical generation order,
+    analysis order, counters and findings."""
+
+    REPORT_FIELDS = (
+        "test_cases",
+        "inputs_tested",
+        "rounds",
+        "reconfigurations",
+        "mean_effectiveness",
+        "discarded_by_priming",
+        "discarded_by_nesting",
+        "unconfirmed_candidates",
+        "contract_emulations",
+        "trace_cache_hits",
+        "cancelled",
+    )
+
+    def _compare(self, config):
+        from dataclasses import replace
+
+        batched = Fuzzer(replace(config, batch_measurements=True)).run()
+        sequential = Fuzzer(replace(config, batch_measurements=False)).run()
+        for field in self.REPORT_FIELDS:
+            assert getattr(batched, field) == getattr(sequential, field), field
+        assert batched.coverage.covered == sequential.coverage.covered
+        assert batched.found == sequential.found
+        if batched.found:
+            a, b = batched.violation, sequential.violation
+            assert (a.position_a, a.position_b) == (b.position_a, b.position_b)
+            assert a.classification == b.classification
+            assert a.test_cases_until_found == b.test_cases_until_found
+            assert a.inputs_until_found == b.inputs_until_found
+            assert str(a.program.linearize()) == str(b.program.linearize())
+        return batched
+
+    def test_identical_report_without_violation(self):
+        self._compare(
+            quick_config(
+                instruction_subsets=("AR",),
+                num_test_cases=25,
+                inputs_per_test_case=10,
+                round_size=10,  # batches cross no round boundary
+            )
+        )
+
+    def test_identical_report_with_violation(self):
+        report = self._compare(quick_config(num_test_cases=120))
+        assert report.found  # seed 7 reliably surfaces a violation
+
+    def test_identical_report_with_cache(self):
+        self._compare(
+            quick_config(
+                instruction_subsets=("AR", "MEM"),
+                num_test_cases=20,
+                inputs_per_test_case=10,
+                contract_trace_cache=True,
+            )
+        )
+
+    def test_pipeline_batch_matches_per_case_outcomes(self):
+        pipeline = TestingPipeline(quick_config())
+        generator = InputGenerator(seed=9, layout=pipeline.layout)
+        program_a = parse_program(
+            """
+            JNS .end
+            AND RBX, 0b111111000000
+            MOV RCX, qword ptr [R14 + RBX]
+        .end: NOP
+            """
+        )
+        program_b = parse_program("MOV RAX, qword ptr [R14 + 128]\nADD RAX, 1")
+        cases = [
+            (program_a, generator.generate(12)),
+            (program_b, generator.generate(12)),
+        ]
+        batched = pipeline.test_programs(cases)
+        fresh = TestingPipeline(quick_config())
+        for outcome, (program, inputs) in zip(batched, cases):
+            reference = fresh.test_program(program, inputs)
+            assert outcome is not None
+            assert outcome.ctraces == reference.ctraces
+            assert [t.signals for t in outcome.htraces] == [
+                t.signals for t in reference.htraces
+            ]
+            assert len(outcome.analysis.candidates) == len(
+                reference.analysis.candidates
+            )
+
+    def test_faulting_case_skipped_in_batch(self):
+        pipeline = TestingPipeline(quick_config())
+        generator = InputGenerator(seed=9, layout=pipeline.layout)
+        escaping = parse_program("MOV RAX, qword ptr [R14 + 1048576]")
+        benign = parse_program("MOV RAX, qword ptr [R14 + 128]")
+        outcomes = pipeline.test_programs(
+            [(escaping, generator.generate(4)), (benign, generator.generate(4))]
+        )
+        assert outcomes[0] is None
+        assert outcomes[1] is not None
+
+    def test_armed_noise_forces_per_case_measurement(self):
+        """An armed noise model draws from one RNG stream; batching
+        would reorder measurements around swap checks and faulting
+        cases, so the loop falls back to per-case — and the reports of
+        both batch_measurements settings stay identical."""
+        from dataclasses import replace
+
+        from repro.executor.noise import NoiseModel
+
+        noise = NoiseModel(spurious_rate=0.3)
+        config = quick_config(
+            instruction_subsets=("AR", "MEM"),
+            num_test_cases=15,
+            inputs_per_test_case=8,
+        )
+        batched = Fuzzer(replace(config, batch_measurements=True), noise).run()
+        sequential = Fuzzer(
+            replace(config, batch_measurements=False), noise
+        ).run()
+        assert batched.test_cases == sequential.test_cases
+        assert batched.found == sequential.found
+        assert batched.contract_emulations == sequential.contract_emulations
+
+    def test_timeout_forces_per_case_measurement(self):
+        # a timed campaign must keep checking the clock between cases:
+        # the loop falls back to batch size 1 (smoke: it still runs)
+        report = fuzz(
+            quick_config(
+                instruction_subsets=("AR",),
+                num_test_cases=5,
+                inputs_per_test_case=5,
+                timeout_seconds=30.0,
+            )
+        )
+        assert report.test_cases <= 5

@@ -1,8 +1,10 @@
 """Tests for the cross-ISA sweep engine: grid construction, cell seed
-derivation, report rendering, determinism across runs, and trace-cache
-sharing between cells and across processes."""
+derivation, report rendering, determinism across runs, parallel cell
+scheduling, trace-cache sharing between cells and across processes,
+and the size-bounded disk-cache GC."""
 
 import json
+from dataclasses import replace
 
 import pytest
 
@@ -11,9 +13,11 @@ from repro.core.sweep import (
     SweepCell,
     SweepRunner,
     SweepSpec,
+    cell_worker_budget,
     derive_cell_seed,
     run_sweep,
 )
+from repro.core.trace_cache import PersistentTraceCache
 
 
 def tiny_config(**overrides):
@@ -196,6 +200,175 @@ class TestRunnerAndReport:
             progress=lambda cell, campaign: seen.append(cell.label)
         )
         assert seen == ["x86_64/CT-SEQ/skylake"]
+
+
+class TestWorkerBudget:
+    def test_single_cell_keeps_full_pool(self):
+        assert cell_worker_budget(4, 1) == 4
+
+    def test_budget_splits_across_cells(self):
+        assert cell_worker_budget(4, 2) == 2
+        assert cell_worker_budget(8, 3) == 2
+        assert cell_worker_budget(1, 4) == 1  # never below one
+
+    def test_invariant_never_oversubscribes(self):
+        for workers in range(1, 9):
+            for cells in range(1, 9):
+                budget = cell_worker_budget(workers, cells)
+                assert cells * budget <= max(workers, cells)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            cell_worker_budget(0, 1)
+        with pytest.raises(ValueError):
+            cell_worker_budget(1, 0)
+
+
+class TestParallelScheduling:
+    def grid_spec(self, **config_overrides):
+        return SweepSpec(
+            arches=("x86_64",),
+            contracts=("CT-SEQ", "CT-COND"),
+            cpus=("skylake", "coffee-lake"),
+            base_config=tiny_config(**config_overrides),
+        )
+
+    def test_invalid_parallelism_rejected(self):
+        with pytest.raises(ValueError, match="max_parallel_cells"):
+            SweepRunner(self.grid_spec(), max_parallel_cells=0)
+
+    def test_parallel_reports_byte_identical_to_sequential(self):
+        spec = self.grid_spec()
+        sequential = SweepRunner(spec).run()
+        parallel = SweepRunner(spec, max_parallel_cells=4).run()
+        assert (
+            parallel.cell_reports_json() == sequential.cell_reports_json()
+        )
+        assert [result.cell for result in parallel.results] == spec.cells()
+        assert parallel.max_parallel_cells == 4
+
+    def test_parallel_with_shard_pools_byte_identical(self):
+        # shards pinned to 2 while the per-cell pool is budgeted down:
+        # the partition, and therefore the report, must not move
+        spec = self.grid_spec()
+        spec.contracts = ("CT-SEQ",)
+        spec.workers = 2
+        spec.shards = 2
+        sequential = SweepRunner(spec).run()
+        parallel = SweepRunner(spec, max_parallel_cells=2).run()
+        assert (
+            parallel.cell_reports_json() == sequential.cell_reports_json()
+        )
+        for result in parallel.results:
+            assert result.campaign.shards == 2
+        assert parallel.cell_workers == 1  # 2 workers // 2 cells
+
+    def test_progress_sees_every_cell_in_completion_order(self):
+        spec = self.grid_spec()
+        seen = []
+        SweepRunner(spec, max_parallel_cells=2).run(
+            progress=lambda cell, campaign: seen.append(cell.label)
+        )
+        assert sorted(seen) == sorted(cell.label for cell in spec.cells())
+
+    def test_parallel_cells_share_the_persistent_cache(self, tmp_path):
+        spec = self.grid_spec()
+        cold = SweepRunner(
+            spec, cache_dir=str(tmp_path), max_parallel_cells=2
+        ).run()
+        warm = SweepRunner(
+            spec, cache_dir=str(tmp_path), max_parallel_cells=2
+        ).run()
+        assert warm.trace_cache_disk_hits > 0
+        assert warm.cell_reports_json() == cold.cell_reports_json()
+
+    def test_first_violation_mode_works_in_parallel_cells(self):
+        spec = self.grid_spec()
+        spec.mode = "first-violation"
+        report = SweepRunner(spec, max_parallel_cells=2).run()
+        assert len(report.results) == 4
+        for result in report.results:
+            assert result.campaign.mode == "first-violation"
+
+    def test_worker_failure_surfaces_cell_label(self, monkeypatch):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork so workers inherit the monkeypatch")
+        import repro.core.sweep as sweep_module
+
+        def explode(self):
+            raise RuntimeError("exploding campaign")
+
+        monkeypatch.setattr(sweep_module.CampaignRunner, "run", explode)
+        with pytest.raises(RuntimeError, match="sweep cell x86_64/"):
+            SweepRunner(self.grid_spec(), max_parallel_cells=2).run()
+
+    def test_killed_worker_detected_instead_of_hanging(self, monkeypatch):
+        import multiprocessing
+        import os
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork so workers inherit the monkeypatch")
+        import repro.core.sweep as sweep_module
+
+        def die_silently(self):
+            os._exit(3)  # skips the worker's exception reporting
+
+        monkeypatch.setattr(sweep_module.CampaignRunner, "run", die_silently)
+        with pytest.raises(RuntimeError, match="died with exit code 3"):
+            SweepRunner(self.grid_spec(), max_parallel_cells=2).run()
+
+    def test_json_reports_scheduling_and_cache_sections(self, tmp_path):
+        spec = self.grid_spec()
+        report = SweepRunner(
+            spec, cache_dir=str(tmp_path), max_parallel_cells=3
+        ).run()
+        data = report.to_json()
+        assert data["scheduling"] == {
+            "max_parallel_cells": 3,
+            "cell_workers": 1,
+        }
+        assert data["trace_cache"]["disk_bytes"] is not None
+        assert data["trace_cache"]["max_bytes"] is None
+        json.dumps(data)  # still serializable as-is
+
+
+class TestSweepCacheGC:
+    def test_bounded_sweep_keeps_cache_within_the_bound(self, tmp_path):
+        bound = 8 * 1024
+        spec = SweepSpec(
+            arches=("x86_64",),
+            contracts=("CT-SEQ",),
+            cpus=("skylake", "coffee-lake"),
+            base_config=tiny_config(
+                num_test_cases=8, trace_cache_max_bytes=bound
+            ),
+        )
+        report = SweepRunner(spec, cache_dir=str(tmp_path)).run()
+        assert report.trace_cache_disk_bytes <= bound
+        usage = PersistentTraceCache(str(tmp_path)).disk_usage_bytes()
+        assert usage <= bound
+        # the tiny bound forces evictions somewhere in the run
+        assert report.trace_cache_gc_evictions > 0
+        assert report.trace_cache_gc_bytes > 0
+
+    def test_gc_does_not_change_results(self, tmp_path):
+        spec = SweepSpec(
+            arches=("x86_64",),
+            contracts=("CT-SEQ",),
+            cpus=("skylake", "coffee-lake"),
+            base_config=tiny_config(),
+        )
+        unbounded = SweepRunner(spec, cache_dir=str(tmp_path / "a")).run()
+        bounded_spec = replace(spec)
+        bounded_spec.base_config = replace(
+            spec.base_config, trace_cache_max_bytes=4 * 1024
+        )
+        bounded = SweepRunner(
+            bounded_spec, cache_dir=str(tmp_path / "b")
+        ).run()
+        assert bounded.cell_reports_json() == unbounded.cell_reports_json()
 
 
 class TestCacheSharing:

@@ -1,9 +1,10 @@
 """Documentation consistency: the tier-1 face of the CI docs job.
 
-Runs the same three invariants as ``tools/check_docs.py`` — intra-repo
+Runs the same four invariants as ``tools/check_docs.py`` — intra-repo
 markdown links resolve, every docs page is reachable from
-``docs/index.md``, and the CLI subcommand list matches what
-``docs/getting-started.md`` documents."""
+``docs/index.md``, the CLI subcommand list matches what
+``docs/getting-started.md`` documents, and every ``--flag`` the docs
+mention is registered on some subcommand."""
 
 import os
 import sys
@@ -39,3 +40,8 @@ def test_documented_subcommands_cover_the_workflow():
     documented = check_docs.documented_subcommands()
     # the getting-started workflow must walk the full loop
     assert {"fuzz", "campaign", "sweep", "minimize", "list"} <= documented
+
+
+def test_scheduler_and_gc_flags_are_registered():
+    flags = check_docs.registered_flags()
+    assert {"parallel-cells", "cache-max-bytes", "cache-dir"} <= flags

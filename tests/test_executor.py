@@ -1,9 +1,12 @@
 """Tests for the executor: measurement modes, priming, repetition,
-outlier filtering, SMI discarding and the priming-swap verification."""
+outlier filtering, SMI discarding, batched collection and the
+priming-swap verification."""
 
 import pytest
 
+from repro.arch import get_architecture
 from repro.isa.assembler import parse_program
+from repro.emulator.errors import EmulationError
 from repro.emulator.state import InputData, SandboxLayout
 from repro.executor.executor import Executor, ExecutorConfig
 from repro.executor.modes import (
@@ -277,6 +280,119 @@ class TestPrimingSwap:
             program, inputs, 0, 2, lambda a, b: a.signals == b.signals
         )
         assert confirmed
+
+
+V1_A64 = """
+    B.PL .end
+    AND X1, X1, #0b111111000000
+    LDR X2, [X27, X1]
+.end: NOP
+"""
+
+
+class TestBatchedCollection:
+    """collect_hardware_traces_batched: bit-identical to per-pair calls."""
+
+    def _signals(self, traces):
+        return [trace.signals for trace in traces]
+
+    def test_batched_equals_per_input_x86(self, layout):
+        programs = [parse_program(SIMPLE), parse_program(V1)]
+        batches = [
+            [InputData()] * 3,
+            [InputData(registers={"RBX": 64 * i},
+                       flags={"SF": bool(i % 2)}) for i in range(6)],
+        ]
+        reference = [
+            Executor(skylake(), PRIME_PROBE, layout).collect_hardware_traces(
+                program, inputs
+            )
+            for program, inputs in zip(programs, batches)
+        ]
+        batched = Executor(
+            skylake(), PRIME_PROBE, layout
+        ).collect_hardware_traces_batched(programs, batches)
+        assert [self._signals(t) for t in batched] == [
+            self._signals(t) for t in reference
+        ]
+
+    def test_batched_equals_per_input_aarch64(self):
+        arch = get_architecture("aarch64")
+        layout = SandboxLayout()
+        program = arch.parse_program(V1_A64)
+        inputs = [
+            InputData(registers={"X1": 64 * i}, flags={"N": bool(i % 2)})
+            for i in range(6)
+        ]
+        reference = Executor(
+            skylake(), PRIME_PROBE, layout, arch=arch
+        ).collect_hardware_traces(program, inputs)
+        # the same program measured twice in one batch: linearized once,
+        # each item against a fresh context
+        batched = Executor(
+            skylake(), PRIME_PROBE, layout, arch=arch
+        ).collect_hardware_traces_batched([program, program],
+                                          [inputs, inputs])
+        assert self._signals(batched[0]) == self._signals(reference)
+        assert self._signals(batched[1]) == self._signals(reference)
+
+    def test_batched_under_noise_matches_sequential_rng_stream(self, layout):
+        """One calibration per batch must not change what the noise RNG
+        produces: a batch consumes the exact same stream as back-to-back
+        linearized calls on one executor."""
+        noise = NoiseModel(spurious_rate=0.5, drop_rate=0.25)
+        config = ExecutorConfig(repetitions=3, noise=noise, noise_seed=11,
+                                outlier_threshold=0)
+        programs = [parse_program(SIMPLE), parse_program(V1)]
+        batches = [[InputData()] * 2,
+                   [InputData(registers={"RBX": 192})] * 2]
+        sequential = Executor(skylake(), PRIME_PROBE, layout, config)
+        reference = [
+            sequential.collect_hardware_traces_linearized(
+                program.linearize(), inputs
+            )
+            for program, inputs in zip(programs, batches)
+        ]
+        batched = Executor(
+            skylake(), PRIME_PROBE, layout, config
+        ).collect_hardware_traces_batched(programs, batches)
+        assert [self._signals(t) for t in batched] == [
+            self._signals(t) for t in reference
+        ]
+
+    def test_batch_run_infos_per_item(self, layout):
+        executor = Executor(skylake(), PRIME_PROBE, layout)
+        executor.collect_hardware_traces_batched(
+            [parse_program(SIMPLE)], [[InputData()] * 2]
+        )
+        assert len(executor.last_batch_run_infos) == 1
+        assert len(executor.last_batch_run_infos[0]) == 2  # one per input
+
+    def test_shape_mismatch_rejected(self, layout):
+        executor = Executor(skylake(), PRIME_PROBE, layout)
+        with pytest.raises(ValueError, match="batch shape"):
+            executor.collect_hardware_traces_batched(
+                [parse_program(SIMPLE)], []
+            )
+
+    def test_faulting_item_skipped_or_raised(self, layout):
+        good = parse_program(SIMPLE)
+        # an architecturally-committed sandbox escape faults the run
+        faulting = parse_program("MOV RAX, qword ptr [R14 + 1048576]")
+        executor = Executor(skylake(), PRIME_PROBE, layout)
+        with pytest.raises(EmulationError):
+            executor.collect_hardware_traces_batched(
+                [good, faulting], [[InputData()], [InputData()]]
+            )
+        results = executor.collect_hardware_traces_batched(
+            [good, faulting, good],
+            [[InputData()], [InputData()], [InputData()]],
+            skip_faulting=True,
+        )
+        assert results[1] is None
+        assert executor.last_batch_run_infos[1] is None
+        assert results[0] is not None and results[2] is not None
+        assert self._signals(results[0]) == self._signals(results[2])
 
 
 class TestHTrace:

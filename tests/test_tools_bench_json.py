@@ -1,0 +1,172 @@
+"""Schema validation for benchmark JSON artifacts: the tier-1 face of
+the CI ``check_bench_json`` step.
+
+The checker itself must stay in sync with what the benchmarks emit, so
+these tests exercise it both on hand-built payloads (good and broken)
+and on a real ``SweepReport``-derived section."""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(__file__)), "tools"),
+)
+import check_bench_json  # noqa: E402
+
+from repro.core.config import FuzzerConfig
+from repro.core.sweep import SweepRunner, SweepSpec
+
+
+def write(tmp_path, payload, name="bench.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+GOOD_WORKER_SCALING = {
+    "worker_scaling": {
+        "arch": "x86_64",
+        "cores": 4,
+        "test_cases": 48,
+        "wall_seconds_1_worker": 10.0,
+        "wall_seconds_4_workers": 3.0,
+        "speedup": 3.33,
+        "found": True,
+    }
+}
+
+
+class TestChecker:
+    def test_valid_section_passes(self, tmp_path):
+        assert check_bench_json.check_file(
+            write(tmp_path, GOOD_WORKER_SCALING)
+        ) == []
+
+    def test_unknown_section_rejected(self, tmp_path):
+        errors = check_bench_json.check_file(
+            write(tmp_path, {"mystery_bench": {}})
+        )
+        assert errors and "unknown section" in errors[0]
+
+    def test_missing_keys_rejected(self, tmp_path):
+        errors = check_bench_json.check_file(
+            write(tmp_path, {"worker_scaling": {"arch": "x86_64"}})
+        )
+        assert errors and "missing keys" in errors[0]
+
+    def test_empty_artifact_rejected(self, tmp_path):
+        assert check_bench_json.check_file(write(tmp_path, {}))
+
+    def test_unreadable_json_rejected(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text("{not json")
+        assert check_bench_json.check_file(str(path))
+
+    def test_scheduling_keys_forbidden_in_cells(self, tmp_path):
+        cell = {key: 0 for key in check_bench_json.CELL_KEYS}
+        cell["observed_concurrency"] = 1.5  # timing leaked into cells
+        payload = {
+            "sweep_cross_isa": {
+                "grid": {},
+                "cells": [cell],
+                "timing": {},
+                "scheduling": {},
+                "trace_cache": {},
+                "wall_seconds": 1.0,
+                "trace_cache_disk_hits": 0,
+                "rerun_disk_hits": 0,
+            }
+        }
+        errors = check_bench_json.check_file(write(tmp_path, payload))
+        assert any("observed_concurrency" in error for error in errors)
+
+    def test_nan_breaks_byte_stability(self, tmp_path):
+        cell = {key: 0 for key in check_bench_json.CELL_KEYS}
+        cell["test_cases"] = float("nan")
+        payload = {
+            "sweep_cross_isa": {
+                "grid": {},
+                "cells": [cell],
+                "timing": {},
+                "scheduling": {},
+                "trace_cache": {},
+                "wall_seconds": 1.0,
+                "trace_cache_disk_hits": 0,
+                "rerun_disk_hits": 0,
+            }
+        }
+        path = tmp_path / "nan.json"
+        path.write_text(json.dumps(payload))  # json allows NaN by default
+        errors = check_bench_json.check_file(str(path))
+        assert any("serializable" in error for error in errors)
+
+    def _sweep_payloads(self):
+        cell = {key: 0 for key in check_bench_json.CELL_KEYS}
+        cross = {
+            "grid": {}, "cells": [dict(cell)], "timing": {},
+            "scheduling": {}, "trace_cache": {}, "wall_seconds": 1.0,
+            "trace_cache_disk_hits": 0, "rerun_disk_hits": 0,
+        }
+        scaling = {
+            "cores": 4, "cells": [dict(cell)], "max_parallel_cells": 4,
+            "cell_workers": 1, "wall_seconds_sequential": 2.0,
+            "wall_seconds_parallel": 1.0, "speedup": 2.0,
+            "trace_cache_max_bytes": 65536, "disk_bytes_sequential": 0,
+            "disk_bytes_parallel": 0, "gc_evictions": 1,
+        }
+        return cross, scaling
+
+    def test_cross_section_byte_stability_enforced(self, tmp_path, capsys):
+        cross, scaling = self._sweep_payloads()
+        path = write(
+            tmp_path,
+            {"sweep_cross_isa": cross, "sweep_parallel_scaling": scaling},
+        )
+        assert check_bench_json.main([path]) == 0
+        # the same grid reporting different cells must fail the gate
+        scaling["cells"][0]["test_cases"] = 999
+        path = write(
+            tmp_path,
+            {"sweep_cross_isa": cross, "sweep_parallel_scaling": scaling},
+            name="diverged.json",
+        )
+        capsys.readouterr()
+        assert check_bench_json.main([path]) == 1
+        assert "different reports" in capsys.readouterr().out
+
+    def test_main_requires_sections(self, tmp_path, capsys):
+        path = write(tmp_path, GOOD_WORKER_SCALING)
+        assert check_bench_json.main([path]) == 0
+        assert check_bench_json.main(
+            [path, "--require", "worker_scaling"]
+        ) == 0
+        assert check_bench_json.main(
+            [path, "--require", "sweep_cross_isa"]
+        ) == 1
+        assert "sweep_cross_isa" in capsys.readouterr().out
+
+
+class TestAgainstRealReports:
+    def test_sweep_report_cells_satisfy_the_schema(self, tmp_path):
+        spec = SweepSpec(
+            arches=("x86_64",),
+            contracts=("CT-SEQ",),
+            cpus=("skylake",),
+            base_config=FuzzerConfig(
+                instruction_subsets=("AR",),
+                num_test_cases=3,
+                inputs_per_test_case=6,
+                diversity_feedback=False,
+            ),
+        )
+        report = SweepRunner(spec).run()
+        cells = [r.deterministic_report() for r in report.results]
+        assert check_bench_json.check_deterministic_cells(
+            cells, "cells"
+        ) == []
+        # and the cell-key schema matches what reports actually carry
+        assert set(cells[0]) == check_bench_json.CELL_KEYS

@@ -232,6 +232,142 @@ class TestPersistentCache:
         assert cache.disk_entries() == 4  # disk keeps everything
 
 
+def _numbered_key(index):
+    return (f"fp{index}", None, "digest", ("CT-SEQ", 250, 1))
+
+
+def _write_entries_from_child(cache_dir, max_bytes, start, count):
+    """Child-process body: publish many entries under a GC bound."""
+    cache = PersistentTraceCache(cache_dir, max_bytes=max_bytes)
+    for index in range(start, start + count):
+        cache.put(_numbered_key(index), ("payload" * 64, "log"))
+
+
+class TestDiskGC:
+    PAYLOAD = ("payload" * 64, "log")
+
+    def _entry_size(self, tmp_path):
+        probe = PersistentTraceCache(str(tmp_path / "probe"))
+        probe.put(_numbered_key(0), self.PAYLOAD)
+        return probe.disk_usage_bytes()
+
+    def test_invalid_max_bytes(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            PersistentTraceCache(str(tmp_path), max_bytes=0)
+
+    def test_unbounded_cache_never_collects(self, tmp_path):
+        cache = PersistentTraceCache(str(tmp_path))
+        for index in range(32):
+            cache.put(_numbered_key(index), self.PAYLOAD)
+        assert cache.stats.gc_runs == 0
+        assert cache.disk_entries() == 32
+
+    def test_put_enforces_the_bound(self, tmp_path):
+        bound = 6 * self._entry_size(tmp_path)
+        cache = PersistentTraceCache(str(tmp_path), max_bytes=bound)
+        for index in range(50):
+            cache.put(_numbered_key(index), self.PAYLOAD)
+            assert cache.disk_usage_bytes() <= bound
+        assert cache.stats.gc_runs > 0
+        assert cache.stats.gc_evicted_entries > 0
+        assert cache.stats.gc_evicted_bytes > 0
+        assert cache.disk_entries() < 50
+
+    def test_eviction_order_is_lru_by_mtime(self, tmp_path):
+        cache = PersistentTraceCache(str(tmp_path))
+        now = os.path.getmtime(str(tmp_path))
+        for index, age in enumerate((400, 300, 200, 100)):
+            key = _numbered_key(index)
+            cache.put(key, self.PAYLOAD)
+            os.utime(cache._path(key), (now - age, now - age))
+        entry_size = cache.disk_usage_bytes() // 4
+        # room for two entries (after headroom): the two oldest go
+        evicted, freed = cache.gc(max_bytes=3 * entry_size)
+        assert evicted == 2
+        assert freed == 2 * entry_size
+        remaining = {
+            index
+            for index in range(4)
+            if os.path.exists(cache._path(_numbered_key(index)))
+        }
+        assert remaining == {2, 3}  # the most recently touched survive
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        writer = PersistentTraceCache(str(tmp_path), max_bytes=1 << 30)
+        now = os.path.getmtime(str(tmp_path))
+        for index in range(2):
+            key = _numbered_key(index)
+            writer.put(key, self.PAYLOAD)
+            os.utime(writer._path(key), (now - 500 + index, now - 500 + index))
+        # a cold reader hits entry 0 on disk, refreshing its mtime ...
+        reader = PersistentTraceCache(str(tmp_path), max_bytes=1 << 30)
+        assert reader.get(_numbered_key(0)) == self.PAYLOAD
+        # ... so the GC now evicts entry 1 (older use) first: the bound
+        # is just under two entries, and the 75% headroom target then
+        # asks for one eviction
+        entry_size = reader.disk_usage_bytes() // 2
+        reader.gc(max_bytes=2 * entry_size - 1)
+        assert os.path.exists(reader._path(_numbered_key(0)))
+        assert not os.path.exists(reader._path(_numbered_key(1)))
+
+    def test_evicted_entry_degrades_to_miss_and_is_rewritable(self, tmp_path):
+        cache = PersistentTraceCache(str(tmp_path), max_bytes=1 << 30)
+        cache.put(_numbered_key(0), self.PAYLOAD)
+        cache.gc(max_bytes=1)  # evict everything
+        cache.clear()  # drop the memory tier too
+        assert cache.get(_numbered_key(0)) is None
+        cache.put(_numbered_key(0), self.PAYLOAD)
+        assert PersistentTraceCache(str(tmp_path)).get(
+            _numbered_key(0)
+        ) == self.PAYLOAD
+
+    def test_gc_sweeps_stale_tmp_orphans_only(self, tmp_path):
+        cache = PersistentTraceCache(str(tmp_path), max_bytes=1 << 30)
+        orphan_dir = tmp_path / "ab"
+        orphan_dir.mkdir()
+        stale = orphan_dir / ".tmp-killed-writer"
+        stale.write_bytes(b"partial")
+        old = os.path.getmtime(str(stale)) - 2 * cache.TMP_GRACE_SECONDS
+        os.utime(str(stale), (old, old))
+        fresh = orphan_dir / ".tmp-in-flight"
+        fresh.write_bytes(b"partial")
+        cache.gc()
+        assert not stale.exists()
+        assert fresh.exists()  # presumed to belong to a live writer
+
+    def test_concurrent_writers_respect_the_bound(self, tmp_path):
+        bound = 8 * self._entry_size(tmp_path)
+        cache_dir = str(tmp_path / "shared")
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        children = [
+            context.Process(
+                target=_write_entries_from_child,
+                args=(cache_dir, bound, start, 40),
+            )
+            for start in (0, 1000, 2000)
+        ]
+        for child in children:
+            child.start()
+        for child in children:
+            child.join()
+            assert child.exitcode == 0
+        # cooperative enforcement plus a finalizing pass (what campaign
+        # runs and the sweep runner do) leaves the tier within bounds
+        cache = PersistentTraceCache(cache_dir, max_bytes=bound)
+        cache.gc()
+        assert cache.disk_usage_bytes() <= bound
+
+    def test_make_trace_cache_passes_the_bound(self, tmp_path):
+        cache = make_trace_cache(False, str(tmp_path), 16, 4096)
+        assert isinstance(cache, PersistentTraceCache)
+        assert cache.max_bytes == 4096
+        assert make_trace_cache(True, None, 16, 4096).max_entries == 16
+
+
 class TestMakeTraceCache:
     def test_disabled(self):
         assert make_trace_cache(False, None, 16) is None

@@ -1,0 +1,263 @@
+#!/usr/bin/env python
+"""Schema validation for ``REPRO_BENCH_JSON`` benchmark artifacts.
+
+CI uploads the campaign-scaling and sweep measurements as JSON build
+artifacts so the knobs and numbers can be tracked over time. An
+artifact nobody can parse is worse than none, so this tool gates the
+upload on three invariants:
+
+1. **known sections** — every top-level key is a section this tool
+   knows the schema of (an unknown section means a benchmark changed
+   its output without updating the schema here);
+2. **required keys** — each section carries its required keys, and
+   sections with deterministic cell reports carry the per-cell keys;
+3. **deterministic-section byte-stability** — the deterministic
+   subsections (sweep ``cells``) serialize canonically (``sort_keys``,
+   no NaN/Infinity, string keys only), contain none of the
+   scheduling-dependent keys (wall clock, concurrency, cache counters)
+   whose presence would silently break the byte-reproducibility
+   contract of ``docs/campaigns-and-sweeps.md`` — and, decisively, the
+   ``sweep_cross_isa`` and ``sweep_parallel_scaling`` benchmarks run
+   the *same deterministic grid* under different scheduling (parallel
+   cells, worker budgets, cache GC), so when both sections are present
+   their ``cells`` lists must be byte-identical: a real end-to-end
+   check of the determinism claim on every CI run.
+
+Usage::
+
+    python tools/check_bench_json.py artifact.json [...] \
+        [--require SECTION ...]
+
+``--require`` additionally fails the check when none of the given
+files contains SECTION (CI uses it to assert each artifact actually
+recorded its benchmark).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Set
+
+#: required top-level keys per known section
+SECTION_SCHEMAS: Dict[str, Set[str]] = {
+    "worker_scaling": {
+        "arch",
+        "cores",
+        "test_cases",
+        "wall_seconds_1_worker",
+        "wall_seconds_4_workers",
+        "speedup",
+        "found",
+    },
+    "postprocessor_trace_cache": {
+        "emulations_uncached",
+        "emulations_cached",
+        "cache_hits",
+        "hit_rate",
+    },
+    "sweep_cross_isa": {
+        "grid",
+        "cells",
+        "timing",
+        "scheduling",
+        "trace_cache",
+        "wall_seconds",
+        "trace_cache_disk_hits",
+        "rerun_disk_hits",
+    },
+    "sweep_parallel_scaling": {
+        "cores",
+        "cells",
+        "max_parallel_cells",
+        "cell_workers",
+        "wall_seconds_sequential",
+        "wall_seconds_parallel",
+        "speedup",
+        "trace_cache_max_bytes",
+        "disk_bytes_sequential",
+        "disk_bytes_parallel",
+        "gc_evictions",
+    },
+}
+
+#: required keys of one deterministic cell report (sweep ``cells``)
+CELL_KEYS: Set[str] = {
+    "arch",
+    "contract",
+    "cpu",
+    "seed",
+    "shards",
+    "mode",
+    "test_cases",
+    "inputs_tested",
+    "patterns_covered",
+    "found",
+    "winning_shard",
+    "violation",
+}
+
+#: keys that are scheduling-dependent and must never leak into a
+#: deterministic section (they live under ``timing``/``scheduling``)
+FORBIDDEN_IN_DETERMINISTIC: Set[str] = {
+    "wall_seconds",
+    "aggregate_seconds",
+    "duration_seconds",
+    "seconds_until_found",
+    "observed_concurrency",
+    "trace_cache_hits",
+    "trace_cache_disk_hits",
+    "trace_cache_gc_evictions",
+    "trace_cache_gc_bytes",
+    "cancelled_shards",
+}
+
+
+def canonical(payload) -> str:
+    """Canonical serialization: sorted keys, no NaN/Infinity."""
+    return json.dumps(payload, sort_keys=True, allow_nan=False)
+
+
+def forbidden_keys_in(payload, path: str) -> List[str]:
+    """Scheduling-dependent keys found anywhere inside ``payload``."""
+    found = []
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            where = f"{path}.{key}"
+            if key in FORBIDDEN_IN_DETERMINISTIC:
+                found.append(where)
+            found.extend(forbidden_keys_in(value, where))
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            found.extend(forbidden_keys_in(value, f"{path}[{index}]"))
+    return found
+
+
+def check_deterministic_cells(cells, where: str) -> List[str]:
+    """Invariant 3 on one deterministic ``cells`` list."""
+    errors = []
+    if not isinstance(cells, list) or not cells:
+        return [f"{where}: expected a non-empty list of cell reports"]
+    for index, cell in enumerate(cells):
+        if not isinstance(cell, dict):
+            errors.append(f"{where}[{index}]: not an object")
+            continue
+        missing = CELL_KEYS - set(cell)
+        if missing:
+            errors.append(
+                f"{where}[{index}]: missing keys {sorted(missing)}"
+            )
+    errors.extend(forbidden_keys_in(cells, where))
+    try:
+        canonical(cells)
+    except ValueError as error:  # NaN/Infinity or non-serializable
+        errors.append(f"{where}: not canonically serializable ({error})")
+    return errors
+
+
+#: section pairs that fuzz the identical deterministic grid under
+#: different scheduling — their cells must be byte-identical
+EQUAL_CELL_SECTIONS = [("sweep_cross_isa", "sweep_parallel_scaling")]
+
+
+def check_cross_section_stability(
+    cells_by_section: Dict[str, List],
+) -> List[str]:
+    """Byte-stability across sections: same grid, same bytes."""
+    errors = []
+    for left, right in EQUAL_CELL_SECTIONS:
+        if left not in cells_by_section or right not in cells_by_section:
+            continue
+        try:
+            same = canonical(cells_by_section[left]) == canonical(
+                cells_by_section[right]
+            )
+        except ValueError:
+            continue  # already reported per section
+        if not same:
+            errors.append(
+                f"{left}.cells != {right}.cells: the same deterministic "
+                "grid produced different reports under different "
+                "scheduling"
+            )
+    return errors
+
+
+def check_file(path: str) -> List[str]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"unreadable JSON ({error})"]
+    if not isinstance(data, dict):
+        return ["top level must be an object of benchmark sections"]
+    if not data:
+        return ["no benchmark sections recorded"]
+    errors: List[str] = []
+    for section, payload in sorted(data.items()):
+        schema = SECTION_SCHEMAS.get(section)
+        if schema is None:
+            errors.append(
+                f"unknown section {section!r} "
+                f"(teach tools/check_bench_json.py its schema)"
+            )
+            continue
+        if not isinstance(payload, dict):
+            errors.append(f"{section}: not an object")
+            continue
+        missing = schema - set(payload)
+        if missing:
+            errors.append(f"{section}: missing keys {sorted(missing)}")
+        if "cells" in schema and "cells" in payload:
+            errors.extend(
+                check_deterministic_cells(
+                    payload["cells"], f"{section}.cells"
+                )
+            )
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate REPRO_BENCH_JSON benchmark artifacts"
+    )
+    parser.add_argument("files", nargs="+", help="artifact JSON files")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="SECTION",
+        help="fail unless at least one file contains SECTION",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    seen_sections: Set[str] = set()
+    cells_by_section: Dict[str, List] = {}
+    for path in args.files:
+        errors = check_file(path)
+        if not errors:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+            seen_sections.update(data)
+            for section, payload in data.items():
+                if isinstance(payload, dict) and "cells" in payload:
+                    cells_by_section[section] = payload["cells"]
+        status = "ok" if not errors else f"{len(errors)} problem(s)"
+        print(f"{path}: {status}")
+        for error in errors:
+            print(f"  - {error}")
+        failed = failed or bool(errors)
+    for error in check_cross_section_stability(cells_by_section):
+        print(f"cross-section: {error}")
+        failed = True
+    for section in args.require:
+        if section not in seen_sections:
+            print(f"required section {section!r} not found in any file")
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation consistency checks (the CI docs job).
 
-Three invariants, each also asserted by ``tests/test_docs.py``:
+Four invariants, each also asserted by ``tests/test_docs.py``:
 
 1. every intra-repo markdown link in ``docs/*.md`` (and the root
    markdown files) resolves to an existing file;
@@ -11,7 +11,10 @@ Three invariants, each also asserted by ``tests/test_docs.py``:
    list: every registered ``python -m repro`` subcommand is documented
    there, every ``python -m repro <sub>`` the page shows actually
    exists, and ``python -m repro <sub> --help`` runs cleanly for each
-   registered subcommand.
+   registered subcommand;
+4. every ``--flag`` mentioned anywhere under ``docs/`` is a registered
+   option of some subcommand (so renamed or removed flags cannot
+   linger in the prose).
 
 Run from the repository root with ``src`` importable::
 
@@ -33,6 +36,10 @@ DOCS_DIR = os.path.join(REPO_ROOT, "docs")
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 #: the CLI invocations getting-started documents
 _CLI_COMMAND = re.compile(r"python -m repro(?:\.cli)?\s+([a-z][a-z-]*)")
+#: long CLI options mentioned in docs prose/examples
+_CLI_FLAG = re.compile(r"(?<![-\w])--([a-z][a-z-]+)")
+#: flags of external tools the docs legitimately mention
+_EXTERNAL_FLAGS = {"benchmark-only"}  # pytest-benchmark
 
 
 def markdown_files() -> List[str]:
@@ -158,10 +165,56 @@ def check_cli_sync() -> List[str]:
     return errors
 
 
+def registered_flags() -> Set[str]:
+    """Every long option of the parser and all its subcommands."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    flags: Set[str] = set()
+
+    def collect(one_parser) -> None:
+        for action in one_parser._actions:
+            flags.update(
+                option[2:]
+                for option in action.option_strings
+                if option.startswith("--")
+            )
+            if hasattr(action, "choices") and isinstance(
+                action.choices, dict
+            ):
+                for sub in action.choices.values():
+                    collect(sub)
+
+    collect(parser)
+    return flags
+
+
+def check_cli_flags() -> List[str]:
+    """Invariant 4: every --flag under docs/ exists on the CLI."""
+    try:
+        known = registered_flags()
+    except Exception as error:  # pragma: no cover - import failure
+        return [f"could not load the CLI parser: {error!r}"]
+    errors = []
+    for path in markdown_files():
+        if not path.startswith(DOCS_DIR):
+            continue
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        for flag in sorted(set(_CLI_FLAG.findall(text)) - _EXTERNAL_FLAGS):
+            if flag not in known:
+                errors.append(
+                    f"docs/{os.path.relpath(path, DOCS_DIR)}: mentions "
+                    f"--{flag}, which no subcommand registers"
+                )
+    return errors
+
+
 CHECKS: Dict[str, object] = {
     "markdown links": check_links,
     "docs reachability": check_docs_reachable,
     "CLI/docs sync": check_cli_sync,
+    "CLI flag sync": check_cli_flags,
 }
 
 
