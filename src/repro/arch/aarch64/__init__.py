@@ -64,6 +64,9 @@ class AArch64(Architecture):
     def execute(self, instruction, state, pc=0, resolve_label=None):
         return semantics.execute(instruction, state, pc, resolve_label)
 
+    def compile_instruction(self, instruction, pc=0, label_to_index=None):
+        return semantics.compile_instruction(instruction, pc, label_to_index)
+
     def evaluate_condition(self, code, state):
         return semantics.evaluate_condition(code, state)
 

@@ -256,15 +256,30 @@ def canonical_mnemonic(mnemonic: str) -> str:
     return mnemonic
 
 
+#: ``B.cond -> canonical code`` for every code and alias, precomputed at
+#: import (the per-call canonicalization was hot-loop overhead).
+_CONDITION_OF: Dict[str, Optional[str]] = {
+    "B." + code: canonical_condition(code)
+    for code in (*CONDITION_FLAGS, *CONDITION_ALIASES)
+}
+
+
 def condition_of(mnemonic: str) -> Optional[str]:
-    """Extract the condition code from a ``B.cond`` mnemonic."""
+    """Extract the condition code from a ``B.cond`` mnemonic (memoized
+    at module import)."""
     mnemonic = mnemonic.upper()
+    try:
+        return _CONDITION_OF[mnemonic]
+    except KeyError:
+        pass
+    result: Optional[str] = None
     if mnemonic.startswith("B."):
         try:
-            return canonical_condition(mnemonic[2:])
+            result = canonical_condition(mnemonic[2:])
         except ValueError:
-            return None
-    return None
+            result = None
+    _CONDITION_OF[mnemonic] = result
+    return result
 
 
 __all__ = [

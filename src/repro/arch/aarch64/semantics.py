@@ -13,9 +13,18 @@ divergences from x86 that the contract/CPU layers must not assume away:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.isa.instruction import Instruction
+from repro.emulator.compiled import (
+    CompiledOperands,
+    compile_cond_branch,
+    compile_indirect_branch,
+    compile_no_op,
+    compile_uncond_branch,
+    condition_evaluator,
+    make_step,
+)
 from repro.emulator.errors import InvalidProgram
 from repro.emulator.semantics import (
     MASK64,
@@ -29,9 +38,15 @@ from repro.emulator.state import ArchState
 from repro.arch.aarch64.instruction_set import condition_of
 
 
+# The flag helpers write ``state.flags`` directly: every name is a
+# literal NZCV member, so ``write_flag``'s membership check is pure
+# hot-path overhead (shared by the interpretive and compiled engines).
+
+
 def _set_nz(state: ArchState, result: int, width: int) -> None:
-    state.write_flag("N", bool(result >> (width - 1) & 1))
-    state.write_flag("Z", result == 0)
+    flags = state.flags
+    flags["N"] = bool(result >> (width - 1) & 1)
+    flags["Z"] = result == 0
 
 
 def _add_with_flags(
@@ -40,10 +55,9 @@ def _add_with_flags(
     full = a + b
     result = full & _mask(width)
     if set_flags:
-        state.write_flag("C", full > _mask(width))
-        state.write_flag(
-            "V", bool((~(a ^ b) & (a ^ result)) >> (width - 1) & 1)
-        )
+        flags = state.flags
+        flags["C"] = full > _mask(width)
+        flags["V"] = bool((~(a ^ b) & (a ^ result)) >> (width - 1) & 1)
         _set_nz(state, result, width)
     return result
 
@@ -55,46 +69,52 @@ def _sub_with_flags(
     result = full & _mask(width)
     if set_flags:
         # AArch64 convention: C set when NO borrow occurred.
-        state.write_flag("C", full >= 0)
-        state.write_flag(
-            "V", bool(((a ^ b) & (a ^ result)) >> (width - 1) & 1)
-        )
+        flags = state.flags
+        flags["C"] = full >= 0
+        flags["V"] = bool(((a ^ b) & (a ^ result)) >> (width - 1) & 1)
         _set_nz(state, result, width)
     return result
 
 
 def _logic_flags(state: ArchState, result: int, width: int) -> None:
-    state.write_flag("C", False)
-    state.write_flag("V", False)
+    flags = state.flags
+    flags["C"] = False
+    flags["V"] = False
     _set_nz(state, result, width)
+
+
+#: condition code -> bound NZCV evaluator, built once at import (the
+#: former per-call table construction was hot-path overhead).
+_CONDITION_EVALUATORS: Dict[str, Callable[[ArchState], bool]] = {
+    "EQ": lambda s: s.flags["Z"],
+    "NE": lambda s: not s.flags["Z"],
+    "CS": lambda s: s.flags["C"],
+    "CC": lambda s: not s.flags["C"],
+    "MI": lambda s: s.flags["N"],
+    "PL": lambda s: not s.flags["N"],
+    "VS": lambda s: s.flags["V"],
+    "VC": lambda s: not s.flags["V"],
+    "HI": lambda s: s.flags["C"] and not s.flags["Z"],
+    "LS": lambda s: not (s.flags["C"] and not s.flags["Z"]),
+    "GE": lambda s: s.flags["N"] == s.flags["V"],
+    "LT": lambda s: s.flags["N"] != s.flags["V"],
+    "GT": lambda s: (not s.flags["Z"]) and (s.flags["N"] == s.flags["V"]),
+    "LE": lambda s: s.flags["Z"] or (s.flags["N"] != s.flags["V"]),
+}
 
 
 def evaluate_condition(code: str, state: ArchState) -> bool:
     """Evaluate a canonical AArch64 condition code against NZCV."""
-    n = state.read_flag("N")
-    z = state.read_flag("Z")
-    c = state.read_flag("C")
-    v = state.read_flag("V")
-    table = {
-        "EQ": z,
-        "NE": not z,
-        "CS": c,
-        "CC": not c,
-        "MI": n,
-        "PL": not n,
-        "VS": v,
-        "VC": not v,
-        "HI": c and not z,
-        "LS": not (c and not z),
-        "GE": n == v,
-        "LT": n != v,
-        "GT": (not z) and (n == v),
-        "LE": z or (n != v),
-    }
     try:
-        return table[code]
+        evaluator = _CONDITION_EVALUATORS[code]
     except KeyError:
         raise InvalidProgram(f"unknown condition code: {code!r}") from None
+    return evaluator(state)
+
+
+def _condition_evaluator(code: Optional[str]) -> Callable[[ArchState], bool]:
+    """The bound evaluator for a pre-resolved condition code."""
+    return condition_evaluator(_CONDITION_EVALUATORS, code)
 
 
 _THREE_OP = {"ADD", "SUB", "AND", "EOR", "ORR", "ADDS", "SUBS", "ANDS"}
@@ -210,4 +230,191 @@ def execute(
     )
 
 
-__all__ = ["evaluate_condition", "execute"]
+# -- compile-once lowering (repro.emulator.compiled) --------------------------
+#
+# Per-mnemonic compilers mirroring the interpreters above statement for
+# statement; see the x86-64 twin for the design notes. Equality of the
+# two paths is asserted by tests/test_compiled_ir.py.
+
+_CompileFn = Callable[[Instruction, CompiledOperands, int], Callable]
+
+
+def _compile_cb(instruction, ops, pc):
+    condition = condition_of(instruction.mnemonic)
+    evaluator = _condition_evaluator(condition)
+    return compile_cond_branch(instruction, ops, pc, condition, evaluator)
+
+
+def _compile_data_processing(instruction, ops, pc):
+    mnemonic = instruction.mnemonic
+    width = ops.width(0)
+    wm = _mask(width)
+    read1 = ops.reader(1)
+    read2 = ops.reader(2)
+    write0 = ops.writer(0)
+    set_flags = mnemonic.endswith("S")
+
+    if mnemonic in ("ADD", "ADDS"):
+        def body(state, accesses):
+            a = read1(state, accesses) & wm
+            b = read2(state, accesses) & wm
+            write0(state, _add_with_flags(state, a, b, width, set_flags),
+                   accesses)
+    elif mnemonic in ("SUB", "SUBS"):
+        def body(state, accesses):
+            a = read1(state, accesses) & wm
+            b = read2(state, accesses) & wm
+            write0(state, _sub_with_flags(state, a, b, width, set_flags),
+                   accesses)
+    elif mnemonic in ("AND", "ANDS"):
+        def body(state, accesses):
+            result = (read1(state, accesses) & read2(state, accesses)) & wm
+            if set_flags:
+                _logic_flags(state, result, width)
+            write0(state, result, accesses)
+    elif mnemonic == "EOR":
+        def body(state, accesses):
+            result = (
+                (read1(state, accesses) & wm)
+                ^ (read2(state, accesses) & wm)
+            )
+            write0(state, result, accesses)
+    elif mnemonic == "ORR":
+        def body(state, accesses):
+            result = (
+                (read1(state, accesses) & wm)
+                | (read2(state, accesses) & wm)
+            )
+            write0(state, result, accesses)
+    else:  # pragma: no cover - guarded by the dispatch table
+        raise InvalidProgram(mnemonic)
+    return make_step(instruction, pc, body)
+
+
+def _compile_compare(instruction, ops, pc):
+    is_cmp = instruction.mnemonic == "CMP"
+    width = ops.width(0)
+    wm = _mask(width)
+    read0 = ops.reader(0)
+    read1 = ops.reader(1)
+
+    if is_cmp:
+        def body(state, accesses):
+            a = read0(state, accesses) & wm
+            b = read1(state, accesses) & wm
+            _sub_with_flags(state, a, b, width, set_flags=True)
+    else:  # TST
+        def body(state, accesses):
+            a = read0(state, accesses) & wm
+            b = read1(state, accesses) & wm
+            _logic_flags(state, a & b, width)
+    return make_step(instruction, pc, body)
+
+
+def _compile_shift(instruction, ops, pc):
+    left = instruction.mnemonic == "LSL"
+    width = ops.width(0)
+    wm = _mask(width)
+    read1 = ops.reader(1)
+    read2 = ops.reader(2)
+    write0 = ops.writer(0)
+
+    if left:
+        def body(state, accesses):
+            value = read1(state, accesses) & wm
+            amount = read2(state, accesses) % width
+            write0(state, (value << amount) & wm, accesses)
+    else:  # LSR
+        def body(state, accesses):
+            value = read1(state, accesses) & wm
+            amount = read2(state, accesses) % width
+            write0(state, value >> amount, accesses)
+    return make_step(instruction, pc, body)
+
+
+def _compile_move(instruction, ops, pc):
+    # MOV/ADR and LDR share one shape: masked read of slot 1 into slot 0.
+    wm = _mask(ops.width(0))
+    read1 = ops.reader(1)
+    write0 = ops.writer(0)
+
+    def body(state, accesses):
+        write0(state, read1(state, accesses) & wm, accesses)
+
+    return make_step(instruction, pc, body)
+
+
+def _compile_str(instruction, ops, pc):
+    wm = _mask(ops.width(0))
+    read0 = ops.reader(0)
+    write1 = ops.writer(1)
+
+    def body(state, accesses):
+        write1(state, read0(state, accesses) & wm, accesses)
+
+    return make_step(instruction, pc, body)
+
+
+def _compile_udiv(instruction, ops, pc):
+    wm = _mask(ops.width(0))
+    read1 = ops.reader(1)
+    read2 = ops.reader(2)
+    write0 = ops.writer(0)
+
+    def body(state, accesses):
+        dividend = read1(state, accesses) & wm
+        divisor = read2(state, accesses) & wm
+        # AArch64: division by zero yields zero, no fault.
+        write0(state, 0 if divisor == 0 else dividend // divisor, accesses)
+
+    return make_step(instruction, pc, body)
+
+
+#: control-flow categories, compiled by shape rather than mnemonic
+_CATEGORY_COMPILERS: Dict[str, _CompileFn] = {
+    "CB": _compile_cb,
+    "UNCOND": compile_uncond_branch,
+    "IND": compile_indirect_branch,
+    "FENCE": compile_no_op,
+}
+
+#: the per-mnemonic handler table the program compiler binds from
+_COMPILERS: Dict[str, _CompileFn] = {
+    "ADD": _compile_data_processing,
+    "ADDS": _compile_data_processing,
+    "SUB": _compile_data_processing,
+    "SUBS": _compile_data_processing,
+    "AND": _compile_data_processing,
+    "ANDS": _compile_data_processing,
+    "EOR": _compile_data_processing,
+    "ORR": _compile_data_processing,
+    "CMP": _compile_compare,
+    "TST": _compile_compare,
+    "LSL": _compile_shift,
+    "LSR": _compile_shift,
+    "MOV": _compile_move,
+    "ADR": _compile_move,
+    "LDR": _compile_move,
+    "STR": _compile_str,
+    "UDIV": _compile_udiv,
+    "NOP": compile_no_op,
+}
+
+
+def compile_instruction(
+    instruction: Instruction,
+    pc: int = 0,
+    label_to_index=None,
+) -> Callable[[ArchState], StepResult]:
+    """Lower one AArch64 instruction into a bound step closure
+    (byte-identical in behaviour to :func:`execute`)."""
+    ops = CompiledOperands(instruction, label_to_index)
+    compiler = _CATEGORY_COMPILERS.get(instruction.category)
+    if compiler is None:
+        compiler = _COMPILERS.get(instruction.mnemonic)
+    if compiler is None:
+        raise InvalidProgram(f"no semantics for {instruction.mnemonic!r}")
+    return compiler(instruction, ops, pc)
+
+
+__all__ = ["compile_instruction", "evaluate_condition", "execute"]

@@ -128,6 +128,18 @@ class Architecture:
         """Execute one instruction architecturally (see per-arch semantics)."""
         raise NotImplementedError
 
+    def compile_instruction(self, instruction, pc=0, label_to_index=None):
+        """Lower one instruction into a bound step closure.
+
+        The closure (``run(state) -> StepResult``) must be byte-identical
+        in behaviour to :meth:`execute` for this instruction at this
+        ``pc``: the backend resolves the mnemonic dispatch, operand
+        accessors, condition codes and label targets here, exactly once,
+        so the execution engines can run compile-once/execute-many (see
+        :mod:`repro.emulator.compiled`).
+        """
+        raise NotImplementedError
+
     def evaluate_condition(self, code: str, state) -> bool:
         """Evaluate a canonical condition code against the flag bits."""
         raise NotImplementedError

@@ -14,10 +14,23 @@ so that the model and the simulated CPU always agree.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.isa.instruction import Instruction
-from repro.isa.instruction_set import condition_of
+from repro.isa.instruction_set import (
+    CONDITION_ALIASES,
+    CONDITION_FLAGS,
+    condition_of,
+)
+from repro.emulator.compiled import (
+    CompiledOperands,
+    compile_cond_branch,
+    compile_indirect_branch,
+    compile_no_op,
+    compile_uncond_branch,
+    condition_evaluator,
+    make_step,
+)
 from repro.emulator.errors import DivisionFault, InvalidProgram
 from repro.emulator.semantics import (
     MASK64,
@@ -37,12 +50,18 @@ def _parity(value: int) -> bool:
 
 
 # -- flag computation ---------------------------------------------------------
+#
+# The helpers write ``state.flags`` directly: every flag name below is a
+# literal member of the x86 flag set, so the per-write membership check
+# of ``ArchState.write_flag`` is pure overhead on the hottest path of
+# the emulator (shared by the interpretive and the compiled engine).
 
 
 def _set_result_flags(state: ArchState, result: int, width: int) -> None:
-    state.write_flag("ZF", result == 0)
-    state.write_flag("SF", bool(result >> (width - 1) & 1))
-    state.write_flag("PF", _parity(result))
+    flags = state.flags
+    flags["ZF"] = result == 0
+    flags["SF"] = bool(result >> (width - 1) & 1)
+    flags["PF"] = _parity(result)
 
 
 def _set_add_flags(
@@ -50,9 +69,10 @@ def _set_add_flags(
 ) -> int:
     full = a + b + carry_in
     result = full & _mask(width)
-    state.write_flag("CF", full > _mask(width))
-    state.write_flag("OF", bool((~(a ^ b) & (a ^ result)) >> (width - 1) & 1))
-    state.write_flag("AF", bool((a ^ b ^ result) >> 4 & 1))
+    flags = state.flags
+    flags["CF"] = full > _mask(width)
+    flags["OF"] = bool((~(a ^ b) & (a ^ result)) >> (width - 1) & 1)
+    flags["AF"] = bool((a ^ b ^ result) >> 4 & 1)
     _set_result_flags(state, result, width)
     return result
 
@@ -62,49 +82,58 @@ def _set_sub_flags(
 ) -> int:
     full = a - b - borrow_in
     result = full & _mask(width)
-    state.write_flag("CF", full < 0)
-    state.write_flag("OF", bool(((a ^ b) & (a ^ result)) >> (width - 1) & 1))
-    state.write_flag("AF", bool((a ^ b ^ result) >> 4 & 1))
+    flags = state.flags
+    flags["CF"] = full < 0
+    flags["OF"] = bool(((a ^ b) & (a ^ result)) >> (width - 1) & 1)
+    flags["AF"] = bool((a ^ b ^ result) >> 4 & 1)
     _set_result_flags(state, result, width)
     return result
 
 
 def _set_logic_flags(state: ArchState, result: int, width: int) -> None:
-    state.write_flag("CF", False)
-    state.write_flag("OF", False)
-    state.write_flag("AF", False)
+    flags = state.flags
+    flags["CF"] = False
+    flags["OF"] = False
+    flags["AF"] = False
     _set_result_flags(state, result, width)
+
+
+#: condition code -> bound FLAGS evaluator, built once at import. The
+#: former per-call construction of the full 16-entry table was hot-path
+#: overhead: every conditional branch, CMOVcc and SETcc evaluation
+#: rebuilt it from scratch.
+_CONDITION_EVALUATORS: Dict[str, Callable[[ArchState], bool]] = {
+    "O": lambda s: s.flags["OF"],
+    "NO": lambda s: not s.flags["OF"],
+    "B": lambda s: s.flags["CF"],
+    "AE": lambda s: not s.flags["CF"],
+    "Z": lambda s: s.flags["ZF"],
+    "NZ": lambda s: not s.flags["ZF"],
+    "BE": lambda s: s.flags["CF"] or s.flags["ZF"],
+    "A": lambda s: not (s.flags["CF"] or s.flags["ZF"]),
+    "S": lambda s: s.flags["SF"],
+    "NS": lambda s: not s.flags["SF"],
+    "P": lambda s: s.flags["PF"],
+    "NP": lambda s: not s.flags["PF"],
+    "L": lambda s: s.flags["SF"] != s.flags["OF"],
+    "GE": lambda s: s.flags["SF"] == s.flags["OF"],
+    "LE": lambda s: s.flags["ZF"] or (s.flags["SF"] != s.flags["OF"]),
+    "G": lambda s: (not s.flags["ZF"]) and (s.flags["SF"] == s.flags["OF"]),
+}
 
 
 def evaluate_condition(code: str, state: ArchState) -> bool:
     """Evaluate a canonical x86 condition code against FLAGS."""
-    cf = state.read_flag("CF")
-    zf = state.read_flag("ZF")
-    sf = state.read_flag("SF")
-    of = state.read_flag("OF")
-    pf = state.read_flag("PF")
-    table = {
-        "O": of,
-        "NO": not of,
-        "B": cf,
-        "AE": not cf,
-        "Z": zf,
-        "NZ": not zf,
-        "BE": cf or zf,
-        "A": not (cf or zf),
-        "S": sf,
-        "NS": not sf,
-        "P": pf,
-        "NP": not pf,
-        "L": sf != of,
-        "GE": sf == of,
-        "LE": zf or (sf != of),
-        "G": (not zf) and (sf == of),
-    }
     try:
-        return table[code]
+        evaluator = _CONDITION_EVALUATORS[code]
     except KeyError:
         raise InvalidProgram(f"unknown condition code: {code!r}") from None
+    return evaluator(state)
+
+
+def _condition_evaluator(code: Optional[str]) -> Callable[[ArchState], bool]:
+    """The bound evaluator for a pre-resolved condition code."""
+    return condition_evaluator(_CONDITION_EVALUATORS, code)
 
 
 # -- instruction groups -------------------------------------------------------
@@ -345,4 +374,372 @@ def execute(
     )
 
 
-__all__ = ["evaluate_condition", "execute"]
+# -- compile-once lowering (repro.emulator.compiled) --------------------------
+#
+# Each compiler below specializes one mnemonic (or control-flow
+# category) into a closure over precompiled operand accessors — the
+# compile-time counterpart of the ``_exec_*`` interpreters above, with
+# the mnemonic dispatch, operand ``isinstance`` chains and
+# ``condition_of`` parsing hoisted out of the per-step path. The bodies
+# mirror the interpreters statement for statement so the two paths stay
+# byte-identical (asserted by tests/test_compiled_ir.py for every
+# catalog entry and by the randomized program property tests).
+
+_CompileFn = Callable[[Instruction, CompiledOperands, int], Callable]
+
+
+def _compile_cb(instruction, ops, pc):
+    condition = condition_of(instruction.mnemonic)
+    evaluator = _condition_evaluator(condition)
+    return compile_cond_branch(instruction, ops, pc, condition, evaluator)
+
+
+def _compile_call(instruction, ops, pc):
+    read0 = ops.reader(0)
+    return_pc = pc + 1
+
+    def run(state):
+        accesses: List[MemAccess] = []
+        target = read0(state, accesses)
+        rsp = (state.registers["RSP"] - 8) & MASK64
+        old = state.read_memory(rsp, 8)
+        state.write_memory(rsp, 8, return_pc)
+        accesses.append(
+            MemAccess(rsp, 8, return_pc, is_write=True, old_value=old)
+        )
+        state.registers["RSP"] = rsp
+        branch = BranchInfo("call", True, target, return_pc)
+        return StepResult(instruction, pc, target, accesses, branch)
+
+    return run
+
+
+def _compile_ret(instruction, ops, pc):
+    fallthrough = pc + 1
+
+    def run(state):
+        accesses: List[MemAccess] = []
+        rsp = state.registers["RSP"]
+        target = state.read_memory(rsp, 8)
+        accesses.append(MemAccess(rsp, 8, target, is_write=False))
+        state.registers["RSP"] = (rsp + 8) & MASK64
+        branch = BranchInfo("ret", True, target, fallthrough)
+        return StepResult(instruction, pc, target, accesses, branch)
+
+    return run
+
+
+def _compile_binary(instruction, ops, pc):
+    mnemonic = instruction.mnemonic
+    width = ops.width(0)
+    wm = _mask(width)
+    read0 = ops.reader(0)
+    read1 = ops.reader(1)
+    write0 = None if mnemonic in ("CMP", "TEST") else ops.writer(0)
+
+    if mnemonic == "ADD":
+        def body(state, accesses):
+            a = read0(state, accesses)
+            b = read1(state, accesses) & wm
+            write0(state, _set_add_flags(state, a, b, 0, width), accesses)
+    elif mnemonic == "ADC":
+        def body(state, accesses):
+            a = read0(state, accesses)
+            b = read1(state, accesses) & wm
+            carry = int(state.flags["CF"])
+            write0(state, _set_add_flags(state, a, b, carry, width), accesses)
+    elif mnemonic == "SUB":
+        def body(state, accesses):
+            a = read0(state, accesses)
+            b = read1(state, accesses) & wm
+            write0(state, _set_sub_flags(state, a, b, 0, width), accesses)
+    elif mnemonic == "SBB":
+        def body(state, accesses):
+            a = read0(state, accesses)
+            b = read1(state, accesses) & wm
+            borrow = int(state.flags["CF"])
+            write0(state, _set_sub_flags(state, a, b, borrow, width), accesses)
+    elif mnemonic == "CMP":
+        def body(state, accesses):
+            a = read0(state, accesses)
+            b = read1(state, accesses) & wm
+            _set_sub_flags(state, a, b, 0, width)
+    elif mnemonic == "TEST":
+        def body(state, accesses):
+            a = read0(state, accesses)
+            b = read1(state, accesses) & wm
+            _set_logic_flags(state, a & b, width)
+    elif mnemonic == "AND":
+        def body(state, accesses):
+            result = read0(state, accesses) & read1(state, accesses) & wm
+            _set_logic_flags(state, result, width)
+            write0(state, result, accesses)
+    elif mnemonic == "OR":
+        def body(state, accesses):
+            result = read0(state, accesses) | (read1(state, accesses) & wm)
+            _set_logic_flags(state, result, width)
+            write0(state, result, accesses)
+    elif mnemonic == "XOR":
+        def body(state, accesses):
+            result = read0(state, accesses) ^ (read1(state, accesses) & wm)
+            _set_logic_flags(state, result, width)
+            write0(state, result, accesses)
+    else:  # pragma: no cover - guarded by the dispatch table
+        raise InvalidProgram(mnemonic)
+    return make_step(instruction, pc, body)
+
+
+def _compile_mov(instruction, ops, pc):
+    wm = _mask(ops.width(0))
+    read1 = ops.reader(1)
+    write0 = ops.writer(0)
+
+    def body(state, accesses):
+        write0(state, read1(state, accesses) & wm, accesses)
+
+    return make_step(instruction, pc, body)
+
+
+def _compile_extend(instruction, ops, pc):
+    src_width = ops.width(1)
+    src_mask = _mask(src_width)
+    read1 = ops.reader(1)
+    write0 = ops.writer(0)
+    if instruction.mnemonic == "MOVSX":
+        dst_width = ops.width(0)
+        dst_mask = _mask(dst_width)
+
+        def body(state, accesses):
+            value = read1(state, accesses) & src_mask
+            write0(state, _signed(value, src_width) & dst_mask, accesses)
+
+    else:
+        def body(state, accesses):
+            write0(state, read1(state, accesses) & src_mask, accesses)
+
+    return make_step(instruction, pc, body)
+
+
+def _compile_unary(instruction, ops, pc):
+    mnemonic = instruction.mnemonic
+    width = ops.width(0)
+    wm = _mask(width)
+    read0 = ops.reader(0)
+    write0 = ops.writer(0)
+
+    if mnemonic == "INC":
+        def body(state, accesses):
+            value = read0(state, accesses)
+            carry = state.flags["CF"]
+            result = _set_add_flags(state, value, 1, 0, width)
+            state.flags["CF"] = carry  # INC preserves CF
+            write0(state, result, accesses)
+    elif mnemonic == "DEC":
+        def body(state, accesses):
+            value = read0(state, accesses)
+            carry = state.flags["CF"]
+            result = _set_sub_flags(state, value, 1, 0, width)
+            state.flags["CF"] = carry  # DEC preserves CF
+            write0(state, result, accesses)
+    elif mnemonic == "NEG":
+        def body(state, accesses):
+            value = read0(state, accesses)
+            result = _set_sub_flags(state, 0, value, 0, width)
+            state.flags["CF"] = value != 0
+            write0(state, result, accesses)
+    elif mnemonic == "NOT":
+        def body(state, accesses):
+            write0(state, (~read0(state, accesses)) & wm, accesses)
+    else:  # pragma: no cover
+        raise InvalidProgram(mnemonic)
+    return make_step(instruction, pc, body)
+
+
+def _compile_imul(instruction, ops, pc):
+    width = ops.width(0)
+    wm = _mask(width)
+    read0 = ops.reader(0)
+    read1 = ops.reader(1)
+    write0 = ops.writer(0)
+
+    def body(state, accesses):
+        a = _signed(read0(state, accesses), width)
+        b = _signed(read1(state, accesses) & wm, width)
+        product = a * b
+        result = product & wm
+        overflow = product != _signed(result, width)
+        flags = state.flags
+        flags["CF"] = overflow
+        flags["OF"] = overflow
+        flags["AF"] = False
+        _set_result_flags(state, result, width)
+        write0(state, result, accesses)
+
+    return make_step(instruction, pc, body)
+
+
+def _compile_xchg(instruction, ops, pc):
+    read0 = ops.reader(0)
+    read1 = ops.reader(1)
+    write0 = ops.writer(0)
+    write1 = ops.writer(1)
+
+    def body(state, accesses):
+        a = read0(state, accesses)
+        b = read1(state, accesses)
+        write0(state, b, accesses)
+        write1(state, a, accesses)
+
+    return make_step(instruction, pc, body)
+
+
+def _compile_lea(instruction, ops, pc):
+    read1 = ops.reader(1)
+    write0 = ops.writer(0)
+
+    def body(state, accesses):
+        write0(state, read1(state, accesses), accesses)
+
+    return make_step(instruction, pc, body)
+
+
+def _compile_cmov(instruction, ops, pc):
+    evaluator = _condition_evaluator(condition_of(instruction.mnemonic))
+    width = ops.width(0)
+    wm = _mask(width)
+    read0 = ops.reader(0)
+    read1 = ops.reader(1)
+    write0 = ops.writer(0)
+
+    def body(state, accesses):
+        # x86 always performs the source load, even when suppressed.
+        value = read1(state, accesses) & wm
+        if evaluator(state):
+            write0(state, value, accesses)
+        elif width == 32:
+            # 32-bit CMOV zero-extends the destination even when not moving.
+            write0(state, read0(state, accesses) & wm, accesses)
+
+    return make_step(instruction, pc, body)
+
+
+def _compile_setcc(instruction, ops, pc):
+    evaluator = _condition_evaluator(condition_of(instruction.mnemonic))
+    write0 = ops.writer(0)
+
+    def body(state, accesses):
+        write0(state, 1 if evaluator(state) else 0, accesses)
+
+    return make_step(instruction, pc, body)
+
+
+def _compile_div(instruction, ops, pc):
+    mnemonic = instruction.mnemonic
+    width = ops.width(0)
+    wm = _mask(width)
+    half_mask = wm  # RDX:RAX for 64-bit, EDX:EAX (zero-extended) for 32-bit
+    signed_div = mnemonic == "IDIV"
+    quotient_min = -(1 << (width - 1))
+    quotient_max = (1 << (width - 1)) - 1
+    read0 = ops.reader(0)
+
+    def body(state, accesses):
+        divisor = read0(state, accesses) & wm
+        registers = state.registers
+        high = registers["RDX"] & half_mask
+        low = registers["RAX"] & half_mask
+        dividend = (high << width) | low
+        if signed_div:
+            dividend = _signed(dividend, 2 * width)
+            divisor = _signed(divisor, width)
+            if divisor == 0:
+                raise DivisionFault("IDIV by zero")
+            quotient = int(dividend / divisor)  # truncation toward zero
+            remainder = dividend - quotient * divisor
+            if not quotient_min <= quotient <= quotient_max:
+                raise DivisionFault("IDIV quotient overflow")
+        else:
+            if divisor == 0:
+                raise DivisionFault("DIV by zero")
+            quotient, remainder = divmod(dividend, divisor)
+            if quotient > wm:
+                raise DivisionFault("DIV quotient overflow")
+        quotient &= wm
+        remainder &= wm
+        # 64-bit writes replace, 32-bit results are zero-extended: both
+        # reduce to storing the width-masked value in the canonical GPR.
+        registers["RAX"] = quotient
+        registers["RDX"] = remainder
+        flags = state.flags
+        flags["CF"] = False
+        flags["OF"] = False
+        flags["AF"] = False
+        _set_result_flags(state, quotient, width)
+
+    return make_step(instruction, pc, body)
+
+
+#: control-flow categories, compiled by shape rather than mnemonic
+_CATEGORY_COMPILERS: Dict[str, _CompileFn] = {
+    "CB": _compile_cb,
+    "UNCOND": compile_uncond_branch,
+    "IND": compile_indirect_branch,
+    "CALL": _compile_call,
+    "RET": _compile_ret,
+    "FENCE": compile_no_op,
+}
+
+#: the per-mnemonic handler table the program compiler binds from
+_COMPILERS: Dict[str, _CompileFn] = {
+    "ADD": _compile_binary,
+    "ADC": _compile_binary,
+    "SUB": _compile_binary,
+    "SBB": _compile_binary,
+    "CMP": _compile_binary,
+    "AND": _compile_binary,
+    "OR": _compile_binary,
+    "XOR": _compile_binary,
+    "TEST": _compile_binary,
+    "MOV": _compile_mov,
+    "MOVZX": _compile_extend,
+    "MOVSX": _compile_extend,
+    "INC": _compile_unary,
+    "DEC": _compile_unary,
+    "NEG": _compile_unary,
+    "NOT": _compile_unary,
+    "IMUL": _compile_imul,
+    "XCHG": _compile_xchg,
+    "LEA": _compile_lea,
+    "DIV": _compile_div,
+    "IDIV": _compile_div,
+    "NOP": compile_no_op,
+}
+# one entry per CMOVcc/SETcc form (canonical codes and accepted aliases)
+for _code in (*CONDITION_FLAGS, *CONDITION_ALIASES):
+    _COMPILERS[f"CMOV{_code}"] = _compile_cmov
+    _COMPILERS[f"SET{_code}"] = _compile_setcc
+del _code
+
+
+def compile_instruction(
+    instruction: Instruction,
+    pc: int = 0,
+    label_to_index=None,
+) -> Callable[[ArchState], StepResult]:
+    """Lower one x86-64 instruction into a bound step closure.
+
+    The returned closure is byte-identical in behaviour to
+    :func:`execute` for this instruction at this ``pc``; the mnemonic
+    dispatch, operand resolution and condition parsing happen here,
+    exactly once.
+    """
+    ops = CompiledOperands(instruction, label_to_index)
+    compiler = _CATEGORY_COMPILERS.get(instruction.category)
+    if compiler is None:
+        compiler = _COMPILERS.get(instruction.mnemonic)
+    if compiler is None:
+        raise InvalidProgram(f"no semantics for {instruction.mnemonic!r}")
+    return compiler(instruction, ops, pc)
+
+
+__all__ = ["compile_instruction", "evaluate_condition", "execute"]

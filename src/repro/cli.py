@@ -56,6 +56,11 @@ def _build_config(args: argparse.Namespace) -> FuzzerConfig:
             "--cache-max-bytes bounds the persistent disk tier and "
             "requires --cache-dir"
         )
+    if args.cache_compress and not args.cache_dir:
+        raise SystemExit(
+            "--cache-compress compresses the persistent disk tier and "
+            "requires --cache-dir"
+        )
     return FuzzerConfig(
         arch=args.arch,
         instruction_subsets=tuple(args.subsets.split("+")),
@@ -73,6 +78,7 @@ def _build_config(args: argparse.Namespace) -> FuzzerConfig:
         trace_cache_entries=args.cache_entries,
         trace_cache_dir=args.cache_dir,
         trace_cache_max_bytes=args.cache_max_bytes,
+        trace_cache_compress=args.cache_compress,
     )
 
 
@@ -119,6 +125,10 @@ def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
                         help="disk-footprint bound of the persistent trace "
                         "cache; least-recently-used entries are garbage-"
                         "collected once the bound is exceeded")
+    parser.add_argument("--cache-compress", action="store_true",
+                        help="zlib-compress persistent trace-cache entries "
+                        "(reads remain transparent to uncompressed legacy "
+                        "entries; compressed sizes feed the GC accounting)")
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -426,6 +436,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="disk-footprint bound of the persistent trace cache; "
         "least-recently-used entries are garbage-collected once the "
         "bound is exceeded",
+    )
+    sweep_parser.add_argument(
+        "--cache-compress", action="store_true",
+        help="zlib-compress persistent trace-cache entries (transparent "
+        "to uncompressed legacy entries)",
     )
     sweep_parser.add_argument("--json", default=None, metavar="PATH",
                               help="write the full sweep report as JSON")

@@ -26,9 +26,10 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.isa.instruction import TestCaseProgram
+from repro.emulator.compiled import CompiledProgram
 from repro.emulator.errors import EmulationFault, ExecutionLimitExceeded
 from repro.emulator.machine import Emulator
-from repro.emulator.state import InputData, SandboxLayout, Snapshot
+from repro.emulator.state import ArchState, InputData, SandboxLayout, Snapshot
 from repro.contracts.execution import EXECUTION_CLAUSES, ExecutionClause
 from repro.contracts.observation import OBSERVATION_CLAUSES, ObservationClause
 from repro.traces import CTrace, ExecutionLog, ExecutionLogEntry, Observation
@@ -89,8 +90,11 @@ class Contract:
         input_data: InputData,
         layout: Optional[SandboxLayout] = None,
         arch=None,
+        compiled: Optional[CompiledProgram] = None,
     ) -> CTrace:
-        trace, _ = self.collect_trace_and_log(program, input_data, layout, arch)
+        trace, _ = self.collect_trace_and_log(
+            program, input_data, layout, arch, compiled
+        )
         return trace
 
     def collect_trace_and_log(
@@ -99,6 +103,7 @@ class Contract:
         input_data: InputData,
         layout: Optional[SandboxLayout] = None,
         arch=None,
+        compiled: Optional[CompiledProgram] = None,
     ) -> Tuple[CTrace, ExecutionLog]:
         """Collect the contract trace plus the model's execution log.
 
@@ -106,7 +111,21 @@ class Contract:
         the diversity analysis (§5.6) mines it for hazard patterns.
         ``arch`` selects the backend (default: x86-64); its serializing
         set decides which instructions close a speculation window.
+
+        ``compiled`` runs the collection over a pre-lowered
+        :class:`~repro.emulator.compiled.CompiledProgram` — the pipeline
+        compiles each test case once and reuses the IR across every
+        input, contract parameterization and nesting revalidation.
+        Traces and logs are byte-identical to the interpretive path
+        (the seed behaviour, kept for reference and equality testing).
         """
+        if compiled is not None:
+            if arch is not None and compiled.arch is not arch:
+                raise ValueError(
+                    f"program compiled for {compiled.arch!r}, trace "
+                    f"requested for {arch!r}"
+                )
+            return self._collect_compiled(compiled, input_data, layout)
         emulator = Emulator(program, layout, arch)
         arch = emulator.arch
         emulator.state.load_input(input_data)
@@ -204,6 +223,110 @@ class Contract:
                 )
                 for access in reversed(result.stores):
                     emulator.state.write_memory(
+                        access.address, access.size, access.old_value
+                    )
+                pc = result.next_pc
+                continue
+            pc = result.next_pc
+
+        return CTrace(tuple(observations)), log
+
+    def _collect_compiled(
+        self,
+        compiled: CompiledProgram,
+        input_data: InputData,
+        layout: Optional[SandboxLayout] = None,
+    ) -> Tuple[CTrace, ExecutionLog]:
+        """The compile-once twin of the interpretive collection loop.
+
+        Speculation control flow is identical statement for statement;
+        the per-step decode work (mnemonic dispatch, operand contexts,
+        ``condition_of``, the log entry's register/flag sets) comes
+        precomputed from the :class:`DecodedOp` records instead.
+        """
+        state = ArchState(layout, compiled.arch)
+        state.load_input(input_data)
+        observations: List[Observation] = []
+        observe = self.observation.observe
+        log = ExecutionLog()
+        entries = log.entries
+        stack: List[_SpeculationFrame] = []
+        ops = compiled.ops
+        pc = 0
+        steps = 0
+        end = len(ops)
+        speculate_cond = self.execution.speculate_conditional_branches
+        speculate_bypass = self.execution.speculate_store_bypass
+        max_nesting = self.max_nesting
+
+        def rollback() -> int:
+            frame = stack.pop()
+            state.restore(frame.snapshot)
+            return frame.resume_pc
+
+        while True:
+            if steps >= _MAX_TRACE_STEPS:
+                raise ExecutionLimitExceeded(
+                    f"contract trace exceeded {_MAX_TRACE_STEPS} steps"
+                )
+            if not 0 <= pc < end:
+                if stack:
+                    pc = rollback()
+                    continue
+                break
+            speculative = bool(stack)
+            op = ops[pc]
+            if speculative:
+                if op.is_serializing:
+                    pc = rollback()
+                    continue
+                frame = stack[-1]
+                if frame.window_left <= 0:
+                    pc = rollback()
+                    continue
+                frame.window_left -= 1
+            try:
+                result = op.run(state)
+            except EmulationFault:
+                if stack:
+                    pc = rollback()
+                    continue
+                raise
+            steps += 1
+            observe(result, speculative, observations)
+            entries.append(
+                op.log_entry(
+                    addresses=tuple(a.address for a in result.mem_accesses),
+                    speculative=speculative,
+                )
+            )
+
+            may_fork = len(stack) < max_nesting
+            if op.is_cond_branch and speculate_cond and may_fork:
+                # Table 1: simulate the inverted branch outcome.
+                branch = result.branch
+                stack.append(
+                    _SpeculationFrame(
+                        snapshot=state.snapshot(),
+                        resume_pc=result.next_pc,
+                        window_left=self.speculation_window,
+                    )
+                )
+                pc = branch.fallthrough if branch.taken else branch.target
+                continue
+            if speculate_bypass and may_fork and result.stores:
+                # BPAS: the store is speculatively skipped. Checkpoint the
+                # post-store state for the rollback, then undo the store's
+                # memory effects for the speculative path.
+                stack.append(
+                    _SpeculationFrame(
+                        snapshot=state.snapshot(),
+                        resume_pc=result.next_pc,
+                        window_left=self.speculation_window,
+                    )
+                )
+                for access in reversed(result.stores):
+                    state.write_memory(
                         access.address, access.size, access.old_value
                     )
                 pc = result.next_pc

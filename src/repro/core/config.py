@@ -91,6 +91,15 @@ class FuzzerConfig:
     nesting_depth_for_revalidation: int = 3
     speculation_window: int = 250
 
+    # execution engines
+    #: lower each test case once into the compile-once program IR
+    #: (:mod:`repro.emulator.compiled`) shared by the contract model and
+    #: the speculative CPU; the interpretive per-step decode remains
+    #: available behind ``False`` (bit-identical traces and reports
+    #: either way — the equality tests and the emulation-throughput
+    #: benchmark compare the two)
+    compile_programs: bool = True
+
     # measurement (§5.3)
     executor_repetitions: int = 3
     executor_warmups: int = 1
@@ -121,6 +130,10 @@ class FuzzerConfig:
     #: file mtime) whenever the tier outgrows the bound. None keeps the
     #: historical append-only behavior
     trace_cache_max_bytes: Optional[int] = None
+    #: zlib-compress the persistent tier's disk entries; reads remain
+    #: transparent to uncompressed legacy entries, and compressed sizes
+    #: feed the ``trace_cache_max_bytes`` GC accounting
+    trace_cache_compress: bool = False
 
     seed: int = 0
 

@@ -14,10 +14,12 @@ analysis that widens the generator configuration (§5.6).
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.isa.instruction import TestCaseProgram
+from repro.emulator.compiled import CompiledProgram, compile_program
 from repro.emulator.errors import EmulationError
 from repro.emulator.state import InputData, SandboxLayout
 from repro.contracts.contract import Contract, get_contract
@@ -94,6 +96,7 @@ class TestingPipeline:
                 config.trace_cache_dir,
                 config.trace_cache_entries,
                 config.trace_cache_max_bytes,
+                config.trace_cache_compress,
             )
         self.trace_cache = trace_cache
         self.contract_emulations = 0
@@ -108,11 +111,46 @@ class TestingPipeline:
                 outlier_threshold=config.outlier_threshold,
                 noise=noise,
                 noise_seed=config.seed,
+                compile_programs=config.compile_programs,
             ),
             arch=self.arch,
         )
         self.discarded_by_priming = 0
         self.discarded_by_nesting = 0
+        #: compile-once memo: id(program) -> (program, CompiledProgram).
+        #: The program reference keeps the id from being recycled while
+        #: the entry lives; a handful of entries cover the pipeline's
+        #: access pattern (the current test case, the swap check, the
+        #: postprocessor's current shrink candidate).
+        self._compiled: "OrderedDict[int, Tuple[TestCaseProgram, CompiledProgram]]" = (
+            OrderedDict()
+        )
+
+    def compiled_for(
+        self, program: TestCaseProgram
+    ) -> Optional[CompiledProgram]:
+        """The compile-once IR of a test case (``None`` when disabled).
+
+        Each distinct program is lowered exactly once and the IR is
+        threaded through contract emulation, hardware-trace collection,
+        the priming-swap check and the nesting revalidation.
+        """
+        if not self.config.compile_programs:
+            return None
+        key = id(program)
+        entry = self._compiled.get(key)
+        if entry is not None and entry[0] is program:
+            self._compiled.move_to_end(key)
+            return entry[1]
+        compiled = compile_program(program, self.arch)
+        self._compiled[key] = (program, compiled)
+        # one measurement batch holds up to round_size distinct programs
+        # whose contract halves run after the whole batch measured, so
+        # the memo must outlive a full round
+        capacity = max(16, self.config.round_size + 1)
+        while len(self._compiled) > capacity:
+            self._compiled.popitem(last=False)
+        return compiled
 
     # -- trace collection -------------------------------------------------------
 
@@ -121,8 +159,9 @@ class TestingPipeline:
     ) -> Tuple[List[CTrace], List[ExecutionLog]]:
         """Pure trace collection: one ``(CTrace, ExecutionLog)`` per input.
 
-        The program fingerprint is computed once per call, so cache
-        lookups cost a hash per input rather than an emulation.
+        The program fingerprint is computed once per call (so cache
+        lookups cost a hash per input rather than an emulation) and the
+        program is compiled once, shared by every input's collection.
         """
         fingerprint = (
             program_fingerprint(program, self.arch.name)
@@ -150,7 +189,8 @@ class TestingPipeline:
         if self.trace_cache is None:
             self.contract_emulations += 1
             return contract.collect_trace_and_log(
-                program, input_data, self.layout, self.arch
+                program, input_data, self.layout, self.arch,
+                self.compiled_for(program),
             )
         if fingerprint is None:
             fingerprint = program_fingerprint(program, self.arch.name)
@@ -158,7 +198,8 @@ class TestingPipeline:
         entry = self.trace_cache.get(key)
         if entry is None:
             entry = contract.collect_trace_and_log(
-                program, input_data, self.layout, self.arch
+                program, input_data, self.layout, self.arch,
+                self.compiled_for(program),
             )
             self.contract_emulations += 1
             self.trace_cache.put(key, entry)
@@ -169,7 +210,10 @@ class TestingPipeline:
     ) -> TestOutcome:
         """Collect both trace kinds and run the relational analysis."""
         ctraces, logs = self.collect_contract_traces(program, inputs)
-        htraces = self.executor.collect_hardware_traces(program, inputs)
+        compiled = self.compiled_for(program)
+        htraces = self.executor.collect_hardware_traces(
+            program if compiled is None else compiled, inputs
+        )
         analysis = self.analyzer.analyze(ctraces, htraces)
         run_infos = [list(infos) for infos in self.executor.last_run_infos]
         return TestOutcome(
@@ -178,10 +222,19 @@ class TestingPipeline:
 
     def measure_batch(self, cases):
         """Hardware half of a batched round: one executor batch over
-        every case. Returns ``(htraces, run_infos)`` per case, ``None``
-        traces where the measurement faulted (the sequential skip)."""
+        every case (each case's program compiled once, reused by the
+        contract half). Returns ``(htraces, run_infos)`` per case,
+        ``None`` traces where the measurement faulted (the sequential
+        skip)."""
+        lowered = [
+            (program, self.compiled_for(program))
+            for program, _inputs in cases
+        ]
         trace_batches = self.executor.collect_hardware_traces_batched(
-            [program for program, _inputs in cases],
+            [
+                program if compiled is None else compiled
+                for program, compiled in lowered
+            ],
             [inputs for _program, inputs in cases],
             skip_faulting=True,
         )
@@ -271,6 +324,7 @@ class TestingPipeline:
                 candidate.position_a,
                 candidate.position_b,
                 self.analyzer.equivalent,
+                compiled=self.compiled_for(outcome.program),
             )
             if not confirmed:
                 self.discarded_by_priming += 1

@@ -519,7 +519,11 @@ class SweepRunner:
         max_bytes = self.spec.base_config.trace_cache_max_bytes
         if self.cache_dir is not None:
             # create eagerly so an empty grid still leaves a valid dir
-            cache = PersistentTraceCache(self.cache_dir, max_bytes=max_bytes)
+            cache = PersistentTraceCache(
+                self.cache_dir,
+                max_bytes=max_bytes,
+                compress=self.spec.base_config.trace_cache_compress,
+            )
         pairs = self.cell_configs()
         parallel = min(self.max_parallel_cells, len(pairs))
         if parallel <= 1:

@@ -34,7 +34,11 @@ CLI as ``--cache`` / ``--cache-entries`` / ``--cache-dir`` /
   hundred inputs);
 - ``cache_dir`` (``trace_cache_dir``) selects the persistent backend;
 - ``max_bytes`` (``trace_cache_max_bytes``) bounds the persistent
-  backend's disk footprint.
+  backend's disk footprint;
+- ``compress`` (``trace_cache_compress`` / ``--cache-compress``)
+  zlib-compresses stored entries — reads stay transparent to legacy
+  uncompressed entries (and vice versa), and the GC accounting sees
+  the compressed sizes, so a bounded tier holds more entries.
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ import os
 import pickle
 import tempfile
 import time
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -233,6 +238,11 @@ class PersistentTraceCache(ContractTraceCache):
 
     #: format version prefix of stored entries; bump on layout changes
     FORMAT = 1
+    #: magic prefix of zlib-compressed entries. Uncompressed entries are
+    #: raw pickles, which (at ``HIGHEST_PROTOCOL``, the only protocol we
+    #: write) always start with ``b"\\x80"`` — so the two containers are
+    #: unambiguous and readers stay transparent to either encoding.
+    COMPRESSED_MAGIC = b"RZTC\x01"
     #: fraction of ``max_bytes`` a GC pass evicts down to — the headroom
     #: that keeps a hot writer from rescanning the directory per put
     GC_TARGET_FRACTION = 0.75
@@ -245,12 +255,21 @@ class PersistentTraceCache(ContractTraceCache):
         cache_dir: str,
         max_entries: int = 65536,
         max_bytes: Optional[int] = None,
+        compress: bool = False,
     ):
         super().__init__(max_entries)
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be positive (or None)")
         self.cache_dir = os.fspath(cache_dir)
         self.max_bytes = max_bytes
+        #: zlib-compress newly published entries. Reads are transparent
+        #: in both directions: a compressed cache reads legacy
+        #: uncompressed entries and vice versa, so the knob can be
+        #: toggled on a live cache directory at any time. Compressed
+        #: sizes are what the ``max_bytes`` GC accounting sees, so a
+        #: compressed cache holds proportionally more entries under the
+        #: same bound.
+        self.compress = bool(compress)
         #: disk footprint as of the last scan plus this process's writes
         #: since; ``None`` until the first scan
         self._disk_bytes: Optional[int] = None
@@ -283,9 +302,12 @@ class PersistentTraceCache(ContractTraceCache):
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
-                version, stored_key, entry = pickle.load(handle)
+                blob = handle.read()
+            if blob.startswith(self.COMPRESSED_MAGIC):
+                blob = zlib.decompress(blob[len(self.COMPRESSED_MAGIC):])
+            version, stored_key, entry = pickle.loads(blob)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, TypeError, ValueError):
+                ImportError, IndexError, TypeError, ValueError, zlib.error):
             # missing, torn, or incompatible entry: a miss, not an error
             self._discard(path)
             return None
@@ -312,10 +334,13 @@ class PersistentTraceCache(ContractTraceCache):
             prefix=".tmp-", dir=directory
         )
         try:
+            blob = pickle.dumps((self.FORMAT, key, entry),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            if self.compress:
+                blob = self.COMPRESSED_MAGIC + zlib.compress(blob)
             with os.fdopen(descriptor, "wb") as handle:
-                pickle.dump((self.FORMAT, key, entry), handle,
-                            protocol=pickle.HIGHEST_PROTOCOL)
-                size = handle.tell()
+                handle.write(blob)
+            size = len(blob)
             os.replace(tmp_path, path)  # atomic publication
             self.stats.disk_writes += 1
         except Exception:
@@ -438,15 +463,19 @@ def make_trace_cache(
     cache_dir: Optional[str],
     max_entries: int,
     max_bytes: Optional[int] = None,
+    compress: bool = False,
 ) -> Optional[ContractTraceCache]:
     """Build the cache a pipeline's config asks for (or ``None``).
 
     ``cache_dir`` implies caching even when the boolean knob is off —
     pointing a run at a directory is an explicit opt-in. ``max_bytes``
-    arms the persistent tier's garbage collector.
+    arms the persistent tier's garbage collector; ``compress``
+    zlib-compresses its entries (reads stay transparent to legacy
+    uncompressed entries).
     """
     if cache_dir:
-        return PersistentTraceCache(cache_dir, max_entries, max_bytes)
+        return PersistentTraceCache(cache_dir, max_entries, max_bytes,
+                                    compress)
     if enabled:
         return ContractTraceCache(max_entries)
     return None

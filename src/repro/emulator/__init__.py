@@ -16,10 +16,17 @@ from repro.emulator.errors import (
 from repro.emulator.state import ArchState, InputData, SandboxLayout
 from repro.emulator.semantics import BranchInfo, MemAccess, StepResult, execute
 from repro.emulator.machine import Emulator
+from repro.emulator.compiled import (
+    CompiledProgram,
+    DecodedOp,
+    compile_program,
+)
 
 __all__ = [
     "ArchState",
     "BranchInfo",
+    "CompiledProgram",
+    "DecodedOp",
     "DivisionFault",
     "EmulationError",
     "EmulationFault",
@@ -29,5 +36,6 @@ __all__ = [
     "SandboxLayout",
     "SandboxViolation",
     "StepResult",
+    "compile_program",
     "execute",
 ]

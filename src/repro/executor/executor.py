@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Set, Union
 
 from repro.isa.instruction import LinearProgram, TestCaseProgram
+from repro.emulator.compiled import CompiledProgram, as_compiled
 from repro.emulator.errors import EmulationError
 from repro.emulator.state import InputData, SandboxLayout
 from repro.traces import HTrace
@@ -48,6 +49,12 @@ class ExecutorConfig:
     outlier_threshold: int = 1
     noise: NoiseModel = NO_NOISE
     noise_seed: int = 0
+    #: lower each measured program to the compile-once IR
+    #: (:mod:`repro.emulator.compiled`) and reuse it across every
+    #: warm-up, repetition and priming input of a collection; False
+    #: keeps the per-step interpretive decode (bit-identical traces
+    #: either way — this is the reference path of the equality tests)
+    compile_programs: bool = True
 
 
 @dataclass
@@ -105,14 +112,27 @@ class Executor:
             return self.cpu.cache.probe()
         return self.cpu.cache.cached_lines(self.layout.base, self.layout.size)
 
+    def _lower(self, program) -> CompiledProgram:
+        """Lower a program to the IR exactly once per collection.
+
+        With ``config.compile_programs`` (the default) the handlers are
+        the compiled closures; otherwise the interpretive fallbacks —
+        either way the CPU loop runs the same IR records, so the
+        repeated measurements of a priming sequence never re-decode.
+        """
+        return as_compiled(
+            program, self.arch,
+            interpretive=not self.config.compile_programs,
+        )
+
     def _measure_once(
-        self, linear: LinearProgram, input_data: InputData
+        self, program: CompiledProgram, input_data: InputData
     ) -> Optional[Set[int]]:
         """One measurement: prepare, run, probe. None when SMI-polluted."""
         self._prepare_side_channel()
         if self.mode.assists:
             self.cpu.clear_accessed_bit(self.layout.assist_page_index)
-        info = self.cpu.run(linear, input_data)
+        info = self.cpu.run(program, input_data)
         self.stats.measurements += 1
         self.stats.run_infos.append(info)
         if len(self.stats.run_infos) > 8192:  # bound memory on long campaigns
@@ -128,7 +148,7 @@ class Executor:
 
     def collect_hardware_traces(
         self,
-        program: TestCaseProgram,
+        program: Union[TestCaseProgram, CompiledProgram],
         inputs: Sequence[InputData],
         fresh_context: bool = True,
     ) -> List[HTrace]:
@@ -137,23 +157,27 @@ class Executor:
         The input sequence is executed in order (priming); the whole
         sequence is repeated ``warmup_passes + repetitions`` times; per
         input, one-off traces are discarded and the rest are unioned.
+        ``program`` may be a pre-compiled
+        :class:`~repro.emulator.compiled.CompiledProgram` (the pipeline
+        compiles each test case once and threads the IR through).
         """
         return self.collect_hardware_traces_linearized(
-            program.linearize(), inputs, fresh_context
+            program, inputs, fresh_context
         )
 
     def collect_hardware_traces_linearized(
         self,
-        linear: LinearProgram,
+        linear: Union[LinearProgram, CompiledProgram, TestCaseProgram],
         inputs: Sequence[InputData],
         fresh_context: bool = True,
     ) -> List[HTrace]:
         """Batch-friendly variant of :meth:`collect_hardware_traces`.
 
         Callers that measure the same program against several input
-        sequences (the priming-swap check, campaign batching) linearize
-        once and reuse the flat stream across all measurements.
+        sequences (the priming-swap check, campaign batching) lower
+        once and reuse the compiled stream across all measurements.
         """
+        program = self._lower(linear)
         if fresh_context:
             self.cpu.reset_context()
         per_input_traces: List[List[frozenset]] = [[] for _ in inputs]
@@ -161,11 +185,11 @@ class Executor:
 
         for _ in range(self.config.warmup_passes):
             for input_data in inputs:
-                self._measure_once(linear, input_data)
+                self._measure_once(program, input_data)
 
         for _ in range(max(1, self.config.repetitions)):
             for position, input_data in enumerate(inputs):
-                signals = self._measure_once(linear, input_data)
+                signals = self._measure_once(program, input_data)
                 self.last_run_infos[position].append(self.stats.run_infos[-1])
                 if signals is not None:
                     per_input_traces[position].append(frozenset(signals))
@@ -174,7 +198,8 @@ class Executor:
 
     def collect_hardware_traces_batched(
         self,
-        programs: Sequence[Union[TestCaseProgram, LinearProgram]],
+        programs: Sequence[Union[TestCaseProgram, LinearProgram,
+                                 CompiledProgram]],
         input_batches: Sequence[Sequence[InputData]],
         fresh_context: bool = True,
         skip_faulting: bool = False,
@@ -182,13 +207,14 @@ class Executor:
         """Measure a batch of (program, input sequence) pairs in one call.
 
         The batch path of the campaign shards and the priming-swap
-        check: each distinct program is linearized exactly once (repeats
+        check: each distinct program is compiled exactly once (repeats
         — the swap check measures one program against three sequences —
-        reuse the flat stream), the noise calibration and side-channel
-        dispatch are shared across the whole batch, and each pair is
-        still measured against a fresh microarchitectural context, so a
-        batch produces bit-identical traces to one
-        :meth:`collect_hardware_traces` call per pair.
+        reuse the lowered IR, and pre-compiled programs pass through),
+        the noise calibration and side-channel dispatch are shared
+        across the whole batch, and each pair is still measured against
+        a fresh microarchitectural context, so a batch produces
+        bit-identical traces to one :meth:`collect_hardware_traces`
+        call per pair.
 
         Returns one trace list per pair, in order. With ``skip_faulting``
         a pair whose measurement faults architecturally (an
@@ -203,20 +229,20 @@ class Executor:
                 f"batch shape mismatch: {len(programs)} program(s) vs "
                 f"{len(input_batches)} input sequence(s)"
             )
-        linearized = {}
+        compiled_by_id = {}
         results: List[Optional[List[HTrace]]] = []
         batch_run_infos: List[Optional[List[List[RunInfo]]]] = []
         for program, inputs in zip(programs, input_batches):
-            if isinstance(program, LinearProgram):
-                linear = program
+            if isinstance(program, CompiledProgram):
+                lowered = program
             else:
-                linear = linearized.get(id(program))
-                if linear is None:
-                    linear = program.linearize()
-                    linearized[id(program)] = linear
+                lowered = compiled_by_id.get(id(program))
+                if lowered is None:
+                    lowered = self._lower(program)
+                    compiled_by_id[id(program)] = lowered
             try:
                 traces = self.collect_hardware_traces_linearized(
-                    linear, inputs, fresh_context
+                    lowered, inputs, fresh_context
                 )
             except EmulationError:
                 if not skip_faulting:
@@ -259,6 +285,7 @@ class Executor:
         position_a: int,
         position_b: int,
         equivalent: Callable[[HTrace, HTrace], bool],
+        compiled: Optional[CompiledProgram] = None,
     ) -> bool:
         """Return True when the divergence between the inputs at
         ``position_a`` and ``position_b`` is *input-caused*, i.e. a real
@@ -276,11 +303,12 @@ class Executor:
         swapped_to_a[position_a] = inputs[position_b]
         swapped_to_b = list(inputs)
         swapped_to_b[position_b] = inputs[position_a]
-        # one batch: the program is linearized once and the calibration
-        # is shared across the three priming sequences
-        linear = program.linearize()
+        # one batch: the program is compiled once (or the pipeline's
+        # pre-compiled IR is reused) and the calibration is shared
+        # across the three priming sequences
+        lowered = compiled if compiled is not None else self._lower(program)
         original, traces_a, traces_b = self.collect_hardware_traces_batched(
-            [linear, linear, linear], [inputs, swapped_to_a, swapped_to_b]
+            [lowered, lowered, lowered], [inputs, swapped_to_a, swapped_to_b]
         )
 
         # input_b measured in context of position_a vs. input_a there:

@@ -451,17 +451,44 @@ def canonical_mnemonic(mnemonic: str) -> str:
     return mnemonic
 
 
+def _build_condition_of_table() -> Dict[str, Optional[str]]:
+    """``mnemonic -> canonical condition code`` for every Jcc/CMOVcc/SETcc
+    form (canonical codes and aliases), precomputed at import: the
+    per-call prefix scan plus suffix canonicalization was rebuilt on
+    every conditional-branch decode of the emulation hot loop."""
+    table: Dict[str, Optional[str]] = {"JMP": None}
+    for code in (*CONDITION_FLAGS, *CONDITION_ALIASES):
+        canonical = canonical_condition(code)
+        for prefix in ("CMOV", "SET", "J"):
+            table[prefix + code] = canonical
+    return table
+
+
+_CONDITION_OF: Dict[str, Optional[str]] = _build_condition_of_table()
+
+
 def condition_of(mnemonic: str) -> Optional[str]:
-    """Extract the condition code from ``Jcc``/``CMOVcc``/``SETcc``."""
+    """Extract the condition code from ``Jcc``/``CMOVcc``/``SETcc``.
+
+    Served from a table built at module import; unknown mnemonics (no
+    condition suffix) are memoized as ``None`` on first sight.
+    """
     mnemonic = mnemonic.upper()
+    try:
+        return _CONDITION_OF[mnemonic]
+    except KeyError:
+        pass
+    result: Optional[str] = None
     for prefix in ("CMOV", "SET", "J"):
         if mnemonic.startswith(prefix) and mnemonic not in ("JMP",):
             suffix = mnemonic[len(prefix) :]
             try:
-                return canonical_condition(suffix)
+                result = canonical_condition(suffix)
+                break
             except ValueError:
                 continue
-    return None
+    _CONDITION_OF[mnemonic] = result
+    return result
 
 
 __all__ = [

@@ -31,9 +31,10 @@ for a new test case.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.isa.instruction import Instruction, LinearProgram
+from repro.emulator.compiled import CompiledProgram, compile_linear
 from repro.emulator.errors import EmulationFault, ExecutionLimitExceeded
 from repro.emulator.state import ArchState, InputData, SandboxLayout, Snapshot
 from repro.uarch.cache import L1DCache
@@ -51,7 +52,13 @@ DEFAULT_MAX_STEPS = 50_000
 
 @dataclass
 class _StoreEntry:
-    """A store-buffer entry of the current execution."""
+    """A store-buffer entry of the current execution.
+
+    The covered interval ``[address, end)`` is precomputed on
+    construction: the overlap scans of the store-bypass machinery probe
+    every buffered entry per load, and re-deriving ``address + size``
+    on each probe was pure hot-path overhead.
+    """
 
     address: int
     size: int
@@ -59,12 +66,17 @@ class _StoreEntry:
     old_value: int
     addr_ready: int  # cycle at which the store's address is resolved
     pc: int
+    #: one past the last covered byte, fixed at construction
+    end: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.end = self.address + self.size
 
     def overlaps_exactly(self, address: int, size: int) -> bool:
         return self.address == address and self.size == size
 
     def overlaps(self, address: int, size: int) -> bool:
-        return self.address < address + size and address < self.address + self.size
+        return self.address < address + size and address < self.end
 
 
 _Timing = Tuple[Dict[str, int], Dict[str, int], List[_StoreEntry]]
@@ -147,16 +159,34 @@ class SpeculativeCPU:
 
     def run(
         self,
-        linear: LinearProgram,
+        program: Union[LinearProgram, CompiledProgram],
         input_data: InputData,
         max_steps: int = DEFAULT_MAX_STEPS,
         trace_hook=None,
     ) -> RunInfo:
         """Execute the program once; leak into the cache as configured.
 
+        ``program`` is either a plain :class:`LinearProgram` — decoded
+        on the fly with the reference (interpretive) handlers — or a
+        :class:`~repro.emulator.compiled.CompiledProgram` lowered once
+        upstream (the executor compiles per collection and reuses the
+        IR across every warm-up, repetition and priming input). Both
+        produce bit-identical runs; only the per-step decode cost
+        differs.
+
         ``trace_hook(pc, issue_cycle, speculative)`` is called for every
         executed instruction (tests and diagnostics only).
         """
+        if isinstance(program, CompiledProgram):
+            if program.arch is not self.arch:
+                raise ValueError(
+                    f"program compiled for {program.arch!r}, "
+                    f"CPU runs {self.arch!r}"
+                )
+            compiled = program
+        else:
+            compiled = compile_linear(program, self.arch, interpretive=True)
+        ops = compiled.ops
         state = self.state
         state.load_input(input_data)
         config = self.config
@@ -169,10 +199,7 @@ class SpeculativeCPU:
         frames: List[_Frame] = []
         pc = 0
         cycle = 0
-        end = len(linear)
-
-        def resolve_label(name: str) -> int:
-            return linear.label_to_index[name]
+        end = len(ops)
 
         def timing_snapshot() -> _Timing:
             return (dict(reg_ready), dict(flag_ready), list(store_buffer))
@@ -198,17 +225,6 @@ class SpeculativeCPU:
         def earliest_frame() -> int:
             return min(range(len(frames)), key=lambda i: frames[i].squash_cycle)
 
-        def operand_addresses(instruction: Instruction) -> List[Tuple[int, int]]:
-            """Pre-compute (address, size) of each explicit memory operand."""
-            addresses = []
-            for operand, _, _ in instruction.memory_accesses():
-                address = state.read_register(operand.base)
-                if operand.index is not None:
-                    address += state.read_register(operand.index)
-                address = (address + operand.displacement) & 0xFFFFFFFFFFFFFFFF
-                addresses.append((address, operand.width // 8))
-            return addresses
-
         while True:
             if info.instructions_executed >= max_steps:
                 raise ExecutionLimitExceeded(
@@ -220,35 +236,29 @@ class SpeculativeCPU:
                     continue
                 break
 
-            instruction = linear.instructions[pc]
+            op = ops[pc]
+            instruction = op.instruction
             speculative = bool(frames)
 
             # A serializing fence (LFENCE/MFENCE on x86, DSB/ISB on
             # AArch64) waits for all older work; any open misprediction
             # resolves, squashing the wrong path the fence sits on.
-            if speculative and self.arch.is_serializing(instruction):
+            if speculative and op.is_serializing:
                 pc = squash(earliest_frame())
                 continue
 
             # -- issue cycle: dataflow stalls --------------------------------
-            addr_regs: Set[str] = set()
-            for operand, _, _ in instruction.memory_accesses():
-                addr_regs.update(operand.address_registers())
-            data_regs: Set[str] = set(instruction.spec.implicit_reads)
-            for operand, template in zip(
-                instruction.operands, instruction.spec.operands
-            ):
-                if template.src and hasattr(operand, "canonical"):
-                    data_regs.add(operand.canonical)
-            pure_store = instruction.is_store and not instruction.is_load
+            addr_regs = op.addr_regs
+            data_regs = op.data_regs
+            pure_store = op.pure_store
             issue = cycle
-            for register in instruction.registers_read():
+            for register in op.registers_read:
                 if pure_store and register in addr_regs and register not in data_regs:
                     # a pure store issues on data readiness; its address
                     # resolves later through the AGU (enables V4 and A.6)
                     continue
                 issue = max(issue, reg_ready[register])
-            for flag in instruction.flags_read:
+            for flag in op.flags_read:
                 issue = max(issue, flag_ready[flag])
 
             addr_ready_input = max(
@@ -262,7 +272,12 @@ class SpeculativeCPU:
                     pc = squash(idx)
                     continue
 
-            pre_accesses = operand_addresses(instruction)
+            # (address, size) of each explicit memory operand, from the
+            # IR's precompiled address closures
+            pre_accesses = [
+                (address_of(state), size)
+                for address_of, size in op.mem_operands
+            ]
             # (address, size, architectural value) to restore right after
             # this instruction executes: value injections (bypass/assist)
             # must only be visible to the injected load itself
@@ -288,7 +303,7 @@ class SpeculativeCPU:
                             squash_cycle=issue + config.assist_window,
                         )
                     )
-                    if instruction.is_load:
+                    if op.is_load:
                         injected = self._assist_value(store_buffer)
                         pending_unpatch = (
                             address,
@@ -307,7 +322,7 @@ class SpeculativeCPU:
             # -- store bypass (Spectre V4) -------------------------------------
             if (
                 not assist_fired
-                and instruction.is_load
+                and op.is_load
                 and store_buffer
             ):
                 for address, size in pre_accesses:
@@ -353,7 +368,7 @@ class SpeculativeCPU:
 
             # -- architectural execution ---------------------------------------
             try:
-                result = self.arch.execute(instruction, state, pc, resolve_label)
+                result = op.run(state)
             except EmulationFault:
                 # a fault inside speculation squashes; the rollback also
                 # undoes any pending value-injection patch
@@ -372,9 +387,10 @@ class SpeculativeCPU:
                     state.write_memory(address, size, value)
 
             # -- division latency needs post-division results -------------------
-            if instruction.category == "VAR":
-                latency = self._division_latency_of(instruction)
-            elif instruction.mnemonic in self.arch.multiply_mnemonics:
+            latency_class = op.latency_class
+            if latency_class == "division":
+                latency = self._division_latency_of(op)
+            elif latency_class == "multiply":
                 latency = config.multiply_latency
             else:
                 latency = config.base_latency
@@ -416,9 +432,9 @@ class SpeculativeCPU:
                         )
 
             done = issue + latency
-            for register in instruction.registers_written():
+            for register in op.registers_written:
                 reg_ready[register] = done
-            for flag in instruction.flags_written:
+            for flag in op.flags_written:
                 flag_ready[flag] = done
 
             # -- control flow and prediction -------------------------------------
@@ -467,8 +483,11 @@ class SpeculativeCPU:
     def _youngest_overlap(
         store_buffer: List[_StoreEntry], address: int, size: int
     ) -> Optional[_StoreEntry]:
+        # the probe interval is derived once; entries carry theirs
+        # precomputed from construction
+        end = address + size
         for entry in reversed(store_buffer):
-            if entry.overlaps(address, size):
+            if entry.address < end and address < entry.end:
                 return entry
         return None
 
@@ -476,20 +495,22 @@ class SpeculativeCPU:
     def _oldest_unresolved_overlap(
         store_buffer: List[_StoreEntry], address: int, size: int, issue: int
     ) -> _StoreEntry:
+        end = address + size
         for entry in store_buffer:
-            if entry.overlaps(address, size) and entry.addr_ready > issue:
+            if entry.address < end and address < entry.end and entry.addr_ready > issue:
                 return entry
         raise AssertionError("caller guarantees an unresolved overlap exists")
 
-    def _division_latency_of(self, instruction: Instruction) -> int:
+    def _division_latency_of(self, op) -> int:
         """Operand-dependent latency of a division (the §6.3 leak source).
 
         The architecture says where the quotient lands (RAX on x86, the
-        destination register on AArch64); the divider's latency grows
-        with the number of significant quotient bits, as on real
-        radix-16 dividers.
+        destination register on AArch64) — the IR binds that lookup at
+        compile time (``DecodedOp.division_value``); the divider's
+        latency grows with the number of significant quotient bits, as
+        on real radix-16 dividers.
         """
-        quotient = self.arch.division_latency_value(self.state, instruction)
+        quotient = op.division_value(self.state)
         return (
             self.config.div_base_latency
             + self.config.div_per_bit_latency * quotient.bit_length()

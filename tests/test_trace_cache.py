@@ -368,6 +368,80 @@ class TestDiskGC:
         assert make_trace_cache(True, None, 16, 4096).max_entries == 16
 
 
+class TestCompression:
+    """zlib compression of disk entries (``--cache-compress``)."""
+
+    #: redundant payload so compression visibly shrinks the footprint
+    PAYLOAD = ("observation " * 256, "log")
+
+    @staticmethod
+    def _entry_paths(tmp_path):
+        return [
+            os.path.join(root, name)
+            for root, _dirs, files in os.walk(tmp_path)
+            for name in files
+            if name.endswith(".trace")
+        ]
+
+    def test_compressed_roundtrip(self, tmp_path):
+        writer = PersistentTraceCache(str(tmp_path), compress=True)
+        writer.put(KEY, self.PAYLOAD)
+        [path] = self._entry_paths(tmp_path)
+        with open(path, "rb") as handle:
+            assert handle.read(5) == PersistentTraceCache.COMPRESSED_MAGIC
+        reader = PersistentTraceCache(str(tmp_path), compress=True)
+        assert reader.get(KEY) == self.PAYLOAD
+        assert reader.stats.disk_hits == 1
+
+    def test_uncompressed_cache_reads_compressed_entries(self, tmp_path):
+        PersistentTraceCache(str(tmp_path), compress=True).put(
+            KEY, self.PAYLOAD
+        )
+        legacy_reader = PersistentTraceCache(str(tmp_path))
+        assert legacy_reader.get(KEY) == self.PAYLOAD
+        assert legacy_reader.stats.disk_hits == 1
+
+    def test_compressed_cache_reads_legacy_entries(self, tmp_path):
+        PersistentTraceCache(str(tmp_path)).put(KEY, self.PAYLOAD)
+        reader = PersistentTraceCache(str(tmp_path), compress=True)
+        assert reader.get(KEY) == self.PAYLOAD
+        assert reader.stats.disk_hits == 1
+
+    def test_compression_shrinks_the_footprint(self, tmp_path):
+        plain = PersistentTraceCache(str(tmp_path / "plain"))
+        packed = PersistentTraceCache(str(tmp_path / "packed"),
+                                      compress=True)
+        plain.put(KEY, self.PAYLOAD)
+        packed.put(KEY, self.PAYLOAD)
+        assert packed.disk_usage_bytes() < plain.disk_usage_bytes() / 2
+
+    def test_gc_accounts_compressed_sizes(self, tmp_path):
+        # a bound that holds few uncompressed entries holds many
+        # compressed ones: the GC accounting must see compressed sizes
+        probe = PersistentTraceCache(str(tmp_path / "probe"),
+                                     compress=True)
+        probe.put(_numbered_key(0), self.PAYLOAD)
+        compressed_size = probe.disk_usage_bytes()
+        bound = compressed_size * 6
+        cache = PersistentTraceCache(str(tmp_path / "bounded"),
+                                     max_bytes=bound, compress=True)
+        for index in range(5):
+            cache.put(_numbered_key(index), self.PAYLOAD)
+        assert cache.stats.gc_evicted_entries == 0
+        assert cache.disk_entries() == 5
+        assert cache.known_disk_bytes() <= bound
+
+    def test_corrupt_compressed_entry_degrades_to_miss(self, tmp_path):
+        cache = PersistentTraceCache(str(tmp_path), compress=True)
+        cache.put(KEY, self.PAYLOAD)
+        [path] = self._entry_paths(tmp_path)
+        with open(path, "wb") as handle:
+            handle.write(PersistentTraceCache.COMPRESSED_MAGIC + b"torn")
+        fresh = PersistentTraceCache(str(tmp_path), compress=True)
+        assert fresh.get(KEY) is None  # miss, and best-effort deletion
+        assert not self._entry_paths(tmp_path)
+
+
 class TestMakeTraceCache:
     def test_disabled(self):
         assert make_trace_cache(False, None, 16) is None
@@ -381,6 +455,12 @@ class TestMakeTraceCache:
         cache = make_trace_cache(False, str(tmp_path), 16)
         assert isinstance(cache, PersistentTraceCache)
         assert cache.cache_dir == str(tmp_path)
+
+    def test_compress_knob_reaches_the_persistent_tier(self, tmp_path):
+        cache = make_trace_cache(False, str(tmp_path), 16, None, True)
+        assert isinstance(cache, PersistentTraceCache)
+        assert cache.compress is True
+        assert make_trace_cache(False, str(tmp_path), 16).compress is False
 
 
 class TestPipelineIntegration:

@@ -4,7 +4,7 @@
 CI uploads the campaign-scaling and sweep measurements as JSON build
 artifacts so the knobs and numbers can be tracked over time. An
 artifact nobody can parse is worse than none, so this tool gates the
-upload on three invariants:
+upload on four invariants:
 
 1. **known sections** — every top-level key is a section this tool
    knows the schema of (an unknown section means a benchmark changed
@@ -21,7 +21,12 @@ upload on three invariants:
    the *same deterministic grid* under different scheduling (parallel
    cells, worker budgets, cache GC), so when both sections are present
    their ``cells`` lists must be byte-identical: a real end-to-end
-   check of the determinism claim on every CI run.
+   check of the determinism claim on every CI run;
+4. **section value gates** — sections that encode a performance
+   contract carry it in their values: ``emulation_throughput`` must
+   report a compiled-vs-interpretive ratio >= 2.0 with the
+   byte-identical traces/reports flags true (the compile-once IR
+   guarantee of ``docs/performance.md``).
 
 Usage::
 
@@ -80,6 +85,46 @@ SECTION_SCHEMAS: Dict[str, Set[str]] = {
         "disk_bytes_parallel",
         "gc_evictions",
     },
+    "emulation_throughput": {
+        "instructions",
+        "programs",
+        "inputs",
+        "contract",
+        "arches",
+        "throughput_ratio",
+        "traces_equal",
+        "reports_equal",
+    },
+}
+
+
+def _check_emulation_throughput(payload) -> List[str]:
+    """Value gates of the compile-once IR contract: the throughput ratio
+    must hold >= 2.0 and the byte-identical-traces/reports flags must be
+    true — a regression of either is a build failure, not a data point."""
+    errors = []
+    ratio = payload.get("throughput_ratio")
+    if not isinstance(ratio, (int, float)) or ratio < 2.0:
+        errors.append(
+            f"emulation_throughput: throughput_ratio must be >= 2.0, "
+            f"got {ratio!r}"
+        )
+    if payload.get("traces_equal") is not True:
+        errors.append(
+            "emulation_throughput: traces_equal must be true (compiled "
+            "and interpretive engines diverged)"
+        )
+    if payload.get("reports_equal") is not True:
+        errors.append(
+            "emulation_throughput: reports_equal must be true (the "
+            "compile_programs knob changed a fuzzing report)"
+        )
+    return errors
+
+
+#: per-section value gates, run after the key-presence checks
+SECTION_VALUE_CHECKS = {
+    "emulation_throughput": _check_emulation_throughput,
 }
 
 #: required keys of one deterministic cell report (sweep ``cells``)
@@ -209,6 +254,9 @@ def check_file(path: str) -> List[str]:
         missing = schema - set(payload)
         if missing:
             errors.append(f"{section}: missing keys {sorted(missing)}")
+        value_check = SECTION_VALUE_CHECKS.get(section)
+        if value_check is not None:
+            errors.extend(value_check(payload))
         if "cells" in schema and "cells" in payload:
             errors.extend(
                 check_deterministic_cells(
