@@ -7,8 +7,6 @@
 5. repetition + outlier filtering vs measurement noise (§5.3, CH5).
 """
 
-import statistics
-
 from repro.isa.assembler import parse_program
 from repro.emulator.state import InputData, SandboxLayout
 from repro.contracts import get_contract
@@ -19,7 +17,6 @@ from repro.core.input_gen import InputGenerator
 from repro.executor.executor import Executor, ExecutorConfig
 from repro.executor.modes import PRIME_PROBE
 from repro.executor.noise import NoiseModel
-from repro.traces import HTrace
 from repro.uarch.config import skylake
 
 from conftest import print_table

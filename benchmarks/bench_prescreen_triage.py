@@ -1,0 +1,192 @@
+"""Static leak pre-screen triage: screened fraction, speedup, safety.
+
+The pre-screen (``repro.analysis.prescreen``) statically classifies
+generated test cases before the expensive hardware-vs-model measurement:
+programs whose speculative windows provably touch no tainted address
+(INERT) are skipped. This benchmark pins the three properties the
+feature claims:
+
+1. **triage rate** — on a plain generator mix a useful fraction of
+   test cases is screened out, and the campaign gets faster (same
+   seed, same program/input stream, fewer measurements);
+2. **zero lost violations** — a detecting campaign run with the
+   pre-screen enabled finds exactly the same violation at exactly the
+   same test-case/input counts as the baseline run;
+3. **gallery safety** — every handwritten Spectre gadget of the V1-V4
+   families classifies ACTIVE (the pre-screen would never discard it),
+   and each still produces a confirmed violation end to end.
+
+The JSON section (``prescreen_triage``) is value-gated by
+tools/check_bench_json.py: parity flags must be true, gallery_lost must
+be 0 and the screened fraction must be positive.
+"""
+
+import os
+from dataclasses import replace
+
+from repro.analysis.prescreen import classify
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import TestingPipeline, fuzz
+from repro.core.input_gen import InputGenerator
+from repro.emulator.compiled import compile_program
+from repro.gallery import GALLERY
+
+from conftest import bench_scale, emit_json, print_table
+
+#: per-backend budgets known to surface a V1-style violation quickly
+#: (mirrors the tier-1 smoke test in tests/test_arch_registry.py)
+_DETECT_BUDGETS = {
+    "x86_64": dict(seed=7, num_test_cases=160, inputs_per_test_case=25),
+    "aarch64": dict(seed=3, num_test_cases=120, inputs_per_test_case=50),
+}
+
+#: the gallery gadgets the safety check covers (V1-V4 families)
+_GALLERY_SAFETY = ("spectre-v1", "spectre-v1.1", "spectre-v2", "spectre-v4")
+
+
+def _gallery_detects(name: str, max_inputs: int = 128) -> bool:
+    """Does the gadget still produce a confirmed violation?"""
+    entry = GALLERY[name]
+    config = FuzzerConfig(
+        contract_name=entry.contract,
+        cpu_preset=entry.cpu_preset,
+        executor_mode=entry.executor_mode,
+        analyzer_mode=entry.analyzer_mode,
+        seed=11,
+    )
+    pipeline = TestingPipeline(config)
+    generator = InputGenerator(
+        seed=42, entropy_bits=entry.entropy_bits, layout=pipeline.layout
+    )
+    program = entry.program()
+    count = 4
+    while count <= max_inputs:
+        if pipeline.check_violation(program, generator.generate(count)):
+            return True
+        count *= 2
+    return False
+
+
+def _gallery_active(name: str) -> bool:
+    """Would the pre-screen have kept (not discarded) the gadget?"""
+    entry = GALLERY[name]
+    config = FuzzerConfig(
+        contract_name=entry.contract,
+        cpu_preset=entry.cpu_preset,
+        executor_mode=entry.executor_mode,
+        analyzer_mode=entry.analyzer_mode,
+    )
+    pipeline = TestingPipeline(config)
+    compiled = compile_program(entry.program(), pipeline.arch)
+    return classify(compiled, pipeline.contract, entry.executor_mode).active
+
+
+def test_prescreen_triage(benchmark):
+    arch = os.environ.get("REPRO_ARCH", "x86_64")
+    scale = bench_scale()
+
+    # -- part 1: triage rate + speedup on a non-detecting campaign ------
+    # CT-COND permits the V1 pattern, so the whole budget runs (no early
+    # stop) and the wall-clock comparison is like for like.
+    triage_base = FuzzerConfig(
+        arch=arch,
+        instruction_subsets=("AR", "MEM", "CB"),
+        contract_name="CT-COND",
+        cpu_preset="skylake-v4-patched",
+        num_test_cases=48 * scale,
+        inputs_per_test_case=25,
+        diversity_feedback=False,
+        seed=5,
+    )
+    triage_off = fuzz(replace(triage_base, prescreen=False))
+    triage_on = benchmark.pedantic(
+        lambda: fuzz(replace(triage_base, prescreen=True)),
+        rounds=1,
+        iterations=1,
+    )
+    assert not triage_off.found and not triage_on.found
+    assert triage_on.test_cases == triage_off.test_cases
+    screened = triage_on.prescreened_inert
+    fraction = screened / triage_on.test_cases
+    speedup = triage_off.duration_seconds / max(
+        triage_on.duration_seconds, 1e-9
+    )
+
+    # -- part 2: violation parity on a detecting campaign ---------------
+    detect_base = FuzzerConfig(
+        arch=arch,
+        instruction_subsets=("AR", "MEM", "CB"),
+        contract_name="CT-SEQ",
+        cpu_preset="skylake-v4-patched",
+        **_DETECT_BUDGETS[arch],
+    )
+    detect_off = fuzz(replace(detect_base, prescreen=False))
+    detect_on = fuzz(replace(detect_base, prescreen=True))
+    found_parity = detect_on.found == detect_off.found
+    # the same violation at the same campaign position (inputs_tested
+    # differs by design: screened cases' inputs are never measured)
+    violation_parity = detect_off.found and (
+        detect_on.violation.test_cases_until_found
+        == detect_off.violation.test_cases_until_found
+        and detect_on.violation.classification
+        == detect_off.violation.classification
+        and [str(i) for i in detect_on.violation.program.all_instructions()]
+        == [str(i) for i in detect_off.violation.program.all_instructions()]
+    )
+
+    # -- part 3: gallery safety (V1-V4 stay ACTIVE and detected) --------
+    gallery_rows = []
+    gallery_lost = 0
+    for name in _GALLERY_SAFETY:
+        active = _gallery_active(name)
+        detected = _gallery_detects(name)
+        if not (active and detected):
+            gallery_lost += 1
+        gallery_rows.append(
+            [name, "ACTIVE" if active else "INERT",
+             "violates" if detected else "LOST"]
+        )
+
+    print_table(
+        "Pre-screen triage",
+        ["metric", "value"],
+        [
+            ["test cases (triage run)", triage_on.test_cases],
+            ["screened INERT", screened],
+            ["screened fraction", f"{fraction:.2f}"],
+            ["safety-sampled", triage_on.prescreen_safety_checked],
+            ["wall s (off)", f"{triage_off.duration_seconds:.2f}"],
+            ["wall s (on)", f"{triage_on.duration_seconds:.2f}"],
+            ["speedup", f"{speedup:.2f}x"],
+            ["violation parity", found_parity and violation_parity],
+        ],
+    )
+    print_table(
+        "Gallery safety (pre-screen keeps every known gadget)",
+        ["gadget", "pre-screen", "end to end"],
+        gallery_rows,
+    )
+
+    emit_json(
+        "prescreen_triage",
+        {
+            "arch": arch,
+            "test_cases": triage_on.test_cases,
+            "screened": screened,
+            "screened_fraction": round(fraction, 4),
+            "safety_checked": triage_on.prescreen_safety_checked,
+            "wall_seconds_off": round(triage_off.duration_seconds, 3),
+            "wall_seconds_on": round(triage_on.duration_seconds, 3),
+            "speedup": round(speedup, 3),
+            "found_parity": found_parity,
+            "violation_parity": bool(violation_parity),
+            "gallery_checked": list(_GALLERY_SAFETY),
+            "gallery_lost": gallery_lost,
+        },
+    )
+
+    # hard gates: the pre-screen must drop something, lose nothing
+    assert screened > 0, "pre-screen screened no test case at all"
+    assert found_parity, "pre-screen changed the campaign's found status"
+    assert violation_parity, "pre-screen shifted the violation's position"
+    assert gallery_lost == 0, f"gallery regression: {gallery_rows}"

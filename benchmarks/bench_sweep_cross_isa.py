@@ -32,8 +32,6 @@ measurements so the artifacts track them over time.
 import json
 import os
 
-import pytest
-
 from repro.core.config import FuzzerConfig
 from repro.core.sweep import SweepCell, SweepRunner, SweepSpec
 

@@ -6,8 +6,6 @@ addresses; conditional jumps simulate the inverted condition; other
 instructions expose nothing.
 """
 
-import pytest
-
 from repro.isa.assembler import parse_program
 from repro.emulator.state import InputData, SandboxLayout
 from repro.contracts import get_contract

@@ -51,7 +51,7 @@ def demo_v1var_race() -> None:
     for label, dividend in (("fast", 5), ("slow", (1 << 62) + 5)):
         cpu = SpeculativeCPU(skylake(), layout)
         cpu.cache.prime()
-        info = cpu.run(linear, InputData(registers={"RAX": dividend, "RBX": 0}))
+        cpu.run(linear, InputData(registers={"RAX": dividend, "RBX": 0}))
         trace = sorted(cpu.cache.probe())
         print(f"  {label} division (dividend={dividend:#x}): "
               f"cache trace {trace or '(empty)'} — "

@@ -1,0 +1,240 @@
+"""Control-flow graph over the :class:`~repro.emulator.compiled.CompiledProgram` IR.
+
+The CFG is the substrate of every static analysis in this package. Its
+nodes are the :class:`~repro.emulator.compiled.DecodedOp` records of one
+compiled program (indexed by ``pc``) plus a virtual *exit* node at index
+``len(ops)``; its edges over-approximate every path either execution
+engine can take:
+
+- straight-line ops fall through to ``pc + 1``;
+- conditional branches have **both** successors (target and
+  fallthrough) — this single rule already covers conditional-branch
+  misprediction, because the wrong path of a mispredicted branch is
+  always the *other* architectural successor
+  (:meth:`repro.uarch.cpu.SpeculativeCPU._handle_branch`);
+- unconditional direct branches have only their resolved target (the
+  CPU model never mispredicts them);
+- indirect branches, calls and returns have *unknown* dynamic targets
+  (the BTB and RSB persist across programs, so a predicted target can
+  be any instruction index): their successor set is conservatively
+  every node, and the CFG is flagged ``has_unresolved_flow`` so clients
+  that need precision (the dead-flag pass, the pre-screen) can bail out
+  instead of trusting a lossy approximation.
+
+Speculative *wrong-path entry* edges are modelled separately by
+:class:`SpeculationModel` + :func:`speculation_sources`: store-bypass
+and microcode-assist windows re-execute the same architectural
+instruction sequence (the speculative path follows ordinary CFG edges
+from the entry), so the extra information is only *where* a window can
+open and how many instructions it spans — which
+:func:`reachable_within` turns into the per-window reachable op set.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.emulator.compiled import CompiledProgram
+
+#: ROB-bound ceiling on any hardware speculation window, in instructions.
+#: ``CPUConfig.rob_size`` caps the wrong-path length on every preset; the
+#: default model window (250) is already chosen to dominate it.
+MAX_HARDWARE_WINDOW = 250
+
+
+@dataclass(frozen=True)
+class SpeculationModel:
+    """Which speculation mechanisms can open a window, and how long it is.
+
+    ``of_contract`` mirrors the *model's* execution clause (what the
+    contract permits); ``hardware`` over-approximates the *simulated
+    CPU* (what can actually happen), which is what soundness arguments
+    about hardware behaviour must use: the CPU always speculates over
+    conditional branches and store-to-load aliases, and additionally
+    over microcode assists when the executor runs a ``*+Assist`` mode.
+    """
+
+    speculate_cond: bool = True
+    speculate_bypass: bool = True
+    speculate_assists: bool = False
+    window: int = MAX_HARDWARE_WINDOW
+
+    @classmethod
+    def of_contract(cls, contract) -> "SpeculationModel":
+        execution = contract.execution
+        return cls(
+            speculate_cond=execution.speculate_conditional_branches,
+            speculate_bypass=execution.speculate_store_bypass,
+            speculate_assists=False,
+            window=contract.speculation_window,
+        )
+
+    @classmethod
+    def hardware(cls, executor_mode: str = "P+P",
+                 window: Optional[int] = None) -> "SpeculationModel":
+        from repro.executor.modes import measurement_mode
+
+        assists = measurement_mode(executor_mode).assists
+        if window is None:
+            window = MAX_HARDWARE_WINDOW
+        return cls(
+            speculate_cond=True,
+            speculate_bypass=True,
+            speculate_assists=assists,
+            window=max(window, MAX_HARDWARE_WINDOW),
+        )
+
+
+@dataclass(frozen=True)
+class SpeculationSource:
+    """One op that can open a speculation window.
+
+    ``entries`` are the instruction indices a wrong path can start at;
+    from there it follows ordinary CFG edges for up to ``window`` ops.
+    """
+
+    pc: int
+    kind: str  # "cond" | "bypass" | "assist"
+    entries: Tuple[int, ...]
+
+
+@dataclass
+class CFG:
+    """Op-level control-flow graph of one compiled program."""
+
+    program: CompiledProgram
+    #: per-op successor indices; ``exit_index`` marks program exit
+    successors: Tuple[Tuple[int, ...], ...]
+    predecessors: Tuple[Tuple[int, ...], ...]
+    exit_index: int
+    #: True when an IND/CALL/RET op made the edge set conservative
+    has_unresolved_flow: bool
+
+    def __len__(self) -> int:
+        return len(self.successors)
+
+    @property
+    def ops(self):
+        return self.program.ops
+
+
+def build_cfg(program: CompiledProgram) -> CFG:
+    """Construct the over-approximating CFG of a compiled program."""
+    ops = program.ops
+    count = len(ops)
+    exit_index = count
+    has_unresolved_flow = False
+    successors: List[Tuple[int, ...]] = []
+
+    def clamp(index: int) -> int:
+        return index if 0 <= index <= count else exit_index
+
+    for pc, op in enumerate(ops):
+        if op.is_cond_branch and op.target is not None:
+            succ = {clamp(op.target), clamp(pc + 1)}
+        elif op.is_uncond_branch and op.target is not None:
+            succ = {clamp(op.target)}
+        elif op.is_indirect_branch or op.category in ("CALL", "RET"):
+            # dynamic targets (BTB/RSB predictions included) can be any
+            # instruction index; CALL at least has its static target but
+            # the matching RET makes the pair unresolvable anyway
+            has_unresolved_flow = True
+            succ = set(range(count + 1))
+            if op.target is not None:
+                succ.add(clamp(op.target))
+        else:
+            succ = {clamp(pc + 1)}
+        successors.append(tuple(sorted(succ)))
+
+    predecessors: List[List[int]] = [[] for _ in range(count + 1)]
+    for pc, succ in enumerate(successors):
+        for index in succ:
+            predecessors[index].append(pc)
+
+    return CFG(
+        program=program,
+        successors=tuple(successors),
+        predecessors=tuple(tuple(pred) for pred in predecessors[:count]),
+        exit_index=exit_index,
+        has_unresolved_flow=has_unresolved_flow,
+    )
+
+
+def speculation_sources(cfg: CFG, model: SpeculationModel) -> List[SpeculationSource]:
+    """Every op that can open a speculation window under ``model``.
+
+    - a conditional branch's wrong path starts at either architectural
+      successor (whichever the prediction picked while being wrong);
+    - a store can be bypassed: a younger load speculatively skips it and
+      the wrong path re-runs the same sequence from the next op (the
+      model forks at the store; the CPU forks at the load — starting the
+      window at the store's fallthrough covers both, since the load is
+      downstream of the store on that same path);
+    - with assists enabled, any load can take a microcode assist and
+      forward an injected value down the same sequence from the load on.
+    """
+    sources: List[SpeculationSource] = []
+    exit_index = cfg.exit_index
+    for pc, op in enumerate(cfg.ops):
+        if model.speculate_cond and op.is_cond_branch and op.target is not None:
+            sources.append(SpeculationSource(pc, "cond", cfg.successors[pc]))
+        if model.speculate_bypass and op.is_store:
+            entry = pc + 1 if pc + 1 <= exit_index else exit_index
+            sources.append(SpeculationSource(pc, "bypass", (entry,)))
+        if model.speculate_assists and op.is_load:
+            # the assist re-executes the load itself with an injected
+            # value, so the window includes the load's own op
+            sources.append(SpeculationSource(pc, "assist", (pc,)))
+    return sources
+
+
+def reachable_within(cfg: CFG, entries: Tuple[int, ...],
+                     window: int) -> Dict[int, int]:
+    """Ops reachable from ``entries`` in at most ``window`` executed
+    instructions, mapped to their minimum depth (1 = the entry op)."""
+    depths: Dict[int, int] = {}
+    frontier = deque(
+        (entry, 1) for entry in entries if 0 <= entry < cfg.exit_index
+    )
+    while frontier:
+        index, depth = frontier.popleft()
+        if depth > window:
+            continue
+        known = depths.get(index)
+        if known is not None and known <= depth:
+            continue
+        depths[index] = depth
+        for succ in cfg.successors[index]:
+            if succ < cfg.exit_index:
+                frontier.append((succ, depth + 1))
+    return depths
+
+
+def speculative_ops(cfg: CFG, model: SpeculationModel) -> Dict[int, int]:
+    """Union of all speculation windows: op index -> minimum depth at
+    which some wrong path can reach it. Nested speculation needs no
+    special casing — a window opened inside another window still follows
+    CFG edges, and both conditional-branch successors are always edges."""
+    combined: Dict[int, int] = {}
+    for source in speculation_sources(cfg, model):
+        for index, depth in reachable_within(
+            cfg, source.entries, model.window
+        ).items():
+            known = combined.get(index)
+            if known is None or depth < known:
+                combined[index] = depth
+    return combined
+
+
+__all__ = [
+    "CFG",
+    "MAX_HARDWARE_WINDOW",
+    "SpeculationModel",
+    "SpeculationSource",
+    "build_cfg",
+    "reachable_within",
+    "speculation_sources",
+    "speculative_ops",
+]

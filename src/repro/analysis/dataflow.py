@@ -1,0 +1,102 @@
+"""Generic worklist dataflow solver over set lattices.
+
+Every analysis in this package is a may-analysis over finite sets
+(powerset lattice, union merge), so the framework is deliberately
+small: an :class:`Analysis` names its direction, boundary and transfer
+function; :func:`solve` iterates a worklist to the least fixpoint.
+
+The solver treats the CFG's virtual exit node as the boundary of
+backward problems and node 0 (plus any node without predecessors, e.g.
+targets only reachable speculatively in a malformed DAG) as entries of
+forward problems. Transfer functions must be monotone; with a finite
+element universe termination is then guaranteed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.analysis.cfg import CFG
+
+EMPTY: FrozenSet = frozenset()
+
+
+class Analysis:
+    """One dataflow problem: direction, boundary and transfer function."""
+
+    #: "forward" or "backward"
+    direction: str = "forward"
+
+    def boundary(self) -> FrozenSet:
+        """Value at the program boundary (entry or exit by direction)."""
+        return EMPTY
+
+    def transfer(self, index: int, value: FrozenSet) -> FrozenSet:
+        """Flow ``value`` through op ``index`` (in-to-out for forward
+        problems, out-to-in for backward ones)."""
+        raise NotImplementedError
+
+
+@dataclass
+class DataflowResult:
+    """Fixpoint in/out sets, indexed by op."""
+
+    in_sets: Tuple[FrozenSet, ...]
+    out_sets: Tuple[FrozenSet, ...]
+
+
+def solve(cfg: CFG, analysis: Analysis) -> DataflowResult:
+    """Iterate ``analysis`` over ``cfg`` to its least fixpoint."""
+    count = len(cfg.successors)
+    boundary = frozenset(analysis.boundary())
+    in_sets: List[FrozenSet] = [EMPTY] * count
+    out_sets: List[FrozenSet] = [EMPTY] * count
+    forward = analysis.direction == "forward"
+
+    if forward:
+        order = range(count)
+    else:
+        order = range(count - 1, -1, -1)
+    worklist = deque(order)
+    queued = [True] * count
+
+    while worklist:
+        index = worklist.popleft()
+        queued[index] = False
+        if forward:
+            value = boundary if index == 0 else EMPTY
+            merged = set(value)
+            for pred in cfg.predecessors[index]:
+                merged |= out_sets[pred]
+            if not cfg.predecessors[index] and index != 0:
+                merged |= boundary  # unreachable-from-entry safety net
+            in_sets[index] = frozenset(merged)
+            new_out = analysis.transfer(index, in_sets[index])
+            if new_out != out_sets[index]:
+                out_sets[index] = new_out
+                for succ in cfg.successors[index]:
+                    if succ < count and not queued[succ]:
+                        worklist.append(succ)
+                        queued[succ] = True
+        else:
+            merged = set()
+            for succ in cfg.successors[index]:
+                if succ == cfg.exit_index:
+                    merged |= boundary
+                else:
+                    merged |= in_sets[succ]
+            out_sets[index] = frozenset(merged)
+            new_in = analysis.transfer(index, out_sets[index])
+            if new_in != in_sets[index]:
+                in_sets[index] = new_in
+                for pred in cfg.predecessors[index]:
+                    if not queued[pred]:
+                        worklist.append(pred)
+                        queued[pred] = True
+
+    return DataflowResult(tuple(in_sets), tuple(out_sets))
+
+
+__all__ = ["Analysis", "DataflowResult", "solve"]

@@ -1,0 +1,94 @@
+"""Dead-flag elimination over a :class:`CompiledProgram`.
+
+Flag algebra (x86 NZCV-equivalents in RFLAGS, AArch64 NZCV) dominates
+the per-op cost of the arithmetic handlers, yet most flag writes are
+dead: the next compare overwrites them before any conditional reads
+them. This pass proves that statically and swaps in the backend's
+flag-skipping handler variants
+(:meth:`repro.arch.base.Architecture.compile_instruction_no_flags`).
+
+Soundness argument (why the optimized program is byte-identical):
+
+- liveness runs over the op CFG with *everything* live at exit, so a
+  flag write is only considered dead when every CFG path overwrites it
+  before any read and before the program ends;
+- every dynamically executed pc sequence — architectural or
+  speculative — is a path prefix in that CFG: conditional branches
+  contribute both successors, and store-bypass/assist wrong paths
+  re-run the same architectural sequence (the speculative CPU resumes
+  at ``resume_pc``), so they follow existing edges;
+- programs with indirect branches, calls or returns have statically
+  unresolved flow (BTB/RSB predictions can target *any* pc), so the
+  pass refuses to touch them (``CFG.has_unresolved_flow``);
+- only the ``run`` closure is replaced. All metadata — in particular
+  ``flags_written``, which drives the speculative CPU's flag-readiness
+  timing, and the pre-bound ``log_entry`` — stays untouched, so htraces
+  and execution logs cannot shift;
+- no observation clause and no log field exposes flag *values*, so the
+  only way a skipped flag write could surface is through a later read
+  or the final state — both excluded by liveness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.liveness import compute_liveness
+from repro.emulator.compiled import CompiledProgram
+
+
+@dataclass(frozen=True)
+class DeadFlagReport:
+    """What the pass did to one program."""
+
+    program: CompiledProgram
+    #: op indices whose handler was replaced by a no-flag variant
+    optimized: Tuple[int, ...]
+    #: dead flag writes left alone (no backend variant / unresolved flow)
+    skipped: Tuple[int, ...]
+
+
+def eliminate_dead_flags(compiled: CompiledProgram) -> DeadFlagReport:
+    """Return ``compiled`` with provably-dead flag computation removed.
+
+    The input program is never mutated; when nothing is optimizable the
+    original object is returned inside the report.
+    """
+    if compiled.interpretive:
+        # the interpretive path is the reference semantics — leave it
+        return DeadFlagReport(compiled, (), ())
+    cfg = build_cfg(compiled)
+    if cfg.has_unresolved_flow:
+        return DeadFlagReport(compiled, (), ())
+    liveness = compute_liveness(cfg)
+    dead = liveness.dead_flag_writes(cfg)
+    if not dead:
+        return DeadFlagReport(compiled, (), ())
+
+    arch = compiled.arch
+    label_to_index = compiled.label_to_index
+    ops = list(compiled.ops)
+    optimized = []
+    skipped = []
+    for index in dead:
+        op = ops[index]
+        run = arch.compile_instruction_no_flags(
+            op.instruction, op.pc, label_to_index
+        )
+        if run is None:
+            skipped.append(index)
+            continue
+        ops[index] = replace(op, run=run)
+        optimized.append(index)
+    if not optimized:
+        return DeadFlagReport(compiled, (), tuple(skipped))
+    return DeadFlagReport(
+        replace(compiled, ops=tuple(ops)),
+        tuple(optimized),
+        tuple(skipped),
+    )
+
+
+__all__ = ["DeadFlagReport", "eliminate_dead_flags"]

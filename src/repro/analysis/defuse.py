@@ -1,0 +1,115 @@
+"""Forward reaching definitions and def-use chains over the op CFG.
+
+A *definition* is ``(def_pc, location)`` where ``location`` is a
+``("reg", name)`` or ``("flag", bit)`` tuple and ``def_pc`` is the
+defining op's index — or :data:`ENTRY` (-1) for the program-input
+definition every location starts with.
+
+Full-width register writes and flag writes are *strong* definitions
+(they kill previous definitions of the location); sub-32-bit register
+writes merge into the old value, so they generate a definition without
+killing — both the narrow write and the definitions it merged over
+reach every later use, which is exactly what a dependence-based client
+(the fence advisor) wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dataflow import Analysis, solve
+from repro.analysis.liveness import FLAG, REG, op_kills, op_uses
+
+#: pseudo-pc of the program-input definition of every location
+ENTRY = -1
+
+Location = Tuple[str, str]
+Definition = Tuple[int, Location]
+
+
+def op_defs(op) -> FrozenSet[Location]:
+    """All locations written by one op (strong or merging)."""
+    defs = {(FLAG, flag) for flag in op.flags_written}
+    defs.update((REG, register) for register in op.registers_written)
+    return frozenset(defs)
+
+
+class _ReachingDefinitions(Analysis):
+    direction = "forward"
+
+    def __init__(self, cfg: CFG):
+        self._gens = [
+            frozenset((index, location) for location in op_defs(op))
+            for index, op in enumerate(cfg.ops)
+        ]
+        self._kills = [op_kills(op) for op in cfg.ops]
+        regfile = cfg.program.arch.registers
+        locations = {(REG, name) for name in regfile.gpr_names}
+        locations |= {(FLAG, bit) for bit in regfile.flag_bits}
+        self._boundary = frozenset(
+            (ENTRY, location) for location in locations
+        )
+
+    def boundary(self) -> FrozenSet:
+        return self._boundary
+
+    def transfer(self, index: int, reaching_in: FrozenSet) -> FrozenSet:
+        kills = self._kills[index]
+        survived = frozenset(
+            definition
+            for definition in reaching_in
+            if definition[1] not in kills
+        )
+        return survived | self._gens[index]
+
+
+@dataclass
+class DefUse:
+    """Reaching definitions plus the derived def-use chains."""
+
+    reach_in: Tuple[FrozenSet, ...]
+    reach_out: Tuple[FrozenSet, ...]
+    #: use site -> {definition}: which defs feed each location op ``pc`` reads
+    defs_of_use: Tuple[Dict[Location, FrozenSet[Definition]], ...]
+
+    def uses_of_def(self, def_pc: int) -> FrozenSet[int]:
+        """Op indices whose reads are fed by a definition made at ``def_pc``."""
+        uses: Set[int] = set()
+        for use_pc, chains in enumerate(self.defs_of_use):
+            for reaching in chains.values():
+                if any(pc == def_pc for pc, _location in reaching):
+                    uses.add(use_pc)
+                    break
+        return frozenset(uses)
+
+
+def compute_def_use(cfg: CFG) -> DefUse:
+    result = solve(cfg, _ReachingDefinitions(cfg))
+    chains: List[Dict[Location, FrozenSet[Definition]]] = []
+    for index, op in enumerate(cfg.ops):
+        reaching = result.in_sets[index]
+        per_location: Dict[Location, FrozenSet[Definition]] = {}
+        for location in op_uses(op):
+            per_location[location] = frozenset(
+                definition
+                for definition in reaching
+                if definition[1] == location
+            )
+        chains.append(per_location)
+    return DefUse(
+        reach_in=result.in_sets,
+        reach_out=result.out_sets,
+        defs_of_use=tuple(chains),
+    )
+
+
+__all__ = [
+    "DefUse",
+    "Definition",
+    "ENTRY",
+    "Location",
+    "compute_def_use",
+    "op_defs",
+]

@@ -1,0 +1,119 @@
+"""Fence-placement advice for the §5.7 minimizer's stage 3.
+
+The postprocessor's fence stage tries every insertion point in reverse
+and keeps each fence that leaves the violation intact — quadratic in
+program length, with most probes wasted far from the leak. This advisor
+uses the package's analyses to predict where a serializing fence can
+actually matter:
+
+- taint (seeded from all inputs) + the hardware speculation windows
+  locate the *leaking accesses*: speculative loads/stores whose address
+  can differ between contract-equivalent inputs — the same rule the
+  pre-screen's ACTIVE verdict uses;
+- def-use chains walk back from each leaking access's address registers
+  to the ops that computed them, giving the span a fence must cut: a
+  fence placed at or before the access but after the window opens
+  serializes the wrong path before the access issues.
+
+The advice is a hint, not a proof — the minimizer still validates every
+insertion dynamically; advice only reorders which probes run first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.cfg import SpeculationModel, build_cfg, speculative_ops
+from repro.analysis.defuse import ENTRY, compute_def_use
+from repro.analysis.liveness import REG
+from repro.analysis.taint import TaintSeed, compute_taint
+from repro.emulator.compiled import CompiledProgram
+from repro.isa.instruction import TestCaseProgram
+
+
+@dataclass(frozen=True)
+class FencePlan:
+    """Advised fence insertion points for one (program, mode) pair."""
+
+    #: linear op indices of speculative accesses with tainted addresses
+    leak_ops: Tuple[int, ...]
+    #: linear op indices of the defs feeding those accesses' addresses
+    feeding_defs: Tuple[int, ...]
+    #: advised insertion points as ``(block_index, body_index)`` — the
+    #: coordinates :meth:`Postprocessor.insert_fences` probes; a fence
+    #: at each point lands immediately before a leaking access or one
+    #: of its address-feeding defs
+    positions: Tuple[Tuple[int, int], ...]
+
+    @property
+    def empty(self) -> bool:
+        return not self.positions
+
+
+def _body_positions(program: TestCaseProgram) -> Dict[int, Tuple[int, int]]:
+    """linear pc -> (block_index, body_index) for body instructions.
+
+    Terminators have no insertion coordinate (stage 3 only probes body
+    slots), so they are absent from the map."""
+    mapping: Dict[int, Tuple[int, int]] = {}
+    pc = 0
+    for block_index, block in enumerate(program.blocks):
+        for body_index in range(len(block.body)):
+            mapping[pc] = (block_index, body_index)
+            pc += 1
+        pc += len(block.terminators)
+    return mapping
+
+
+def advise_fences(
+    compiled: CompiledProgram,
+    program: TestCaseProgram,
+    executor_mode: str = "P+P",
+) -> FencePlan:
+    """Propose fence positions likely to delimit the leak.
+
+    Returns an empty plan for programs with statically unresolved
+    control flow (the minimizer then falls back to its exhaustive
+    order)."""
+    cfg = build_cfg(compiled)
+    if cfg.has_unresolved_flow:
+        return FencePlan((), (), ())
+
+    taint = compute_taint(cfg, TaintSeed.all_inputs(compiled.arch))
+    window_ops = speculative_ops(
+        cfg, SpeculationModel.hardware(executor_mode)
+    )
+    leak_ops = sorted(
+        index
+        for index in window_ops
+        if (cfg.ops[index].is_load or cfg.ops[index].is_store)
+        and taint.address_tainted(index, cfg.ops[index])
+    )
+    if not leak_ops:
+        return FencePlan((), (), ())
+
+    defuse = compute_def_use(cfg)
+    feeding: List[int] = []
+    for index in leak_ops:
+        chains = defuse.defs_of_use[index]
+        for register in cfg.ops[index].addr_regs:
+            for def_pc, _location in chains.get((REG, register), ()):
+                if def_pc != ENTRY:
+                    feeding.append(def_pc)
+    feeding_defs = sorted(set(feeding))
+
+    coordinates = _body_positions(program)
+    positions = []
+    for pc in sorted(set(leak_ops) | set(feeding_defs)):
+        coordinate = coordinates.get(pc)
+        if coordinate is not None and coordinate not in positions:
+            positions.append(coordinate)
+    return FencePlan(
+        leak_ops=tuple(leak_ops),
+        feeding_defs=tuple(feeding_defs),
+        positions=tuple(positions),
+    )
+
+
+__all__ = ["FencePlan", "advise_fences"]

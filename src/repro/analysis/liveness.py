@@ -1,0 +1,132 @@
+"""Backward liveness of registers *and* flags over the op CFG.
+
+Lattice elements are ``("reg", canonical_name)`` and ``("flag", bit)``
+tuples. The exit boundary is **everything live**: the fuzzer compares
+final architectural states byte-for-byte (and the input generator may
+feed any register into the next measurement), so no location may be
+considered dead past the last instruction. That choice is what lets the
+dead-flag elimination pass guarantee byte-identical final states.
+
+Per-op behaviour:
+
+- *uses* are ``registers_read`` (which already includes address
+  registers and implicit reads) plus ``flags_read`` — plus the
+  destination register of any sub-32-bit register write, because
+  narrow writes merge into the old value
+  (:meth:`repro.emulator.compiled.CompiledOperands.writer`) and are
+  therefore read-modify-write;
+- *kills* are ``flags_written`` and the registers fully replaced:
+  register destinations of width >= 32 (which zero-extend) and the
+  spec's implicit writes (always full-width in both catalogs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dataflow import Analysis, solve
+from repro.isa.operands import RegisterOperand
+
+REG = "reg"
+FLAG = "flag"
+
+
+def op_uses(op) -> FrozenSet[Tuple[str, str]]:
+    """Locations read by one op, including read-modify-write dests."""
+    uses = {(REG, register) for register in op.registers_read}
+    uses.update((FLAG, flag) for flag in op.flags_read)
+    instruction = op.instruction
+    for operand, template in zip(
+        instruction.operands, instruction.spec.operands
+    ):
+        if (
+            template.dest
+            and isinstance(operand, RegisterOperand)
+            and operand.width < 32
+        ):
+            uses.add((REG, operand.canonical))
+    return frozenset(uses)
+
+
+def op_kills(op) -> FrozenSet[Tuple[str, str]]:
+    """Locations fully overwritten by one op (strong updates only)."""
+    kills = {(FLAG, flag) for flag in op.flags_written}
+    instruction = op.instruction
+    kills.update(
+        (REG, register) for register in instruction.spec.implicit_writes
+    )
+    for operand, template in zip(
+        instruction.operands, instruction.spec.operands
+    ):
+        if (
+            template.dest
+            and isinstance(operand, RegisterOperand)
+            and operand.width >= 32
+        ):
+            kills.add((REG, operand.canonical))
+    return frozenset(kills)
+
+
+class _LivenessAnalysis(Analysis):
+    direction = "backward"
+
+    def __init__(self, cfg: CFG):
+        self._uses = [op_uses(op) for op in cfg.ops]
+        self._kills = [op_kills(op) for op in cfg.ops]
+        regfile = cfg.program.arch.registers
+        self._boundary = frozenset(
+            {(REG, name) for name in regfile.gpr_names}
+            | {(FLAG, bit) for bit in regfile.flag_bits}
+        )
+
+    def boundary(self) -> FrozenSet:
+        return self._boundary
+
+    def transfer(self, index: int, live_out: FrozenSet) -> FrozenSet:
+        return self._uses[index] | (live_out - self._kills[index])
+
+
+@dataclass
+class Liveness:
+    """Fixpoint liveness: per-op live-in/live-out location sets."""
+
+    live_in: Tuple[FrozenSet, ...]
+    live_out: Tuple[FrozenSet, ...]
+
+    def live_flags_out(self, index: int) -> FrozenSet[str]:
+        return frozenset(
+            name for kind, name in self.live_out[index] if kind == FLAG
+        )
+
+    def live_regs_out(self, index: int) -> FrozenSet[str]:
+        return frozenset(
+            name for kind, name in self.live_out[index] if kind == REG
+        )
+
+    def dead_flag_writes(self, cfg: CFG) -> List[int]:
+        """Ops whose *entire* flag write-set is dead on every path."""
+        dead: List[int] = []
+        for index, op in enumerate(cfg.ops):
+            if not op.flags_written:
+                continue
+            live = self.live_flags_out(index)
+            if not any(flag in live for flag in op.flags_written):
+                dead.append(index)
+        return dead
+
+
+def compute_liveness(cfg: CFG) -> Liveness:
+    result = solve(cfg, _LivenessAnalysis(cfg))
+    return Liveness(live_in=result.in_sets, live_out=result.out_sets)
+
+
+__all__ = [
+    "FLAG",
+    "Liveness",
+    "REG",
+    "compute_liveness",
+    "op_kills",
+    "op_uses",
+]

@@ -1,0 +1,382 @@
+"""Differential linter for catalog instruction metadata.
+
+Every static analysis in this package (and the speculative CPU's
+scheduling) trusts the catalog's declared read/write sets. A wrong
+``flags_read`` silently breaks the dead-flag pass; a wrong
+``addr_regs``/``data_regs`` split breaks the pre-screen's taint rules.
+This linter validates the metadata of **every catalog form** against
+the instruction's *observed* behaviour on randomized architectural
+states:
+
+- ``reg-partition`` (static): the decoded op's ``registers_read`` must
+  equal ``addr_regs | data_regs`` — every read register feeds address
+  generation, data, or both; nothing may fall between the two sets;
+- ``undeclared-write`` (dynamic): a register or flag that changes
+  value during execution must be in the declared write set;
+- ``undeclared-read`` (dynamic, perturbation-based): perturbing a
+  location *outside* the declared read set must not change any
+  architectural effect (register/flag/memory deltas, memory accesses,
+  branch outcome, next pc);
+- ``phantom-access`` / ``missing-access`` (dynamic): observed
+  loads/stores must match ``is_load``/``is_store``.
+
+Deliberate exemptions, mirroring design decisions documented elsewhere:
+
+- CALL/RET stack traffic is dispatched by the emulator directly and
+  intentionally absent from ``memory_accesses()`` (see
+  :meth:`repro.isa.instruction.Instruction.memory_accesses`), so those
+  categories skip the access checks;
+- destination registers are never perturbed: sub-32-bit destinations
+  merge and conditional moves pass the old value through, so a
+  destination is legitimately outcome-relevant without being a *read*
+  in the dependence sense the metadata encodes;
+- the sandbox-base and stack registers are pinned by the ABI and never
+  perturbed;
+- VAR (division) trials run on constrained states (zeroed high
+  dividend half, small dividend, nonzero divisor) so no trial faults;
+  faulting base runs of any form are skipped, never reported.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.emulator.compiled import decode_op
+from repro.emulator.errors import EmulationError
+from repro.emulator.state import ArchState
+from repro.isa.instruction import Instruction, InstructionSpec
+from repro.isa.operands import (
+    AgenOperand,
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    RegisterOperand,
+)
+
+#: label used for LABEL operands; resolved to instruction index 1
+LINT_LABEL = "lint0"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One metadata violation of one catalog form."""
+
+    arch: str
+    form: str  # spec.name, e.g. "ADD_reg64_mem64"
+    instruction: str  # the rendered concrete instruction
+    invariant: str  # "reg-partition" | "undeclared-write" | ...
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.arch}] {self.form}: {self.invariant}: {self.message} "
+            f"(e.g. `{self.instruction}`)"
+        )
+
+
+def _materialize(
+    spec: InstructionSpec, arch, rng: random.Random
+) -> Optional[Instruction]:
+    """One concrete instruction of a form, generator-style operands."""
+    regfile = arch.registers
+    pool = [
+        name
+        for name in regfile.gpr_names
+        if name != regfile.sandbox_base_register
+        and name != regfile.stack_register
+    ]
+    operands = []
+    for template in spec.operands:
+        if template.kind == "REG":
+            choices = pool
+            if spec.category == "VAR":
+                choices = arch.division_register_pool(pool)
+            register = rng.choice(list(choices))
+            operands.append(
+                RegisterOperand(regfile.view_name(register, template.width))
+            )
+        elif template.kind == "IMM":
+            operands.append(
+                ImmediateOperand(rng.getrandbits(min(template.width, 8)))
+            )
+        elif template.kind == "MEM":
+            operands.append(
+                MemoryOperand(
+                    regfile.sandbox_base_register,
+                    rng.choice(pool),
+                    displacement=rng.randrange(64),
+                    width=template.width,
+                )
+            )
+        elif template.kind == "AGEN":
+            operands.append(
+                AgenOperand(
+                    regfile.sandbox_base_register,
+                    rng.choice(pool),
+                    rng.randrange(64),
+                )
+            )
+        elif template.kind == "LABEL":
+            operands.append(LabelOperand(LINT_LABEL))
+        else:  # unknown operand kind: nothing to lint
+            return None
+    return Instruction(spec, tuple(operands))
+
+
+def _random_state(arch, instruction: Instruction, rng: random.Random) -> ArchState:
+    """A randomized state constrained to keep the instruction fault-free."""
+    state = ArchState(arch=arch)
+    regfile = arch.registers
+    fixed = {regfile.sandbox_base_register, regfile.stack_register}
+    for name in regfile.gpr_names:
+        if name not in fixed:
+            state.registers[name] = rng.getrandbits(64)
+    for flag in regfile.flag_bits:
+        state.flags[flag] = bool(rng.getrandbits(1))
+    state.memory[:] = rng.randbytes(state.layout.size)
+
+    spec = instruction.spec
+    # memory operands: keep base + index + displacement inside the main page
+    for operand in instruction.operands:
+        if isinstance(operand, MemoryOperand) and operand.index is not None:
+            state.write_register(operand.index, rng.randrange(0, 2048))
+    if spec.category == "VAR":
+        # small positive dividend, nonzero divisor: no quotient overflow
+        # on any ISA's division (AArch64 UDIV cannot fault regardless)
+        for position, name in enumerate(spec.implicit_reads):
+            state.write_register(name, rng.getrandbits(12) if position == 0 else 0)
+        for operand, template in zip(instruction.operands, spec.operands):
+            if isinstance(operand, RegisterOperand) and template.src:
+                state.write_register(operand.name, rng.randrange(1, 200))
+    if spec.category == "RET" and regfile.stack_register is not None:
+        # the popped return target must be a sane instruction index
+        state.write_memory(
+            state.read_register(regfile.stack_register), 8, rng.randrange(4)
+        )
+    return state
+
+
+def _run_effect(arch, instruction: Instruction, state: ArchState):
+    """Execute once; return (effect, error_name). The effect captures
+    every architectural consequence: per-location deltas, accesses,
+    branch outcome and next pc."""
+    regs0 = dict(state.registers)
+    flags0 = dict(state.flags)
+    mem0 = bytes(state.memory)
+    try:
+        result = arch.execute(
+            instruction, state, 0, lambda _name: 1
+        )
+    except EmulationError as error:
+        return None, type(error).__name__
+    effect = {
+        "regs0": regs0,
+        "flags0": flags0,
+        "reg_delta": {
+            name: value
+            for name, value in state.registers.items()
+            if regs0[name] != value
+        },
+        "flag_delta": {
+            flag: value
+            for flag, value in state.flags.items()
+            if flags0[flag] != value
+        },
+        "mem_delta": {
+            index: byte
+            for index, byte in enumerate(state.memory)
+            if mem0[index] != byte
+        },
+        "accesses": tuple(
+            (access.address, access.size, access.is_write, access.value)
+            for access in result.mem_accesses
+        ),
+        "loads": bool(result.loads),
+        "stores": bool(result.stores),
+        "branch": (
+            (
+                result.branch.kind,
+                result.branch.taken,
+                result.branch.target,
+                result.branch.fallthrough,
+            )
+            if result.branch is not None
+            else None
+        ),
+        "next_pc": result.next_pc,
+        "regs1": dict(state.registers),
+        "flags1": dict(state.flags),
+    }
+    return effect, None
+
+
+def _effects_equal_modulo(base, perturbed, kind: str, location: str) -> bool:
+    """Are two effects identical except (possibly) at the perturbed
+    location itself? The location's final value must agree whenever
+    either run modified it."""
+    comparable = ("mem_delta", "accesses", "loads", "stores", "branch", "next_pc")
+    if any(base[key] != perturbed[key] for key in comparable):
+        return False
+
+    def final(effect, space):
+        return effect[space]
+
+    if kind == "reg":
+        spaces = ("regs0", "regs1")
+    else:
+        spaces = ("flags0", "flags1")
+    base0, base1 = final(base, spaces[0]), final(base, spaces[1])
+    pert0, pert1 = final(perturbed, spaces[0]), final(perturbed, spaces[1])
+    names = set(base1)
+    for name in names:
+        if name == location:
+            continue
+        if base1[name] != pert1[name]:
+            return False
+    modified_base = base1[location] != base0[location]
+    modified_pert = pert1[location] != pert0[location]
+    if (modified_base or modified_pert) and base1[location] != pert1[location]:
+        return False
+    return True
+
+
+def _lint_one(
+    arch, spec: InstructionSpec, rng: random.Random, trials: int
+) -> List[LintFinding]:
+    findings: Dict[Tuple[str, str], LintFinding] = {}
+    instruction = _materialize(spec, arch, rng)
+    if instruction is None:
+        return []
+    rendered = str(instruction)
+
+    def report(invariant: str, message: str) -> None:
+        findings.setdefault(
+            (spec.name, invariant),
+            LintFinding(arch.name, spec.name, rendered, invariant, message),
+        )
+
+    # -- static invariant: read partition ---------------------------------
+    op = decode_op(instruction, 0, arch, {LINT_LABEL: 1})
+    partition = set(op.addr_regs) | set(op.data_regs)
+    declared_read = set(op.registers_read)
+    if declared_read != partition:
+        missing = sorted(declared_read - partition)
+        extra = sorted(partition - declared_read)
+        report(
+            "reg-partition",
+            f"registers_read != addr_regs | data_regs "
+            f"(unpartitioned: {missing}, spurious: {extra})",
+        )
+
+    regfile = arch.registers
+    declared_written = {
+        regfile.canonical(name) for name in instruction.registers_written()
+    }
+    declared_read_canonical = {
+        regfile.canonical(name) for name in instruction.registers_read()
+    }
+    dest_registers = {
+        operand.canonical
+        for operand, template in zip(instruction.operands, spec.operands)
+        if template.dest and isinstance(operand, RegisterOperand)
+    }
+    fixed = {
+        name
+        for name in (
+            regfile.sandbox_base_register,
+            regfile.stack_register,
+        )
+        if name is not None
+    }
+    perturbable_registers = [
+        name
+        for name in regfile.gpr_names
+        if name
+        not in declared_read_canonical | dest_registers | fixed | declared_written
+    ]
+    perturbable_flags = [
+        flag for flag in regfile.flag_bits if flag not in set(spec.flags_read)
+    ]
+    access_checks = spec.category not in ("CALL", "RET")
+
+    for _trial in range(trials):
+        state = _random_state(arch, instruction, rng)
+        snapshot = state.snapshot()
+        base, error = _run_effect(arch, instruction, state)
+        if error is not None:
+            continue  # constrained states should not fault; never report
+
+        # -- dynamic writes ⊆ declared --------------------------------
+        for name in base["reg_delta"]:
+            if name not in declared_written:
+                report(
+                    "undeclared-write",
+                    f"register {name} changed but is not in "
+                    f"registers_written",
+                )
+        for flag in base["flag_delta"]:
+            if flag not in set(spec.flags_written):
+                report(
+                    "undeclared-write",
+                    f"flag {flag} changed but is not in flags_written",
+                )
+
+        # -- access flags ----------------------------------------------
+        if access_checks:
+            if base["loads"] and not op.is_load:
+                report("phantom-access", "observed a load but is_load is False")
+            if base["stores"] and not op.is_store:
+                report("phantom-access", "observed a store but is_store is False")
+            if base["mem_delta"] and not op.is_store:
+                report("phantom-access", "memory changed but is_store is False")
+            if op.is_load and not base["loads"]:
+                report("missing-access", "is_load is True but no load observed")
+            if op.is_store and not base["stores"]:
+                report("missing-access", "is_store is True but no store observed")
+
+        # -- undeclared reads (perturbation) ---------------------------
+        for name in perturbable_registers:
+            state.restore(snapshot)
+            state.registers[name] = rng.getrandbits(64)
+            perturbed, error = _run_effect(arch, instruction, state)
+            if error is not None or not _effects_equal_modulo(
+                base, perturbed, "reg", name
+            ):
+                report(
+                    "undeclared-read",
+                    f"perturbing register {name} (not in registers_read) "
+                    f"changed the outcome",
+                )
+        for flag in perturbable_flags:
+            state.restore(snapshot)
+            state.flags[flag] = not state.flags[flag]
+            perturbed, error = _run_effect(arch, instruction, state)
+            if error is not None or not _effects_equal_modulo(
+                base, perturbed, "flag", flag
+            ):
+                report(
+                    "undeclared-read",
+                    f"perturbing flag {flag} (not in flags_read) "
+                    f"changed the outcome",
+                )
+        state.restore(snapshot)
+    return list(findings.values())
+
+
+def lint_architecture(
+    arch,
+    trials: int = 3,
+    seed: int = 0,
+    specs: Optional[Sequence[InstructionSpec]] = None,
+) -> List[LintFinding]:
+    """Lint every form of one architecture's catalog (or ``specs``)."""
+    findings: List[LintFinding] = []
+    for spec in specs if specs is not None else arch.instruction_set.specs:
+        rng = random.Random((seed, arch.name, spec.name).__repr__())
+        findings.extend(_lint_one(arch, spec, rng, trials))
+    return findings
+
+
+__all__ = ["LINT_LABEL", "LintFinding", "lint_architecture"]

@@ -1,0 +1,154 @@
+"""Static leak pre-screen: can this test case violate *at all*?
+
+``classify(compiled, contract)`` decides, before any emulation or
+measurement, whether a generated test case could possibly produce a
+contract violation under the given contract and executor mode. Programs
+classified :data:`INERT` can be skipped by the fuzzing loop (§4's
+outermost rejection filter, moved before trace collection).
+
+Soundness argument (why INERT programs cannot produce violations; the
+full version lives in ``docs/analysis.md``):
+
+A violation is a pair of inputs with *equal* contract traces and
+*distinct* hardware traces. Hardware traces are sets of cache-set
+signals derived exclusively from load/store addresses (architectural
+and speculative); every observation clause in the catalog exposes the
+addresses of the model's load/store accesses. Contract-trace equality
+therefore pins the architectural access sequence, so distinct htraces
+require some *speculative-only* access to differ between the two
+inputs — in address, or in whether it executes:
+
+- an access differs in address only if its address registers can vary
+  within a contract-equivalence class — forward taint from all input
+  locations (:meth:`~repro.analysis.taint.TaintSeed.all_inputs`)
+  over-approximates exactly that;
+- an access differs in occurrence only if (a) a conditional branch
+  inside a window resolves differently (tainted condition), (b) the
+  dynamic window length races a data-dependent latency (the only
+  data-dependent latency in the CPU model is division), or (c) the
+  architectural path itself varies unobserved — impossible when the
+  clause exposes the pc, hence the extra rule for pc-blind clauses;
+- indirect branches, calls and returns make the speculative target set
+  statically unknown (BTB/RSB persist across programs), so such
+  programs are never screened.
+
+Misprediction artifacts caused purely by *predictor state* (not input
+data) affect screened and unscreened programs alike and are eliminated
+downstream by the priming-swap check, exactly as in the unscreened
+pipeline.
+
+The pre-screen must model the **hardware's** speculation
+(:meth:`~repro.analysis.cfg.SpeculationModel.hardware`), not the
+contract's: screening is about what the simulated CPU could leak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import SpeculationModel, build_cfg, speculative_ops
+from repro.analysis.taint import TaintSeed, compute_taint
+from repro.emulator.compiled import CompiledProgram
+
+#: the program may be able to violate — run the full pipeline
+ACTIVE = "active"
+#: the program provably cannot violate — safe to skip
+INERT = "inert"
+
+
+class PrescreenSoundnessError(RuntimeError):
+    """An INERT-classified program produced a confirmed violation.
+
+    Raised by the fuzzing loop's safety sampling — this is a bug in the
+    pre-screen (or in the soundness argument above), never a property of
+    the test case, and must fail the run loudly rather than silently
+    losing violations."""
+
+
+@dataclass(frozen=True)
+class PrescreenResult:
+    """Verdict of one classification, with the rule that fired."""
+
+    verdict: str
+    #: short machine-readable rule name (stable across releases):
+    #: "unresolved-flow" | "pc-blind-tainted-branch" |
+    #: "tainted-window-access" | "latency-race" |
+    #: "tainted-window-branch" | "no-speculative-leak"
+    reason: str
+    detail: str = ""
+
+    @property
+    def active(self) -> bool:
+        return self.verdict == ACTIVE
+
+
+def classify(
+    compiled: CompiledProgram,
+    contract,
+    executor_mode: str = "P+P",
+) -> PrescreenResult:
+    """Statically classify one compiled test case as ACTIVE or INERT."""
+    cfg = build_cfg(compiled)
+    if cfg.has_unresolved_flow:
+        return PrescreenResult(
+            ACTIVE,
+            "unresolved-flow",
+            "indirect branch / call / return: speculative targets unknown",
+        )
+
+    taint = compute_taint(
+        cfg, TaintSeed.all_inputs(compiled.arch)
+    )
+    observation = contract.observation
+
+    if not observation.expose_pc:
+        for index, op in enumerate(cfg.ops):
+            if op.is_cond_branch and taint.condition_tainted(index, op):
+                return PrescreenResult(
+                    ACTIVE,
+                    "pc-blind-tainted-branch",
+                    f"op {index}: architectural path can vary unobserved",
+                )
+
+    model = SpeculationModel.hardware(executor_mode)
+    window_ops = speculative_ops(cfg, model)
+
+    window_has_access = False
+    for index in window_ops:
+        op = cfg.ops[index]
+        if not (op.is_load or op.is_store):
+            continue
+        window_has_access = True
+        if taint.address_tainted(index, op):
+            return PrescreenResult(
+                ACTIVE,
+                "tainted-window-access",
+                f"op {index}: speculative access with input-dependent address",
+            )
+
+    if window_has_access:
+        for index, op in enumerate(cfg.ops):
+            if op.latency_class != "division":
+                continue
+            if any(
+                taint.reg_tainted(index, register)
+                for register in op.registers_read
+            ):
+                return PrescreenResult(
+                    ACTIVE,
+                    "latency-race",
+                    f"op {index}: data-dependent latency can resize a window",
+                )
+        for index in window_ops:
+            op = cfg.ops[index]
+            if op.is_cond_branch and taint.condition_tainted(index, op):
+                return PrescreenResult(
+                    ACTIVE,
+                    "tainted-window-branch",
+                    f"op {index}: wrong-path direction can vary",
+                )
+
+    return PrescreenResult(INERT, "no-speculative-leak")
+
+
+__all__ = ["ACTIVE", "INERT", "PrescreenResult", "classify"]

@@ -1,0 +1,129 @@
+"""Forward taint propagation over the op CFG.
+
+Taint marks locations whose value can differ between two inputs the
+*contract model* considers equivalent. Lattice elements are
+``("reg", name)``, ``("flag", bit)`` and the single abstract memory
+cell ``("mem", "")`` (the sandbox is one allocation; one bit is
+sound and keeps the lattice finite).
+
+The default seed matches the tentpole description — every sandbox load
+taints its destinations (memory contents are the secret) — while the
+pre-screen instantiates the analysis with *everything* tainted at
+entry (:meth:`TaintSeed.all_inputs`), because input registers and
+flags also vary freely within a contract-equivalence class unless an
+observation exposes them.
+
+Transfer function:
+
+- if any read location (``registers_read`` — which includes address
+  registers — or ``flags_read``) is tainted, or the op loads from
+  tainted memory, or the op is a load and loads are seeded: taint all
+  written registers and flags, and taint memory if the op stores;
+- otherwise the op *untaints* what it fully overwrites (full-width
+  register destinations, implicit writes, written flags) — this is the
+  strong update that makes ``MOV reg, imm`` and the sandbox
+  address-masking ``AND reg, imm`` precise where possible (the AND
+  keeps its register tainted because the register itself is read);
+- sub-32-bit register writes merge and therefore never untaint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dataflow import Analysis, solve
+from repro.analysis.liveness import FLAG, REG, op_kills
+
+MEM = ("mem", "")
+
+
+@dataclass(frozen=True)
+class TaintSeed:
+    """What is tainted before the first instruction executes."""
+
+    registers: FrozenSet[str] = frozenset()
+    flags: FrozenSet[str] = frozenset()
+    memory: bool = True
+    #: every load's destinations become tainted regardless of address
+    loads: bool = True
+
+    @classmethod
+    def all_inputs(cls, arch) -> "TaintSeed":
+        """Everything input-controlled: all registers, flags and memory."""
+        regfile = arch.registers
+        return cls(
+            registers=frozenset(regfile.gpr_names),
+            flags=frozenset(regfile.flag_bits),
+            memory=True,
+            loads=True,
+        )
+
+
+class _TaintAnalysis(Analysis):
+    direction = "forward"
+
+    def __init__(self, cfg: CFG, seed: TaintSeed):
+        self._ops = cfg.ops
+        self._kills = [op_kills(op) for op in cfg.ops]
+        self._seed = seed
+        boundary = {(REG, name) for name in seed.registers}
+        boundary |= {(FLAG, bit) for bit in seed.flags}
+        if seed.memory:
+            boundary.add(MEM)
+        self._boundary = frozenset(boundary)
+
+    def boundary(self) -> FrozenSet:
+        return self._boundary
+
+    def transfer(self, index: int, tainted_in: FrozenSet) -> FrozenSet:
+        op = self._ops[index]
+        sources_tainted = (
+            any((REG, register) in tainted_in for register in op.registers_read)
+            or any((FLAG, flag) in tainted_in for flag in op.flags_read)
+            or (op.is_load and (MEM in tainted_in or self._seed.loads))
+        )
+        if sources_tainted:
+            tainted = set(tainted_in)
+            tainted.update((REG, r) for r in op.registers_written)
+            tainted.update((FLAG, f) for f in op.flags_written)
+            if op.is_store:
+                tainted.add(MEM)
+            return frozenset(tainted)
+        # untainted sources: full-width writes strongly untaint
+        return frozenset(tainted_in - self._kills[index])
+
+
+@dataclass
+class Taint:
+    """Fixpoint taint: per-op tainted-location sets before/after."""
+
+    tainted_in: Tuple[FrozenSet, ...]
+    tainted_out: Tuple[FrozenSet, ...]
+    seed: TaintSeed = field(default_factory=TaintSeed)
+
+    def reg_tainted(self, index: int, register: str) -> bool:
+        return (REG, register) in self.tainted_in[index]
+
+    def address_tainted(self, index: int, op) -> bool:
+        """Can this op's memory address vary within an equivalence class?"""
+        return any(
+            (REG, register) in self.tainted_in[index]
+            for register in op.addr_regs
+        )
+
+    def condition_tainted(self, index: int, op) -> bool:
+        return any(
+            (FLAG, flag) in self.tainted_in[index] for flag in op.flags_read
+        )
+
+
+def compute_taint(cfg: CFG, seed: TaintSeed = TaintSeed()) -> Taint:
+    result = solve(cfg, _TaintAnalysis(cfg, seed))
+    return Taint(
+        tainted_in=result.in_sets, tainted_out=result.out_sets, seed=seed
+    )
+
+
+__all__ = ["MEM", "Taint", "TaintSeed", "compute_taint"]

@@ -67,6 +67,13 @@ class AArch64(Architecture):
     def compile_instruction(self, instruction, pc=0, label_to_index=None):
         return semantics.compile_instruction(instruction, pc, label_to_index)
 
+    def compile_instruction_no_flags(
+        self, instruction, pc=0, label_to_index=None
+    ):
+        return semantics.compile_instruction_no_flags(
+            instruction, pc, label_to_index
+        )
+
     def evaluate_condition(self, code, state):
         return semantics.evaluate_condition(code, state)
 

@@ -32,7 +32,6 @@ from repro.emulator.semantics import (
     OperandContext,
     StepResult,
     mask as _mask,
-    signed as _signed,
 )
 from repro.emulator.state import ArchState
 from repro.arch.aarch64.instruction_set import condition_of
@@ -417,4 +416,87 @@ def compile_instruction(
     return compiler(instruction, ops, pc)
 
 
-__all__ = ["compile_instruction", "evaluate_condition", "execute"]
+# -- dead-flag handler variants (repro.analysis.deadflags) --------------------
+#
+# Only the S-suffixed forms and CMP/TST touch NZCV on AArch64; when
+# liveness proves those writes dead, the variants below perform the
+# identical register transitions without the flag algebra. See the
+# x86-64 twin for the contract (metadata untouched, installed only by
+# the dead-flag pass).
+
+
+def _compile_data_processing_no_flags(instruction, ops, pc):
+    mnemonic = instruction.mnemonic
+    wm = _mask(ops.width(0))
+    read1 = ops.reader(1)
+    read2 = ops.reader(2)
+    write0 = ops.writer(0)
+
+    if mnemonic == "ADDS":
+        def body(state, accesses):
+            write0(
+                state,
+                ((read1(state, accesses) & wm) + (read2(state, accesses) & wm))
+                & wm,
+                accesses,
+            )
+    elif mnemonic == "SUBS":
+        def body(state, accesses):
+            write0(
+                state,
+                ((read1(state, accesses) & wm) - (read2(state, accesses) & wm))
+                & wm,
+                accesses,
+            )
+    elif mnemonic == "ANDS":
+        def body(state, accesses):
+            write0(
+                state,
+                (read1(state, accesses) & read2(state, accesses)) & wm,
+                accesses,
+            )
+    else:  # pragma: no cover - guarded by the dispatch table
+        raise InvalidProgram(mnemonic)
+    return make_step(instruction, pc, body)
+
+
+def _compile_compare_no_flags(instruction, ops, pc):
+    # CMP/TST only exist to set NZCV; with the flags dead the op is a
+    # register-read no-op (neither form has a memory operand to record)
+    def body(state, accesses):
+        pass
+
+    return make_step(instruction, pc, body)
+
+
+#: mnemonics with a flag-skipping variant (plain forms write no flags)
+_NO_FLAG_COMPILERS: Dict[str, _CompileFn] = {
+    "ADDS": _compile_data_processing_no_flags,
+    "SUBS": _compile_data_processing_no_flags,
+    "ANDS": _compile_data_processing_no_flags,
+    "CMP": _compile_compare_no_flags,
+    "TST": _compile_compare_no_flags,
+}
+
+
+def compile_instruction_no_flags(
+    instruction: Instruction,
+    pc: int = 0,
+    label_to_index=None,
+) -> Optional[Callable[[ArchState], StepResult]]:
+    """A handler identical to :func:`compile_instruction`'s except that
+    NZCV writes are skipped, or ``None`` when no variant exists."""
+    if instruction.category in _CATEGORY_COMPILERS:
+        return None
+    compiler = _NO_FLAG_COMPILERS.get(instruction.mnemonic)
+    if compiler is None:
+        return None
+    return compiler(instruction, CompiledOperands(instruction, label_to_index), pc)
+
+
+__all__ = [
+    "compile_instruction",
+    "compile_instruction_no_flags",
+    "evaluate_condition",
+    "execute",
+]

@@ -140,6 +140,20 @@ class Architecture:
         """
         raise NotImplementedError
 
+    def compile_instruction_no_flags(
+        self, instruction, pc=0, label_to_index=None
+    ):
+        """Like :meth:`compile_instruction` but skipping flag writes.
+
+        Returns ``None`` when the backend has no flag-skipping variant
+        for this instruction. Only the dead-flag elimination pass
+        (:mod:`repro.analysis.deadflags`) may install the returned
+        closure, and only after liveness proves every flag the
+        instruction writes dead on every path — register and memory
+        effects must still be byte-identical to :meth:`execute`.
+        """
+        return None
+
     def evaluate_condition(self, code: str, state) -> bool:
         """Evaluate a canonical condition code against the flag bits."""
         raise NotImplementedError

@@ -742,4 +742,191 @@ def compile_instruction(
     return compiler(instruction, ops, pc)
 
 
-__all__ = ["compile_instruction", "evaluate_condition", "execute"]
+# -- dead-flag handler variants (repro.analysis.deadflags) --------------------
+#
+# When liveness proves that *every* flag an op writes is rewritten
+# before any read on every CFG path (speculative paths included), the
+# RFLAGS computation — carry/overflow/adjust algebra, parity popcount —
+# is pure overhead. The variants below perform the identical register
+# and memory state transitions (same operand reads, in the same order,
+# so memory-access recording cannot drift) and identical faults, but
+# skip the flag writes. They are only installed by the dead-flag pass,
+# never by ``compile_instruction``, and the op's ``flags_written``
+# metadata is left untouched so the CPU model's flag-readiness timing
+# and the execution log are unchanged.
+
+
+def _compile_binary_no_flags(instruction, ops, pc):
+    mnemonic = instruction.mnemonic
+    width = ops.width(0)
+    wm = _mask(width)
+    read0 = ops.reader(0)
+    read1 = ops.reader(1)
+    write0 = None if mnemonic in ("CMP", "TEST") else ops.writer(0)
+
+    if mnemonic == "ADD":
+        def body(state, accesses):
+            a = read0(state, accesses)
+            b = read1(state, accesses) & wm
+            write0(state, (a + b) & wm, accesses)
+    elif mnemonic == "ADC":
+        def body(state, accesses):
+            a = read0(state, accesses)
+            b = read1(state, accesses) & wm
+            write0(state, (a + b + int(state.flags["CF"])) & wm, accesses)
+    elif mnemonic == "SUB":
+        def body(state, accesses):
+            a = read0(state, accesses)
+            b = read1(state, accesses) & wm
+            write0(state, (a - b) & wm, accesses)
+    elif mnemonic == "SBB":
+        def body(state, accesses):
+            a = read0(state, accesses)
+            b = read1(state, accesses) & wm
+            write0(state, (a - b - int(state.flags["CF"])) & wm, accesses)
+    elif mnemonic in ("CMP", "TEST"):
+        # dead-flag compares still perform both reads: a memory operand's
+        # access must be recorded (and observed) exactly as before
+        def body(state, accesses):
+            read0(state, accesses)
+            read1(state, accesses)
+    elif mnemonic == "AND":
+        def body(state, accesses):
+            write0(
+                state,
+                read0(state, accesses) & read1(state, accesses) & wm,
+                accesses,
+            )
+    elif mnemonic == "OR":
+        def body(state, accesses):
+            write0(
+                state,
+                read0(state, accesses) | (read1(state, accesses) & wm),
+                accesses,
+            )
+    elif mnemonic == "XOR":
+        def body(state, accesses):
+            write0(
+                state,
+                read0(state, accesses) ^ (read1(state, accesses) & wm),
+                accesses,
+            )
+    else:  # pragma: no cover - guarded by the dispatch table
+        raise InvalidProgram(mnemonic)
+    return make_step(instruction, pc, body)
+
+
+def _compile_unary_no_flags(instruction, ops, pc):
+    mnemonic = instruction.mnemonic
+    wm = _mask(ops.width(0))
+    read0 = ops.reader(0)
+    write0 = ops.writer(0)
+
+    if mnemonic == "INC":
+        def body(state, accesses):
+            write0(state, (read0(state, accesses) + 1) & wm, accesses)
+    elif mnemonic == "DEC":
+        def body(state, accesses):
+            write0(state, (read0(state, accesses) - 1) & wm, accesses)
+    elif mnemonic == "NEG":
+        def body(state, accesses):
+            write0(state, (-read0(state, accesses)) & wm, accesses)
+    else:  # pragma: no cover
+        raise InvalidProgram(mnemonic)
+    return make_step(instruction, pc, body)
+
+
+def _compile_imul_no_flags(instruction, ops, pc):
+    wm = _mask(ops.width(0))
+    read0 = ops.reader(0)
+    read1 = ops.reader(1)
+    write0 = ops.writer(0)
+
+    def body(state, accesses):
+        # the width-masked product is sign-agnostic, so the signed
+        # conversions of the flag-setting variant drop out entirely
+        write0(
+            state,
+            (read0(state, accesses) * (read1(state, accesses) & wm)) & wm,
+            accesses,
+        )
+
+    return make_step(instruction, pc, body)
+
+
+def _compile_div_no_flags(instruction, ops, pc):
+    mnemonic = instruction.mnemonic
+    width = ops.width(0)
+    wm = _mask(width)
+    signed_div = mnemonic == "IDIV"
+    quotient_min = -(1 << (width - 1))
+    quotient_max = (1 << (width - 1)) - 1
+    read0 = ops.reader(0)
+
+    def body(state, accesses):
+        divisor = read0(state, accesses) & wm
+        registers = state.registers
+        dividend = ((registers["RDX"] & wm) << width) | (registers["RAX"] & wm)
+        if signed_div:
+            dividend = _signed(dividend, 2 * width)
+            divisor = _signed(divisor, width)
+            if divisor == 0:
+                raise DivisionFault("IDIV by zero")
+            quotient = int(dividend / divisor)  # truncation toward zero
+            remainder = dividend - quotient * divisor
+            if not quotient_min <= quotient <= quotient_max:
+                raise DivisionFault("IDIV quotient overflow")
+        else:
+            if divisor == 0:
+                raise DivisionFault("DIV by zero")
+            quotient, remainder = divmod(dividend, divisor)
+            if quotient > wm:
+                raise DivisionFault("DIV quotient overflow")
+        registers["RAX"] = quotient & wm
+        registers["RDX"] = remainder & wm
+
+    return make_step(instruction, pc, body)
+
+
+#: mnemonics with a flag-skipping variant (NOT, MOV etc. write no flags)
+_NO_FLAG_COMPILERS: Dict[str, _CompileFn] = {
+    "ADD": _compile_binary_no_flags,
+    "ADC": _compile_binary_no_flags,
+    "SUB": _compile_binary_no_flags,
+    "SBB": _compile_binary_no_flags,
+    "CMP": _compile_binary_no_flags,
+    "AND": _compile_binary_no_flags,
+    "OR": _compile_binary_no_flags,
+    "XOR": _compile_binary_no_flags,
+    "TEST": _compile_binary_no_flags,
+    "INC": _compile_unary_no_flags,
+    "DEC": _compile_unary_no_flags,
+    "NEG": _compile_unary_no_flags,
+    "IMUL": _compile_imul_no_flags,
+    "DIV": _compile_div_no_flags,
+    "IDIV": _compile_div_no_flags,
+}
+
+
+def compile_instruction_no_flags(
+    instruction: Instruction,
+    pc: int = 0,
+    label_to_index=None,
+) -> Optional[Callable[[ArchState], StepResult]]:
+    """A handler identical to :func:`compile_instruction`'s except that
+    flag writes are skipped, or ``None`` when no variant exists (the
+    dead-flag pass then keeps the original handler)."""
+    if instruction.category in _CATEGORY_COMPILERS:
+        return None
+    compiler = _NO_FLAG_COMPILERS.get(instruction.mnemonic)
+    if compiler is None:
+        return None
+    return compiler(instruction, CompiledOperands(instruction, label_to_index), pc)
+
+
+__all__ = [
+    "compile_instruction",
+    "compile_instruction_no_flags",
+    "evaluate_condition",
+    "execute",
+]

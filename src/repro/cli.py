@@ -72,6 +72,8 @@ def _build_config(args: argparse.Namespace) -> FuzzerConfig:
         entropy_bits=args.entropy,
         timeout_seconds=args.timeout,
         analyzer_mode=args.analyzer,
+        prescreen=args.prescreen,
+        prescreen_safety_rate=args.prescreen_safety_rate,
         seed=args.seed,
         generator=GeneratorConfig(sandbox_pages=args.pages),
         contract_trace_cache=args.cache,
@@ -112,6 +114,14 @@ def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
                         choices=("subset", "strict"))
     parser.add_argument("--pages", type=int, default=1,
                         help="sandbox pages used by generated code")
+    parser.add_argument("--prescreen", action="store_true",
+                        help="skip test cases the static leak pre-screen "
+                        "proves unable to violate (repro.analysis.prescreen)")
+    parser.add_argument("--prescreen-safety-rate", type=int, default=20,
+                        metavar="N",
+                        help="still measure every Nth pre-screened case; a "
+                        "violation on one of them fails the run (soundness "
+                        "check; 0 disables sampling)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--cache", action="store_true",
                         help="memoize contract traces across collections")
@@ -250,7 +260,9 @@ def cmd_minimize(args: argparse.Namespace) -> int:
     violation = report.violation
     print("\nminimizing ...")
     result = Postprocessor(fuzzer.pipeline).minimize(
-        violation.program, list(violation.input_sequence)
+        violation.program,
+        list(violation.input_sequence),
+        advise_fences=args.advise_fences,
     )
     print(f"\nminimized ({result.original_instruction_count} -> "
           f"{result.instruction_count} instructions, "
@@ -404,6 +416,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--seed", type=int, default=0,
                               help="base seed the per-cell seeds derive from")
     sweep_parser.add_argument(
+        "--prescreen", action="store_true",
+        help="skip test cases the static leak pre-screen proves unable "
+        "to violate, in every cell (repro.analysis.prescreen)",
+    )
+    sweep_parser.add_argument(
+        "--prescreen-safety-rate", type=int, default=20, metavar="N",
+        help="still measure every Nth pre-screened case per shard; a "
+        "violation on one of them fails the run (0 disables sampling)",
+    )
+    sweep_parser.add_argument(
         "-w", "--workers", type=_positive_int, default=1,
         help="worker processes per grid cell",
     )
@@ -450,6 +472,12 @@ def build_parser() -> argparse.ArgumentParser:
         "minimize", help="fuzz until a violation, then minimize it"
     )
     _add_target_arguments(minimize_parser)
+    minimize_parser.add_argument(
+        "--advise-fences", action="store_true",
+        help="probe fence positions in the order the static fence "
+        "advisor suggests (repro.analysis.fence_advisor) instead of "
+        "exhaustive reverse order",
+    )
     minimize_parser.set_defaults(handler=cmd_minimize)
 
     reproduce_parser = commands.add_parser(

@@ -145,6 +145,8 @@ def merge_reports(
         merged.discarded_by_priming += report.discarded_by_priming
         merged.discarded_by_nesting += report.discarded_by_nesting
         merged.unconfirmed_candidates += report.unconfirmed_candidates
+        merged.prescreened_inert += report.prescreened_inert
+        merged.prescreen_safety_checked += report.prescreen_safety_checked
         merged.contract_emulations += report.contract_emulations
         merged.trace_cache_hits += report.trace_cache_hits
         merged.trace_cache_disk_hits += report.trace_cache_disk_hits

@@ -99,6 +99,25 @@ class FuzzerConfig:
     #: either way — the equality tests and the emulation-throughput
     #: benchmark compare the two)
     compile_programs: bool = True
+    #: run the dead-flag elimination pass (:mod:`repro.analysis.deadflags`)
+    #: over each compiled program: flag computation proven dead by
+    #: liveness is skipped. Byte-identical traces, logs and reports
+    #: either way (the pass only replaces handlers whose flag writes
+    #: can never be observed); only effective with ``compile_programs``
+    optimize_dead_flags: bool = True
+
+    # static leak pre-screen (repro.analysis.prescreen): classify each
+    # generated test case before any emulation and skip the ones that
+    # provably cannot violate under the configured contract + executor
+    # mode. Off by default — enabling it changes which cases are
+    # measured (and hence the diversity feedback), not any verdict about
+    # a measured case.
+    prescreen: bool = False
+    #: safety sampling: still measure every Nth INERT-classified case;
+    #: a confirmed violation on one of them is a soundness bug and
+    #: raises :class:`repro.analysis.prescreen.PrescreenSoundnessError`.
+    #: 0 disables sampling.
+    prescreen_safety_rate: int = 20
 
     # measurement (§5.3)
     executor_repetitions: int = 3

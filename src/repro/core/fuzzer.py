@@ -18,7 +18,13 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Set, Tuple
 
+from repro.isa.assembler import render_program
 from repro.isa.instruction import TestCaseProgram
+from repro.analysis.deadflags import eliminate_dead_flags
+from repro.analysis.prescreen import (
+    PrescreenSoundnessError,
+    classify as prescreen_classify,
+)
 from repro.emulator.compiled import CompiledProgram, compile_program
 from repro.emulator.errors import EmulationError
 from repro.emulator.state import InputData, SandboxLayout
@@ -33,7 +39,7 @@ from repro.core.analyzer import (
     RelationalAnalyzer,
     ViolationCandidate,
 )
-from repro.core.config import FuzzerConfig, GeneratorConfig
+from repro.core.config import FuzzerConfig
 from repro.core.generator import TestCaseGenerator
 from repro.core.input_gen import InputGenerator
 from repro.core.patterns import (
@@ -143,6 +149,8 @@ class TestingPipeline:
             self._compiled.move_to_end(key)
             return entry[1]
         compiled = compile_program(program, self.arch)
+        if self.config.optimize_dead_flags:
+            compiled = eliminate_dead_flags(compiled).program
         self._compiled[key] = (program, compiled)
         # one measurement batch holds up to round_size distinct programs
         # whose contract halves run after the whole batch measured, so
@@ -407,6 +415,12 @@ class FuzzingReport:
     discarded_by_priming: int = 0
     discarded_by_nesting: int = 0
     unconfirmed_candidates: int = 0
+    #: test cases the static pre-screen classified INERT and skipped
+    #: (still counted in ``test_cases``, so campaign positions match a
+    #: run without the pre-screen; their inputs are not ``inputs_tested``)
+    prescreened_inert: int = 0
+    #: INERT-classified cases measured anyway by the safety sampling
+    prescreen_safety_checked: int = 0
     #: True when the campaign stopped early on an external stop signal
     #: (first-violation campaign mode) before draining its budget
     cancelled: bool = False
@@ -434,11 +448,16 @@ class FuzzingReport:
             if self.violation
             else "no violation"
         )
+        screened = (
+            f", {self.prescreened_inert} pre-screened"
+            if self.prescreened_inert
+            else ""
+        )
         return (
             f"{outcome} after {self.test_cases} test cases / "
             f"{self.inputs_tested} inputs in {self.duration_seconds:.2f}s "
             f"(effectiveness {self.mean_effectiveness:.2f}, "
-            f"{self.reconfigurations} reconfigurations)"
+            f"{self.reconfigurations} reconfigurations{screened})"
         )
 
 
@@ -501,6 +520,7 @@ class Fuzzer:
         report = FuzzingReport(coverage=self.coverage)
         start = time.perf_counter()
         effectiveness_sum = 0.0
+        measured_cases = 0
         new_coverage_this_round = False
         # Batch only when the round's measurement order cannot matter:
         # an armed noise model draws from one RNG stream, so reordering
@@ -517,6 +537,7 @@ class Fuzzer:
         )
 
         case_index = 0
+        inert_seen = 0
         while case_index < config.num_test_cases:
             if should_stop is not None and should_stop():
                 report.cancelled = True
@@ -541,15 +562,53 @@ class Fuzzer:
                 )
                 for _ in range(case_index, end)
             ]
+            # static pre-screen (repro.analysis.prescreen): INERT cases
+            # are skipped before any emulation; the safety sampling
+            # keeps measuring every Nth of them so a pre-screen
+            # soundness bug fails loudly instead of losing violations
+            screened = [False] * len(cases)
+            safety = [False] * len(cases)
+            if config.prescreen:
+                for offset, (program, _inputs) in enumerate(cases):
+                    if self._classify_case(program).active:
+                        continue
+                    inert_seen += 1
+                    if (
+                        config.prescreen_safety_rate
+                        and inert_seen % config.prescreen_safety_rate == 0
+                    ):
+                        safety[offset] = True
+                        report.prescreen_safety_checked += 1
+                    else:
+                        screened[offset] = True
+                        report.prescreened_inert += 1
             # hardware first, in one batch; contract traces lazily per
             # case below, so a violation mid-round leaves the remaining
             # cases' models unemulated — as in the sequential loop
-            measured = self.pipeline.measure_batch(cases)
+            measured = self.pipeline.measure_batch(
+                [case for case, skip in zip(cases, screened) if not skip]
+            )
+            measured_iter = iter(measured)
 
-            for offset, ((program, inputs), (htraces, run_infos)) in (
-                enumerate(zip(cases, measured))
-            ):
+            for offset, (program, inputs) in enumerate(cases):
                 index = case_index + offset
+                if screened[offset]:
+                    # skipped before measurement but still a generated
+                    # test case: counting it keeps campaign positions
+                    # (test_cases_until_found) identical to a run
+                    # without the pre-screen; round bookkeeping also
+                    # advances so reconfiguration points match
+                    report.test_cases += 1
+                    if (
+                        config.diversity_feedback
+                        and (index + 1) % config.round_size == 0
+                    ):
+                        report.rounds += 1
+                        if self._maybe_reconfigure(new_coverage_this_round):
+                            report.reconfigurations += 1
+                        new_coverage_this_round = False
+                    continue
+                htraces, run_infos = next(measured_iter)
                 outcome = self.pipeline.outcome_from_measurement(
                     program, inputs, htraces, run_infos
                 )
@@ -559,12 +618,19 @@ class Fuzzer:
                 report.test_cases += 1
                 report.inputs_tested += len(outcome.inputs)
                 effectiveness_sum += outcome.analysis.effectiveness
+                measured_cases += 1
 
                 candidates = outcome.analysis.candidates[
                     : config.max_candidates_per_test_case
                 ]
                 for candidate in candidates:
                     if self.pipeline.confirm_candidate(outcome, candidate):
+                        if safety[offset]:
+                            raise PrescreenSoundnessError(
+                                "pre-screen classified a violating test "
+                                "case INERT (safety sample at case "
+                                f"{index}):\n{render_program(program)}"
+                            )
                         violation = self.pipeline.build_violation(
                             outcome, candidate
                         )
@@ -593,8 +659,8 @@ class Fuzzer:
             case_index = end
 
         report.duration_seconds = time.perf_counter() - start
-        if report.test_cases:
-            report.mean_effectiveness = effectiveness_sum / report.test_cases
+        if measured_cases:
+            report.mean_effectiveness = effectiveness_sum / measured_cases
         report.discarded_by_priming = self.pipeline.discarded_by_priming
         report.discarded_by_nesting = self.pipeline.discarded_by_nesting
         report.contract_emulations = self.pipeline.contract_emulations
@@ -616,6 +682,19 @@ class Fuzzer:
             report.trace_cache_gc_evictions = cache.stats.gc_evicted_entries
             report.trace_cache_gc_bytes = cache.stats.gc_evicted_bytes
         return report
+
+    # -- static pre-screen -------------------------------------------------------
+
+    def _classify_case(self, program: TestCaseProgram):
+        """Run the static leak pre-screen on one generated test case."""
+        compiled = self.pipeline.compiled_for(program)
+        if compiled is None:
+            # compile_programs is off: lower a throwaway IR just for
+            # the analyses (the pipeline keeps interpreting)
+            compiled = compile_program(program, self.arch)
+        return prescreen_classify(
+            compiled, self.pipeline.contract, self.config.executor_mode
+        )
 
     # -- diversity feedback ------------------------------------------------------
 

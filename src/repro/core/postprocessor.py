@@ -15,10 +15,12 @@ Three stages:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.isa.instruction import BasicBlock, Instruction, TestCaseProgram
+from repro.isa.instruction import Instruction, TestCaseProgram
+from repro.analysis.fence_advisor import FencePlan, advise_fences as advise
+from repro.emulator.compiled import compile_program
 from repro.emulator.state import InputData
 from repro.core.fuzzer import TestingPipeline
 
@@ -105,8 +107,15 @@ class Postprocessor:
         program: TestCaseProgram,
         inputs: Sequence[InputData],
         max_passes: int = 3,
+        advise_fences: bool = False,
     ) -> MinimizationResult:
-        """Run all three minimization stages."""
+        """Run all three minimization stages.
+
+        With ``advise_fences``, stage 3 probes the insertion points the
+        static fence advisor (:mod:`repro.analysis.fence_advisor`)
+        flags first — same validation per probe, different order, so
+        the surviving fence set can differ from the default exhaustive
+        reverse order (which is why the default stays off)."""
         inputs = list(inputs)
         if not self._violates(program, inputs):
             raise ValueError("the provided test case does not violate")
@@ -115,7 +124,15 @@ class Postprocessor:
 
         inputs = self.minimize_inputs(program, inputs)
         program = self.minimize_instructions(program, inputs, max_passes)
-        program, fences = self.insert_fences(program, inputs)
+        advice = None
+        if advise_fences:
+            advice = advise(
+                self.pipeline.compiled_for(program)
+                or compile_program(program, self.arch),
+                program,
+                self.pipeline.config.executor_mode,
+            )
+        program, fences = self.insert_fences(program, inputs, advice)
 
         return MinimizationResult(
             program=program,
@@ -184,18 +201,33 @@ class Postprocessor:
     # -- stage 3: fence boundaries -------------------------------------------------------
 
     def insert_fences(
-        self, program: TestCaseProgram, inputs: Sequence[InputData]
+        self,
+        program: TestCaseProgram,
+        inputs: Sequence[InputData],
+        advice: Optional[FencePlan] = None,
     ) -> Tuple[TestCaseProgram, int]:
         """Insert serializing fences from the last instruction backwards
         while the violation persists; survivors delimit the leaking
-        region."""
+        region.
+
+        ``advice`` (from :func:`repro.analysis.fence_advisor.advise_fences`)
+        reorders the probes: the advised points — where a fence is
+        predicted to kill the violation, i.e. the leak region — are
+        probed last, so the shielding fences around the region are
+        already in place when the region itself is probed."""
         current = program.clone()
         fences = 0
         positions: List[Tuple[int, int]] = []
         for block_index, block in enumerate(current.blocks):
             for body_index in range(len(block.body) + 1):
                 positions.append((block_index, body_index))
-        for block_index, body_index in reversed(positions):
+        probe_order = list(reversed(positions))
+        if advice is not None and not advice.empty:
+            advised = set(advice.positions)
+            probe_order = [p for p in probe_order if p not in advised] + [
+                p for p in probe_order if p in advised
+            ]
+        for block_index, body_index in probe_order:
             candidate = current.clone()
             candidate.blocks[block_index].body.insert(
                 body_index, self._fence

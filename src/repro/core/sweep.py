@@ -302,6 +302,7 @@ class SweepCellResult:
             "mode": self.campaign.mode,
             "test_cases": merged.test_cases,
             "inputs_tested": merged.inputs_tested,
+            "prescreened_inert": merged.prescreened_inert,
             "patterns_covered": (
                 len(merged.coverage.covered) if merged.coverage else 0
             ),

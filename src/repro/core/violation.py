@@ -14,7 +14,7 @@ detection itself never looks inside the CPU.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from repro.isa.instruction import TestCaseProgram
 from repro.emulator.state import InputData

@@ -437,6 +437,13 @@ def decode_op(instruction: Instruction, pc: int, arch,
     for operand, template in zip(instruction.operands, spec.operands):
         if template.src and hasattr(operand, "canonical"):
             data_regs.add(operand.canonical)
+        elif isinstance(operand, AgenOperand):
+            # AGEN registers feed an address *computation* whose result
+            # lands in a register (LEA) — no memory access happens, so
+            # they are data dependencies, not addr_regs
+            data_regs.add(canonical_register(operand.base))
+            if operand.index is not None:
+                data_regs.add(canonical_register(operand.index))
 
     if category == "VAR":
         latency_class = "division"

@@ -14,7 +14,7 @@ nanoBench XML catalog enumerates variants.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.isa.instruction import (
     InstructionSet,

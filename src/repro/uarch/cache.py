@@ -8,7 +8,7 @@ lines.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Set
 
 
 class L1DCache:

@@ -16,7 +16,7 @@ paper's two machines:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Tuple
+from typing import Tuple
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,7 @@ import os
 
 import pytest
 
-from repro.arch import Architecture, architecture_names, get_architecture
+from repro.arch import architecture_names, get_architecture
 from repro.arch.x86_64 import X86_64
 from repro.contracts.contract import get_contract
 from repro.emulator.state import ArchState, InputData, SandboxLayout

@@ -1,10 +1,7 @@
 """Integration tests for the MRT fuzzing loop and the testing pipeline."""
 
-import pytest
-
 from repro.isa.assembler import parse_program
-from repro.emulator.state import InputData
-from repro.core.config import FuzzerConfig, GeneratorConfig
+from repro.core.config import FuzzerConfig
 from repro.core.fuzzer import Fuzzer, TestingPipeline, fuzz
 from repro.core.input_gen import InputGenerator
 

@@ -3,10 +3,8 @@
 import pytest
 
 from repro.isa.instruction_set import instruction_subset
-from repro.isa.operands import MemoryOperand
-from repro.emulator.errors import EmulationError
 from repro.emulator.machine import Emulator
-from repro.emulator.state import InputData, SandboxLayout
+from repro.emulator.state import SandboxLayout
 from repro.core.config import GeneratorConfig
 from repro.core.generator import TestCaseGenerator
 from repro.core.input_gen import InputGenerator

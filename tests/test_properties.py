@@ -11,7 +11,6 @@ cross-component invariants:
 - cache LRU invariants and trace algebra.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -19,7 +18,7 @@ from repro.isa.assembler import parse_program, render_program
 from repro.isa.instruction_set import instruction_subset
 from repro.emulator.machine import Emulator
 from repro.emulator.semantics import execute
-from repro.emulator.state import ArchState, InputData, SandboxLayout
+from repro.emulator.state import ArchState, SandboxLayout
 from repro.contracts import get_contract
 from repro.core.analyzer import RelationalAnalyzer
 from repro.core.config import GeneratorConfig

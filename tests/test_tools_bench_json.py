@@ -9,8 +9,6 @@ import json
 import os
 import sys
 
-import pytest
-
 sys.path.insert(
     0,
     os.path.join(os.path.dirname(os.path.dirname(__file__)), "tools"),

@@ -26,7 +26,10 @@ upload on four invariants:
    contract carry it in their values: ``emulation_throughput`` must
    report a compiled-vs-interpretive ratio >= 2.0 with the
    byte-identical traces/reports flags true (the compile-once IR
-   guarantee of ``docs/performance.md``).
+   guarantee of ``docs/performance.md``), and ``prescreen_triage``
+   must report a positive screened fraction with both campaign-parity
+   flags true and zero gallery gadgets lost (the pre-screen soundness
+   contract of ``docs/analysis.md``).
 
 Usage::
 
@@ -95,6 +98,20 @@ SECTION_SCHEMAS: Dict[str, Set[str]] = {
         "traces_equal",
         "reports_equal",
     },
+    "prescreen_triage": {
+        "arch",
+        "test_cases",
+        "screened",
+        "screened_fraction",
+        "safety_checked",
+        "wall_seconds_off",
+        "wall_seconds_on",
+        "speedup",
+        "found_parity",
+        "violation_parity",
+        "gallery_checked",
+        "gallery_lost",
+    },
 }
 
 
@@ -122,9 +139,37 @@ def _check_emulation_throughput(payload) -> List[str]:
     return errors
 
 
+def _check_prescreen_triage(payload) -> List[str]:
+    """Value gates of the static pre-screen contract: it must screen a
+    positive fraction of generated test cases while losing nothing —
+    the detecting campaign's outcome is unchanged (parity flags) and no
+    handwritten gallery gadget is misclassified INERT."""
+    errors = []
+    fraction = payload.get("screened_fraction")
+    if not isinstance(fraction, (int, float)) or not 0 < fraction < 1:
+        errors.append(
+            f"prescreen_triage: screened_fraction must be in (0, 1), "
+            f"got {fraction!r}"
+        )
+    for flag in ("found_parity", "violation_parity"):
+        if payload.get(flag) is not True:
+            errors.append(
+                f"prescreen_triage: {flag} must be true (the pre-screen "
+                "changed a campaign outcome)"
+            )
+    if payload.get("gallery_lost") != 0:
+        errors.append(
+            f"prescreen_triage: gallery_lost must be 0, got "
+            f"{payload.get('gallery_lost')!r} (a known gadget was "
+            "screened out or no longer violates)"
+        )
+    return errors
+
+
 #: per-section value gates, run after the key-presence checks
 SECTION_VALUE_CHECKS = {
     "emulation_throughput": _check_emulation_throughput,
+    "prescreen_triage": _check_prescreen_triage,
 }
 
 #: required keys of one deterministic cell report (sweep ``cells``)
@@ -137,6 +182,7 @@ CELL_KEYS: Set[str] = {
     "mode",
     "test_cases",
     "inputs_tested",
+    "prescreened_inert",
     "patterns_covered",
     "found",
     "winning_shard",

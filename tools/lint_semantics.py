@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Differential catalog-metadata linter (the CI semantics-lint gate).
+
+Thin CLI over :mod:`repro.analysis.metadata_lint`: validates every
+instruction form's declared read/write sets, ``addr_regs``/``data_regs``
+partition and load/store flags against its observed behaviour on
+randomized states. Exits nonzero when any catalog form fails, printing
+one line per finding.
+
+Run from the repository root with ``src`` importable::
+
+    PYTHONPATH=src python tools/lint_semantics.py [--arch x86_64 aarch64]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.metadata_lint import lint_architecture
+from repro.arch import architecture_names, get_architecture
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--arch",
+        nargs="+",
+        default=list(architecture_names()),
+        choices=architecture_names(),
+        help="ISA backends to lint (default: all registered)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=3,
+        metavar="N",
+        help="randomized states per instruction form",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    failed = False
+    for name in args.arch:
+        arch = get_architecture(name)
+        findings = lint_architecture(arch, trials=args.trials, seed=args.seed)
+        print(
+            f"{name}: {len(arch.instruction_set)} forms linted, "
+            f"{len(findings)} finding(s)"
+        )
+        for finding in findings:
+            print(f"  {finding}")
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
