@@ -18,15 +18,32 @@ the two guarantees that refactor makes:
    (the ``FuzzerConfig.compile_programs`` knob flipped) must not change
    by a single byte on either ISA.
 
+On top of the per-input compiled path, ``repro.emulator.battery`` runs
+each compiled program *once* across the whole input battery (one plan
+dispatch per op per battery, lane splitting on divergence; see
+``docs/performance.md``). The benchmark pins the same two guarantees
+for it:
+
+3. **>= 1.5x additional throughput** over the per-input compiled path,
+   on both ISAs, measured as best-of-N wall clock of
+   ``Contract.collect_traces_battery`` on pass-optimized IR over the
+   identical grid;
+4. **byte-identical results** again: the battery's (trace, log) pairs
+   entry-for-entry against the per-input compiled results, and
+   end-to-end fuzzing reports with ``FuzzerConfig.battery_eval``
+   flipped (the x86-64 budget includes the confirmed V1 violation).
+
 The JSON section (``emulation_throughput``) is schema- and value-gated
-by ``tools/check_bench_json.py``: the ratio must be >= 2.0 and the
-equality flags must be true, so a silent regression of either guarantee
-fails CI rather than rotting in an artifact.
+by ``tools/check_bench_json.py``: the ratios must hold (>= 2.0
+compiled, >= 1.5 battery) and the equality flags must be true, so a
+silent regression of either guarantee fails CI rather than rotting in
+an artifact.
 """
 
 import time
 from dataclasses import replace
 
+from repro.analysis.passes import default_pipeline
 from repro.arch import get_architecture
 from repro.contracts import get_contract
 from repro.core.config import FuzzerConfig, GeneratorConfig
@@ -92,6 +109,23 @@ def _collect_all(contract, programs, inputs, layout, arch, compiled_map):
     return time.perf_counter() - start, results
 
 
+def _collect_battery_all(contract, programs, inputs, layout, optimized_map):
+    """One full battery-batched pass; returns (wall seconds, results).
+
+    ``strict=True``: on this battery a fallback would mean the timing
+    silently measured the per-input rerun instead — fail loudly.
+    """
+    results = []
+    start = time.perf_counter()
+    for program in programs:
+        results.extend(
+            contract.collect_traces_battery(
+                optimized_map[id(program)], inputs, layout, strict=True
+            )
+        )
+    return time.perf_counter() - start, results
+
+
 def _hardware_traces(arch_name, programs, inputs, compile_programs):
     executor = Executor(
         preset("skylake"),
@@ -136,13 +170,16 @@ def _report_digest(report, arch_name):
 
 
 def test_compiled_emulation_throughput():
-    """>= 2x contract-trace throughput with byte-identical traces and
-    reports, on both ISA backends."""
+    """>= 2x contract-trace throughput (compiled vs. interpretive) and
+    >= 1.5x on top of that (battery vs. per-input compiled), with
+    byte-identical traces and reports, on both ISA backends."""
     contract = get_contract("CT-COND")
     per_arch = {}
     rows = []
     traces_equal = True
     reports_equal = True
+    battery_traces_equal = True
+    battery_reports_equal = True
     instruction_counts = []
 
     for arch_name in ("x86_64", "aarch64"):
@@ -154,9 +191,16 @@ def test_compiled_emulation_throughput():
             id(program): compile_program(program, arch)
             for program in programs
         }
+        # the battery runs on pass-optimized IR, as the fuzzer pipeline
+        # does in production (dead-flag elimination + masked-access
+        # fusion — both byte-identical by the pass-pipeline contract)
+        optimized_map = {
+            key: default_pipeline().run(compiled).program
+            for key, compiled in compiled_map.items()
+        }
 
-        interpretive_best = compiled_best = float("inf")
-        interpretive_results = compiled_results = None
+        interpretive_best = compiled_best = battery_best = float("inf")
+        interpretive_results = compiled_results = battery_results = None
         for _ in range(TIMING_ROUNDS):
             seconds, results = _collect_all(
                 contract, programs, inputs, layout, arch, None
@@ -168,12 +212,23 @@ def test_compiled_emulation_throughput():
             )
             if seconds < compiled_best:
                 compiled_best, compiled_results = seconds, results
+            seconds, results = _collect_battery_all(
+                contract, programs, inputs, layout, optimized_map
+            )
+            if seconds < battery_best:
+                battery_best, battery_results = seconds, results
 
         # contract traces and execution logs: byte-identical
         contract_equal = all(
             a[0] == b[0] and a[1].entries == b[1].entries
             for a, b in zip(interpretive_results, compiled_results)
         )
+        # battery results: entry-for-entry equal to per-input compiled
+        arch_battery_equal = all(
+            a[0] == b[0] and a[1].entries == b[1].entries
+            for a, b in zip(compiled_results, battery_results)
+        )
+        battery_traces_equal = battery_traces_equal and arch_battery_equal
         # hardware traces: byte-identical across the engine knob
         hardware_equal = _hardware_traces(
             arch_name, programs, inputs, compile_programs=True
@@ -182,36 +237,55 @@ def test_compiled_emulation_throughput():
         )
         traces_equal = traces_equal and contract_equal and hardware_equal
 
-        # end-to-end reports: the config knob must not move a byte
+        # end-to-end reports: neither config knob may move a byte.
+        # report_on runs the production default (compiled + battery);
+        # compile_programs=False is the interpretive referee and
+        # battery_eval=False the per-input compiled one.
         budget = REPORT_BUDGETS[arch_name]
         base = FuzzerConfig(arch=arch_name, **budget)
         report_on = Fuzzer(replace(base, compile_programs=True)).run()
         report_off = Fuzzer(replace(base, compile_programs=False)).run()
-        arch_reports_equal = _report_digest(
-            report_on, arch_name
-        ) == _report_digest(report_off, arch_name)
+        digest_on = _report_digest(report_on, arch_name)
+        arch_reports_equal = digest_on == _report_digest(
+            report_off, arch_name
+        )
         reports_equal = reports_equal and arch_reports_equal
+        report_no_battery = Fuzzer(replace(base, battery_eval=False)).run()
+        arch_battery_reports_equal = digest_on == _report_digest(
+            report_no_battery, arch_name
+        )
+        battery_reports_equal = (
+            battery_reports_equal and arch_battery_reports_equal
+        )
 
         collections = len(programs) * len(inputs)
         ratio = interpretive_best / compiled_best
+        battery_ratio = compiled_best / battery_best
         per_arch[arch_name] = {
             "interpretive_seconds": interpretive_best,
             "compiled_seconds": compiled_best,
+            "battery_seconds": battery_best,
             "ratio": ratio,
+            "battery_ratio": battery_ratio,
             "traces_per_second_interpretive": collections / interpretive_best,
             "traces_per_second_compiled": collections / compiled_best,
+            "traces_per_second_battery": collections / battery_best,
             "contract_traces_equal": contract_equal,
             "hardware_traces_equal": hardware_equal,
+            "battery_traces_equal": arch_battery_equal,
             "reports_equal": arch_reports_equal,
+            "battery_reports_equal": arch_battery_reports_equal,
             "violation_found": report_on.found,
         }
         rows.append([
             arch_name,
             f"{interpretive_best * 1000:.0f}",
             f"{compiled_best * 1000:.0f}",
+            f"{battery_best * 1000:.0f}",
             f"{ratio:.2f}x",
-            contract_equal and hardware_equal,
-            arch_reports_equal,
+            f"{battery_ratio:.2f}x",
+            contract_equal and hardware_equal and arch_battery_equal,
+            arch_reports_equal and arch_battery_reports_equal,
             report_on.found,
         ])
 
@@ -219,12 +293,15 @@ def test_compiled_emulation_throughput():
         f"Contract-trace throughput ({PROGRAMS} programs x {INPUTS} inputs, "
         f"~{sum(instruction_counts) // len(instruction_counts)} instructions"
         ", CT-COND)",
-        ["arch", "interp ms", "compiled ms", "speedup", "traces ==",
-         "report ==", "violation"],
+        ["arch", "interp ms", "compiled ms", "battery ms", "speedup",
+         "battery x", "traces ==", "report ==", "violation"],
         rows,
     )
 
     min_ratio = min(stats["ratio"] for stats in per_arch.values())
+    min_battery_ratio = min(
+        stats["battery_ratio"] for stats in per_arch.values()
+    )
     emit_json(
         "emulation_throughput",
         {
@@ -235,16 +312,29 @@ def test_compiled_emulation_throughput():
             "contract": contract.name,
             "arches": per_arch,
             "throughput_ratio": min_ratio,
+            "battery_ratio": min_battery_ratio,
             "traces_equal": traces_equal,
             "reports_equal": reports_equal,
+            "battery_traces_equal": battery_traces_equal,
+            "battery_reports_equal": battery_reports_equal,
         },
     )
 
     assert traces_equal, "compiled engine diverged from the interpreter"
+    assert battery_traces_equal, (
+        "battery engine diverged from the per-input compiled path"
+    )
     assert reports_equal, (
         "FuzzerConfig.compile_programs changed a fuzzing report"
+    )
+    assert battery_reports_equal, (
+        "FuzzerConfig.battery_eval changed a fuzzing report"
     )
     assert min_ratio >= 2.0, (
         f"compile-once IR must be >= 2x on contract traces, got "
         f"{min_ratio:.2f}x"
+    )
+    assert min_battery_ratio >= 1.5, (
+        f"battery-batched evaluation must be >= 1.5x over the per-input "
+        f"compiled path, got {min_battery_ratio:.2f}x"
     )

@@ -1,0 +1,177 @@
+"""Peephole specialization of the mask-then-access idiom.
+
+Revizor's sandboxing (paper §5.1) instruments every memory access with
+an address-masking instruction — ``AND reg64, #mask`` on x86,
+``AND Xd, Xn, #mask`` (plus an optional ``ADD Xd, Xn, #offset``) on
+AArch64 — so masking ops whose result feeds address generation are by
+far the most common arithmetic in generated test cases. Their generic
+handlers still route through bound operand accessor closures (a reader
+call per operand, a writer call, a width re-mask each). This pass
+proves the shape statically and swaps in a direct register-file
+specialization: one dict operation, no accessor indirection.
+
+What qualifies (all conditions checked per op):
+
+- a 64-bit ``AND``/``ADD`` whose destination is a register and whose
+  final source operand is an immediate (the §5.1 instrumentation
+  shapes: x86 two-operand ``AND r64, imm``; AArch64 three-operand
+  ``AND``/``ADD Xd, Xn, imm``);
+- the op writes **no live flags**: either its spec writes none (the
+  AArch64 non-``S`` variants) or the dead-flag pass already proved
+  every flag write dead and swapped in the no-flag handler
+  (``dead_flag_pcs`` — see :data:`repro.analysis.passes.DEAD_FLAG_PCS`);
+- the def-use chains prove the defined register **feeds a later op's
+  address generation** (``DecodedOp.addr_regs``) — the pass targets
+  the sandboxing idiom, not arbitrary arithmetic.
+
+Soundness: the specialization computes bit-identical results. Register
+reads mask with ``MASK64`` and immediates are pre-masked to their
+template width, so ``AND`` absorbs the read mask (``imm <= MASK64``)
+and ``ADD`` commutes with it (addition mod 2^64). The fused body is
+wrapped by the same ``make_step`` as every generic straight-line
+handler, so its :class:`StepResult` (no accesses, no branch, ``pc +
+1``) and its published ``run.body`` are indistinguishable from the
+original's; only ``run`` is replaced, never op metadata, so logs,
+traces and battery plans are unaffected. Programs with statically
+unresolved flow or interpretive handlers are refused wholesale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, List, Tuple
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.defuse import compute_def_use
+from repro.analysis.liveness import REG
+from repro.emulator.compiled import CompiledProgram, StepFn, make_step
+from repro.emulator.semantics import MASK64, mask
+from repro.isa.operands import ImmediateOperand, RegisterOperand
+
+_FUSIBLE_MNEMONICS = ("AND", "ADD")
+
+
+@dataclass(frozen=True)
+class FusionReport:
+    """What the pass did to one program."""
+
+    program: CompiledProgram
+    #: op indices whose handler was replaced by a fused specialization
+    fused: Tuple[int, ...]
+    #: matching ops left alone (live flags / result never feeds an address)
+    skipped: Tuple[int, ...]
+
+
+def _masked_immediate(instruction, position: int) -> int:
+    """The immediate exactly as the generic reader delivers it."""
+    operand = instruction.operands[position]
+    template = instruction.spec.operands[position]
+    return operand.value & mask(max(template.width, 8))
+
+
+def _match_shape(instruction):
+    """``(dest, source, mnemonic, immediate)`` when the op is a 64-bit
+    reg-dest, immediate-source ``AND``/``ADD``; ``None`` otherwise."""
+    mnemonic = instruction.mnemonic
+    if mnemonic not in _FUSIBLE_MNEMONICS:
+        return None
+    operands = instruction.operands
+    dest = operands[0] if operands else None
+    if not isinstance(dest, RegisterOperand) or dest.width != 64:
+        return None
+    if len(operands) == 2:  # x86: dest doubles as the left source
+        source = dest
+        immediate = operands[1]
+    elif len(operands) == 3:  # aarch64: Xd, Xn, #imm
+        source = operands[1]
+        immediate = operands[2]
+        if not isinstance(source, RegisterOperand) or source.width != 64:
+            return None
+    else:
+        return None
+    if not isinstance(immediate, ImmediateOperand):
+        return None
+    return dest.canonical, source.canonical, mnemonic, immediate
+
+
+def _specialize(op, shape) -> StepFn:
+    """Build the fused ``run`` closure for a matched op."""
+    dest, source, mnemonic, _ = shape
+    value = _masked_immediate(op.instruction, len(op.instruction.operands) - 1)
+
+    if mnemonic == "AND":
+        # reads mask with MASK64 and value <= MASK64, so the read and
+        # write masks are absorbed: regs[source] & value is exact
+        def body(state, accesses, _d=dest, _s=source, _v=value):
+            registers = state.registers
+            registers[_d] = registers[_s] & _v
+
+    else:  # ADD: & MASK64 commutes through addition mod 2^64
+        def body(state, accesses, _d=dest, _s=source, _v=value):
+            registers = state.registers
+            registers[_d] = (registers[_s] + _v) & MASK64
+
+    return make_step(op.instruction, op.pc, body)
+
+
+def _feeds_address(defuse, ops, def_pc: int, dest: str) -> bool:
+    """Does the register defined at ``def_pc`` reach an address use?"""
+    location = (REG, dest)
+    definition = (def_pc, location)
+    for use_pc, chains in enumerate(defuse.defs_of_use):
+        reaching = chains.get(location)
+        if reaching and definition in reaching and dest in ops[use_pc].addr_regs:
+            return True
+    return False
+
+
+def fuse_masked_access(
+    compiled: CompiledProgram,
+    dead_flag_pcs: FrozenSet[int] = frozenset(),
+) -> FusionReport:
+    """Return ``compiled`` with §5.1 masking ops specialized.
+
+    ``dead_flag_pcs`` names op indices whose flag writes the dead-flag
+    pass already proved dead; flag-writing candidates (x86 ``AND``)
+    outside that set are skipped. The input program is never mutated.
+    """
+    if compiled.interpretive:
+        # the interpretive path is the reference semantics — leave it
+        return FusionReport(compiled, (), ())
+    cfg = build_cfg(compiled)
+    if cfg.has_unresolved_flow:
+        return FusionReport(compiled, (), ())
+
+    candidates = []
+    for index, op in enumerate(compiled.ops):
+        if op.mem_operands or op.category != "AR":
+            continue
+        shape = _match_shape(op.instruction)
+        if shape is not None:
+            candidates.append((index, op, shape))
+    if not candidates:
+        return FusionReport(compiled, (), ())
+
+    defuse = compute_def_use(cfg)
+    ops = list(compiled.ops)
+    fused: List[int] = []
+    skipped: List[int] = []
+    for index, op, shape in candidates:
+        if op.flags_written and index not in dead_flag_pcs:
+            skipped.append(index)
+            continue
+        if not _feeds_address(defuse, compiled.ops, index, shape[0]):
+            skipped.append(index)
+            continue
+        ops[index] = replace(op, run=_specialize(op, shape))
+        fused.append(index)
+    if not fused:
+        return FusionReport(compiled, (), tuple(skipped))
+    return FusionReport(
+        replace(compiled, ops=tuple(ops)),
+        tuple(fused),
+        tuple(skipped),
+    )
+
+
+__all__ = ["FusionReport", "fuse_masked_access"]

@@ -1,0 +1,136 @@
+"""A small pass pipeline over :class:`CompiledProgram`.
+
+The optimization passes (:mod:`repro.analysis.deadflags`,
+:mod:`repro.analysis.fusion`) each transform a compiled program into an
+equivalent one — same traces, same logs, same faults — by swapping
+``run`` closures for cheaper specializations. This module sequences
+them: a :class:`PassManager` runs a fixed pass list in order, threading
+a shared **context** dict so later passes can consume facts proved by
+earlier ones (the fusion pass, for instance, may only skip an x86
+``AND``'s flag writes at pcs the dead-flag pass already proved dead).
+
+The pipeline contract every pass must honor:
+
+- **pure**: never mutate the input program; return it unchanged when
+  nothing applies (``dataclasses.replace`` otherwise);
+- **byte-identical**: the transformed program produces equal
+  :class:`~repro.emulator.semantics.StepResult` streams, faults and
+  execution logs on every input — handlers may only get faster;
+- **metadata-stable**: only ``run`` closures change; static
+  :class:`~repro.emulator.compiled.DecodedOp` metadata (flag sets,
+  ``log_entry``, branch info) is never rewritten, so downstream
+  consumers (speculative CPU timing, battery plans) stay valid;
+- **self-gating**: a pass refuses programs it cannot prove safe
+  (interpretive handlers, statically unresolved control flow) by
+  reporting zero applications rather than raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.deadflags import eliminate_dead_flags
+from repro.analysis.fusion import fuse_masked_access
+from repro.emulator.compiled import CompiledProgram
+
+#: context key: op indices whose flag writes were proven dead (and whose
+#: handlers were swapped for no-flag variants) by :class:`DeadFlagPass`
+DEAD_FLAG_PCS = "dead_flag_pcs"
+
+
+@dataclass(frozen=True)
+class PassResult:
+    """One pass's effect on one program."""
+
+    name: str
+    #: op indices whose handler the pass replaced
+    applied: Tuple[int, ...]
+    #: op indices the pass matched but had to leave alone
+    skipped: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """The pipeline's output program plus per-pass accounting."""
+
+    program: CompiledProgram
+    results: Tuple[PassResult, ...]
+
+    def applied(self, name: str) -> Tuple[int, ...]:
+        """Op indices a named pass rewrote (empty if it did not run)."""
+        for result in self.results:
+            if result.name == name:
+                return result.applied
+        return ()
+
+
+class DeadFlagPass:
+    """Pipeline adapter for :func:`eliminate_dead_flags`.
+
+    Publishes the optimized pc set under :data:`DEAD_FLAG_PCS` so the
+    fusion pass can rely on those flag writes being provably dead.
+    """
+
+    name = "dead-flags"
+
+    def run(self, compiled: CompiledProgram, context: Dict) -> PassResult:
+        report = eliminate_dead_flags(compiled)
+        context[DEAD_FLAG_PCS] = frozenset(report.optimized)
+        context["program"] = report.program
+        return PassResult(self.name, report.optimized, report.skipped)
+
+
+class MaskedAccessFusionPass:
+    """Pipeline adapter for :func:`fuse_masked_access` (§5.1 idiom)."""
+
+    name = "masked-access-fusion"
+
+    def run(self, compiled: CompiledProgram, context: Dict) -> PassResult:
+        report = fuse_masked_access(
+            compiled, dead_flag_pcs=context.get(DEAD_FLAG_PCS, frozenset())
+        )
+        context["program"] = report.program
+        return PassResult(self.name, report.fused, report.skipped)
+
+
+class PassManager:
+    """Run a fixed pass sequence over one compiled program."""
+
+    def __init__(self, passes):
+        self.passes = tuple(passes)
+
+    def run(self, compiled: CompiledProgram) -> PipelineReport:
+        context: Dict = {"program": compiled}
+        results: List[PassResult] = []
+        for pipeline_pass in self.passes:
+            program = context["program"]
+            results.append(pipeline_pass.run(program, context))
+        return PipelineReport(context["program"], tuple(results))
+
+
+def default_pipeline(optimize_dead_flags: bool = True,
+                     optimize_masked_access: bool = True) -> PassManager:
+    """The standard pipeline, with each pass individually switchable.
+
+    Order matters: dead-flag elimination runs first because the fusion
+    pass consumes its proof set (an x86 ``AND``'s flag writes must be
+    dead before its handler may stop computing them).
+    """
+    passes = []
+    if optimize_dead_flags:
+        passes.append(DeadFlagPass())
+    if optimize_masked_access:
+        passes.append(MaskedAccessFusionPass())
+    return PassManager(passes)
+
+
+__all__ = [
+    "DEAD_FLAG_PCS",
+    "DeadFlagPass",
+    "MaskedAccessFusionPass",
+    "PassManager",
+    "PassResult",
+    "PipelineReport",
+    "default_pipeline",
+]

@@ -76,6 +76,8 @@ def _build_config(args: argparse.Namespace) -> FuzzerConfig:
         prescreen_safety_rate=args.prescreen_safety_rate,
         seed=args.seed,
         generator=GeneratorConfig(sandbox_pages=args.pages),
+        battery_eval=not args.no_battery_eval,
+        optimize_masked_access=not args.no_masked_fusion,
         contract_trace_cache=args.cache,
         trace_cache_entries=args.cache_entries,
         trace_cache_dir=args.cache_dir,
@@ -123,6 +125,15 @@ def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
                         "violation on one of them fails the run (soundness "
                         "check; 0 disables sampling)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-battery-eval", action="store_true",
+                        help="collect contract traces input by input "
+                        "instead of battery-batched (repro.emulator."
+                        "battery); traces and reports are byte-identical "
+                        "either way")
+    parser.add_argument("--no-masked-fusion", action="store_true",
+                        help="disable the masked-access fusion pass over "
+                        "compiled programs (repro.analysis.fusion); traces "
+                        "and reports are byte-identical either way")
     parser.add_argument("--cache", action="store_true",
                         help="memoize contract traces across collections")
     parser.add_argument("--cache-entries", type=_positive_int, default=65536,
@@ -443,6 +454,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--first-violation", action="store_true",
         help="cancel each cell's remaining shards at its first violation",
     )
+    sweep_parser.add_argument("--no-battery-eval", action="store_true",
+                              help="collect contract traces input by input "
+                              "instead of battery-batched, in every cell")
+    sweep_parser.add_argument("--no-masked-fusion", action="store_true",
+                              help="disable the masked-access fusion pass "
+                              "over compiled programs, in every cell")
     sweep_parser.add_argument("--cache", action="store_true",
                               help="memoize contract traces in memory")
     sweep_parser.add_argument("--cache-entries", type=_positive_int,

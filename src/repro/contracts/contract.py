@@ -23,9 +23,10 @@ re-validated with nesting enabled by the fuzzer.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.isa.instruction import TestCaseProgram
+from repro.emulator.battery import BatteryFallback, run_battery
 from repro.emulator.compiled import CompiledProgram
 from repro.emulator.errors import EmulationFault, ExecutionLimitExceeded
 from repro.emulator.machine import Emulator
@@ -230,6 +231,47 @@ class Contract:
             pc = result.next_pc
 
         return CTrace(tuple(observations)), log
+
+    def collect_traces_battery(
+        self,
+        compiled: CompiledProgram,
+        inputs: Sequence[InputData],
+        layout: Optional[SandboxLayout] = None,
+        strict: bool = False,
+    ) -> List[Tuple[CTrace, ExecutionLog]]:
+        """Collect the whole input battery in one batched pass.
+
+        Runs the group-lockstep engine of :mod:`repro.emulator.battery`:
+        one plan dispatch per op per battery instead of per input, with
+        lane splitting on divergence. Results are equal, entry for
+        entry, to ``collect_trace_and_log`` per input.
+
+        When the engine declines (architectural fault, step budget —
+        conditions whose exception protocol the per-input loop defines),
+        the battery is rerun input by input, so faults surface with the
+        identical type and ordering. ``strict=True`` propagates
+        :class:`~repro.emulator.battery.BatteryFallback` instead, for
+        callers that interleave their own bookkeeping (the pipeline's
+        trace-cache replay) with the per-input rerun.
+        """
+        try:
+            return run_battery(
+                compiled,
+                inputs,
+                observation=self.observation,
+                execution=self.execution,
+                speculation_window=self.speculation_window,
+                max_nesting=self.max_nesting,
+                layout=layout,
+                max_steps=_MAX_TRACE_STEPS,
+            )
+        except BatteryFallback:
+            if strict:
+                raise
+            return [
+                self._collect_compiled(compiled, input_data, layout)
+                for input_data in inputs
+            ]
 
     def _collect_compiled(
         self,

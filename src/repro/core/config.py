@@ -105,6 +105,19 @@ class FuzzerConfig:
     #: either way (the pass only replaces handlers whose flag writes
     #: can never be observed); only effective with ``compile_programs``
     optimize_dead_flags: bool = True
+    #: run the masked-access fusion pass (:mod:`repro.analysis.fusion`)
+    #: over each compiled program: the §5.1 sandbox-masking ops
+    #: (``AND``/``ADD`` reg, imm feeding address generation) get direct
+    #: register-file specializations. Byte-identical traces, logs and
+    #: reports either way; only effective with ``compile_programs``
+    optimize_masked_access: bool = True
+    #: collect each test case's contract traces battery-batched
+    #: (:mod:`repro.emulator.battery`): one plan dispatch per op per
+    #: input battery, lanes split on divergence. Byte-identical traces,
+    #: logs and reports either way — the per-input loop stays the
+    #: referee and handles every fallback; only effective with
+    #: ``compile_programs``
+    battery_eval: bool = True
 
     # static leak pre-screen (repro.analysis.prescreen): classify each
     # generated test case before any emulation and skip the ones that

@@ -20,12 +20,18 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.isa.assembler import render_program
 from repro.isa.instruction import TestCaseProgram
-from repro.analysis.deadflags import eliminate_dead_flags
+from repro.analysis.passes import default_pipeline
 from repro.analysis.prescreen import (
     PrescreenSoundnessError,
     classify as prescreen_classify,
 )
-from repro.emulator.compiled import CompiledProgram, compile_program
+from repro.emulator.battery import BatteryFallback
+from repro.emulator.compiled import (
+    CompiledProgram,
+    compile_program,
+    program_digest,
+    shared_compiled_cache,
+)
 from repro.emulator.errors import EmulationError
 from repro.emulator.state import InputData, SandboxLayout
 from repro.contracts.contract import Contract, get_contract
@@ -123,13 +129,20 @@ class TestingPipeline:
         )
         self.discarded_by_priming = 0
         self.discarded_by_nesting = 0
-        #: compile-once memo: id(program) -> (program, CompiledProgram).
-        #: The program reference keeps the id from being recycled while
-        #: the entry lives; a handful of entries cover the pipeline's
-        #: access pattern (the current test case, the swap check, the
-        #: postprocessor's current shrink candidate).
+        #: the per-object fast path over the digest-keyed shared cache:
+        #: id(program) -> (program, CompiledProgram). The stored program
+        #: reference both keeps the id from being recycled while the
+        #: entry lives and guards against aliasing (an entry only
+        #: answers for the *same object*, so a recycled id can never
+        #: serve another program's IR); a handful of entries cover the
+        #: pipeline's access pattern (the current test case, the swap
+        #: check, the postprocessor's current shrink candidate).
         self._compiled: "OrderedDict[int, Tuple[TestCaseProgram, CompiledProgram]]" = (
             OrderedDict()
+        )
+        self._pass_pipeline = default_pipeline(
+            optimize_dead_flags=config.optimize_dead_flags,
+            optimize_masked_access=config.optimize_masked_access,
         )
 
     def compiled_for(
@@ -137,9 +150,15 @@ class TestingPipeline:
     ) -> Optional[CompiledProgram]:
         """The compile-once IR of a test case (``None`` when disabled).
 
-        Each distinct program is lowered exactly once and the IR is
-        threaded through contract emulation, hardware-trace collection,
-        the priming-swap check and the nesting revalidation.
+        Each distinct program is lowered (and optimized by the pass
+        pipeline) exactly once and the IR is threaded through contract
+        emulation, hardware-trace collection, the priming-swap check and
+        the nesting revalidation. Lowerings live in the process-global
+        :func:`~repro.emulator.compiled.shared_compiled_cache`, keyed by
+        content digest plus the pass configuration — so every pipeline
+        in the process (campaign shard workers and sweep cells run many
+        per worker) reuses one compilation of equal-text programs, and
+        a recycled ``id()`` can never alias a stale entry.
         """
         if not self.config.compile_programs:
             return None
@@ -148,9 +167,20 @@ class TestingPipeline:
         if entry is not None and entry[0] is program:
             self._compiled.move_to_end(key)
             return entry[1]
-        compiled = compile_program(program, self.arch)
-        if self.config.optimize_dead_flags:
-            compiled = eliminate_dead_flags(compiled).program
+        cache = shared_compiled_cache()
+        digest_key = (
+            program_digest(program, self.arch.name),
+            (
+                self.config.optimize_dead_flags,
+                self.config.optimize_masked_access,
+            ),
+        )
+        compiled = cache.get(digest_key)
+        if compiled is None:
+            compiled = self._pass_pipeline.run(
+                compile_program(program, self.arch)
+            ).program
+            cache.put(digest_key, compiled)
         self._compiled[key] = (program, compiled)
         # one measurement batch holds up to round_size distinct programs
         # whose contract halves run after the whole batch measured, so
@@ -170,7 +200,17 @@ class TestingPipeline:
         The program fingerprint is computed once per call (so cache
         lookups cost a hash per input rather than an emulation) and the
         program is compiled once, shared by every input's collection.
+        With ``config.battery_eval`` the whole battery runs through the
+        group-lockstep engine (:mod:`repro.emulator.battery`) first;
+        whenever that engine declines, this falls through to the
+        per-input loop, which remains the behavioural referee.
         """
+        if self.config.battery_eval and len(inputs) > 1:
+            compiled = self.compiled_for(program)
+            if compiled is not None:
+                collected = self._collect_battery(compiled, program, inputs)
+                if collected is not None:
+                    return collected
         fingerprint = (
             program_fingerprint(program, self.arch.name)
             if self.trace_cache is not None
@@ -184,6 +224,74 @@ class TestingPipeline:
             )
             ctraces.append(ctrace)
             logs.append(log)
+        return ctraces, logs
+
+    def _collect_battery(
+        self,
+        compiled: CompiledProgram,
+        program: TestCaseProgram,
+        inputs: Sequence[InputData],
+    ) -> Optional[Tuple[List[CTrace], List[ExecutionLog]]]:
+        """Battery-batched collection, or ``None`` to use the per-input
+        loop (the engine declined: architectural fault, step budget).
+
+        Counter and cache behaviour is byte-identical to the per-input
+        loop. Without a trace cache, every input is one emulation. With
+        one, the cache is *peeked* first (no stats, no LRU movement),
+        only the missing lanes are battery-emulated, and then the
+        per-input ``get``/``put`` protocol replays in input order — so
+        hit/miss counters, ``contract_emulations``, LRU order and disk
+        publications match the per-input loop exactly (duplicate inputs
+        included: the first occurrence misses and publishes, the second
+        hits). A lane whose peek hit but whose ``get`` then missed (a
+        racing GC evicted the disk entry) is re-emulated individually —
+        the same single emulation the per-input loop would perform.
+        """
+        contract = self.contract
+        cache = self.trace_cache
+        if cache is None:
+            try:
+                results = contract.collect_traces_battery(
+                    compiled, inputs, self.layout, strict=True
+                )
+            except BatteryFallback:
+                return None
+            self.contract_emulations += len(inputs)
+            return [t for t, _ in results], [log for _, log in results]
+        fingerprint = program_fingerprint(program, self.arch.name)
+        keys = [cache.key(fingerprint, x, contract) for x in inputs]
+        missing = [
+            position
+            for position, key in enumerate(keys)
+            if not cache.peek(key)
+        ]
+        computed = {}
+        if missing:
+            try:
+                results = contract.collect_traces_battery(
+                    compiled,
+                    [inputs[position] for position in missing],
+                    self.layout,
+                    strict=True,
+                )
+            except BatteryFallback:
+                return None
+            computed = dict(zip(missing, results))
+        ctraces: List[CTrace] = []
+        logs: List[ExecutionLog] = []
+        for position, key in enumerate(keys):
+            entry = cache.get(key)
+            if entry is None:
+                entry = computed.get(position)
+                if entry is None:
+                    entry = contract.collect_trace_and_log(
+                        program, inputs[position], self.layout, self.arch,
+                        compiled,
+                    )
+                self.contract_emulations += 1
+                cache.put(key, entry)
+            ctraces.append(entry[0])
+            logs.append(entry[1])
         return ctraces, logs
 
     def _trace_and_log(

@@ -12,10 +12,21 @@ range, exactly the trade-off the paper describes.
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.emulator.state import InputData, SandboxLayout
+
+#: process-global memo of generated inputs. An input's content is a pure
+#: function of (input seed, entropy, register pool, layout, flag
+#: handling) — everything in the memo key — and :class:`InputData` is
+#: frozen, so sharing instances is safe. Deterministic campaign shards
+#: and sweep cells regenerate identical batteries (same config seeds) in
+#: one worker process; the memo lets them share the InputData objects
+#: instead of re-deriving register files and sandbox images per cell.
+_INPUT_MEMO: "OrderedDict[tuple, InputData]" = OrderedDict()
+_INPUT_MEMO_CAPACITY = 4096
 
 
 @dataclass
@@ -55,10 +66,28 @@ class InputGenerator:
         return masked << 6
 
     def generate_one(self, input_seed: Optional[int] = None) -> InputData:
-        """Generate a single input (optionally from an explicit seed)."""
+        """Generate a single input (optionally from an explicit seed).
+
+        The generator's own PRNG always advances (the input-seed draw
+        comes first), so determinism is untouched by the memo below:
+        content is re-derived only the first time a (seed, entropy,
+        registers, layout, flags) combination is seen in this process.
+        """
         seed = (
             input_seed if input_seed is not None else self._rng.getrandbits(32)
         )
+        memo_key = (
+            seed,
+            self.entropy_bits,
+            tuple(self.registers),
+            self.layout,
+            self.randomize_flags,
+            tuple(self.flag_bits),
+        )
+        cached = _INPUT_MEMO.get(memo_key)
+        if cached is not None:
+            _INPUT_MEMO.move_to_end(memo_key)
+            return cached
         rng = random.Random(seed)
         registers = {name: self._value(rng) for name in self.registers}
         flags = (
@@ -69,12 +98,16 @@ class InputGenerator:
         memory = bytearray(self.layout.size)
         for offset in range(0, self.layout.size, 8):
             memory[offset : offset + 8] = self._value(rng).to_bytes(8, "little")
-        return InputData(
+        input_data = InputData(
             registers=registers,
             flags=flags,
             memory=bytes(memory),
             seed=seed,
         )
+        _INPUT_MEMO[memo_key] = input_data
+        while len(_INPUT_MEMO) > _INPUT_MEMO_CAPACITY:
+            _INPUT_MEMO.popitem(last=False)
+        return input_data
 
     def generate(self, count: int) -> List[InputData]:
         """Generate a priming sequence of ``count`` pseudorandom inputs."""

@@ -54,6 +54,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.isa.instruction import TestCaseProgram
+from repro.emulator.compiled import program_digest
 from repro.emulator.state import InputData
 from repro.contracts.contract import Contract
 from repro.traces import CTrace, ExecutionLog
@@ -74,15 +75,12 @@ def program_fingerprint(program: TestCaseProgram, arch_name: str = "") -> str:
     inserted fence — changes it). ``arch_name`` namespaces the
     fingerprint so same-text programs of different backends (e.g. a
     NOP-only program) can never collide.
+
+    The same identity also keys the process-global compiled-IR cache,
+    so this delegates to :func:`repro.emulator.compiled.program_digest`
+    — one definition, one hash per program per call site.
     """
-    hasher = hashlib.sha1()
-    hasher.update(arch_name.encode("utf-8"))
-    for block in program.blocks:
-        hasher.update(f"\n.{block.name}:".encode("utf-8"))
-        for instruction in block.instructions():
-            hasher.update(b"\n")
-            hasher.update(str(instruction).encode("utf-8"))
-    return hasher.hexdigest()
+    return program_digest(program, arch_name)
 
 
 def input_identity(input_data: InputData) -> Tuple[Optional[int], str]:
@@ -173,6 +171,17 @@ class ContractTraceCache:
         self._entries.move_to_end(key)
         self.stats.hits += 1
         return entry
+
+    def peek(self, key: CacheKey) -> bool:
+        """Is the key present? No stats, no LRU movement.
+
+        The battery-batched collection pre-screens its inputs with this
+        so only the cache-missing lanes are emulated, then replays the
+        per-input ``get``/``put`` protocol — which must see the exact
+        hit/miss sequence the per-input loop would have, so the peek
+        itself cannot touch the counters or the recency order.
+        """
+        return key in self._entries
 
     def put(self, key: CacheKey, entry: TraceEntry) -> None:
         self._remember(key, entry)
@@ -293,6 +302,18 @@ class PersistentTraceCache(ContractTraceCache):
             return entry
         self.stats.misses += 1
         return None
+
+    def peek(self, key: CacheKey) -> bool:
+        """Key present in either tier? No stats, no LRU, no mtime touch.
+
+        A racing GC can evict a peeked disk entry before the follow-up
+        ``get`` — callers must treat a peek-hit/get-miss pair as an
+        ordinary miss (the battery replay falls back to one per-input
+        emulation).
+        """
+        if key in self._entries:
+            return True
+        return os.path.exists(self._path(key))
 
     def put(self, key: CacheKey, entry: TraceEntry) -> None:
         self._remember(key, entry)

@@ -1,0 +1,516 @@
+"""Battery-batched contract-trace collection over the compiled IR.
+
+The fuzzer evaluates every test case against a whole *battery* of inputs
+(dozens per diversity round), and since the compile-once refactor each
+of those evaluations re-dispatches the same :class:`DecodedOp` sequence
+one input at a time. This module runs the battery in *group lockstep*:
+all inputs whose execution so far shares an identical control history
+form one group, and each program step performs one plan lookup, one
+fork decision and one bookkeeping pass for the whole group instead of
+per input. The per-op work that the per-input loop repeats for every
+lane — observation-clause dispatch, :class:`ExecutionLogEntry`
+construction, address tuple building, next-pc resolution — is hoisted
+into a per-(program, observation clause) *plan* and shared.
+
+Lane divergence is handled by *splitting*, never by approximation:
+
+- a conditional branch partitions the group by its per-lane outcome;
+- an indirect branch / call / return partitions by per-lane target;
+- a fault on a speculative path splits the faulting lanes off and rolls
+  only them back (the per-input loop's ``rollback; continue``);
+- speculation checkpoints hold one snapshot per lane, so window
+  exhaustion, serializing fences and rollbacks stay in lockstep.
+
+Everything the engine does not model — an architectural (non-
+speculative) fault, the global step budget, an op shape outside the
+plan's kinds — raises :class:`BatteryFallback`, and the caller reruns
+the battery through the unmodified per-input loop, which remains the
+byte-equality referee. Traces and logs produced here are equal to the
+per-input path's entry for entry; ``tests/test_battery.py`` locks that
+in on randomized programs of both ISAs and
+``benchmarks/bench_emulation_throughput.py`` gates the >= 1.5x
+throughput contract.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.emulator.compiled import CompiledProgram
+from repro.emulator.errors import EmulationFault
+from repro.emulator.state import ArchState, InputData, SandboxLayout, Snapshot
+from repro.traces import CTrace, ExecutionLog, ExecutionLogEntry, Observation
+
+#: mirrors ``_MAX_TRACE_STEPS`` in :mod:`repro.contracts.contract`;
+#: callers pass the contract module's value through so the budgets can
+#: never drift
+DEFAULT_MAX_STEPS = 200_000
+
+
+class BatteryFallback(Exception):
+    """The battery engine met a condition it deliberately does not model.
+
+    Raised for architectural faults, the step budget, and op shapes
+    outside the plan's kinds. The caller falls back to the per-input
+    collection loop, whose behaviour (exception type and ordering,
+    cache and counter protocol) is the reference.
+    """
+
+
+# -- the per-(program, observation clause) plan -------------------------------
+#
+# One entry per DecodedOp: (kind, run, body, pc_obs, entry_seq,
+# entry_spec, op, static_next).
+#
+# - ``body`` is the handler's raw ``(state, accesses)`` closure
+#   (``run.body``, published by ``make_step``) when the op is
+#   memory-free: such a body never touches ``accesses``, so _K_FAST
+#   lanes run it against one shared scratch list and skip the
+#   StepResult + accesses allocation the per-input loop pays per step;
+# - ``pc_obs`` is the constant ("pc", pc) observation of a no-memory op
+#   under a pc-exposing clause (None otherwise): no-memory ops expose
+#   nothing else, so the whole observe() call collapses to one append;
+# - ``entry_seq``/``entry_spec`` are shared constant ExecutionLogEntry
+#   instances for no-memory ops (their address tuple is always empty),
+#   replacing a 12-field dataclass construction per lane per step;
+# - ``static_next`` is the statically known next pc of straight-line
+#   ops and direct jumps.
+
+_K_FAST = 0  # straight-line or direct jump, no memory operands
+_K_COND = 1  # conditional branch (no memory operands on either ISA)
+_K_MEM = 2  # straight-line with explicit memory operands
+_K_GENERIC = 3  # indirect flow, calls, returns: per-lane results
+
+_CONTROL_CATEGORIES = ("CB", "UNCOND", "IND", "CALL", "RET")
+
+#: shared accesses scratch list for memory-free handler bodies — such a
+#: body never appends (only memory-operand accessors do), which
+#: ``tests/test_battery.py`` locks in
+_SCRATCH: List = []
+
+
+def build_plan(compiled: CompiledProgram, observation) -> Tuple[tuple, ...]:
+    """Lower one compiled program into the battery engine's step plan."""
+    plan = []
+    expose_pc = observation.expose_pc
+    for op in compiled.ops:
+        has_memory = bool(op.mem_operands) or op.is_load or op.is_store
+        if op.is_cond_branch:
+            if has_memory:
+                # neither backend has a memory-operand conditional
+                # branch; refuse rather than guess at fork semantics
+                raise BatteryFallback(
+                    f"conditional branch with memory operands at pc {op.pc}"
+                )
+            kind, static_next = _K_COND, None
+        elif op.category in _CONTROL_CATEGORIES:
+            if op.is_uncond_branch and op.target is not None and not has_memory:
+                kind, static_next = _K_FAST, op.target
+            else:
+                kind, static_next = _K_GENERIC, None
+        elif has_memory:
+            kind, static_next = _K_MEM, op.pc + 1
+        else:
+            kind, static_next = _K_FAST, op.pc + 1
+        pc_obs: Optional[Observation] = (
+            ("pc", op.pc) if expose_pc and not has_memory else None
+        )
+        if has_memory:
+            entry_seq = entry_spec = None
+        else:
+            entry_seq = op.log_entry(addresses=(), speculative=False)
+            entry_spec = op.log_entry(addresses=(), speculative=True)
+        body = (
+            getattr(op.run, "body", None) if kind == _K_FAST else None
+        )
+        plan.append(
+            (kind, op.run, body, pc_obs, entry_seq, entry_spec, op,
+             static_next)
+        )
+    return tuple(plan)
+
+
+def _plan_for(compiled: CompiledProgram, observation) -> Tuple[tuple, ...]:
+    """The memoized plan of one (program, observation clause) pair."""
+    plan = compiled.battery_plans.get(observation)
+    if plan is None:
+        plan = build_plan(compiled, observation)
+        compiled.battery_plans[observation] = plan
+    return plan
+
+
+# -- lane groups --------------------------------------------------------------
+
+
+class _Frame:
+    """One speculation checkpoint of a whole group: per-lane snapshots
+    plus the shared resume pc and window budget (the lanes share their
+    control history, so the scalar speculation state is identical)."""
+
+    __slots__ = ("snapshots", "resume_pc", "window_left")
+
+    def __init__(self, snapshots: List[Snapshot], resume_pc: int,
+                 window_left: int):
+        self.snapshots = snapshots
+        self.resume_pc = resume_pc
+        self.window_left = window_left
+
+
+class _Group:
+    """Lanes in lockstep: same pc, same step count, same speculation
+    stack shape. ``lanes`` holds the original battery positions, so the
+    final assembly is independent of split/processing order."""
+
+    __slots__ = ("lanes", "states", "stack", "pc", "steps")
+
+    def __init__(self, lanes: List[int], states: List[ArchState],
+                 stack: List[_Frame], pc: int, steps: int):
+        self.lanes = lanes
+        self.states = states
+        self.stack = stack
+        self.pc = pc
+        self.steps = steps
+
+
+def _subgroup(group: _Group, positions: Sequence[int], pc: int) -> _Group:
+    """A new group of the given lane positions (relative order kept).
+
+    Stack frames are copied with the subgroup's snapshots filtered out,
+    so each subgroup's window budgets and rollbacks evolve
+    independently from here on.
+    """
+    return _Group(
+        [group.lanes[i] for i in positions],
+        [group.states[i] for i in positions],
+        [
+            _Frame(
+                [frame.snapshots[i] for i in positions],
+                frame.resume_pc,
+                frame.window_left,
+            )
+            for frame in group.stack
+        ],
+        pc,
+        group.steps,
+    )
+
+
+def _keep(group: _Group, positions: Sequence[int]) -> None:
+    """Filter a group down to the given lane positions, in place."""
+    group.lanes = [group.lanes[i] for i in positions]
+    group.states = [group.states[i] for i in positions]
+    for frame in group.stack:
+        frame.snapshots = [frame.snapshots[i] for i in positions]
+
+
+def _rollback(group: _Group) -> None:
+    """Pop the innermost checkpoint and restore every lane from it."""
+    frame = group.stack.pop()
+    for state, snapshot in zip(group.states, frame.snapshots):
+        state.restore(snapshot)
+    group.pc = frame.resume_pc
+
+
+def _split_speculative_faults(
+    group: _Group, faulted: List[int], pending: List[_Group]
+) -> bool:
+    """Handle lanes that faulted on a speculative path.
+
+    The per-input loop rolls a faulting lane back *without* counting
+    the step or recording an observation, so the faulting lanes leave
+    the group before the shared bookkeeping runs. Returns False when
+    the whole group faulted (it was rolled back in place and the caller
+    re-enters the step loop); True when the group continues with its
+    surviving lanes.
+    """
+    if len(faulted) == len(group.states):
+        _rollback(group)
+        return False
+    fault_group = _subgroup(group, faulted, group.pc)
+    _rollback(fault_group)
+    pending.append(fault_group)
+    faulted_set = set(faulted)
+    _keep(group, [i for i in range(len(group.states)) if i not in faulted_set])
+    return True
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+def run_battery(
+    compiled: CompiledProgram,
+    inputs: Sequence[InputData],
+    observation,
+    execution,
+    speculation_window: int,
+    max_nesting: int,
+    layout: Optional[SandboxLayout] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> List[Tuple[CTrace, ExecutionLog]]:
+    """Collect one ``(CTrace, ExecutionLog)`` per input, battery-batched.
+
+    Equal result for result to running the per-input compiled loop of
+    :meth:`repro.contracts.contract.Contract.collect_trace_and_log`
+    over the same inputs. Raises :class:`BatteryFallback` whenever that
+    equality would require modelling the per-input loop's error paths
+    (architectural faults, the step budget) — the caller then reruns
+    the battery per input.
+    """
+    plan = _plan_for(compiled, observation)
+    arch = compiled.arch
+    count = len(inputs)
+    states: List[ArchState] = []
+    for input_data in inputs:
+        state = ArchState(layout, arch)
+        state.load_input(input_data)
+        states.append(state)
+    observations: List[List[Observation]] = [[] for _ in range(count)]
+    entries: List[List[ExecutionLogEntry]] = [[] for _ in range(count)]
+    observe = observation.observe
+    speculate_cond = execution.speculate_conditional_branches
+    speculate_bypass = execution.speculate_store_bypass
+    end = len(compiled.ops)
+
+    pending = [_Group(list(range(count)), states, [], 0, 0)]
+    while pending:
+        group = pending.pop()
+        while True:
+            if group.steps >= max_steps:
+                raise BatteryFallback("step budget exhausted")
+            pc = group.pc
+            if not 0 <= pc < end:
+                if group.stack:
+                    _rollback(group)
+                    continue
+                break  # group finished architecturally
+            stack = group.stack
+            speculative = bool(stack)
+            (kind, run, body, pc_obs, entry_seq, entry_spec, op,
+             static_next) = plan[pc]
+            if speculative:
+                if op.is_serializing:
+                    _rollback(group)
+                    continue
+                frame = stack[-1]
+                if frame.window_left <= 0:
+                    _rollback(group)
+                    continue
+                frame.window_left -= 1
+
+            # -- execute the op on every lane, diverting faulting lanes
+            results: Optional[List] = None
+            if kind == _K_FAST:
+                # memory-free bodies never touch the accesses list, so
+                # one scratch list serves every lane (see build_plan)
+                step = run if body is None else body
+                if speculative:
+                    faulted = []
+                    if body is None:
+                        for position, state in enumerate(group.states):
+                            try:
+                                step(state)
+                            except EmulationFault:
+                                faulted.append(position)
+                    else:
+                        for position, state in enumerate(group.states):
+                            try:
+                                step(state, _SCRATCH)
+                            except EmulationFault:
+                                faulted.append(position)
+                    if faulted and not _split_speculative_faults(
+                        group, faulted, pending
+                    ):
+                        continue
+                else:
+                    try:
+                        if body is None:
+                            for state in group.states:
+                                step(state)
+                        else:
+                            for state in group.states:
+                                step(state, _SCRATCH)
+                    except EmulationFault as fault:
+                        raise BatteryFallback(
+                            "architectural fault"
+                        ) from fault
+            elif speculative:
+                results = []
+                faulted = []
+                for position, state in enumerate(group.states):
+                    try:
+                        results.append(run(state))
+                    except EmulationFault:
+                        results.append(None)
+                        faulted.append(position)
+                if faulted:
+                    if not _split_speculative_faults(group, faulted, pending):
+                        continue
+                    results = [r for r in results if r is not None]
+            else:
+                try:
+                    results = [run(state) for state in group.states]
+                except EmulationFault as fault:
+                    raise BatteryFallback("architectural fault") from fault
+
+            group.steps += 1
+            lanes = group.lanes
+
+            # -- record observations and log entries
+            if kind == _K_FAST or kind == _K_COND:
+                entry = entry_spec if speculative else entry_seq
+                if pc_obs is None:
+                    for lane in lanes:
+                        entries[lane].append(entry)
+                else:
+                    for lane in lanes:
+                        observations[lane].append(pc_obs)
+                        entries[lane].append(entry)
+            else:
+                log_entry = op.log_entry
+                for position, lane in enumerate(lanes):
+                    result = results[position]
+                    observe(result, speculative, observations[lane])
+                    entries[lane].append(
+                        log_entry(
+                            addresses=tuple(
+                                access.address
+                                for access in result.mem_accesses
+                            ),
+                            speculative=speculative,
+                        )
+                    )
+
+            # -- advance / fork / split
+            if kind == _K_FAST:
+                group.pc = static_next
+                continue
+            if kind == _K_COND:
+                branch = results[0].branch
+                target, fallthrough = branch.target, branch.fallthrough
+                fork = speculate_cond and len(stack) < max_nesting
+                taken = [
+                    position
+                    for position, result in enumerate(results)
+                    if result.branch.taken
+                ]
+                if not taken or len(taken) == len(results):
+                    _advance_cond(
+                        group, bool(taken), target, fallthrough, fork,
+                        speculation_window,
+                    )
+                    continue
+                taken_set = set(taken)
+                not_taken = [
+                    position
+                    for position in range(len(results))
+                    if position not in taken_set
+                ]
+                for positions, outcome in ((not_taken, False), (taken, True)):
+                    sub = _subgroup(group, positions, pc)
+                    _advance_cond(
+                        sub, outcome, target, fallthrough, fork,
+                        speculation_window,
+                    )
+                    pending.append(sub)
+                break
+            if kind == _K_MEM:
+                if (
+                    op.is_store
+                    and speculate_bypass
+                    and len(stack) < max_nesting
+                ):
+                    _fork_bypass(
+                        group, results, range(len(results)), static_next,
+                        speculation_window,
+                    )
+                group.pc = static_next
+                continue
+
+            # _K_GENERIC: partition lanes by their architectural next pc
+            fork = (
+                speculate_bypass
+                and len(stack) < max_nesting
+                and bool(results[0].stores)
+            )
+            order: List[int] = []
+            partitions = {}
+            for position, result in enumerate(results):
+                bucket = partitions.get(result.next_pc)
+                if bucket is None:
+                    partitions[result.next_pc] = bucket = []
+                    order.append(result.next_pc)
+                bucket.append(position)
+            if len(order) == 1:
+                next_pc = order[0]
+                if fork:
+                    _fork_bypass(
+                        group, results, range(len(results)), next_pc,
+                        speculation_window,
+                    )
+                group.pc = next_pc
+                continue
+            for next_pc in order:
+                positions = partitions[next_pc]
+                sub = _subgroup(group, positions, pc)
+                if fork:
+                    _fork_bypass(
+                        sub, results, positions, next_pc, speculation_window
+                    )
+                sub.pc = next_pc
+                pending.append(sub)
+            break
+
+    return [
+        (CTrace(tuple(observations[i])), ExecutionLog(entries[i]))
+        for i in range(count)
+    ]
+
+
+def _advance_cond(
+    group: _Group, taken: bool, target: int, fallthrough: int, fork: bool,
+    window: int,
+) -> None:
+    """Advance a group past a conditional branch with a uniform outcome.
+
+    With speculation armed, checkpoint at the architectural successor
+    and steer down the inverted path (Table 1), exactly like the
+    per-input loop's fork.
+    """
+    architectural = target if taken else fallthrough
+    if fork:
+        group.stack.append(
+            _Frame(
+                [state.snapshot() for state in group.states],
+                architectural,
+                window,
+            )
+        )
+        group.pc = fallthrough if taken else target
+    else:
+        group.pc = architectural
+
+
+def _fork_bypass(
+    group: _Group, results, positions, resume_pc: int, window: int
+) -> None:
+    """BPAS fork: checkpoint the post-store state, then undo each
+    lane's stores for the speculative path."""
+    group.stack.append(
+        _Frame(
+            [state.snapshot() for state in group.states],
+            resume_pc,
+            window,
+        )
+    )
+    for lane_position, result_position in enumerate(positions):
+        state = group.states[lane_position]
+        for access in reversed(results[result_position].stores):
+            state.write_memory(access.address, access.size, access.old_value)
+
+
+__all__ = [
+    "BatteryFallback",
+    "DEFAULT_MAX_STEPS",
+    "build_plan",
+    "run_battery",
+]

@@ -41,9 +41,11 @@ which is how the reference path stays available for equality tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable, List, Mapping, Optional, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.isa.instruction import Instruction, LinearProgram, TestCaseProgram
 from repro.isa.operands import (
@@ -231,7 +233,13 @@ class CompiledOperands:
 
 def make_step(instruction: Instruction, pc: int,
               body: Callable[[ArchState, List[MemAccess]], None]) -> StepFn:
-    """Wrap a straight-line handler body into a full ``run`` closure."""
+    """Wrap a straight-line handler body into a full ``run`` closure.
+
+    The raw body is published as ``run.body`` so the battery engine
+    (:mod:`repro.emulator.battery`) can execute memory-free ops without
+    allocating the accesses list and :class:`StepResult` that a
+    straight-line step discards anyway.
+    """
     next_pc = pc + 1
 
     def run(state, _b=body, _i=instruction, _p=pc, _n=next_pc):
@@ -239,6 +247,7 @@ def make_step(instruction: Instruction, pc: int,
         _b(state, accesses)
         return StepResult(_i, _p, _n, accesses, None)
 
+    run.body = body
     return run
 
 
@@ -385,6 +394,14 @@ class CompiledProgram:
     #: reference path used by the equality tests and benchmarks)
     interpretive: bool = False
     name: str = "testcase"
+    #: lazily built per-observation-clause step plans of the battery
+    #: engine (:mod:`repro.emulator.battery`). Derived state, not
+    #: identity: excluded from comparisons, and ``dataclasses.replace``
+    #: (the optimization passes) re-initializes it empty so a program
+    #: with swapped handlers can never serve a stale plan.
+    battery_plans: Dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -564,10 +581,95 @@ def as_compiled(program: Union[TestCaseProgram, LinearProgram,
     return compile_program(program, arch, interpretive)
 
 
+# -- cross-object IR reuse ----------------------------------------------------
+
+
+def program_digest(program: TestCaseProgram, arch_name: str = "") -> str:
+    """A stable content digest of a test case (see also
+    :func:`repro.core.trace_cache.program_fingerprint`, which delegates
+    here).
+
+    Block structure plus instruction text determine the lowered IR for
+    one architecture, so two *distinct program objects* with equal text
+    — e.g. the same seed re-generated by a neighboring sweep cell in
+    the same worker process — share a digest and hence a compilation.
+    ``arch_name`` namespaces the digest: same-text programs of
+    different backends never collide.
+    """
+    hasher = hashlib.sha1()
+    hasher.update(arch_name.encode("utf-8"))
+    for block in program.blocks:
+        hasher.update(f"\n.{block.name}:".encode("utf-8"))
+        for instruction in block.instructions():
+            hasher.update(b"\n")
+            hasher.update(str(instruction).encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class CompiledProgramCache:
+    """A bounded LRU of lowered (and optimized) programs, keyed by
+    content digest.
+
+    Compiled handlers are closures, so the IR cannot be pickled across
+    process boundaries; what *can* be shared is every compilation
+    within one process. Campaign shard workers and the sweep runner's
+    cell workers construct a fresh ``Fuzzer`` (and hence a fresh
+    pipeline memo) per shard/cell, yet one worker process runs many of
+    them — and deterministic grids regenerate byte-identical programs
+    (same generator seed) in each. Keying by
+    :func:`program_digest` instead of object identity lets every
+    pipeline in the process reuse the one lowering.
+
+    The key must include every knob that changes the lowered artifact:
+    callers append their optimization-pass configuration to the digest
+    (see ``TestingPipeline.compiled_for``).
+    """
+
+    def __init__(self, max_entries: int = 512):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, CompiledProgram]" = OrderedDict()
+
+    def get(self, key: tuple) -> Optional[CompiledProgram]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, compiled: CompiledProgram) -> None:
+        self._entries[key] = compiled
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: the process-global IR cache shared by every pipeline and executor in
+#: this process (shard workers, sweep cells, the postprocessor)
+_SHARED_CACHE = CompiledProgramCache()
+
+
+def shared_compiled_cache() -> CompiledProgramCache:
+    """The process-global :class:`CompiledProgramCache`."""
+    return _SHARED_CACHE
+
+
 __all__ = [
     "AddressFn",
     "CompiledOperands",
     "CompiledProgram",
+    "CompiledProgramCache",
     "DecodedOp",
     "ReadFn",
     "StepFn",
@@ -583,4 +685,6 @@ __all__ = [
     "condition_evaluator",
     "decode_op",
     "make_step",
+    "program_digest",
+    "shared_compiled_cache",
 ]

@@ -24,7 +24,12 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Set, Union
 
 from repro.isa.instruction import LinearProgram, TestCaseProgram
-from repro.emulator.compiled import CompiledProgram, as_compiled
+from repro.emulator.compiled import (
+    CompiledProgram,
+    as_compiled,
+    program_digest,
+    shared_compiled_cache,
+)
 from repro.emulator.errors import EmulationError
 from repro.emulator.state import InputData, SandboxLayout
 from repro.traces import HTrace
@@ -119,7 +124,25 @@ class Executor:
         the compiled closures; otherwise the interpretive fallbacks —
         either way the CPU loop runs the same IR records, so the
         repeated measurements of a priming sequence never re-decode.
+        Test-case programs route through the process-global
+        digest-keyed IR cache, so an executor handed a raw program (no
+        pipeline pre-lowering, e.g. the gallery tools) still reuses any
+        equal-text compilation in this process.
         """
+        if isinstance(program, TestCaseProgram):
+            interpretive = not self.config.compile_programs
+            cache = shared_compiled_cache()
+            key = (
+                program_digest(program, self.arch.name),
+                ("executor", interpretive),
+            )
+            compiled = cache.get(key)
+            if compiled is None:
+                compiled = as_compiled(
+                    program, self.arch, interpretive=interpretive
+                )
+                cache.put(key, compiled)
+            return compiled
         return as_compiled(
             program, self.arch,
             interpretive=not self.config.compile_programs,

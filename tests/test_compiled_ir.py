@@ -337,7 +337,11 @@ def test_pipeline_compiles_each_program_once():
     assert isinstance(first, CompiledProgram)
     assert pipeline.compiled_for(program) is first  # memoized by identity
     clone = program.clone()
-    assert pipeline.compiled_for(clone) is not first  # distinct object
+    # equal text -> same digest -> the one lowering is shared (the
+    # process-global IR cache; sweep cells regenerate identical programs)
+    assert pipeline.compiled_for(clone) is first
+    mutated = pipeline.arch.parse_program("MOV RAX, 2\nNOP\n")
+    assert pipeline.compiled_for(mutated) is not first  # different text
 
 
 def test_pipeline_compile_memo_outlives_a_measurement_round():

@@ -24,9 +24,10 @@ upload on four invariants:
    check of the determinism claim on every CI run;
 4. **section value gates** — sections that encode a performance
    contract carry it in their values: ``emulation_throughput`` must
-   report a compiled-vs-interpretive ratio >= 2.0 with the
-   byte-identical traces/reports flags true (the compile-once IR
-   guarantee of ``docs/performance.md``), and ``prescreen_triage``
+   report a compiled-vs-interpretive ratio >= 2.0 and a
+   battery-vs-per-input ratio >= 1.5, each with its byte-identical
+   traces/reports flags true (the compile-once IR and battery-batching
+   guarantees of ``docs/performance.md``), and ``prescreen_triage``
    must report a positive screened fraction with both campaign-parity
    flags true and zero gallery gadgets lost (the pre-screen soundness
    contract of ``docs/analysis.md``).
@@ -95,8 +96,11 @@ SECTION_SCHEMAS: Dict[str, Set[str]] = {
         "contract",
         "arches",
         "throughput_ratio",
+        "battery_ratio",
         "traces_equal",
         "reports_equal",
+        "battery_traces_equal",
+        "battery_reports_equal",
     },
     "prescreen_triage": {
         "arch",
@@ -135,6 +139,22 @@ def _check_emulation_throughput(payload) -> List[str]:
         errors.append(
             "emulation_throughput: reports_equal must be true (the "
             "compile_programs knob changed a fuzzing report)"
+        )
+    battery_ratio = payload.get("battery_ratio")
+    if not isinstance(battery_ratio, (int, float)) or battery_ratio < 1.5:
+        errors.append(
+            f"emulation_throughput: battery_ratio must be >= 1.5 over "
+            f"the per-input compiled path, got {battery_ratio!r}"
+        )
+    if payload.get("battery_traces_equal") is not True:
+        errors.append(
+            "emulation_throughput: battery_traces_equal must be true "
+            "(the battery engine diverged from the per-input path)"
+        )
+    if payload.get("battery_reports_equal") is not True:
+        errors.append(
+            "emulation_throughput: battery_reports_equal must be true "
+            "(the battery_eval knob changed a fuzzing report)"
         )
     return errors
 
