@@ -8,6 +8,7 @@ Subcommands:
 - ``reproduce`` run a handwritten gadget from the gallery;
 - ``trace``     print contract trace(s) of an assembly file;
 - ``minimize``  fuzz until a violation, then postprocess it;
+- ``replay``    re-run a counterexample corpus as a regression gate;
 - ``list``      show available contracts, CPU presets, subsets, gadgets.
 
 Examples::
@@ -28,6 +29,13 @@ collections (pure-function results keyed by program/input/contract, see
 ``--cache-max-bytes`` bounds its disk footprint (LRU garbage
 collection). ``sweep --parallel-cells N`` executes up to N grid cells
 concurrently without changing any deterministic cell report.
+
+All fuzzing subcommands also accept ``--corpus-dir``: every confirmed
+violation (and every minimized counterexample) is persisted into the
+named directory as a self-contained replayable record
+(:mod:`repro.corpus`); ``replay --corpus DIR`` re-detects every record
+and exits nonzero on any regression (``--strict`` additionally rejects
+unreadable records and empty corpora).
 """
 
 from __future__ import annotations
@@ -83,6 +91,7 @@ def _build_config(args: argparse.Namespace) -> FuzzerConfig:
         trace_cache_dir=args.cache_dir,
         trace_cache_max_bytes=args.cache_max_bytes,
         trace_cache_compress=args.cache_compress,
+        corpus_dir=args.corpus_dir,
     )
 
 
@@ -150,6 +159,11 @@ def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
                         help="zlib-compress persistent trace-cache entries "
                         "(reads remain transparent to uncompressed legacy "
                         "entries; compressed sizes feed the GC accounting)")
+    parser.add_argument("--corpus-dir", default=None,
+                        help="persist every confirmed violation (and every "
+                        "minimized counterexample) into this directory as a "
+                        "replayable record (repro.corpus); replay it with "
+                        "`replay --corpus DIR`")
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -261,25 +275,87 @@ def replace_namespace(args: argparse.Namespace, **overrides):
     return clone
 
 
-def cmd_minimize(args: argparse.Namespace) -> int:
-    """Fuzz until a violation, then run the 3-stage postprocessor."""
+def run_minimize(args: argparse.Namespace):
+    """Fuzz until a violation, then run the 3-stage postprocessor.
+
+    Returns ``(fuzzing report, MinimizationResult or None)`` so corpus
+    persistence and tests can consume the minimized counterexample as
+    data; :func:`cmd_minimize` renders the same pair for the terminal.
+    """
     fuzzer = Fuzzer(_build_config(args))
     report = fuzzer.run()
-    print(report.summary())
     if not report.found:
-        return 0
+        return report, None
     violation = report.violation
-    print("\nminimizing ...")
     result = Postprocessor(fuzzer.pipeline).minimize(
         violation.program,
         list(violation.input_sequence),
         advise_fences=args.advise_fences,
     )
+    return report, result
+
+
+def cmd_minimize(args: argparse.Namespace) -> int:
+    """Fuzz until a violation, then minimize and print it."""
+    report, result = run_minimize(args)
+    print(report.summary())
+    if result is None:
+        return 0
     print(f"\nminimized ({result.original_instruction_count} -> "
           f"{result.instruction_count} instructions, "
           f"{result.fences_inserted} fences):")
     print(result.text)
     return 1
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-run a counterexample corpus as a deterministic regression gate.
+
+    Exit 0 when every replayable record PASSed; exit 1 on any FAIL or
+    CHANGED (a detection-power or determinism regression), and — with
+    ``--strict`` — also on any SKIP (unreadable or foreign-version
+    record) or an empty corpus.
+    """
+    from repro.corpus import CounterexampleCorpus
+
+    overrides = {}
+    if args.no_battery_eval:
+        overrides["battery_eval"] = False
+    if args.no_masked_fusion:
+        overrides["optimize_masked_access"] = False
+    if args.no_dead_flags:
+        overrides["optimize_dead_flags"] = False
+    if args.interpretive:
+        overrides["compile_programs"] = False
+
+    def progress(result):
+        line = f"  {result.verdict:7s} {result.name}"
+        if result.entry.record is not None:
+            record = result.entry.record
+            line += (f"  [{record.arch} {record.contract} {record.cpu}] "
+                     f"{result.inputs} inputs, {result.seconds:.2f}s")
+        if result.detail:
+            line += f"\n          {result.detail}"
+        print(line)
+
+    print(f"replaying corpus {args.corpus} ...")
+    report = CounterexampleCorpus(args.corpus).replay(
+        config_overrides=overrides or None,
+        arch=args.arch,
+        progress=progress,
+    )
+    print(report.summary())
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w") as handle:
+            _json.dump({"corpus_replay": report.to_json()}, handle,
+                       indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"corpus-replay report written to {args.json}")
+    if args.strict:
+        return 0 if report.strict_ok() else 1
+    return 0 if report.ok else 1
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
@@ -481,6 +557,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="zlib-compress persistent trace-cache entries (transparent "
         "to uncompressed legacy entries)",
     )
+    sweep_parser.add_argument(
+        "--corpus-dir", default=None,
+        help="persist every cell's confirmed violations into this "
+        "directory as replayable records (repro.corpus); concurrent "
+        "cells and shard workers append safely (atomic publish)",
+    )
     sweep_parser.add_argument("--json", default=None, metavar="PATH",
                               help="write the full sweep report as JSON")
     sweep_parser.set_defaults(handler=cmd_sweep)
@@ -496,6 +578,51 @@ def build_parser() -> argparse.ArgumentParser:
         "exhaustive reverse order",
     )
     minimize_parser.set_defaults(handler=cmd_minimize)
+
+    replay_parser = commands.add_parser(
+        "replay",
+        help="re-run a counterexample corpus as a regression gate",
+    )
+    replay_parser.add_argument(
+        "--corpus", required=True, metavar="DIR",
+        help="corpus directory of replayable records (repro.corpus), "
+        "e.g. the checked-in corpus/seed or a --corpus-dir output",
+    )
+    replay_parser.add_argument(
+        "--strict", action="store_true",
+        help="also exit nonzero on SKIPped (unreadable/foreign-version) "
+        "records and on an empty corpus",
+    )
+    replay_parser.add_argument(
+        "--arch", default=None, choices=architecture_names(),
+        help="replay only the records targeting this ISA backend",
+    )
+    replay_parser.add_argument(
+        "--no-battery-eval", action="store_true",
+        help="replay through the per-input engine instead of "
+        "battery-batched; verdicts and digests are byte-identical",
+    )
+    replay_parser.add_argument(
+        "--no-masked-fusion", action="store_true",
+        help="replay with the masked-access fusion pass disabled; "
+        "verdicts and digests are byte-identical",
+    )
+    replay_parser.add_argument(
+        "--no-dead-flags", action="store_true",
+        help="replay with the dead-flag elimination pass disabled; "
+        "verdicts and digests are byte-identical",
+    )
+    replay_parser.add_argument(
+        "--interpretive", action="store_true",
+        help="replay through the interpretive emulator instead of the "
+        "compile-once IR; verdicts and digests are byte-identical",
+    )
+    replay_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the corpus_replay report section as JSON "
+        "(schema-checked by tools/check_bench_json.py)",
+    )
+    replay_parser.set_defaults(handler=cmd_replay)
 
     reproduce_parser = commands.add_parser(
         "reproduce", help="run a handwritten gadget from the gallery"

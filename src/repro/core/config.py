@@ -167,6 +167,16 @@ class FuzzerConfig:
     #: feed the ``trace_cache_max_bytes`` GC accounting
     trace_cache_compress: bool = False
 
+    #: directory of the replayable counterexample corpus (see
+    #: repro.corpus): when set, every confirmed violation a fuzzing run
+    #: reports — and every minimized counterexample the postprocessor
+    #: produces — is persisted there as a self-contained JSON record
+    #: under the same atomic-publish discipline as the trace cache, so
+    #: campaign shard workers and sweep cells can append concurrently.
+    #: ``python -m repro replay`` re-runs the directory as a
+    #: deterministic regression gate
+    corpus_dir: Optional[str] = None
+
     seed: int = 0
 
     def resolve_cpu(self) -> UarchConfig:

@@ -789,6 +789,20 @@ class Fuzzer:
             report.trace_cache_disk_hits = cache.stats.disk_hits
             report.trace_cache_gc_evictions = cache.stats.gc_evicted_entries
             report.trace_cache_gc_bytes = cache.stats.gc_evicted_bytes
+        if config.corpus_dir is not None and report.violation is not None:
+            # persist the find as a replayable regression test; a local
+            # import because repro.corpus builds pipelines from records
+            from repro.corpus import CounterexampleCorpus
+
+            CounterexampleCorpus(config.corpus_dir).add_violation(
+                report.violation,
+                config,
+                provenance={
+                    "found_by": "fuzz",
+                    "test_cases_until_found": report.test_cases,
+                    "inputs_until_found": report.inputs_tested,
+                },
+            )
         return report
 
     # -- static pre-screen -------------------------------------------------------

@@ -21,6 +21,7 @@ from typing import FrozenSet, List, Optional, Sequence, Tuple
 from repro.isa.instruction import Instruction, TestCaseProgram
 from repro.analysis.fence_advisor import FencePlan, advise_fences as advise
 from repro.emulator.compiled import compile_program
+from repro.emulator.errors import EmulationError
 from repro.emulator.state import InputData
 from repro.core.fuzzer import TestingPipeline
 
@@ -132,9 +133,10 @@ class Postprocessor:
                 program,
                 self.pipeline.config.executor_mode,
             )
+        pre_fence_program = program
         program, fences = self.insert_fences(program, inputs, advice)
 
-        return MinimizationResult(
+        result = MinimizationResult(
             program=program,
             inputs=inputs,
             original_instruction_count=original_instructions,
@@ -143,6 +145,53 @@ class Postprocessor:
             text=self.arch.render_program(program),
             serializing=self.arch.serializing_instructions,
         )
+        if self.pipeline.config.corpus_dir is not None:
+            self._persist(pre_fence_program, result)
+        return result
+
+    def _persist(
+        self, program: TestCaseProgram, result: MinimizationResult
+    ) -> Optional[str]:
+        """Record the minimized counterexample in the corpus.
+
+        The fenced program no longer violates (that is the point of
+        stage 3), so the replayable record stores the *pre-fence*
+        shrunk program: the smallest (program, battery) pair that still
+        detects. Re-detection here also yields the Violation the record
+        digest pins. Local import: repro.corpus builds pipelines from
+        records, importing this module's package."""
+        from repro.corpus import CounterexampleCorpus, record_from_violation
+
+        try:
+            outcome = self.pipeline.test_program(program, result.inputs)
+        except EmulationError:
+            return None
+        violation = None
+        for candidate in outcome.analysis.candidates:
+            if not self.confirm or self.pipeline.confirm_candidate(
+                outcome, candidate
+            ):
+                violation = self.pipeline.build_violation(outcome, candidate)
+                break
+        if violation is None:
+            return None
+        record = record_from_violation(
+            violation,
+            self.pipeline.config,
+            provenance={
+                "found_by": "minimize",
+                "original_instruction_count": result.original_instruction_count,
+                "original_input_count": result.original_input_count,
+            },
+            confirmed=self.confirm
+            and (
+                self.pipeline.config.verify_with_priming
+                or self.pipeline.config.revalidate_with_nesting
+            ),
+        )
+        return CounterexampleCorpus(
+            self.pipeline.config.corpus_dir
+        ).add(record)
 
     # -- stage 1: inputs ------------------------------------------------------------
 

@@ -73,6 +73,24 @@ SPECTRE_V1 = Gadget(
     """,
 )
 
+SPECTRE_V1_A64 = Gadget(
+    name="spectre-v1-a64",
+    vulnerability="V1 (aarch64)",
+    description=(
+        "Bounds-check bypass on the AArch64 backend: the same "
+        "first-encounter misprediction as spectre-v1, written against "
+        "the NZCV condition codes (B.PL falls through on negative) and "
+        "the X27 sandbox base."
+    ),
+    arch="aarch64",
+    asm="""
+        B.PL .end
+        AND X1, X1, #0b111111000000
+        LDR X2, [X27, X1]
+    .end: NOP
+    """,
+)
+
 SPECTRE_V1_1 = Gadget(
     name="spectre-v1.1",
     vulnerability="V1.1",
@@ -341,6 +359,7 @@ GALLERY: Dict[str, Gadget] = {
     gadget.name: gadget
     for gadget in (
         SPECTRE_V1,
+        SPECTRE_V1_A64,
         SPECTRE_V1_1,
         SPECTRE_V2,
         SPECTRE_V4,
@@ -390,6 +409,7 @@ __all__ = [
     "MDS_SB",
     "SPECTRE_V1",
     "SPECTRE_V1_1",
+    "SPECTRE_V1_A64",
     "SPECTRE_V2",
     "SPECTRE_V4",
     "SPECTRE_V5_RET",

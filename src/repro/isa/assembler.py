@@ -57,6 +57,12 @@ def render_program_with(
     for i, block in enumerate(program.blocks):
         prefix = f".{block.name}: " if i > 0 else ""
         instructions = list(block.instructions())
+        if not instructions and i > 0:
+            # an emptied block (instruction minimization can drain one)
+            # still owns its label: branches may target it, and the text
+            # must parse back to the same block structure
+            lines.append(f".{block.name}:")
+            continue
         for j, instruction in enumerate(instructions):
             label = prefix if j == 0 else " " * len(prefix)
             lines.append(f"{label}{render(instruction)}")

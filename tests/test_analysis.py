@@ -467,6 +467,7 @@ class TestDeadFlagElimination:
 def _classify_gadget(name):
     entry = GALLERY[name]
     config = FuzzerConfig(
+        arch=entry.arch,
         contract_name=entry.contract,
         cpu_preset=entry.cpu_preset,
         executor_mode=entry.executor_mode,

@@ -1,5 +1,9 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+import shutil
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -238,3 +242,117 @@ class TestCommands:
         assert main(["list"]) == 0
         output = capsys.readouterr().out
         assert "aarch64" in output and "x86_64" in output
+
+
+class TestCorpusFlags:
+    def test_corpus_dir_on_every_fuzzing_subcommand(self):
+        for command in ("fuzz", "campaign", "minimize", "sweep"):
+            assert build_parser().parse_args([command]).corpus_dir is None
+        args = build_parser().parse_args(
+            ["fuzz", "--corpus-dir", "corpus/found"]
+        )
+        assert args.corpus_dir == "corpus/found"
+
+    def test_replay_parser(self):
+        args = build_parser().parse_args(["replay", "--corpus", "c"])
+        assert args.corpus == "c"
+        assert args.strict is False
+        assert args.arch is None
+        assert args.json is None
+        args = build_parser().parse_args(
+            ["replay", "--corpus", "c", "--strict", "--arch", "aarch64",
+             "--no-battery-eval", "--no-masked-fusion", "--no-dead-flags",
+             "--interpretive", "--json", "out.json"]
+        )
+        assert args.strict and args.interpretive and args.no_battery_eval
+
+    def test_replay_requires_corpus(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay"])
+
+
+class TestReplayCommand:
+    SEED = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "corpus", "seed",
+    )
+
+    def test_replays_seed_corpus_strict(self, capsys):
+        assert main(["replay", "--corpus", self.SEED, "--strict"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("PASS") >= 3
+        assert "0 FAIL" in output
+
+    def test_corrupted_entry_skips_and_fails_strict_only(
+        self, tmp_path, capsys
+    ):
+        """Acceptance criterion: a corrupted record degrades to SKIP —
+        never a crash — and only --strict turns that into exit 1."""
+        for name in os.listdir(self.SEED):
+            shutil.copy(os.path.join(self.SEED, name), tmp_path / name)
+        (tmp_path / "corrupt.json").write_text("{torn", encoding="utf-8")
+        corpus = str(tmp_path)
+        assert main(["replay", "--corpus", corpus]) == 0
+        assert "SKIP" in capsys.readouterr().out
+        assert main(["replay", "--corpus", corpus, "--strict"]) == 1
+
+    def test_empty_corpus_fails_strict_only(self, tmp_path, capsys):
+        corpus = str(tmp_path / "empty")
+        assert main(["replay", "--corpus", corpus]) == 0
+        assert main(["replay", "--corpus", corpus, "--strict"]) == 1
+        assert "0/0" in capsys.readouterr().out
+
+    def test_json_artifact_round_trips_the_schema(self, tmp_path, capsys):
+        artifact = str(tmp_path / "replay.json")
+        assert main(
+            ["replay", "--corpus", self.SEED, "--strict", "--json", artifact]
+        ) == 0
+        with open(artifact, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        section = payload["corpus_replay"]
+        assert section["entries"] >= 3
+        assert section["failed"] == section["skipped"] == 0
+        assert len(section["detection"]) == section["entries"]
+
+    def test_arch_filter(self, capsys):
+        assert main(
+            ["replay", "--corpus", self.SEED, "--strict",
+             "--arch", "aarch64"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "aarch64" in output
+        assert "x86_64" not in output
+
+
+class TestCorpusPersistingCommands:
+    def test_fuzz_corpus_dir_persists_then_replays(self, tmp_path, capsys):
+        corpus = str(tmp_path / "found")
+        code = main(
+            ["fuzz", "-s", "AR+MEM+CB", "-c", "CT-SEQ",
+             "--cpu", "skylake-v4-patched", "-n", "150", "-i", "25",
+             "--seed", "7", "--corpus-dir", corpus]
+        )
+        assert code == 1  # found a violation...
+        assert len(os.listdir(corpus)) == 1  # ...and recorded it
+        capsys.readouterr()
+        assert main(["replay", "--corpus", corpus, "--strict"]) == 0
+
+    def test_run_minimize_returns_the_result(self, tmp_path):
+        """The factored return path: minimized counterexamples are
+        consumable as data, not stdout (and land in the corpus)."""
+        from repro.cli import build_parser, run_minimize
+
+        corpus = str(tmp_path / "found")
+        args = build_parser().parse_args(
+            ["minimize", "-s", "AR+MEM+CB", "-c", "CT-SEQ",
+             "--cpu", "skylake-v4-patched", "-n", "150", "-i", "25",
+             "--seed", "7", "--corpus-dir", corpus]
+        )
+        report, result = run_minimize(args)
+        assert report.found
+        assert result is not None
+        assert result.instruction_count <= result.original_instruction_count
+        assert result.text
+        # both the fuzzer's find and the minimized record were persisted
+        assert len(os.listdir(corpus)) >= 1
+        assert main(["replay", "--corpus", corpus, "--strict"]) == 0

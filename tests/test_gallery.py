@@ -19,6 +19,7 @@ def check(gadget_obj: Gadget, max_inputs=100, cpu_preset=None, contract=None,
     """Run a gadget through the pipeline; return the input count that
     surfaced a confirmed violation, or None."""
     config = FuzzerConfig(
+        arch=gadget_obj.arch,
         contract_name=contract or gadget_obj.contract,
         cpu_preset=cpu_preset or gadget_obj.cpu_preset,
         executor_mode=gadget_obj.executor_mode,
@@ -30,6 +31,8 @@ def check(gadget_obj: Gadget, max_inputs=100, cpu_preset=None, contract=None,
         seed=input_seed,
         entropy_bits=gadget_obj.entropy_bits,
         layout=pipeline.layout,
+        registers=pipeline.arch.default_register_pool,
+        flag_bits=pipeline.arch.registers.flag_bits,
     )
     program = gadget_obj.program()
     count = 4
@@ -63,6 +66,7 @@ class TestGalleryStructure:
     "name",
     [
         "spectre-v1",
+        "spectre-v1-a64",
         "spectre-v1.1",
         "spectre-v2",
         "spectre-v4",

@@ -9,6 +9,8 @@ import json
 import os
 import sys
 
+import pytest
+
 sys.path.insert(
     0,
     os.path.join(os.path.dirname(os.path.dirname(__file__)), "tools"),
@@ -146,6 +148,91 @@ class TestChecker:
             [path, "--require", "sweep_cross_isa"]
         ) == 1
         assert "sweep_cross_isa" in capsys.readouterr().out
+
+
+GOOD_CORPUS_REPLAY = {
+    "corpus_replay": {
+        "corpus": "corpus/seed",
+        "entries": 1,
+        "passed": 1,
+        "changed": 0,
+        "failed": 0,
+        "skipped": 0,
+        "report_digest": "ab" * 20,
+        "detection": [
+            {
+                "name": "spectre-v1",
+                "file": "spectre-v1-0011.json",
+                "arch": "x86_64",
+                "contract": "CT-SEQ",
+                "cpu": "skylake",
+                "verdict": "PASS",
+                "digest": "cd" * 20,
+                "inputs": 5,
+                "seconds": 0.02,
+            }
+        ],
+    }
+}
+
+
+class TestCorpusReplaySection:
+    def test_valid_section_passes(self, tmp_path):
+        assert check_bench_json.check_file(
+            write(tmp_path, GOOD_CORPUS_REPLAY)
+        ) == []
+
+    def test_missing_keys_rejected(self, tmp_path):
+        errors = check_bench_json.check_file(
+            write(tmp_path, {"corpus_replay": {"corpus": "x"}})
+        )
+        assert errors and any("missing keys" in error for error in errors)
+
+    def test_empty_corpus_rejected(self, tmp_path):
+        payload = json.loads(json.dumps(GOOD_CORPUS_REPLAY))
+        payload["corpus_replay"]["entries"] = 0
+        payload["corpus_replay"]["passed"] = 0
+        payload["corpus_replay"]["detection"] = []
+        errors = check_bench_json.check_file(write(tmp_path, payload))
+        assert any("entries must be >= 1" in error for error in errors)
+
+    @pytest.mark.parametrize("counter", ["failed", "changed", "skipped"])
+    def test_any_regression_counter_rejected(self, tmp_path, counter):
+        payload = json.loads(json.dumps(GOOD_CORPUS_REPLAY))
+        payload["corpus_replay"][counter] = 1
+        errors = check_bench_json.check_file(write(tmp_path, payload))
+        assert any(f"{counter} must be 0" in error for error in errors)
+
+    def test_detection_must_cover_every_entry(self, tmp_path):
+        payload = json.loads(json.dumps(GOOD_CORPUS_REPLAY))
+        payload["corpus_replay"]["detection"] = []
+        errors = check_bench_json.check_file(write(tmp_path, payload))
+        assert any("one report per entry" in error for error in errors)
+
+    def test_detection_entry_keys_checked(self, tmp_path):
+        payload = json.loads(json.dumps(GOOD_CORPUS_REPLAY))
+        del payload["corpus_replay"]["detection"][0]["seconds"]
+        errors = check_bench_json.check_file(write(tmp_path, payload))
+        assert any("missing keys" in error for error in errors)
+
+    def test_real_replay_report_satisfies_the_schema(self, tmp_path):
+        """The CLI's --json artifact and the checker must agree —
+        validated against a real replay of the checked-in seed corpus."""
+        from repro.corpus import CounterexampleCorpus
+
+        seed_dir = os.path.join(
+            os.path.dirname(os.path.dirname(__file__)), "corpus", "seed"
+        )
+        report = CounterexampleCorpus(seed_dir).replay()
+        payload = {"corpus_replay": report.to_json()}
+        assert check_bench_json.check_file(write(tmp_path, payload)) == []
+        section = payload["corpus_replay"]
+        assert set(section) >= check_bench_json.SECTION_SCHEMAS[
+            "corpus_replay"
+        ]
+        assert set(section["detection"][0]) == (
+            check_bench_json.DETECTION_KEYS
+        )
 
 
 class TestAgainstRealReports:

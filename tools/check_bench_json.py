@@ -27,10 +27,13 @@ upload on four invariants:
    report a compiled-vs-interpretive ratio >= 2.0 and a
    battery-vs-per-input ratio >= 1.5, each with its byte-identical
    traces/reports flags true (the compile-once IR and battery-batching
-   guarantees of ``docs/performance.md``), and ``prescreen_triage``
+   guarantees of ``docs/performance.md``), ``prescreen_triage``
    must report a positive screened fraction with both campaign-parity
    flags true and zero gallery gadgets lost (the pre-screen soundness
-   contract of ``docs/analysis.md``).
+   contract of ``docs/analysis.md``), and ``corpus_replay`` must
+   report a non-empty corpus with zero FAIL/CHANGED/SKIP verdicts and
+   one per-entry detection report (the counterexample-corpus
+   regression gate of ``docs/corpus.md``).
 
 Usage::
 
@@ -116,6 +119,16 @@ SECTION_SCHEMAS: Dict[str, Set[str]] = {
         "gallery_checked",
         "gallery_lost",
     },
+    "corpus_replay": {
+        "corpus",
+        "entries",
+        "passed",
+        "changed",
+        "failed",
+        "skipped",
+        "report_digest",
+        "detection",
+    },
 }
 
 
@@ -186,10 +199,74 @@ def _check_prescreen_triage(payload) -> List[str]:
     return errors
 
 
+#: required keys of one per-entry detection report (corpus ``detection``
+#: lists — the Table 4 trend line: per-counterexample detection time)
+DETECTION_KEYS: Set[str] = {
+    "name",
+    "file",
+    "arch",
+    "contract",
+    "cpu",
+    "verdict",
+    "digest",
+    "inputs",
+    "seconds",
+}
+
+
+def _check_corpus_replay(payload) -> List[str]:
+    """Value gates of the counterexample-corpus regression contract: a
+    non-empty corpus where every record replayed PASS — any FAIL
+    (detection-power regression), CHANGED (evidence drift) or SKIP
+    (unreadable record) fails the build, not just the trend line."""
+    errors = []
+    entries = payload.get("entries")
+    if not isinstance(entries, int) or entries < 1:
+        errors.append(
+            f"corpus_replay: entries must be >= 1, got {entries!r} "
+            "(an empty corpus gates nothing)"
+        )
+    for counter in ("failed", "changed", "skipped"):
+        value = payload.get(counter)
+        if value != 0:
+            errors.append(
+                f"corpus_replay: {counter} must be 0, got {value!r} "
+                "(a counterexample no longer replays cleanly)"
+            )
+    digest = payload.get("report_digest")
+    if not isinstance(digest, str) or not digest:
+        errors.append(
+            f"corpus_replay: report_digest must be a non-empty "
+            f"string, got {digest!r}"
+        )
+    detection = payload.get("detection")
+    if not isinstance(detection, list) or (
+        isinstance(entries, int) and len(detection) != entries
+    ):
+        errors.append(
+            "corpus_replay: detection must list one report per entry"
+        )
+    else:
+        for index, report in enumerate(detection):
+            if not isinstance(report, dict):
+                errors.append(
+                    f"corpus_replay: detection[{index}] not an object"
+                )
+                continue
+            missing = DETECTION_KEYS - set(report)
+            if missing:
+                errors.append(
+                    f"corpus_replay: detection[{index}] missing keys "
+                    f"{sorted(missing)}"
+                )
+    return errors
+
+
 #: per-section value gates, run after the key-presence checks
 SECTION_VALUE_CHECKS = {
     "emulation_throughput": _check_emulation_throughput,
     "prescreen_triage": _check_prescreen_triage,
+    "corpus_replay": _check_corpus_replay,
 }
 
 #: required keys of one deterministic cell report (sweep ``cells``)

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Regenerate the checked-in seed corpus (``corpus/seed/``).
+
+The seed corpus pins the detection of the canonical gallery gadgets —
+Spectre V1 and V4 on x86_64, V1 on aarch64 — as replayable records
+(see repro.corpus and docs/corpus.md): CI replays them with
+``python -m repro replay --corpus corpus/seed --strict`` on both
+REPRO_ARCH matrix legs, so a detection-power or determinism regression
+fails the build.
+
+Everything here is deterministic (fixed config seed, fixed input-
+generator seed, doubling input batteries, confirm-level minimization),
+so re-running the tool after an engine change shows exactly which
+records' evidence digests moved — that diff *is* the review surface.
+
+Usage::
+
+    PYTHONPATH=src python tools/seed_corpus.py [--out corpus/seed]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.core.config import FuzzerConfig  # noqa: E402
+from repro.core.fuzzer import TestingPipeline  # noqa: E402
+from repro.core.input_gen import InputGenerator  # noqa: E402
+from repro.core.postprocessor import Postprocessor  # noqa: E402
+from repro.corpus import CounterexampleCorpus, record_from_violation  # noqa: E402
+from repro.gallery import GALLERY  # noqa: E402
+
+#: the gadgets the seed corpus pins: V1/V4 on x86_64, V1 on aarch64
+SEED_GADGETS = ("spectre-v1", "spectre-v4", "spectre-v1-a64")
+
+#: deterministic seeds, matching `repro reproduce`'s defaults
+CONFIG_SEED = 11
+INPUT_SEED = 42
+MAX_INPUTS = 128
+
+
+def detect(entry):
+    """Find the gadget's confirmed violation on a doubling battery.
+
+    Returns ``(pipeline, config, violation)`` with the violation built
+    on the *minimized* input battery (Postprocessor stage 1 at full
+    confirmation level), so replay re-detects on the smallest — and
+    fastest — battery that still violates.
+    """
+    config = FuzzerConfig(
+        arch=entry.arch,
+        contract_name=entry.contract,
+        cpu_preset=entry.cpu_preset,
+        executor_mode=entry.executor_mode,
+        analyzer_mode=entry.analyzer_mode,
+        seed=CONFIG_SEED,
+    )
+    pipeline = TestingPipeline(config)
+    generator = InputGenerator(
+        seed=INPUT_SEED,
+        entropy_bits=entry.entropy_bits,
+        layout=pipeline.layout,
+        registers=pipeline.arch.default_register_pool,
+        flag_bits=pipeline.arch.registers.flag_bits,
+    )
+    program = entry.program()
+    count = 4
+    inputs = None
+    while count <= MAX_INPUTS:
+        battery = generator.generate(count)
+        if pipeline.check_violation(program, battery, confirm=True):
+            inputs = battery
+            break
+        count *= 2
+    if inputs is None:
+        raise SystemExit(
+            f"{entry.name}: no confirmed violation within "
+            f"{MAX_INPUTS} inputs — the gallery contract is broken"
+        )
+    inputs = Postprocessor(pipeline, confirm=True).minimize_inputs(
+        program, inputs
+    )
+    outcome = pipeline.test_program(program, inputs)
+    for candidate in outcome.analysis.candidates:
+        if pipeline.confirm_candidate(outcome, candidate):
+            return pipeline, config, pipeline.build_violation(
+                outcome, candidate
+            )
+    raise SystemExit(
+        f"{entry.name}: input minimization lost the confirmed violation"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="corpus/seed", metavar="DIR",
+        help="corpus directory to (re)populate (default: corpus/seed)",
+    )
+    args = parser.parse_args(argv)
+
+    corpus = CounterexampleCorpus(args.out)
+    for name in SEED_GADGETS:
+        entry = GALLERY[name]
+        _, config, violation = detect(entry)
+        record = record_from_violation(
+            violation,
+            config,
+            name=entry.name,
+            provenance={
+                "found_by": "tools/seed_corpus.py",
+                "gadget": entry.name,
+                "vulnerability": entry.vulnerability,
+                "input_seed": INPUT_SEED,
+            },
+            confirmed=True,
+        )
+        path = corpus.add(record)
+        if path is None:
+            path = corpus.path_for(record) + " (already present)"
+        print(
+            f"{entry.name}: {violation.classification} on "
+            f"{len(record.inputs)} inputs -> {path}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
