@@ -9,6 +9,7 @@ Subcommands:
 - ``trace``     print contract trace(s) of an assembly file;
 - ``minimize``  fuzz until a violation, then postprocess it;
 - ``replay``    re-run a counterexample corpus as a regression gate;
+- ``serve``     serve the campaign job service over a local socket;
 - ``list``      show available contracts, CPU presets, subsets, gadgets.
 
 Examples::
@@ -44,55 +45,16 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import api
 from repro.arch import architecture_names, get_architecture
 from repro.emulator.state import SandboxLayout
 from repro.contracts import contract_names, get_contract
-from repro.core.campaign import CampaignRunner
-from repro.core.config import FuzzerConfig, GeneratorConfig
-from repro.core.sweep import SweepRunner, SweepSpec
-from repro.core.fuzzer import Fuzzer, TestingPipeline
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import TestingPipeline
 from repro.core.input_gen import InputGenerator
-from repro.core.postprocessor import Postprocessor
 from repro.executor.modes import mode_names
 from repro.gallery import GALLERY
 from repro.uarch.config import preset_names
-
-
-def _build_config(args: argparse.Namespace) -> FuzzerConfig:
-    if args.cache_max_bytes is not None and not args.cache_dir:
-        raise SystemExit(
-            "--cache-max-bytes bounds the persistent disk tier and "
-            "requires --cache-dir"
-        )
-    if args.cache_compress and not args.cache_dir:
-        raise SystemExit(
-            "--cache-compress compresses the persistent disk tier and "
-            "requires --cache-dir"
-        )
-    return FuzzerConfig(
-        arch=args.arch,
-        instruction_subsets=tuple(args.subsets.split("+")),
-        contract_name=args.contract,
-        cpu_preset=args.cpu,
-        executor_mode=args.mode,
-        num_test_cases=args.num_test_cases,
-        inputs_per_test_case=args.inputs,
-        entropy_bits=args.entropy,
-        timeout_seconds=args.timeout,
-        analyzer_mode=args.analyzer,
-        prescreen=args.prescreen,
-        prescreen_safety_rate=args.prescreen_safety_rate,
-        seed=args.seed,
-        generator=GeneratorConfig(sandbox_pages=args.pages),
-        battery_eval=not args.no_battery_eval,
-        optimize_masked_access=not args.no_masked_fusion,
-        contract_trace_cache=args.cache,
-        trace_cache_entries=args.cache_entries,
-        trace_cache_dir=args.cache_dir,
-        trace_cache_max_bytes=args.cache_max_bytes,
-        trace_cache_compress=args.cache_compress,
-        corpus_dir=args.corpus_dir,
-    )
 
 
 def _positive_int(text: str) -> int:
@@ -102,25 +64,85 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--arch", default="x86_64",
-                        choices=architecture_names(),
-                        help="ISA backend under test")
+def _axis_list(text: str) -> List[str]:
+    """Parse one comma-separated sweep axis, e.g. ``x86_64,aarch64``."""
+    values = [value.strip() for value in text.split(",") if value.strip()]
+    if not values:
+        raise argparse.ArgumentTypeError("expected a comma-separated list")
+    return values
+
+
+def add_engine_knob_options(parser: argparse.ArgumentParser) -> None:
+    """The byte-identity-preserving engine knobs, shared by all five
+    fuzzing subcommands (fuzz/campaign/sweep/minimize/replay)."""
+    parser.add_argument("--no-battery-eval", action="store_true",
+                        help="collect contract traces input by input "
+                        "instead of battery-batched (repro.emulator."
+                        "battery); traces, verdicts and reports are "
+                        "byte-identical either way")
+    parser.add_argument("--no-masked-fusion", action="store_true",
+                        help="disable the masked-access fusion pass over "
+                        "compiled programs (repro.analysis.fusion); traces, "
+                        "verdicts and reports are byte-identical either way")
+    parser.add_argument("--no-dead-flags", action="store_true",
+                        help="disable the dead-flag elimination pass "
+                        "(repro.analysis.dead_flags); traces, verdicts and "
+                        "reports are byte-identical either way")
+    parser.add_argument("--interpretive", action="store_true",
+                        help="run the interpretive emulator instead of the "
+                        "compile-once IR; traces, verdicts and reports are "
+                        "byte-identical either way")
+
+
+def add_engine_options(
+    parser: argparse.ArgumentParser,
+    axes: bool = False,
+    budget_default: int = 200,
+) -> None:
+    """The one declaration of every shared engine flag.
+
+    fuzz/campaign/minimize use the scalar form; sweep passes
+    ``axes=True`` for comma-separated ``--arch/--contract/--cpu`` axis
+    lists (and its historical ``-n`` default). tools/check_docs.py
+    gates that every fuzzing subcommand exposes exactly this flag set
+    and that none of these flags is declared anywhere else.
+    """
+    if axes:
+        parser.add_argument(
+            "--arch", type=_axis_list, default=["x86_64"],
+            help="comma-separated ISA backends, e.g. x86_64,aarch64",
+        )
+        parser.add_argument(
+            "--contract", type=_axis_list, default=["CT-SEQ"],
+            help="comma-separated contracts, e.g. CT-SEQ,CT-COND",
+        )
+        parser.add_argument(
+            "--cpu", type=_axis_list, default=["skylake"],
+            help="comma-separated CPU presets, e.g. skylake,coffee-lake",
+        )
+    else:
+        parser.add_argument("--arch", default="x86_64",
+                            choices=architecture_names(),
+                            help="ISA backend under test")
+        parser.add_argument("-c", "--contract", default="CT-SEQ",
+                            help="contract name, e.g. CT-SEQ")
+        parser.add_argument("--cpu", default="skylake",
+                            help="CPU preset under test")
     parser.add_argument("-s", "--subsets", default="AR+MEM+CB",
                         help="instruction subsets, e.g. AR+MEM+CB")
-    parser.add_argument("-c", "--contract", default="CT-SEQ",
-                        help="contract name, e.g. CT-SEQ")
-    parser.add_argument("--cpu", default="skylake",
-                        help="CPU preset under test")
     parser.add_argument("-m", "--mode", default="P+P",
                         help="executor mode (P+P, F+R, E+R, P+P+A, ...)")
-    parser.add_argument("-n", "--num-test-cases", type=int, default=200)
+    parser.add_argument("-n", "--num-test-cases", type=int,
+                        default=budget_default,
+                        help="test-case budget"
+                        + (" per grid cell" if axes else ""))
     parser.add_argument("-i", "--inputs", type=int, default=50,
                         help="inputs per test case")
     parser.add_argument("-e", "--entropy", type=int, default=2,
                         help="PRNG entropy bits")
     parser.add_argument("--timeout", type=float, default=None,
-                        help="wall-clock budget in seconds")
+                        help="wall-clock budget in seconds"
+                        + (" per shard" if axes else ""))
     parser.add_argument("--analyzer", default="subset",
                         choices=("subset", "strict"))
     parser.add_argument("--pages", type=int, default=1,
@@ -133,16 +155,10 @@ def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
                         help="still measure every Nth pre-screened case; a "
                         "violation on one of them fails the run (soundness "
                         "check; 0 disables sampling)")
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--no-battery-eval", action="store_true",
-                        help="collect contract traces input by input "
-                        "instead of battery-batched (repro.emulator."
-                        "battery); traces and reports are byte-identical "
-                        "either way")
-    parser.add_argument("--no-masked-fusion", action="store_true",
-                        help="disable the masked-access fusion pass over "
-                        "compiled programs (repro.analysis.fusion); traces "
-                        "and reports are byte-identical either way")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base PRNG seed"
+                        + (" the per-cell seeds derive from" if axes else ""))
+    add_engine_knob_options(parser)
     parser.add_argument("--cache", action="store_true",
                         help="memoize contract traces across collections")
     parser.add_argument("--cache-entries", type=_positive_int, default=65536,
@@ -166,10 +182,50 @@ def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
                         "`replay --corpus DIR`")
 
 
+def _add_journal_options(parser: argparse.ArgumentParser) -> None:
+    """Checkpoint/resume flags shared by campaign and sweep."""
+    parser.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="checkpoint every completed shard into this journal "
+        "directory (atomic publish; see docs/campaigns-and-sweeps.md); "
+        "a killed run can be finished later with --resume DIR",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume from an existing journal: replay its completed "
+        "shards and dispatch only the missing ones; the journal's "
+        "recorded spec digest must match this invocation's grid/budget "
+        "(a mismatch is a hard error)",
+    )
+
+
+def _engine_options(
+    args: argparse.Namespace, axes: bool = False
+) -> api.EngineOptions:
+    """Parsed namespace -> options bag, with CLI-grade error rendering."""
+    try:
+        options = api.EngineOptions.from_args(args, axes=axes)
+        options.to_fuzzer_config()  # validate eagerly
+    except ValueError as error:
+        raise SystemExit(str(error))
+    return options
+
+
+def _journal_selection(args: argparse.Namespace):
+    """Resolve --journal/--resume into (journal_dir, resume)."""
+    if args.journal and args.resume:
+        raise SystemExit(
+            "pass either --journal DIR (start checkpointing) or "
+            "--resume DIR (continue from checkpoints), not both"
+        )
+    if args.resume:
+        return args.resume, True
+    return args.journal, False
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """Run one fuzzing campaign; exit 1 when a violation is found."""
-    fuzzer = Fuzzer(_build_config(args))
-    report = fuzzer.run()
+    report = api.run_fuzz(_engine_options(args))
     print(report.summary())
     if report.found:
         print()
@@ -189,31 +245,32 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     keeping ``--shards`` fixed while varying ``--workers`` reproduces
     the identical merged report at any level of parallelism; a
     ``--timeout`` bounds each shard's wall clock instead and gives up
-    that invariance. Exits 1 when a violation is found, like ``fuzz``.
+    that invariance. ``--journal DIR`` checkpoints completed shards and
+    ``--resume DIR`` finishes a killed run from its checkpoints. Exits
+    1 when a violation is found, like ``fuzz``.
     """
-    runner = CampaignRunner(
-        _build_config(args),
-        workers=args.workers,
-        shards=args.shards,
-        mode="first-violation" if args.first_violation else "full",
-    )
-    report = runner.run()
+    journal_dir, resume = _journal_selection(args)
+    try:
+        report = api.run_campaign(
+            _engine_options(args),
+            workers=args.workers,
+            shards=args.shards,
+            mode="first-violation" if args.first_violation else "full",
+            journal_dir=journal_dir,
+            resume=resume,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
     print(report.summary())
     for index, shard in enumerate(report.shard_reports):
         print(f"  shard {index}: {shard.summary()}")
+    if journal_dir is not None:
+        print(f"report digest: {report.report_digest()}")
     if report.found:
         print()
         print(report.violation.describe())
         return 1
     return 0
-
-
-def _axis_list(text: str) -> List[str]:
-    """Parse one comma-separated sweep axis, e.g. ``x86_64,aarch64``."""
-    values = [value.strip() for value in text.split(",") if value.strip()]
-    if not values:
-        raise argparse.ArgumentTypeError("expected a comma-separated list")
-    return values
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -223,39 +280,51 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     deterministic cell seed derived from ``--seed`` and the cell's
     (arch, contract) coordinates — cells along the cpu axis replay the
     identical test battery, so with ``--cache-dir`` they share contract
-    traces through the persistent cache. Prints the per-arch violation
-    matrix; ``--json`` additionally writes the full report. Exits 1
-    when any cell surfaced a violation, like ``fuzz``.
+    traces through the persistent cache. ``--schedule work-stealing``
+    drains the grid as one shared queue of shard-sized units (byte-
+    identical reports, better wall clock on heterogeneous grids) and is
+    what ``--journal``/``--resume`` checkpointing requires. Prints the
+    per-arch violation matrix; ``--json`` additionally writes the full
+    report. Exits 1 when any cell surfaced a violation, like ``fuzz``.
     """
-    spec = SweepSpec(
-        arches=tuple(args.arch),
-        contracts=tuple(args.contract),
-        cpus=tuple(args.cpu),
-        base_config=_build_config(
-            replace_namespace(args, arch="x86_64", contract="CT-SEQ",
-                              cpu="skylake")
-        ),
-        workers=args.workers,
-        shards=args.shards,
-        mode="first-violation" if args.first_violation else "full",
-        total_budget=args.total_budget,
+    options = _engine_options(args, axes=True)
+    journal_dir, resume = _journal_selection(args)
+    cells = len(args.arch) * len(args.contract) * len(args.cpu)
+    placement = (
+        f"work-stealing pool of {max(args.workers, args.parallel_cells)}"
+        if args.schedule == "work-stealing"
+        else f"up to {args.parallel_cells} cell(s) at a time, "
+        f"{args.workers} worker(s) per cell"
     )
-    cells = spec.cells()
-    print(f"sweeping {len(cells)} cells "
-          f"({len(spec.arches)} arch x {len(spec.contracts)} contract x "
-          f"{len(spec.cpus)} cpu), up to {args.parallel_cells} cell(s) "
-          f"at a time, {args.workers} worker(s) per cell")
+    print(f"sweeping {cells} cells "
+          f"({len(args.arch)} arch x {len(args.contract)} contract x "
+          f"{len(args.cpu)} cpu), {placement}")
 
     def progress(cell, campaign):
         print(f"  {cell.label}: {campaign.merged.summary()}")
 
-    report = SweepRunner(
-        spec,
-        cache_dir=args.cache_dir,
-        max_parallel_cells=args.parallel_cells,
-    ).run(progress=progress)
+    try:
+        report = api.run_sweep(
+            options,
+            arches=args.arch,
+            contracts=args.contract,
+            cpus=args.cpu,
+            workers=args.workers,
+            shards=args.shards,
+            mode="first-violation" if args.first_violation else "full",
+            total_budget=args.total_budget,
+            parallel_cells=args.parallel_cells,
+            schedule=args.schedule,
+            journal_dir=journal_dir,
+            resume=resume,
+            progress=progress,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
     print()
     print(report.to_markdown())
+    if journal_dir is not None:
+        print(f"report digest: {report.report_digest()}")
     if args.json:
         import json as _json
 
@@ -266,33 +335,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if report.violations_found else 0
 
 
-def replace_namespace(args: argparse.Namespace, **overrides):
-    """A shallow namespace copy with some attributes replaced (the sweep
-    axes are lists; ``_build_config`` expects the scalar fields)."""
-    clone = argparse.Namespace(**vars(args))
-    for name, value in overrides.items():
-        setattr(clone, name, value)
-    return clone
-
-
 def run_minimize(args: argparse.Namespace):
     """Fuzz until a violation, then run the 3-stage postprocessor.
 
     Returns ``(fuzzing report, MinimizationResult or None)`` so corpus
     persistence and tests can consume the minimized counterexample as
     data; :func:`cmd_minimize` renders the same pair for the terminal.
+    Thin wrapper over :func:`repro.api.run_minimize`, kept so existing
+    importers keep working with a parsed namespace.
     """
-    fuzzer = Fuzzer(_build_config(args))
-    report = fuzzer.run()
-    if not report.found:
-        return report, None
-    violation = report.violation
-    result = Postprocessor(fuzzer.pipeline).minimize(
-        violation.program,
-        list(violation.input_sequence),
-        advise_fences=args.advise_fences,
+    return api.run_minimize(
+        _engine_options(args), advise_fences=args.advise_fences
     )
-    return report, result
 
 
 def cmd_minimize(args: argparse.Namespace) -> int:
@@ -316,18 +370,6 @@ def cmd_replay(args: argparse.Namespace) -> int:
     ``--strict`` — also on any SKIP (unreadable or foreign-version
     record) or an empty corpus.
     """
-    from repro.corpus import CounterexampleCorpus
-
-    overrides = {}
-    if args.no_battery_eval:
-        overrides["battery_eval"] = False
-    if args.no_masked_fusion:
-        overrides["optimize_masked_access"] = False
-    if args.no_dead_flags:
-        overrides["optimize_dead_flags"] = False
-    if args.interpretive:
-        overrides["compile_programs"] = False
-
     def progress(result):
         line = f"  {result.verdict:7s} {result.name}"
         if result.entry.record is not None:
@@ -339,9 +381,13 @@ def cmd_replay(args: argparse.Namespace) -> int:
         print(line)
 
     print(f"replaying corpus {args.corpus} ...")
-    report = CounterexampleCorpus(args.corpus).replay(
-        config_overrides=overrides or None,
+    report = api.run_replay(
+        args.corpus,
         arch=args.arch,
+        battery_eval=not args.no_battery_eval,
+        masked_fusion=not args.no_masked_fusion,
+        dead_flags=not args.no_dead_flags,
+        compile_programs=not args.interpretive,
         progress=progress,
     )
     print(report.summary())
@@ -356,6 +402,32 @@ def cmd_replay(args: argparse.Namespace) -> int:
     if args.strict:
         return 0 if report.strict_ok() else 1
     return 0 if report.ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the campaign service over a local socket.
+
+    Campaigns become requests instead of shell sessions: clients submit
+    job specs over a line-JSON protocol (docs/service.md), poll status,
+    and stream incremental violation records as cells complete. Port 0
+    (the default) picks an ephemeral port, printed on startup.
+    """
+    from repro.service import CampaignService, ServiceServer
+
+    service = CampaignService(max_parallel_jobs=args.jobs)
+    server = ServiceServer(service, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"campaign service listening on {host}:{port} "
+          f"({args.jobs} parallel job(s); line-JSON protocol, "
+          "see docs/service.md; Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.close()
+        service.shutdown(wait=False)
+    return 0
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
@@ -440,14 +512,14 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     fuzz_parser = commands.add_parser("fuzz", help="run a fuzzing campaign")
-    _add_target_arguments(fuzz_parser)
+    add_engine_options(fuzz_parser)
     fuzz_parser.set_defaults(handler=cmd_fuzz)
 
     campaign_parser = commands.add_parser(
         "campaign",
         help="run a fuzzing campaign sharded over worker processes",
     )
-    _add_target_arguments(campaign_parser)
+    add_engine_options(campaign_parser)
     campaign_parser.add_argument(
         "-w", "--workers", type=_positive_int, default=4,
         help="worker processes to fan shards out over",
@@ -462,55 +534,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="cancel remaining shards once one finds a confirmed "
         "violation instead of draining the full budget",
     )
+    _add_journal_options(campaign_parser)
     campaign_parser.set_defaults(handler=cmd_campaign)
 
     sweep_parser = commands.add_parser(
         "sweep",
         help="run a campaign grid over arch x contract x cpu",
     )
-    sweep_parser.add_argument(
-        "--arch", type=_axis_list, default=["x86_64"],
-        help="comma-separated ISA backends, e.g. x86_64,aarch64",
-    )
-    sweep_parser.add_argument(
-        "--contract", type=_axis_list, default=["CT-SEQ"],
-        help="comma-separated contracts, e.g. CT-SEQ,CT-COND",
-    )
-    sweep_parser.add_argument(
-        "--cpu", type=_axis_list, default=["skylake"],
-        help="comma-separated CPU presets, e.g. skylake,coffee-lake",
-    )
-    sweep_parser.add_argument("-s", "--subsets", default="AR+MEM+CB",
-                              help="instruction subsets, e.g. AR+MEM+CB")
-    sweep_parser.add_argument("-m", "--mode", default="P+P",
-                              help="executor mode (P+P, F+R, E+R, ...)")
-    sweep_parser.add_argument("-n", "--num-test-cases", type=int, default=100,
-                              help="test-case budget per grid cell")
+    add_engine_options(sweep_parser, axes=True, budget_default=100)
     sweep_parser.add_argument(
         "--total-budget", type=_positive_int, default=None,
         help="grid-wide budget split over the cells (overrides -n)",
-    )
-    sweep_parser.add_argument("-i", "--inputs", type=int, default=50,
-                              help="inputs per test case")
-    sweep_parser.add_argument("-e", "--entropy", type=int, default=2,
-                              help="PRNG entropy bits")
-    sweep_parser.add_argument("--timeout", type=float, default=None,
-                              help="wall-clock budget per shard in seconds")
-    sweep_parser.add_argument("--analyzer", default="subset",
-                              choices=("subset", "strict"))
-    sweep_parser.add_argument("--pages", type=int, default=1,
-                              help="sandbox pages used by generated code")
-    sweep_parser.add_argument("--seed", type=int, default=0,
-                              help="base seed the per-cell seeds derive from")
-    sweep_parser.add_argument(
-        "--prescreen", action="store_true",
-        help="skip test cases the static leak pre-screen proves unable "
-        "to violate, in every cell (repro.analysis.prescreen)",
-    )
-    sweep_parser.add_argument(
-        "--prescreen-safety-rate", type=int, default=20, metavar="N",
-        help="still measure every Nth pre-screened case per shard; a "
-        "violation on one of them fails the run (0 disables sampling)",
     )
     sweep_parser.add_argument(
         "-w", "--workers", type=_positive_int, default=1,
@@ -530,39 +564,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--first-violation", action="store_true",
         help="cancel each cell's remaining shards at its first violation",
     )
-    sweep_parser.add_argument("--no-battery-eval", action="store_true",
-                              help="collect contract traces input by input "
-                              "instead of battery-batched, in every cell")
-    sweep_parser.add_argument("--no-masked-fusion", action="store_true",
-                              help="disable the masked-access fusion pass "
-                              "over compiled programs, in every cell")
-    sweep_parser.add_argument("--cache", action="store_true",
-                              help="memoize contract traces in memory")
-    sweep_parser.add_argument("--cache-entries", type=_positive_int,
-                              default=65536,
-                              help="LRU capacity of the trace cache")
     sweep_parser.add_argument(
-        "--cache-dir", default=None,
-        help="persistent trace cache shared by every cell and shard "
-        "worker of the sweep (and by later runs)",
+        "--schedule", default="static",
+        choices=("static", "work-stealing"),
+        help="cell scheduler: 'static' fans whole cells out over "
+        "--parallel-cells processes; 'work-stealing' drains all cells' "
+        "shard-sized units from one shared queue, so workers finishing "
+        "cheap cells steal pending units of expensive ones (reports "
+        "are byte-identical either way)",
     )
-    sweep_parser.add_argument(
-        "--cache-max-bytes", type=_positive_int, default=None,
-        help="disk-footprint bound of the persistent trace cache; "
-        "least-recently-used entries are garbage-collected once the "
-        "bound is exceeded",
-    )
-    sweep_parser.add_argument(
-        "--cache-compress", action="store_true",
-        help="zlib-compress persistent trace-cache entries (transparent "
-        "to uncompressed legacy entries)",
-    )
-    sweep_parser.add_argument(
-        "--corpus-dir", default=None,
-        help="persist every cell's confirmed violations into this "
-        "directory as replayable records (repro.corpus); concurrent "
-        "cells and shard workers append safely (atomic publish)",
-    )
+    _add_journal_options(sweep_parser)
     sweep_parser.add_argument("--json", default=None, metavar="PATH",
                               help="write the full sweep report as JSON")
     sweep_parser.set_defaults(handler=cmd_sweep)
@@ -570,7 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
     minimize_parser = commands.add_parser(
         "minimize", help="fuzz until a violation, then minimize it"
     )
-    _add_target_arguments(minimize_parser)
+    add_engine_options(minimize_parser)
     minimize_parser.add_argument(
         "--advise-fences", action="store_true",
         help="probe fence positions in the order the static fence "
@@ -597,32 +608,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--arch", default=None, choices=architecture_names(),
         help="replay only the records targeting this ISA backend",
     )
-    replay_parser.add_argument(
-        "--no-battery-eval", action="store_true",
-        help="replay through the per-input engine instead of "
-        "battery-batched; verdicts and digests are byte-identical",
-    )
-    replay_parser.add_argument(
-        "--no-masked-fusion", action="store_true",
-        help="replay with the masked-access fusion pass disabled; "
-        "verdicts and digests are byte-identical",
-    )
-    replay_parser.add_argument(
-        "--no-dead-flags", action="store_true",
-        help="replay with the dead-flag elimination pass disabled; "
-        "verdicts and digests are byte-identical",
-    )
-    replay_parser.add_argument(
-        "--interpretive", action="store_true",
-        help="replay through the interpretive emulator instead of the "
-        "compile-once IR; verdicts and digests are byte-identical",
-    )
+    add_engine_knob_options(replay_parser)
     replay_parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the corpus_replay report section as JSON "
         "(schema-checked by tools/check_bench_json.py)",
     )
     replay_parser.set_defaults(handler=cmd_replay)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="serve the campaign service over a local socket "
+        "(line-JSON job protocol, see docs/service.md)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (loopback by default)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to listen on (0 picks an ephemeral port, "
+        "printed on startup)",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="jobs allowed to run concurrently; excess submissions "
+        "queue as pending",
+    )
+    serve_parser.set_defaults(handler=cmd_serve)
 
     reproduce_parser = commands.add_parser(
         "reproduce", help="run a handwritten gadget from the gallery"

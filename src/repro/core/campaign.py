@@ -38,6 +38,15 @@ pickled reports.
   scheduling, so first-violation campaigns trade the full mode's
   merged-report invariance for wall-clock savings.
 
+- **Checkpoint/resume.** With a ``journal_dir``, every completed shard
+  report is published atomically to a :class:`~repro.core.journal.
+  CampaignJournal`; ``resume=True`` replays the journaled shards and
+  dispatches only the missing ones, so a campaign killed mid-run
+  finishes with the exact merged report (and
+  :meth:`CampaignReport.report_digest`) of an uninterrupted run.
+  Journaling requires ``mode="full"`` — first-violation shard reports
+  depend on cancel timing and are not replayable.
+
 A wall-clock budget (``timeout_seconds``) bounds each *shard*
 individually, so the campaign's wall time can reach ``timeout x
 ceil(shards / workers)`` when workers are scarce — and because a
@@ -49,14 +58,18 @@ Budget-bound campaigns (``-n`` only) keep the full guarantee.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import multiprocessing
 import time
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import FuzzerConfig
 from repro.core.fuzzer import Fuzzer, FuzzingReport
+from repro.core.journal import CampaignJournal, campaign_payload
 from repro.core.patterns import PatternCoverage
+from repro.core.trace_cache import program_fingerprint
 from repro.core.violation import Violation
 
 _MASK64 = (1 << 64) - 1
@@ -219,6 +232,51 @@ class CampaignReport:
             return 0.0
         return self.merged.duration_seconds / self.wall_seconds
 
+    def deterministic_report(self) -> Dict[str, Any]:
+        """The campaign outcome minus anything scheduling-dependent.
+
+        Wall-clock times, worker counts and cache counters are excluded,
+        so for budget-bound full-mode campaigns this dict — and therefore
+        :meth:`report_digest` — is identical across runs, worker counts,
+        and whether the campaign ran straight through or was killed and
+        resumed from its journal.
+        """
+        merged = self.merged
+        violation = merged.violation
+        report: Dict[str, Any] = {
+            "shards": self.shards,
+            "mode": self.mode,
+            "test_cases": merged.test_cases,
+            "inputs_tested": merged.inputs_tested,
+            "prescreened_inert": merged.prescreened_inert,
+            "patterns_covered": (
+                len(merged.coverage.covered) if merged.coverage else 0
+            ),
+            "found": self.found,
+            "winning_shard": self.winning_shard,
+            "violation": None,
+        }
+        if violation is not None:
+            report["violation"] = {
+                "classification": violation.classification,
+                "program_fingerprint": program_fingerprint(
+                    violation.program, violation.arch_name
+                ),
+                "positions": [violation.position_a, violation.position_b],
+                "test_cases_until_found": violation.test_cases_until_found,
+                "inputs_until_found": violation.inputs_until_found,
+            }
+        return report
+
+    def report_digest(self) -> str:
+        """sha1 over the canonical deterministic report — the equality
+        token the kill-and-resume gate compares."""
+        canonical = json.dumps(
+            self.deterministic_report(), sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
+
     def summary(self) -> str:
         found = (
             f"VIOLATION in shard {self.winning_shard} "
@@ -259,6 +317,8 @@ class CampaignRunner:
         shards: Optional[int] = None,
         start_method: Optional[str] = None,
         mode: str = "full",
+        journal_dir: Optional[str] = None,
+        resume: bool = False,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -273,6 +333,16 @@ class CampaignRunner:
                 f"unknown campaign mode {mode!r}; expected one of {self.MODES}"
             )
         self.mode = mode
+        if resume and journal_dir is None:
+            raise ValueError("resume requires a journal directory")
+        if journal_dir is not None and mode != "full":
+            raise ValueError(
+                "journaling requires mode='full': first-violation shard "
+                "reports depend on cancel timing, so checkpoints would not "
+                "be replayable"
+            )
+        self.journal_dir = journal_dir
+        self.resume = resume
 
     def _context(self):
         if self.start_method is not None:
@@ -284,17 +354,7 @@ class CampaignRunner:
         if self.mode == "first-violation":
             results = self._run_first_violation()
         else:
-            tasks = [
-                (index, shard_fuzzer_config(self.config, index, self.shards))
-                for index in range(self.shards)
-            ]
-            if self.workers == 1:
-                results = [_run_shard(task) for task in tasks]
-            else:
-                with self._context().Pool(
-                    min(self.workers, self.shards)
-                ) as pool:
-                    results = pool.map(_run_shard, tasks)
+            results = self._run_full()
         wall_seconds = time.perf_counter() - start
         results.sort(key=lambda item: item[0])
         shard_reports = [report for _, report in results]
@@ -307,6 +367,49 @@ class CampaignRunner:
             wall_seconds=wall_seconds,
             mode=self.mode,
         )
+
+    def _run_full(self) -> List[Tuple[int, FuzzingReport]]:
+        """Full-budget mode, optionally checkpointing each completed
+        shard to the journal and replaying finished shards on resume."""
+        journal: Optional[CampaignJournal] = None
+        replayed: Dict[int, FuzzingReport] = {}
+        if self.journal_dir is not None:
+            journal = CampaignJournal(self.journal_dir)
+            journal.open(
+                campaign_payload(self.config, self.shards, self.mode),
+                resume=self.resume,
+            )
+            if self.resume:
+                replayed = {
+                    shard: report
+                    for (cell, shard), report in journal.completed().items()
+                    if cell == 0 and 0 <= shard < self.shards
+                }
+        tasks = [
+            (index, shard_fuzzer_config(self.config, index, self.shards))
+            for index in range(self.shards)
+            if index not in replayed
+        ]
+        results: List[Tuple[int, FuzzingReport]] = list(replayed.items())
+        if not tasks:
+            return results
+        if self.workers == 1:
+            for task in tasks:
+                result = _run_shard(task)
+                if journal is not None:
+                    journal.record(0, result[0], result[1])
+                results.append(result)
+        elif journal is not None:
+            # unordered so each checkpoint lands the moment its shard
+            # finishes, not when the slowest earlier shard does
+            with self._context().Pool(min(self.workers, len(tasks))) as pool:
+                for result in pool.imap_unordered(_run_shard, tasks):
+                    journal.record(0, result[0], result[1])
+                    results.append(result)
+        else:
+            with self._context().Pool(min(self.workers, len(tasks))) as pool:
+                results.extend(pool.map(_run_shard, tasks))
+        return results
 
     def _run_first_violation(self) -> List[Tuple[int, FuzzingReport]]:
         """Run shards with an early-cancel signal set on the first
@@ -360,10 +463,13 @@ def run_campaign(
     workers: int = 4,
     shards: Optional[int] = None,
     mode: str = "full",
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> CampaignReport:
     """Convenience one-call parallel campaign."""
     return CampaignRunner(
-        config, workers=workers, shards=shards, mode=mode
+        config, workers=workers, shards=shards, mode=mode,
+        journal_dir=journal_dir, resume=resume,
     ).run()
 
 

@@ -34,6 +34,19 @@ x86-64 next to DSB/ISB-bounded speculation on AArch64.
   the same ``(arch, contract)`` pair emulate each trace once; a
   ``trace_cache_max_bytes`` bound on the base config arms the cache's
   size-bounded GC, which the runner also finalizes after the grid.
+- ``schedule="work-stealing"`` replaces the static per-cell fan-out
+  with a shared unit queue: every cell is decomposed into its
+  shard-sized work units up front, and a flat pool of long-lived
+  workers drains the queue, so workers finishing a cheap cell's units
+  steal the pending units of expensive ones instead of idling. Unit
+  seeds/budgets come from the same
+  :func:`~repro.core.campaign.shard_fuzzer_config` derivation the
+  static path uses, so merged cell reports are byte-identical to the
+  static scheduler's. A ``journal_dir`` checkpoints each completed
+  unit atomically (:class:`~repro.core.journal.CampaignJournal`);
+  ``resume=True`` replays journaled units and dispatches only the
+  missing ones, and a worker that dies mid-unit is respawned with its
+  unit requeued rather than failing the sweep.
 - :class:`SweepReport` renders as JSON and as a markdown matrix (one
   ``contract x cpu`` table per architecture). The per-cell
   ``deterministic_report()`` dicts exclude wall-clock and cache
@@ -52,6 +65,7 @@ from __future__ import annotations
 import hashlib
 import json
 import multiprocessing
+import multiprocessing.connection
 import queue as queue_module
 import signal
 import sys
@@ -68,9 +82,13 @@ from repro.core.campaign import (
     CampaignRunner,
     default_start_context,
     derive_shard_seed,
+    merge_reports,
     shard_budgets,
+    shard_fuzzer_config,
 )
 from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import Fuzzer, FuzzingReport
+from repro.core.journal import CampaignJournal, sweep_payload
 from repro.core.trace_cache import PersistentTraceCache, program_fingerprint
 from repro.uarch.config import preset_names
 
@@ -157,6 +175,60 @@ def _run_cell_worker(task, result_queue) -> None:
         result_queue.put((index, traceback.format_exc(), None))
     else:
         result_queue.put((index, None, report))
+
+
+def _run_unit(config: FuzzerConfig) -> FuzzingReport:
+    """One work-stealing unit: a single shard's fuzzing run.
+
+    Module-level (rather than inline in the worker loop) so fork-based
+    tests can intercept it to simulate worker death mid-unit.
+    """
+    return Fuzzer(config).run()
+
+
+def _steal_worker(worker_id, conn) -> None:
+    """Process entry point for one work-stealing worker.
+
+    Pulls ``(cell_index, shard_index, config)`` units off its private
+    duplex pipe until the ``None`` sentinel (or the parent hangs up),
+    shipping ``(worker_id, cell_index, shard_index, error, report)``
+    back for each. Unlike the static cell workers, these processes are
+    long-lived across many units — stealing is cheap because only the
+    pickled config travels, never a process spawn.
+
+    The pipe is deliberately *not* a ``multiprocessing.Queue``: queue
+    puts spool through a feeder thread holding a write lock shared by
+    every worker, so a worker killed mid-unit could take that lock to
+    its grave and wedge all its siblings. Here each result is sent
+    synchronously from this thread over a pipe nobody else writes, so
+    a death inside :func:`_run_unit` holds no shared state at all —
+    the parent just sees EOF on this worker's pipe.
+    """
+    # Same SIGTERM discipline as _run_cell_worker: unwind instead of
+    # dying mid-cleanup when the scheduler tears the pool down.
+    try:
+        signal.signal(signal.SIGTERM, lambda *_args: sys.exit(1))
+    except (ValueError, OSError):  # pragma: no cover - exotic platform
+        pass
+    while True:
+        try:
+            task = conn.recv()
+        except EOFError:  # parent died mid-dispatch
+            return
+        if task is None:
+            return
+        cell_index, shard_index, config = task
+        try:
+            report = _run_unit(config)
+        except SystemExit:
+            raise
+        except BaseException:
+            conn.send(
+                (worker_id, cell_index, shard_index,
+                 traceback.format_exc(), None)
+            )
+        else:
+            conn.send((worker_id, cell_index, shard_index, None, report))
 
 
 @dataclass
@@ -352,6 +424,11 @@ class SweepReport:
     max_parallel_cells: int = 1
     #: shard workers each cell actually ran with (the budgeted count)
     cell_workers: int = 1
+    #: scheduler that placed the work ("static" | "work-stealing");
+    #: scheduling only — cell reports are byte-identical either way
+    schedule: str = "static"
+    #: size of the shared work-stealing pool (``None`` under static)
+    steal_workers: Optional[int] = None
     #: disk entries / bytes the trace-cache GC evicted across the sweep
     #: (cells' own passes plus the runner's finalizing pass)
     trace_cache_gc_evictions: int = 0
@@ -434,6 +511,8 @@ class SweepReport:
             "scheduling": {
                 "max_parallel_cells": self.max_parallel_cells,
                 "cell_workers": self.cell_workers,
+                "schedule": self.schedule,
+                "steal_workers": self.steal_workers,
             },
             "trace_cache": {
                 "disk_hits": self.trace_cache_disk_hits,
@@ -454,6 +533,14 @@ class SweepReport:
             indent=2,
             sort_keys=True,
         ) + "\n"
+
+    def report_digest(self) -> str:
+        """sha1 over :meth:`cell_reports_json` — the sweep-level analogue
+        of :meth:`CampaignReport.report_digest`, equal across schedulers,
+        worker counts, and kill-and-resume."""
+        return hashlib.sha1(
+            self.cell_reports_json().encode("utf-8")
+        ).hexdigest()
 
     def summary(self) -> str:
         cache = (
@@ -485,16 +572,45 @@ class SweepRunner:
     footprint, with a finalizing GC pass after the grid.
     """
 
+    SCHEDULES = ("static", "work-stealing")
+    #: how many times one unit may be re-dispatched after its worker died
+    MAX_UNIT_RETRIES = 2
+
     def __init__(
         self,
         spec: SweepSpec,
         cache_dir: Optional[str] = None,
         max_parallel_cells: int = 1,
+        schedule: str = "static",
+        journal_dir: Optional[str] = None,
+        resume: bool = False,
     ):
         if max_parallel_cells < 1:
             raise ValueError("max_parallel_cells must be >= 1")
+        if schedule not in self.SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {schedule!r}; "
+                f"expected one of {self.SCHEDULES}"
+            )
+        if schedule == "work-stealing" and spec.mode != "full":
+            raise ValueError(
+                "work-stealing requires mode='full': first-violation "
+                "cancel timing depends on shard placement, which stealing "
+                "deliberately randomizes across cells"
+            )
+        if resume and journal_dir is None:
+            raise ValueError("resume requires a journal directory")
+        if journal_dir is not None and schedule != "work-stealing":
+            raise ValueError(
+                "sweep journaling requires schedule='work-stealing' "
+                "(static cells run whole campaigns inside opaque workers, "
+                "so there is no per-shard completion to checkpoint)"
+            )
         self.spec = spec
         self.max_parallel_cells = max_parallel_cells
+        self.schedule = schedule
+        self.journal_dir = journal_dir
+        self.resume = resume
         self.cache_dir = (
             cache_dir
             if cache_dir is not None
@@ -527,7 +643,10 @@ class SweepRunner:
             )
         pairs = self.cell_configs()
         parallel = min(self.max_parallel_cells, len(pairs))
-        if parallel <= 1:
+        steal_workers: Optional[int] = None
+        if self.schedule == "work-stealing":
+            results, steal_workers = self._run_workstealing(pairs, progress)
+        elif parallel <= 1:
             results = self._run_sequential(pairs, progress)
         else:
             results = self._run_parallel(pairs, parallel, progress)
@@ -557,6 +676,8 @@ class SweepRunner:
             cache_dir=self.cache_dir,
             max_parallel_cells=self.max_parallel_cells,
             cell_workers=cell_worker_budget(self.spec.workers, parallel),
+            schedule=self.schedule,
+            steal_workers=steal_workers,
             trace_cache_gc_evictions=gc_evictions,
             trace_cache_gc_bytes=gc_bytes,
             trace_cache_disk_bytes=disk_bytes,
@@ -657,16 +778,286 @@ class SweepRunner:
                 process.join()
         return results
 
+    # -- work-stealing -----------------------------------------------------
+
+    def _steal_pool_size(self) -> int:
+        """Same host budget the static scheduler gets: ``workers``
+        processes when cells run one at a time, ``max_parallel_cells``
+        when the grid fans out — whichever is larger."""
+        return max(self.spec.workers, self.max_parallel_cells)
+
+    def _resolved_shards(self) -> int:
+        """The shard partition, pinned exactly like the static parallel
+        path pins it — this is what keeps the two schedulers
+        byte-identical."""
+        return (
+            self.spec.shards
+            if self.spec.shards is not None
+            else self.spec.workers
+        )
+
+    def _run_workstealing(
+        self, pairs, progress
+    ) -> Tuple[List[SweepCellResult], int]:
+        """Decompose every cell into shard-sized units on one shared
+        queue and drain it with a flat worker pool.
+
+        Units carry their own :func:`~repro.core.campaign.
+        shard_fuzzer_config`-derived seed and budget, so *which* worker
+        runs a unit (the stealing) is pure scheduling: once a cell's
+        shard reports are all in, merging them in shard order
+        reproduces the static scheduler's campaign report byte for
+        byte. Workers that finish a cheap cell's units immediately pull
+        pending units of expensive cells instead of idling.
+
+        With a journal, each completed unit is checkpointed atomically,
+        and ``resume`` replays journaled units instead of re-running
+        them. Returns ``(results, pool_size)``.
+        """
+        shards = self._resolved_shards()
+        units: List[Tuple[int, int, FuzzerConfig]] = []
+        for cell_index, (_cell, config) in enumerate(pairs):
+            for shard_index in range(shards):
+                units.append(
+                    (
+                        cell_index,
+                        shard_index,
+                        shard_fuzzer_config(config, shard_index, shards),
+                    )
+                )
+
+        journal: Optional[CampaignJournal] = None
+        shard_reports: Dict[int, Dict[int, FuzzingReport]] = {
+            index: {} for index in range(len(pairs))
+        }
+        if self.journal_dir is not None:
+            journal = CampaignJournal(self.journal_dir)
+            journal.open(sweep_payload(self.spec, shards), resume=self.resume)
+            if self.resume:
+                for (cell, shard), report in journal.completed().items():
+                    if 0 <= cell < len(pairs) and 0 <= shard < shards:
+                        shard_reports[cell][shard] = report
+
+        pool_size = self._steal_pool_size()
+        start = time.perf_counter()
+        results: List[Optional[SweepCellResult]] = [None] * len(pairs)
+
+        def finish_cell(cell_index: int) -> None:
+            cell, config = pairs[cell_index]
+            reports = [
+                shard_reports[cell_index][index] for index in range(shards)
+            ]
+            merged, winner = merge_reports(reports)
+            campaign = CampaignReport(
+                merged=merged,
+                shard_reports=reports,
+                winning_shard=winner,
+                workers=pool_size,
+                wall_seconds=time.perf_counter() - start,
+                mode="full",
+            )
+            results[cell_index] = SweepCellResult(cell, config.seed, campaign)
+            if progress is not None:
+                progress(cell, campaign)
+
+        # cells fully replayed from the journal finish before any worker
+        # spawns; a complete journal means zero units dispatched
+        for cell_index in range(len(pairs)):
+            if len(shard_reports[cell_index]) == shards:
+                finish_cell(cell_index)
+
+        pending = deque(
+            unit
+            for unit in units
+            if unit[1] not in shard_reports[unit[0]]
+        )
+        if pending:
+            if min(pool_size, len(pending)) <= 1:
+                # one process total: run units inline, same order
+                while pending:
+                    cell_index, shard_index, config = pending.popleft()
+                    report = _run_unit(config)
+                    if journal is not None:
+                        journal.record(cell_index, shard_index, report)
+                    shard_reports[cell_index][shard_index] = report
+                    if len(shard_reports[cell_index]) == shards:
+                        finish_cell(cell_index)
+            else:
+                self._steal_loop(
+                    pairs, pending, pool_size, journal,
+                    shard_reports, shards, finish_cell,
+                )
+        return results, pool_size
+
+    def _steal_loop(
+        self, pairs, pending, pool_size, journal,
+        shard_reports, shards, finish_cell,
+    ) -> None:
+        """The shared-queue scheduler: dispatch units to long-lived
+        workers, requeue and respawn on worker death.
+
+        Each worker gets a private duplex pipe; the parent hands an
+        idle worker the next pending unit the moment its previous
+        result arrives, so the parent always knows which unit every
+        worker holds. That bookkeeping is what turns PR 4's liveness
+        detection from fail-fast into self-healing, and the per-worker
+        pipes are what make it *sound*: a worker that dies mid-unit
+        (OOM, signal) shows up as EOF on its own pipe, its unit is
+        pushed back onto the queue and a replacement process spawned,
+        up to :attr:`MAX_UNIT_RETRIES` per unit. Because no pipe is
+        shared between workers, one death can never strand another
+        worker's results behind a leaked queue lock or a half-spooled
+        message.
+        """
+        context = default_start_context()
+        #: worker id -> {"process", "conn", "unit"} for live workers
+        workers: Dict[int, Dict[str, object]] = {}
+        finished: List[multiprocessing.Process] = []
+        retries: Dict[Tuple[int, int], int] = {}
+        next_worker_id = 0
+
+        def spawn() -> int:
+            nonlocal next_worker_id
+            worker_id = next_worker_id
+            next_worker_id += 1
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_steal_worker, args=(worker_id, child_conn)
+            )
+            process.start()
+            # close the parent's copy so the worker's death is the only
+            # thing that can EOF this pipe
+            child_conn.close()
+            workers[worker_id] = {
+                "process": process, "conn": parent_conn, "unit": None,
+            }
+            return worker_id
+
+        def retire(worker_id: int) -> None:
+            # no work left: stop the worker (a later death-requeue
+            # spawns a fresh replacement, so nothing is stranded)
+            state = workers.pop(worker_id)
+            try:
+                state["conn"].send(None)
+            except (BrokenPipeError, OSError):
+                pass  # already dead with no unit: nothing lost
+            state["conn"].close()
+            finished.append(state["process"])
+
+        def reap(worker_id: int) -> None:
+            # a worker died: requeue its unit onto a fresh process
+            # instead of failing the sweep
+            state = workers.pop(worker_id)
+            process = state["process"]
+            process.join()
+            finished.append(process)
+            state["conn"].close()
+            unit = state["unit"]
+            if unit is None:
+                return
+            key = (unit[0], unit[1])
+            retries[key] = retries.get(key, 0) + 1
+            if retries[key] > self.MAX_UNIT_RETRIES:
+                raise RuntimeError(
+                    f"sweep cell {pairs[unit[0]][0].label} "
+                    f"shard {unit[1]} worker died "
+                    f"{retries[key]} times (last exit code "
+                    f"{process.exitcode}); giving up"
+                )
+            pending.appendleft(unit)
+            dispatch(spawn())
+
+        def dispatch(worker_id: int) -> None:
+            if not pending:
+                retire(worker_id)
+                return
+            state = workers[worker_id]
+            unit = pending.popleft()
+            state["unit"] = unit
+            try:
+                state["conn"].send(unit)
+            except (BrokenPipeError, OSError):
+                # died between its last result and this dispatch
+                reap(worker_id)
+
+        outstanding = len(pending)
+        try:
+            for _ in range(min(pool_size, len(pending))):
+                dispatch(spawn())
+            while outstanding > 0:
+                conn_map = {
+                    state["conn"]: worker_id
+                    for worker_id, state in workers.items()
+                }
+                ready = multiprocessing.connection.wait(
+                    list(conn_map), timeout=1.0
+                )
+                if not ready:
+                    # heartbeat sweep: EOF wakeups already cover every
+                    # normal death, this is belt and braces
+                    for worker_id, state in list(workers.items()):
+                        if not state["process"].is_alive():
+                            reap(worker_id)
+                    continue
+                for conn in ready:
+                    worker_id = conn_map[conn]
+                    state = workers.get(worker_id)
+                    if state is None:
+                        continue  # reaped earlier in this batch
+                    try:
+                        _sender, cell_index, shard_index, error, report = (
+                            conn.recv()
+                        )
+                    except (EOFError, OSError):
+                        reap(worker_id)
+                        continue
+                    state["unit"] = None
+                    if error is not None:
+                        raise RuntimeError(
+                            f"sweep cell {pairs[cell_index][0].label} shard "
+                            f"{shard_index} failed in its worker:\n{error}"
+                        )
+                    if shard_index not in shard_reports[cell_index]:
+                        if journal is not None:
+                            journal.record(cell_index, shard_index, report)
+                        shard_reports[cell_index][shard_index] = report
+                        outstanding -= 1
+                        if len(shard_reports[cell_index]) == shards:
+                            finish_cell(cell_index)
+                    # else: defensive duplicate drop — identical bytes
+                    # either way, recording once keeps merges exact
+                    dispatch(worker_id)
+        except BaseException:
+            for state in workers.values():
+                process = state["process"]
+                if process.is_alive():
+                    process.terminate()
+            raise
+        finally:
+            for state in workers.values():
+                state["conn"].close()
+                state["process"].join()
+            for process in finished:
+                process.join()
+
 
 def run_sweep(
     spec: SweepSpec,
     cache_dir: Optional[str] = None,
     progress=None,
     max_parallel_cells: int = 1,
+    schedule: str = "static",
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> SweepReport:
     """Convenience one-call grid sweep."""
     return SweepRunner(
-        spec, cache_dir=cache_dir, max_parallel_cells=max_parallel_cells
+        spec,
+        cache_dir=cache_dir,
+        max_parallel_cells=max_parallel_cells,
+        schedule=schedule,
+        journal_dir=journal_dir,
+        resume=resume,
     ).run(progress=progress)
 
 

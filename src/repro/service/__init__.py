@@ -1,0 +1,31 @@
+"""Job-queue front end: campaigns as requests, not shell sessions.
+
+- :class:`CampaignService` — in-process job queue: ``submit(spec) ->
+  job_id``, ``status(job_id)``, ``results(job_id)`` streaming
+  incremental events (state changes, per-cell completions, violation
+  records, the final report summary).
+- :class:`ServiceServer` / :class:`ServiceClient` — the same API over
+  a loopback TCP socket speaking a line-JSON protocol (the ``serve``
+  subcommand); see docs/service.md for the wire format.
+"""
+
+from repro.service.jobs import (
+    JOB_KINDS,
+    CampaignService,
+    Job,
+    JobSpec,
+    violation_record,
+)
+from repro.service.server import ServiceServer
+from repro.service.client import ServiceClient, ServiceError
+
+__all__ = [
+    "JOB_KINDS",
+    "CampaignService",
+    "Job",
+    "JobSpec",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "violation_record",
+]

@@ -1,0 +1,89 @@
+"""Line-JSON client for the campaign service socket protocol."""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.service.jobs import JobSpec
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``{"ok": false, ...}``."""
+
+
+class ServiceClient:
+    """Talks the docs/service.md wire protocol to a running ``serve``."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0,
+        timeout: Optional[float] = 120.0,
+    ) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._socket.makefile("rwb")
+
+    # -- plumbing -----------------------------------------------------
+
+    def _send(self, payload: Dict[str, Any]) -> None:
+        self._file.write(
+            json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        )
+        self._file.flush()
+
+    def _read(self) -> Dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        response = json.loads(line.decode("utf-8"))
+        if not isinstance(response, dict):
+            raise ServiceError(f"malformed response: {response!r}")
+        if not response.get("ok", False):
+            raise ServiceError(response.get("error", "unknown error"))
+        return response
+
+    def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self._send(payload)
+        return self._read()
+
+    # -- operations ---------------------------------------------------
+
+    def ping(self) -> bool:
+        return self._request({"op": "ping"}).get("op") == "ping"
+
+    def submit(self, spec: Any) -> str:
+        """Submit a :class:`JobSpec` (or its dict form); returns job id."""
+        if isinstance(spec, JobSpec):
+            spec = spec.to_dict()
+        return self._request({"op": "submit", "spec": spec})["job_id"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request({"op": "status", "job_id": job_id})["status"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request({"op": "jobs"})["jobs"]
+
+    def results(
+        self, job_id: str, wait: bool = True, start: int = 0
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream the job's events until the server's ``end`` marker."""
+        self._send(
+            {"op": "results", "job_id": job_id, "wait": wait, "start": start}
+        )
+        while True:
+            response = self._read()
+            if response.get("end"):
+                return
+            yield response["event"]
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()

@@ -1,0 +1,357 @@
+"""The in-process campaign service: job specs, jobs, and the queue.
+
+A :class:`JobSpec` pairs an :class:`~repro.api.EngineOptions` bag with
+the run shape (kind, workers/shards/mode, sweep axes, scheduler,
+journal). :class:`CampaignService` executes submitted specs on a small
+thread pool — each job drives the ordinary multiprocessing engines
+through :mod:`repro.api`, so the processes fan out exactly as the CLI
+subcommands would — and accumulates an append-only event list per job.
+``results()`` streams those events with condition-variable wakeups, so
+a consumer can follow a running campaign live: every violation arrives
+as a self-contained record the moment its cell completes, not when the
+whole grid does.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import traceback
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro import api
+from repro.arch import get_architecture
+from repro.core.trace_cache import program_fingerprint
+from repro.core.violation import Violation
+
+JOB_KINDS = ("fuzz", "campaign", "sweep")
+JOB_STATES = ("pending", "running", "done", "failed")
+
+
+def violation_record(violation: Violation) -> Dict[str, Any]:
+    """A self-contained, JSON-ready description of one violation — the
+    payload ``results()`` streams the moment a violation is confirmed."""
+    arch = get_architecture(violation.arch_name)
+    return {
+        "arch": violation.arch_name,
+        "contract": violation.contract_name,
+        "cpu": violation.cpu_name,
+        "classification": violation.classification,
+        "program_fingerprint": program_fingerprint(
+            violation.program, violation.arch_name
+        ),
+        "program": arch.render_program(violation.program),
+        "positions": [violation.position_a, violation.position_b],
+        "speculation_kinds": sorted(violation.speculation_kinds),
+        "test_cases_until_found": violation.test_cases_until_found,
+        "inputs_until_found": violation.inputs_until_found,
+    }
+
+
+@dataclass
+class JobSpec:
+    """One campaign request: what to run and how to shape it."""
+
+    kind: str = "fuzz"
+    options: api.EngineOptions = field(default_factory=api.EngineOptions)
+    # campaign/sweep shape
+    workers: int = 1
+    shards: Optional[int] = None
+    mode: str = "full"
+    # sweep axes; empty means the options bag's scalar coordinates
+    arches: Tuple[str, ...] = ()
+    contracts: Tuple[str, ...] = ()
+    cpus: Tuple[str, ...] = ()
+    total_budget: Optional[int] = None
+    parallel_cells: int = 1
+    schedule: str = "static"
+    # checkpoint/resume
+    journal_dir: Optional[str] = None
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {self.kind!r}; "
+                f"expected one of {JOB_KINDS}"
+            )
+        if isinstance(self.options, Mapping):
+            self.options = api.EngineOptions.from_dict(self.options)
+        self.arches = tuple(self.arches)
+        self.contracts = tuple(self.contracts)
+        self.cpus = tuple(self.cpus)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["arches"] = list(self.arches)
+        data["contracts"] = list(self.contracts)
+        data["cpus"] = list(self.cpus)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown JobSpec field(s): {', '.join(unknown)}"
+            )
+        return cls(**dict(data))
+
+
+class Job:
+    """One submitted campaign: state, event log, and wakeup plumbing."""
+
+    def __init__(self, job_id: str, spec: JobSpec) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.state = "pending"
+        self.error: Optional[str] = None
+        self.events: List[Dict[str, Any]] = []
+        self.violations = 0
+        self.report_summary: Optional[Dict[str, Any]] = None
+        self.submitted_at = time.time()
+        self.condition = threading.Condition()
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        with self.condition:
+            self.events.append(dict(event, job_id=self.id))
+            self.condition.notify_all()
+
+    def set_state(self, state: str) -> None:
+        assert state in JOB_STATES
+        with self.condition:
+            self.state = state
+        self.emit({"event": "state", "state": state})
+
+    def finish(
+        self,
+        state: str,
+        error: Optional[str] = None,
+        report: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Flip to a terminal state and append the final ``done`` event
+        in one critical section, so a streaming consumer can never see
+        the job finished without its last event."""
+        assert state in ("done", "failed")
+        with self.condition:
+            self.error = error
+            self.report_summary = report
+            self.state = state
+            self.events.append(
+                {
+                    "event": "done",
+                    "state": state,
+                    "error": error,
+                    "report": report,
+                    "job_id": self.id,
+                }
+            )
+            self.condition.notify_all()
+
+    def status(self) -> Dict[str, Any]:
+        with self.condition:
+            return {
+                "job_id": self.id,
+                "kind": self.spec.kind,
+                "state": self.state,
+                "events": len(self.events),
+                "violations": self.violations,
+                "error": self.error,
+                "report": self.report_summary,
+            }
+
+
+class CampaignService:
+    """In-process job queue over the :mod:`repro.api` facade.
+
+    ``max_parallel_jobs`` bounds how many jobs *run* concurrently;
+    submission never blocks — excess jobs queue as ``pending``. Each
+    job still fans out its own worker processes, so size the bound for
+    the host (one running job per core group, typically).
+    """
+
+    def __init__(self, max_parallel_jobs: int = 1) -> None:
+        if max_parallel_jobs < 1:
+            raise ValueError("max_parallel_jobs must be >= 1")
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_parallel_jobs,
+            thread_name_prefix="campaign-job",
+        )
+
+    # -- API ----------------------------------------------------------
+
+    def submit(self, spec: Any) -> str:
+        """Queue one job; returns its id immediately."""
+        if isinstance(spec, Mapping):
+            spec = JobSpec.from_dict(spec)
+        if not isinstance(spec, JobSpec):
+            raise ValueError(
+                f"expected a JobSpec or mapping, got {type(spec).__name__}"
+            )
+        job_id = f"job-{next(self._counter):04d}-{uuid.uuid4().hex[:8]}"
+        job = Job(job_id, spec)
+        with self._lock:
+            self._jobs[job_id] = job
+        self._executor.submit(self._run, job)
+        return job_id
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._get(job_id).status()
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        return [job.status() for job in sorted(jobs, key=lambda j: j.id)]
+
+    def results(
+        self,
+        job_id: str,
+        start: int = 0,
+        wait: bool = True,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield the job's events from index ``start``.
+
+        With ``wait=True`` the iterator follows a running job until its
+        final ``done`` event; with ``wait=False`` it returns whatever
+        has accumulated so far.
+        """
+        job = self._get(job_id)
+        index = max(0, start)
+        while True:
+            with job.condition:
+                while (
+                    wait and index >= len(job.events) and not job.finished
+                ):
+                    job.condition.wait(0.2)
+                batch = list(job.events[index:])
+                drained = job.finished or not wait
+            for event in batch:
+                yield event
+            index += len(batch)
+            if drained and not batch:
+                return
+            if not wait:
+                return
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+
+    # -- execution ----------------------------------------------------
+
+    def _get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job id {job_id!r}") from None
+
+    def _run(self, job: Job) -> None:
+        job.set_state("running")
+        try:
+            runner = {
+                "fuzz": self._run_fuzz,
+                "campaign": self._run_campaign,
+                "sweep": self._run_sweep,
+            }[job.spec.kind]
+            summary = runner(job)
+        except BaseException:
+            job.finish("failed", error=traceback.format_exc())
+        else:
+            job.finish("done", report=summary)
+
+    def _record_violation(
+        self, job: Job, violation: Optional[Violation], **context: Any
+    ) -> None:
+        if violation is None:
+            return
+        with job.condition:
+            job.violations += 1
+        job.emit(
+            {
+                "event": "violation",
+                "record": violation_record(violation),
+                **context,
+            }
+        )
+
+    def _run_fuzz(self, job: Job) -> Dict[str, Any]:
+        report = api.run_fuzz(job.spec.options)
+        self._record_violation(job, report.violation)
+        return {
+            "kind": "fuzz",
+            "found": report.found,
+            "test_cases": report.test_cases,
+            "inputs_tested": report.inputs_tested,
+        }
+
+    def _run_campaign(self, job: Job) -> Dict[str, Any]:
+        spec = job.spec
+        report = api.run_campaign(
+            spec.options,
+            workers=spec.workers,
+            shards=spec.shards,
+            mode=spec.mode,
+            journal_dir=spec.journal_dir,
+            resume=spec.resume,
+        )
+        self._record_violation(
+            job, report.violation, winning_shard=report.winning_shard
+        )
+        return {
+            "kind": "campaign",
+            "found": report.found,
+            "test_cases": report.merged.test_cases,
+            "inputs_tested": report.merged.inputs_tested,
+            "shards": report.shards,
+            "digest": report.report_digest(),
+        }
+
+    def _run_sweep(self, job: Job) -> Dict[str, Any]:
+        spec = job.spec
+
+        def progress(cell, campaign) -> None:
+            job.emit(
+                {
+                    "event": "cell",
+                    "cell": cell.label,
+                    "found": campaign.found,
+                    "test_cases": campaign.merged.test_cases,
+                }
+            )
+            self._record_violation(
+                job, campaign.violation, cell=cell.label
+            )
+
+        report = api.run_sweep(
+            spec.options,
+            arches=spec.arches,
+            contracts=spec.contracts,
+            cpus=spec.cpus,
+            workers=spec.workers,
+            shards=spec.shards,
+            mode=spec.mode,
+            total_budget=spec.total_budget,
+            parallel_cells=spec.parallel_cells,
+            schedule=spec.schedule,
+            journal_dir=spec.journal_dir,
+            resume=spec.resume,
+            progress=progress,
+        )
+        return {
+            "kind": "sweep",
+            "cells": len(report.results),
+            "violations_found": report.violations_found,
+            "digest": report.report_digest(),
+        }

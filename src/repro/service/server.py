@@ -1,0 +1,141 @@
+"""Line-JSON socket server for :class:`~repro.service.jobs.CampaignService`.
+
+Wire protocol (documented in docs/service.md): one JSON object per
+line, UTF-8. Every request gets exactly one JSON response line, except
+``results``, which streams one line per job event followed by a
+terminator line ``{"ok": true, "end": true, ...}``. Operations:
+
+- ``{"op": "ping"}``
+- ``{"op": "submit", "spec": {...}}`` -> ``{"ok": true, "job_id": ...}``
+- ``{"op": "status", "job_id": ...}``
+- ``{"op": "jobs"}``
+- ``{"op": "results", "job_id": ..., "wait": true, "start": 0}``
+
+Errors come back as ``{"ok": false, "error": "..."}`` on the same
+line slot a success would use. The server binds loopback by default
+and is threaded: a client blocked streaming a long campaign's results
+does not stall the next client's submit.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.jobs import CampaignService
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                if not self._send({"ok": False, "error": "invalid JSON"}):
+                    return
+            else:
+                if not isinstance(request, dict):
+                    request = {"op": None}
+                if not self._dispatch(request):
+                    return
+
+    def _send(self, payload: Dict[str, Any]) -> bool:
+        """One response line; False when the client hung up."""
+        try:
+            self.wfile.write(
+                json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+            )
+            self.wfile.flush()
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return False
+
+    def _dispatch(self, request: Dict[str, Any]) -> bool:
+        service: CampaignService = self.server.service  # type: ignore
+        op = request.get("op")
+        if op == "ping":
+            return self._send({"ok": True, "op": "ping"})
+        if op == "submit":
+            try:
+                job_id = service.submit(request.get("spec") or {})
+            except (TypeError, ValueError) as error:
+                return self._send({"ok": False, "error": str(error)})
+            return self._send({"ok": True, "job_id": job_id})
+        if op == "status":
+            try:
+                status = service.status(str(request.get("job_id")))
+            except KeyError as error:
+                return self._send({"ok": False, "error": str(error)})
+            return self._send({"ok": True, "status": status})
+        if op == "jobs":
+            return self._send({"ok": True, "jobs": service.jobs()})
+        if op == "results":
+            job_id = str(request.get("job_id"))
+            wait = bool(request.get("wait", True))
+            try:
+                start = int(request.get("start", 0))
+            except (TypeError, ValueError):
+                return self._send({"ok": False, "error": "bad start index"})
+            try:
+                events = service.results(job_id, start=start, wait=wait)
+                count = 0
+                for event in events:
+                    if not self._send({"ok": True, "event": event}):
+                        return False
+                    count += 1
+            except KeyError as error:
+                return self._send({"ok": False, "error": str(error)})
+            return self._send(
+                {"ok": True, "end": True, "job_id": job_id, "events": count}
+            )
+        return self._send({"ok": False, "error": f"unknown op {op!r}"})
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    service: CampaignService
+
+
+class ServiceServer:
+    """A listening campaign service; port 0 picks an ephemeral port."""
+
+    def __init__(
+        self,
+        service: CampaignService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self._server = _Server((host, port), _Handler)
+        self._server.service = service
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return host, port
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever(poll_interval=0.2)
+
+    def start_background(self) -> threading.Thread:
+        """Serve from a daemon thread (tests, embedding)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="campaign-service", daemon=True
+        )
+        thread.start()
+        self._thread = thread
+        return thread
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

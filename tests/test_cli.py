@@ -356,3 +356,99 @@ class TestCorpusPersistingCommands:
         # both the fuzzer's find and the minimized record were persisted
         assert len(os.listdir(corpus)) >= 1
         assert main(["replay", "--corpus", corpus, "--strict"]) == 0
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.jobs == 1
+
+    def test_serve_custom(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "7317", "--jobs", "3"]
+        )
+        assert (args.host, args.port, args.jobs) == ("0.0.0.0", 7317, 3)
+
+    def test_serve_rejects_nonpositive_jobs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--jobs", "0"])
+
+
+class TestJournalCommands:
+    """--journal/--resume through the real CLI."""
+
+    def campaign_argv(self, journal_flag, journal_dir):
+        return [
+            "campaign", "-s", "AR", "-c", "CT-SEQ",
+            "--cpu", "skylake-v4-patched", "-n", "9", "-i", "8",
+            "--seed", "3", "-w", "1", "--shards", "3",
+            journal_flag, journal_dir,
+        ]
+
+    def printed_digest(self, capsys):
+        output = capsys.readouterr().out
+        lines = [
+            line for line in output.splitlines()
+            if line.startswith("report digest: ")
+        ]
+        assert len(lines) == 1
+        return lines[0].removeprefix("report digest: ")
+
+    def test_journal_then_resume_same_digest(self, tmp_path, capsys):
+        journal = str(tmp_path / "ckpt")
+        assert main(self.campaign_argv("--journal", journal)) == 0
+        first = self.printed_digest(capsys)
+        records = sorted((tmp_path / "ckpt").glob("shard-*.pkl"))
+        assert len(records) == 3
+        records[1].unlink()  # simulate a shard lost to a kill
+        assert main(self.campaign_argv("--resume", journal)) == 0
+        assert self.printed_digest(capsys) == first
+
+    def test_journal_and_resume_conflict(self, tmp_path):
+        journal = str(tmp_path / "ckpt")
+        with pytest.raises(SystemExit, match="not both"):
+            main(self.campaign_argv("--journal", journal) + ["--resume", journal])
+
+    def test_resume_with_conflicting_budget_is_an_error(self, tmp_path):
+        journal = str(tmp_path / "ckpt")
+        assert main(self.campaign_argv("--journal", journal)) == 0
+        argv = self.campaign_argv("--resume", journal)
+        argv[argv.index("-n") + 1] = "12"
+        with pytest.raises(SystemExit, match="refusing to mix"):
+            main(argv)
+
+    def test_journal_requires_full_mode(self, tmp_path):
+        journal = str(tmp_path / "ckpt")
+        argv = self.campaign_argv("--journal", journal)
+        with pytest.raises(SystemExit, match="mode='full'"):
+            main(argv + ["--first-violation"])
+
+    def test_sweep_work_stealing_journal_resume(self, tmp_path, capsys):
+        journal = str(tmp_path / "sweep-ckpt")
+
+        def argv(flag):
+            return [
+                "sweep", "--arch", "x86_64", "--contract", "CT-SEQ,CT-COND",
+                "--cpu", "skylake-v4-patched", "-s", "AR", "-n", "6",
+                "-i", "6", "--seed", "3", "--shards", "2",
+                "--parallel-cells", "2", "--schedule", "work-stealing",
+                flag, journal,
+            ]
+
+        assert main(argv("--journal")) == 0
+        first = self.printed_digest(capsys)
+        records = sorted((tmp_path / "sweep-ckpt").glob("shard-*.pkl"))
+        assert len(records) == 4  # 2 cells x 2 shards
+        records[0].unlink()
+        assert main(argv("--resume")) == 0
+        assert self.printed_digest(capsys) == first
+
+    def test_sweep_journal_requires_work_stealing(self, tmp_path):
+        with pytest.raises(SystemExit, match="work-stealing"):
+            main(
+                ["sweep", "--arch", "x86_64", "--contract", "CT-SEQ",
+                 "--cpu", "skylake", "-s", "AR", "-n", "4",
+                 "--journal", str(tmp_path / "ckpt")]
+            )

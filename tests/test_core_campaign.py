@@ -260,3 +260,89 @@ class TestFirstViolationMode:
             assert shard.test_cases <= budget
         if report.cancelled_shards:
             assert "cancelled early" in report.summary()
+
+
+class TestJournal:
+    """Checkpoint/resume: one atomic record per completed shard, spec
+    pinning, and digest-equal resumed reports."""
+
+    def run_journaled(self, tmp_path, resume=False, **config_overrides):
+        return CampaignRunner(
+            quick_config(**config_overrides), workers=1, shards=3,
+            journal_dir=str(tmp_path / "ckpt"), resume=resume,
+        ).run()
+
+    def records(self, tmp_path):
+        return sorted((tmp_path / "ckpt").glob("shard-*.pkl"))
+
+    def test_every_shard_gets_a_record(self, tmp_path):
+        self.run_journaled(tmp_path)
+        names = [path.name for path in self.records(tmp_path)]
+        assert names == [
+            "shard-0000-0000.pkl", "shard-0000-0001.pkl",
+            "shard-0000-0002.pkl",
+        ]
+        assert (tmp_path / "ckpt" / "spec.json").exists()
+
+    def test_complete_journal_resumes_without_rerunning(self, tmp_path):
+        import repro.core.campaign as campaign_module
+
+        first = self.run_journaled(tmp_path)
+
+        def refuse(task):
+            raise AssertionError("journaled shard was re-run")
+
+        real = campaign_module._run_shard
+        campaign_module._run_shard = refuse
+        try:
+            resumed = self.run_journaled(tmp_path, resume=True)
+        finally:
+            campaign_module._run_shard = real
+        assert resumed.report_digest() == first.report_digest()
+
+    def test_partial_journal_resumes_to_the_same_digest(self, tmp_path):
+        first = self.run_journaled(tmp_path)
+        self.records(tmp_path)[1].unlink()
+        resumed = self.run_journaled(tmp_path, resume=True)
+        assert resumed.report_digest() == first.report_digest()
+        assert resumed.merged.test_cases == first.merged.test_cases
+        assert len(self.records(tmp_path)) == 3  # record republished
+
+    def test_torn_record_is_rerun(self, tmp_path):
+        first = self.run_journaled(tmp_path)
+        self.records(tmp_path)[0].write_bytes(b"torn mid-write")
+        resumed = self.run_journaled(tmp_path, resume=True)
+        assert resumed.report_digest() == first.report_digest()
+
+    def test_conflicting_spec_is_a_hard_error(self, tmp_path):
+        from repro.core.journal import JournalMismatch
+
+        self.run_journaled(tmp_path)
+        with pytest.raises(JournalMismatch, match="digest"):
+            self.run_journaled(tmp_path, resume=True, num_test_cases=17)
+
+    def test_engine_knobs_do_not_invalidate_checkpoints(self, tmp_path):
+        # byte-identity knobs are excluded from the spec digest, so a
+        # resume may legally flip them (docs/performance.md)
+        first = self.run_journaled(tmp_path)
+        resumed = self.run_journaled(
+            tmp_path, resume=True, battery_eval=False
+        )
+        assert resumed.report_digest() == first.report_digest()
+
+    def test_resume_requires_a_journal_dir(self):
+        with pytest.raises(ValueError, match="resume requires"):
+            CampaignRunner(quick_config(), resume=True)
+
+    def test_resume_without_a_started_journal(self, tmp_path):
+        from repro.core.journal import JournalMismatch
+
+        with pytest.raises(JournalMismatch, match="cannot resume"):
+            self.run_journaled(tmp_path, resume=True)
+
+    def test_first_violation_mode_refuses_journaling(self, tmp_path):
+        with pytest.raises(ValueError, match="requires mode='full'"):
+            CampaignRunner(
+                quick_config(), mode="first-violation",
+                journal_dir=str(tmp_path / "ckpt"),
+            )

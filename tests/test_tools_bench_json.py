@@ -255,3 +255,79 @@ class TestAgainstRealReports:
         ) == []
         # and the cell-key schema matches what reports actually carry
         assert set(cells[0]) == check_bench_json.CELL_KEYS
+
+
+GOOD_WORKSTEALING = {
+    "workstealing": {
+        "arch": "x86_64",
+        "cores": 4,
+        "cells": [{key: 0 for key in check_bench_json.CELL_KEYS}],
+        "shards_per_cell": 4,
+        "total_units": 16,
+        "steal_workers": 4,
+        "wall_seconds_static": 8.0,
+        "wall_seconds_workstealing": 4.0,
+        "speedup": 2.0,
+        "speedup_gated": True,
+        "reports_equal": True,
+        "resume_digest_equal": True,
+    }
+}
+
+
+class TestWorkStealingSection:
+    def test_valid_section_passes(self, tmp_path):
+        assert check_bench_json.check_file(
+            write(tmp_path, GOOD_WORKSTEALING)
+        ) == []
+
+    def test_missing_keys_rejected(self, tmp_path):
+        errors = check_bench_json.check_file(
+            write(tmp_path, {"workstealing": {"arch": "x86_64"}})
+        )
+        assert errors and any("missing keys" in error for error in errors)
+
+    def test_unequal_reports_rejected(self, tmp_path):
+        payload = json.loads(json.dumps(GOOD_WORKSTEALING))
+        payload["workstealing"]["reports_equal"] = False
+        errors = check_bench_json.check_file(write(tmp_path, payload))
+        assert any("reports_equal" in error for error in errors)
+
+    def test_unequal_resume_digest_rejected(self, tmp_path):
+        payload = json.loads(json.dumps(GOOD_WORKSTEALING))
+        payload["workstealing"]["resume_digest_equal"] = False
+        errors = check_bench_json.check_file(write(tmp_path, payload))
+        assert any("resume_digest_equal" in error for error in errors)
+
+    def test_gated_speedup_below_floor_rejected(self, tmp_path):
+        payload = json.loads(json.dumps(GOOD_WORKSTEALING))
+        payload["workstealing"]["speedup"] = 1.1
+        errors = check_bench_json.check_file(write(tmp_path, payload))
+        assert any("speedup" in error for error in errors)
+
+    def test_ungated_speedup_below_floor_tolerated(self, tmp_path):
+        # on starved runners the gate is advisory; equality still holds
+        payload = json.loads(json.dumps(GOOD_WORKSTEALING))
+        payload["workstealing"]["speedup"] = 0.9
+        payload["workstealing"]["speedup_gated"] = False
+        assert check_bench_json.check_file(write(tmp_path, payload)) == []
+
+    def test_nonpositive_speedup_rejected(self, tmp_path):
+        payload = json.loads(json.dumps(GOOD_WORKSTEALING))
+        payload["workstealing"]["speedup"] = 0
+        payload["workstealing"]["speedup_gated"] = False
+        errors = check_bench_json.check_file(write(tmp_path, payload))
+        assert any("speedup" in error for error in errors)
+
+    def test_degenerate_unit_count_rejected(self, tmp_path):
+        # one unit total means nothing could ever be stolen
+        payload = json.loads(json.dumps(GOOD_WORKSTEALING))
+        payload["workstealing"]["total_units"] = 1
+        errors = check_bench_json.check_file(write(tmp_path, payload))
+        assert any("total_units" in error for error in errors)
+
+    def test_cell_determinism_checked(self, tmp_path):
+        payload = json.loads(json.dumps(GOOD_WORKSTEALING))
+        payload["workstealing"]["cells"][0]["wall_seconds"] = 1.5
+        errors = check_bench_json.check_file(write(tmp_path, payload))
+        assert any("wall_seconds" in error for error in errors)

@@ -33,7 +33,13 @@ upload on four invariants:
    contract of ``docs/analysis.md``), and ``corpus_replay`` must
    report a non-empty corpus with zero FAIL/CHANGED/SKIP verdicts and
    one per-entry detection report (the counterexample-corpus
-   regression gate of ``docs/corpus.md``).
+   regression gate of ``docs/corpus.md``), and ``workstealing`` must
+   report byte-identical work-stealing-vs-static cell reports, a
+   resume run whose report digest matches the uninterrupted run, and —
+   when the host had enough cores to make the claim meaningful
+   (``speedup_gated``) — a >= 1.3x speedup over static cell placement
+   on a heterogeneous grid (the work-stealing scheduler contract of
+   ``docs/campaigns-and-sweeps.md``).
 
 Usage::
 
@@ -128,6 +134,20 @@ SECTION_SCHEMAS: Dict[str, Set[str]] = {
         "skipped",
         "report_digest",
         "detection",
+    },
+    "workstealing": {
+        "arch",
+        "cores",
+        "cells",
+        "shards_per_cell",
+        "total_units",
+        "steal_workers",
+        "wall_seconds_static",
+        "wall_seconds_workstealing",
+        "speedup",
+        "speedup_gated",
+        "reports_equal",
+        "resume_digest_equal",
     },
 }
 
@@ -262,11 +282,49 @@ def _check_corpus_replay(payload) -> List[str]:
     return errors
 
 
+def _check_workstealing(payload) -> List[str]:
+    """Value gates of the work-stealing scheduler contract: stealing
+    may only move wall clock, never bytes — the merged cell reports
+    must equal the static schedule's, a killed-and-resumed run must
+    reproduce the uninterrupted digest, and on hosts with enough cores
+    the heterogeneous grid must actually go >= 1.3x faster."""
+    errors = []
+    if payload.get("reports_equal") is not True:
+        errors.append(
+            "workstealing: reports_equal must be true (work stealing "
+            "changed the merged cell reports)"
+        )
+    if payload.get("resume_digest_equal") is not True:
+        errors.append(
+            "workstealing: resume_digest_equal must be true (resuming "
+            "from the journal changed the report digest)"
+        )
+    speedup = payload.get("speedup")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        errors.append(
+            f"workstealing: speedup must be a positive number, "
+            f"got {speedup!r}"
+        )
+    elif payload.get("speedup_gated") is True and speedup < 1.3:
+        errors.append(
+            f"workstealing: speedup must be >= 1.3 over static cell "
+            f"placement on a gated host, got {speedup!r}"
+        )
+    units = payload.get("total_units")
+    if not isinstance(units, int) or units < 2:
+        errors.append(
+            f"workstealing: total_units must be >= 2 (nothing to "
+            f"steal otherwise), got {units!r}"
+        )
+    return errors
+
+
 #: per-section value gates, run after the key-presence checks
 SECTION_VALUE_CHECKS = {
     "emulation_throughput": _check_emulation_throughput,
     "prescreen_triage": _check_prescreen_triage,
     "corpus_replay": _check_corpus_replay,
+    "workstealing": _check_workstealing,
 }
 
 #: required keys of one deterministic cell report (sweep ``cells``)

@@ -14,7 +14,13 @@ Four invariants, each also asserted by ``tests/test_docs.py``:
    registered subcommand;
 4. every ``--flag`` mentioned anywhere under ``docs/`` is a registered
    option of some subcommand (so renamed or removed flags cannot
-   linger in the prose).
+   linger in the prose);
+5. the five fuzzing subcommands (fuzz/campaign/sweep/minimize/replay)
+   expose the shared engine flags exclusively through
+   ``repro.cli.add_engine_options``/``add_engine_knob_options``: each
+   subcommand carries the full flag set its variant owes, and every
+   unambiguous engine-flag literal is declared exactly once in
+   ``cli.py`` (no drift through copy-pasted ``add_argument`` calls).
 
 Run from the repository root with ``src`` importable::
 
@@ -40,6 +46,19 @@ _CLI_COMMAND = re.compile(r"python -m repro(?:\.cli)?\s+([a-z][a-z-]*)")
 _CLI_FLAG = re.compile(r"(?<![-\w])--([a-z][a-z-]+)")
 #: flags of external tools the docs legitimately mention
 _EXTERNAL_FLAGS = {"benchmark-only"}  # pytest-benchmark
+#: subcommands that take the scalar engine-flag set
+_SCALAR_ENGINE_SUBCOMMANDS = ("fuzz", "campaign", "minimize")
+#: engine flags whose ``"--flag"`` literal may appear only once in
+#: cli.py — inside add_engine_options/add_engine_knob_options.
+#: (--arch/--contract/--cpu/--inputs/--entropy/--seed are excluded:
+#: trace/reproduce/replay legitimately re-declare them.)
+_DECLARED_ONCE_FLAGS = (
+    "--subsets", "--mode", "--num-test-cases", "--timeout",
+    "--analyzer", "--pages", "--prescreen", "--prescreen-safety-rate",
+    "--no-battery-eval", "--no-masked-fusion", "--no-dead-flags",
+    "--interpretive", "--cache", "--cache-entries", "--cache-dir",
+    "--cache-max-bytes", "--cache-compress", "--corpus-dir",
+)
 
 
 def markdown_files() -> List[str]:
@@ -210,11 +229,86 @@ def check_cli_flags() -> List[str]:
     return errors
 
 
+def _long_flags(parser) -> Set[str]:
+    """The long option strings one parser registers (minus --help)."""
+    flags: Set[str] = set()
+    for action in parser._actions:
+        flags.update(
+            option for option in action.option_strings
+            if option.startswith("--")
+        )
+    flags.discard("--help")
+    return flags
+
+
+def check_engine_flag_sync() -> List[str]:
+    """Invariant 5: engine flags live only in add_engine_options."""
+    import argparse
+
+    try:
+        from repro.cli import (
+            add_engine_knob_options,
+            add_engine_options,
+            build_parser,
+        )
+    except Exception as error:  # pragma: no cover - import failure
+        return [f"could not load the CLI parser: {error!r}"]
+
+    reference = argparse.ArgumentParser(add_help=False)
+    add_engine_options(reference)
+    engine_flags = _long_flags(reference)
+    knob_reference = argparse.ArgumentParser(add_help=False)
+    add_engine_knob_options(knob_reference)
+    knob_flags = _long_flags(knob_reference)
+
+    subparsers: Dict[str, argparse.ArgumentParser] = {}
+    for action in build_parser()._subparsers._group_actions:
+        subparsers = dict(action.choices)
+
+    errors = []
+    # sweep's axis variant registers the same long names, so one flag
+    # set covers all four full-engine subcommands
+    for name in _SCALAR_ENGINE_SUBCOMMANDS + ("sweep",):
+        if name not in subparsers:
+            errors.append(f"cli.py: subcommand {name!r} is missing")
+            continue
+        missing = engine_flags - _long_flags(subparsers[name])
+        if missing:
+            errors.append(
+                f"cli.py: {name} lacks engine flag(s) "
+                f"{', '.join(sorted(missing))}"
+            )
+    if "replay" in subparsers:
+        missing = knob_flags - _long_flags(subparsers["replay"])
+        if missing:
+            errors.append(
+                "cli.py: replay lacks engine knob(s) "
+                f"{', '.join(sorted(missing))}"
+            )
+    else:
+        errors.append("cli.py: subcommand 'replay' is missing")
+
+    import repro.cli
+
+    with open(repro.cli.__file__, encoding="utf-8") as handle:
+        source = handle.read()
+    literals = re.findall(r'"(--[a-z][a-z-]+)"', source)
+    for flag in _DECLARED_ONCE_FLAGS:
+        count = literals.count(flag)
+        if count != 1:
+            errors.append(
+                f"cli.py: {flag} appears {count} times; it must be "
+                "declared exactly once, inside add_engine_options"
+            )
+    return errors
+
+
 CHECKS: Dict[str, object] = {
     "markdown links": check_links,
     "docs reachability": check_docs_reachable,
     "CLI/docs sync": check_cli_sync,
     "CLI flag sync": check_cli_flags,
+    "engine flag sync": check_engine_flag_sync,
 }
 
 
