@@ -26,7 +26,11 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, fields
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
-from repro.core.campaign import CampaignReport, CampaignRunner
+from repro.core.campaign import (
+    CampaignCancelled,
+    CampaignReport,
+    CampaignRunner,
+)
 from repro.core.config import FuzzerConfig, GeneratorConfig
 from repro.core.fuzzer import Fuzzer, FuzzingReport
 from repro.core.journal import JournalMismatch
@@ -34,6 +38,7 @@ from repro.core.postprocessor import Postprocessor
 from repro.core.sweep import SweepReport, SweepRunner, SweepSpec
 
 __all__ = [
+    "CampaignCancelled",
     "EngineOptions",
     "JournalMismatch",
     "run_campaign",
@@ -171,9 +176,18 @@ class EngineOptions:
         return cls(**dict(data))
 
 
-def run_fuzz(options: EngineOptions) -> FuzzingReport:
-    """One fuzzing campaign (the ``fuzz`` subcommand)."""
-    return Fuzzer(options.to_fuzzer_config()).run()
+def run_fuzz(
+    options: EngineOptions,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> FuzzingReport:
+    """One fuzzing campaign (the ``fuzz`` subcommand).
+
+    ``should_stop`` is polled between measurement batches; when it
+    fires the run stops early and the report comes back flagged
+    ``cancelled`` (single-process fuzzing has no partial-shard hazard,
+    so the partial report is returned rather than raised away).
+    """
+    return Fuzzer(options.to_fuzzer_config()).run(should_stop=should_stop)
 
 
 def run_campaign(
@@ -183,9 +197,13 @@ def run_campaign(
     mode: str = "full",
     journal_dir: Optional[str] = None,
     resume: bool = False,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> CampaignReport:
     """One sharded campaign (the ``campaign`` subcommand), optionally
-    checkpointed to / resumed from an atomic journal."""
+    checkpointed to / resumed from an atomic journal. ``should_stop``
+    is the cooperative cancel/deadline signal; when it fires mid-run
+    the campaign raises :class:`CampaignCancelled` (journaled shard
+    checkpoints survive for a later resume)."""
     return CampaignRunner(
         options.to_fuzzer_config(),
         workers=workers,
@@ -193,7 +211,7 @@ def run_campaign(
         mode=mode,
         journal_dir=journal_dir,
         resume=resume,
-    ).run()
+    ).run(should_stop=should_stop)
 
 
 def run_sweep(
@@ -213,9 +231,13 @@ def run_sweep(
     journal_dir: Optional[str] = None,
     resume: bool = False,
     progress: Optional[Callable[..., None]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> SweepReport:
     """One campaign grid (the ``sweep`` subcommand). Axes default to
-    the options bag's scalar coordinates (a 1x1x1 grid)."""
+    the options bag's scalar coordinates (a 1x1x1 grid).
+    ``should_stop`` is the cooperative cancel/deadline signal; when it
+    fires the sweep raises :class:`CampaignCancelled` (journaled unit
+    checkpoints survive for a later resume)."""
     spec = SweepSpec(
         arches=tuple(arches) if arches else (options.arch,),
         contracts=tuple(contracts) if contracts else (options.contract,),
@@ -234,7 +256,7 @@ def run_sweep(
         schedule=schedule,
         journal_dir=journal_dir,
         resume=resume,
-    ).run(progress=progress)
+    ).run(progress=progress, should_stop=should_stop)
 
 
 def run_minimize(options: EngineOptions, advise_fences: bool = False):

@@ -414,18 +414,34 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """
     from repro.service import CampaignService, ServiceServer
 
-    service = CampaignService(max_parallel_jobs=args.jobs)
-    server = ServiceServer(service, host=args.host, port=args.port)
+    service = CampaignService(
+        max_parallel_jobs=args.jobs,
+        max_queued_jobs=args.max_queued,
+        state_dir=args.state_dir,
+    )
+    server = ServiceServer(
+        service, host=args.host, port=args.port,
+        heartbeat_s=args.heartbeat if args.heartbeat > 0 else None,
+    )
     host, port = server.address
     print(f"campaign service listening on {host}:{port} "
           f"({args.jobs} parallel job(s); line-JSON protocol, "
-          "see docs/service.md; Ctrl-C to stop)")
+          "see docs/service.md; Ctrl-C to stop)", flush=True)
+    if service.recovered_jobs:
+        print(f"recovered {len(service.recovered_jobs)} job(s) from "
+              f"{args.state_dir}: {', '.join(service.recovered_jobs)}",
+              flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
-        server.close()
+        report = server.close()
+        if report["running_jobs"]:
+            print("still running at shutdown: "
+                  + ", ".join(report["running_jobs"])
+                  + (" (state saved for --state-dir recovery)"
+                     if args.state_dir else ""))
         service.shutdown(wait=False)
     return 0
 
@@ -634,6 +650,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=_positive_int, default=1,
         help="jobs allowed to run concurrently; excess submissions "
         "queue as pending",
+    )
+    serve_parser.add_argument(
+        "--max-queued", type=int, default=None,
+        help="bound on pending jobs beyond the running ones; a full "
+        "queue rejects submits with a retry_after hint (default: "
+        "unbounded)",
+    )
+    serve_parser.add_argument(
+        "--state-dir", default=None,
+        help="directory persisting the job table (atomic snapshots); "
+        "a restarted serve recovers submitted jobs and resumes "
+        "interrupted journaled campaigns",
+    )
+    serve_parser.add_argument(
+        "--heartbeat", type=float, default=15.0,
+        help="keepalive cadence in seconds for idle results streams "
+        "(0 disables heartbeats)",
     )
     serve_parser.set_defaults(handler=cmd_serve)
 

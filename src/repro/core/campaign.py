@@ -75,6 +75,18 @@ from repro.core.violation import Violation
 _MASK64 = (1 << 64) - 1
 
 
+class CampaignCancelled(RuntimeError):
+    """A cooperative stop signal (job cancel, deadline expiry) fired
+    before the campaign drained its budget.
+
+    Raised by the campaign and sweep runners when the ``should_stop``
+    callable threaded through :mod:`repro.api` returns True mid-run.
+    Shards that completed before the signal keep their journal
+    checkpoints, so a journaled campaign cancelled this way resumes
+    exactly like one killed by the OS.
+    """
+
+
 def default_start_context():
     """The multiprocessing context the engines agree on: fork where the
     platform offers it (cheap, inherits the loaded catalog), spawn
@@ -165,6 +177,9 @@ def merge_reports(
         merged.trace_cache_disk_hits += report.trace_cache_disk_hits
         merged.trace_cache_gc_evictions += report.trace_cache_gc_evictions
         merged.trace_cache_gc_bytes += report.trace_cache_gc_bytes
+        merged.trace_cache_disk_write_errors += (
+            report.trace_cache_disk_write_errors
+        )
         effectiveness_weighted += report.mean_effectiveness * report.test_cases
         if report.coverage is not None:
             merged.coverage.covered |= report.coverage.covered
@@ -349,12 +364,19 @@ class CampaignRunner:
             return multiprocessing.get_context(self.start_method)
         return default_start_context()
 
-    def run(self) -> CampaignReport:
+    def run(self, should_stop=None) -> CampaignReport:
+        """Run the campaign; ``should_stop`` is an optional zero-argument
+        callable polled while shards run (the service's cancel/deadline
+        signal). When it fires mid-run the campaign raises
+        :class:`CampaignCancelled` after its in-flight shards stop at
+        their next measurement-batch boundary — already-journaled
+        checkpoints survive, so a cancelled journaled campaign resumes
+        like a killed one."""
         start = time.perf_counter()
         if self.mode == "first-violation":
-            results = self._run_first_violation()
+            results = self._run_first_violation(should_stop)
         else:
-            results = self._run_full()
+            results = self._run_full(should_stop)
         wall_seconds = time.perf_counter() - start
         results.sort(key=lambda item: item[0])
         shard_reports = [report for _, report in results]
@@ -368,7 +390,7 @@ class CampaignRunner:
             mode=self.mode,
         )
 
-    def _run_full(self) -> List[Tuple[int, FuzzingReport]]:
+    def _run_full(self, should_stop=None) -> List[Tuple[int, FuzzingReport]]:
         """Full-budget mode, optionally checkpointing each completed
         shard to the journal and replaying finished shards on resume."""
         journal: Optional[CampaignJournal] = None
@@ -394,11 +416,25 @@ class CampaignRunner:
         if not tasks:
             return results
         if self.workers == 1:
-            for task in tasks:
-                result = _run_shard(task)
+            for index, config in tasks:
+                if should_stop is not None and should_stop():
+                    raise CampaignCancelled(
+                        f"campaign stopped before shard {index} "
+                        f"({len(results)}/{self.shards} shard(s) done)"
+                    )
+                report = Fuzzer(config).run(should_stop=should_stop)
+                if report.cancelled:
+                    raise CampaignCancelled(
+                        f"campaign stopped inside shard {index} "
+                        f"({len(results)}/{self.shards} shard(s) done)"
+                    )
                 if journal is not None:
-                    journal.record(0, result[0], result[1])
-                results.append(result)
+                    journal.record(0, index, report)
+                results.append((index, report))
+        elif should_stop is not None:
+            results.extend(
+                self._collect_cancellable(tasks, journal, should_stop)
+            )
         elif journal is not None:
             # unordered so each checkpoint lands the moment its shard
             # finishes, not when the slowest earlier shard does
@@ -411,7 +447,57 @@ class CampaignRunner:
                 results.extend(pool.map(_run_shard, tasks))
         return results
 
-    def _run_first_violation(self) -> List[Tuple[int, FuzzingReport]]:
+    def _collect_cancellable(
+        self, tasks, journal, should_stop
+    ) -> List[Tuple[int, FuzzingReport]]:
+        """Pool fan-out with a cooperative stop signal.
+
+        The parent polls ``should_stop`` while shards run and relays it
+        through a shared Manager event (the same machinery the
+        first-violation early-cancel uses); shards stop at their next
+        measurement-batch boundary. Shards that completed *before* the
+        signal are journaled exactly as in the plain path, then
+        :class:`CampaignCancelled` is raised."""
+        context = self._context()
+        manager = context.Manager()
+        collected: List[Tuple[int, FuzzingReport]] = []
+        stopped = False
+        try:
+            cancel_event = manager.Event()
+            pool_tasks = [
+                (index, config, cancel_event) for index, config in tasks
+            ]
+            with context.Pool(min(self.workers, len(tasks))) as pool:
+                pending = {
+                    pool.apply_async(_run_shard, (task,))
+                    for task in pool_tasks
+                }
+                while pending:
+                    if not stopped and should_stop():
+                        stopped = True
+                        cancel_event.set()
+                    done = {h for h in pending if h.ready()}
+                    for handle in done:
+                        index, report = handle.get()
+                        if not report.cancelled:
+                            if journal is not None:
+                                journal.record(0, index, report)
+                            collected.append((index, report))
+                    pending -= done
+                    if pending and not done:
+                        time.sleep(0.05)
+        finally:
+            manager.shutdown()
+        if stopped:
+            raise CampaignCancelled(
+                f"campaign stopped with {len(collected)} of {self.shards} "
+                "shard(s) completed"
+            )
+        return collected
+
+    def _run_first_violation(
+        self, should_stop=None
+    ) -> List[Tuple[int, FuzzingReport]]:
         """Run shards with an early-cancel signal set on the first
         confirmed violation; remaining shards stop at their next
         test-case boundary instead of draining their budget."""
@@ -422,17 +508,27 @@ class CampaignRunner:
             results: List[Tuple[int, FuzzingReport]] = []
             found = False
             for index in range(self.shards):
+                if should_stop is not None and should_stop():
+                    raise CampaignCancelled(
+                        f"campaign stopped before shard {index} "
+                        f"({len(results)}/{self.shards} shard(s) done)"
+                    )
                 if found:
                     results.append(
                         (index, FuzzingReport(coverage=PatternCoverage(),
                                               cancelled=True))
                     )
                     continue
-                result = _run_shard(
-                    (index, shard_fuzzer_config(self.config, index, self.shards))
-                )
-                results.append(result)
-                found = found or result[1].found
+                config = shard_fuzzer_config(self.config, index, self.shards)
+                report = Fuzzer(config).run(should_stop=should_stop)
+                if report.cancelled:
+                    raise CampaignCancelled(
+                        f"campaign stopped inside shard {index} "
+                        f"({len(results)}/{self.shards} shard(s) done)"
+                    )
+                results.append((index, report))
+                found = found or report.found
+
             return results
 
         context = self._context()
@@ -447,6 +543,37 @@ class CampaignRunner:
                 )
                 for index in range(self.shards)
             ]
+            if should_stop is not None:
+                # apply_async + polling so the parent can watch the
+                # service's stop signal while shards run; the shared
+                # cancel event doubles as first-violation early-cancel
+                # and cooperative-stop relay.
+                stopped = False
+                results = []
+                with context.Pool(min(self.workers, self.shards)) as pool:
+                    pending = {
+                        pool.apply_async(_run_shard, (task,))
+                        for task in tasks
+                    }
+                    while pending:
+                        if not stopped and should_stop():
+                            stopped = True
+                            cancel_event.set()
+                        done = {h for h in pending if h.ready()}
+                        for handle in done:
+                            result = handle.get()
+                            results.append(result)
+                            if result[1].found and not cancel_event.is_set():
+                                cancel_event.set()
+                        pending -= done
+                        if pending and not done:
+                            time.sleep(0.05)
+                if stopped:
+                    raise CampaignCancelled(
+                        f"campaign stopped with {len(results)} of "
+                        f"{self.shards} shard(s) collected"
+                    )
+                return results
             with context.Pool(min(self.workers, self.shards)) as pool:
                 results = []
                 for result in pool.imap_unordered(_run_shard, tasks):
@@ -465,15 +592,17 @@ def run_campaign(
     mode: str = "full",
     journal_dir: Optional[str] = None,
     resume: bool = False,
+    should_stop=None,
 ) -> CampaignReport:
     """Convenience one-call parallel campaign."""
     return CampaignRunner(
         config, workers=workers, shards=shards, mode=mode,
         journal_dir=journal_dir, resume=resume,
-    ).run()
+    ).run(should_stop=should_stop)
 
 
 __all__ = [
+    "CampaignCancelled",
     "CampaignReport",
     "CampaignRunner",
     "default_start_context",

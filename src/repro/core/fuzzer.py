@@ -545,6 +545,10 @@ class FuzzingReport:
     trace_cache_gc_evictions: int = 0
     #: bytes those GC passes reclaimed
     trace_cache_gc_bytes: int = 0
+    #: disk-tier publications/GC passes that failed with an ``OSError``
+    #: (ENOSPC, EACCES, ...) and degraded to counted no-persist instead
+    #: of failing the run
+    trace_cache_disk_write_errors: int = 0
 
     @property
     def found(self) -> bool:
@@ -789,6 +793,9 @@ class Fuzzer:
             report.trace_cache_disk_hits = cache.stats.disk_hits
             report.trace_cache_gc_evictions = cache.stats.gc_evicted_entries
             report.trace_cache_gc_bytes = cache.stats.gc_evicted_bytes
+            report.trace_cache_disk_write_errors = (
+                cache.stats.disk_write_errors
+            )
         if config.corpus_dir is not None and report.violation is not None:
             # persist the find as a replayable regression test; a local
             # import because repro.corpus builds pipelines from records

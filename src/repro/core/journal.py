@@ -29,6 +29,7 @@ import pickle
 import tempfile
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from repro import faults
 from repro.core.config import FuzzerConfig
 from repro.core.fuzzer import FuzzingReport
 
@@ -116,6 +117,11 @@ class CampaignJournal:
     def __init__(self, directory: str) -> None:
         self.directory = directory
         self.digest: Optional[str] = None
+        #: record publications that failed with an ``OSError`` and were
+        #: skipped — the shard result stays in memory and the campaign
+        #: continues, it just isn't checkpointed (a later resume re-runs
+        #: that shard)
+        self.publish_errors = 0
 
     # -- lifecycle ----------------------------------------------------
 
@@ -179,7 +185,16 @@ class CampaignJournal:
 
     def record(
         self, cell_index: int, shard_index: int, report: FuzzingReport
-    ) -> None:
+    ) -> bool:
+        """Checkpoint one completed shard; returns False when the
+        publication failed with an ``OSError`` (disk full, read-only
+        journal, ...) and was skipped.
+
+        A failed checkpoint must never fail the campaign: the shard
+        report is already merged in memory, so losing the record only
+        costs a re-run of that shard on a *later* resume — exactly the
+        degradation a torn record already has.
+        """
         if self.digest is None:
             raise RuntimeError("journal must be opened before recording")
         payload = {
@@ -189,10 +204,16 @@ class CampaignJournal:
             "shard": shard_index,
             "report": report,
         }
-        self._publish(
-            self.record_name(cell_index, shard_index),
-            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
-        )
+        try:
+            faults.inject_oserror("journal.publish")
+            self._publish(
+                self.record_name(cell_index, shard_index),
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+        except OSError:
+            self.publish_errors += 1
+            return False
+        return True
 
     def completed(self) -> Dict[Tuple[int, int], FuzzingReport]:
         """All valid checkpoints, keyed by (cell, shard).

@@ -75,9 +75,11 @@ from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro import faults
 from repro.arch import architecture_names
 from repro.contracts import contract_names
 from repro.core.campaign import (
+    CampaignCancelled,
     CampaignReport,
     CampaignRunner,
     default_start_context,
@@ -181,8 +183,12 @@ def _run_unit(config: FuzzerConfig) -> FuzzingReport:
     """One work-stealing unit: a single shard's fuzzing run.
 
     Module-level (rather than inline in the worker loop) so fork-based
-    tests can intercept it to simulate worker death mid-unit.
+    tests can intercept it to simulate worker death mid-unit. The
+    ``sweep.unit`` fault site kills the worker process outright (the
+    chaos suite's stand-in for OOM/SIGKILL); the scheduler's requeue
+    path must absorb it without changing the merged report.
     """
+    faults.maybe_exit("sweep.unit")
     return Fuzzer(config).run()
 
 
@@ -407,6 +413,9 @@ class SweepCellResult:
             "trace_cache_disk_hits": merged.trace_cache_disk_hits,
             "trace_cache_gc_evictions": merged.trace_cache_gc_evictions,
             "trace_cache_gc_bytes": merged.trace_cache_gc_bytes,
+            "trace_cache_disk_write_errors": (
+                merged.trace_cache_disk_write_errors
+            ),
             "cancelled_shards": self.campaign.cancelled_shards,
         }
 
@@ -448,6 +457,17 @@ class SweepReport:
         run already emulated them)."""
         return sum(
             result.campaign.merged.trace_cache_disk_hits
+            for result in self.results
+        )
+
+    @property
+    def trace_cache_disk_write_errors(self) -> int:
+        """Disk-cache publications that failed with an ``OSError`` and
+        degraded to no-persist across the sweep (ENOSPC, read-only
+        cache, ...). Nonzero means the run was correct but slower than
+        a healthy-disk run — the misses were re-emulated."""
+        return sum(
+            result.campaign.merged.trace_cache_disk_write_errors
             for result in self.results
         )
 
@@ -519,6 +539,7 @@ class SweepReport:
                 "gc_evictions": self.trace_cache_gc_evictions,
                 "gc_bytes": self.trace_cache_gc_bytes,
                 "disk_bytes": self.trace_cache_disk_bytes,
+                "disk_write_errors": self.trace_cache_disk_write_errors,
                 "max_bytes": self.spec.base_config.trace_cache_max_bytes,
             },
             "wall_seconds": self.wall_seconds,
@@ -575,6 +596,11 @@ class SweepRunner:
     SCHEDULES = ("static", "work-stealing")
     #: how many times one unit may be re-dispatched after its worker died
     MAX_UNIT_RETRIES = 2
+    #: backoff for worker-process spawn failures (EAGAIN under fork
+    #: pressure); deterministic jitter, so retry timing is reproducible
+    SPAWN_RETRY = faults.RetryPolicy(
+        attempts=3, base_delay=0.05, max_delay=1.0
+    )
 
     def __init__(
         self,
@@ -627,10 +653,15 @@ class SweepRunner:
             configs.append((cell, config))
         return configs
 
-    def run(self, progress=None) -> SweepReport:
+    def run(self, progress=None, should_stop=None) -> SweepReport:
         """Run the grid; ``progress`` is an optional callable invoked
         with (cell, campaign_report) after each cell completes — in
-        completion order when cells run in parallel."""
+        completion order when cells run in parallel. ``should_stop`` is
+        an optional zero-argument callable polled while cells run (the
+        service's cancel/deadline signal); when it fires the sweep
+        raises :class:`~repro.core.campaign.CampaignCancelled` —
+        journaled unit checkpoints survive, so a cancelled journaled
+        sweep resumes like a killed one."""
         start = time.perf_counter()
         cache: Optional[PersistentTraceCache] = None
         max_bytes = self.spec.base_config.trace_cache_max_bytes
@@ -645,11 +676,15 @@ class SweepRunner:
         parallel = min(self.max_parallel_cells, len(pairs))
         steal_workers: Optional[int] = None
         if self.schedule == "work-stealing":
-            results, steal_workers = self._run_workstealing(pairs, progress)
+            results, steal_workers = self._run_workstealing(
+                pairs, progress, should_stop
+            )
         elif parallel <= 1:
-            results = self._run_sequential(pairs, progress)
+            results = self._run_sequential(pairs, progress, should_stop)
         else:
-            results = self._run_parallel(pairs, parallel, progress)
+            results = self._run_parallel(
+                pairs, parallel, progress, should_stop
+            )
         gc_evictions = sum(
             result.campaign.merged.trace_cache_gc_evictions
             for result in results
@@ -683,22 +718,32 @@ class SweepRunner:
             trace_cache_disk_bytes=disk_bytes,
         )
 
-    def _run_sequential(self, pairs, progress) -> List[SweepCellResult]:
+    def _run_sequential(
+        self, pairs, progress, should_stop=None
+    ) -> List[SweepCellResult]:
         results: List[SweepCellResult] = []
         for cell, config in pairs:
+            # the campaign runner polls should_stop itself and raises
+            # CampaignCancelled mid-cell; this loop only needs to stop
+            # between cells
+            if should_stop is not None and should_stop():
+                raise CampaignCancelled(
+                    f"sweep stopped before cell {cell.label} "
+                    f"({len(results)}/{len(pairs)} cell(s) done)"
+                )
             campaign = CampaignRunner(
                 config,
                 workers=self.spec.workers,
                 shards=self.spec.shards,
                 mode=self.spec.mode,
-            ).run()
+            ).run(should_stop=should_stop)
             results.append(SweepCellResult(cell, config.seed, campaign))
             if progress is not None:
                 progress(cell, campaign)
         return results
 
     def _run_parallel(
-        self, pairs, parallel: int, progress
+        self, pairs, parallel: int, progress, should_stop=None
     ) -> List[SweepCellResult]:
         """Fan the cells out over ``parallel`` worker processes.
 
@@ -740,6 +785,13 @@ class SweepRunner:
                 launch()
             collected = 0
             while collected < len(pairs):
+                if should_stop is not None and should_stop():
+                    # the except-clause below terminates in-flight cell
+                    # workers; static cells have no checkpoints to keep
+                    raise CampaignCancelled(
+                        f"sweep stopped with {collected}/{len(pairs)} "
+                        "cell(s) collected"
+                    )
                 try:
                     index, error, campaign = result_queue.get(timeout=1.0)
                 except queue_module.Empty:
@@ -797,7 +849,7 @@ class SweepRunner:
         )
 
     def _run_workstealing(
-        self, pairs, progress
+        self, pairs, progress, should_stop=None
     ) -> Tuple[List[SweepCellResult], int]:
         """Decompose every cell into shard-sized units on one shared
         queue and drain it with a flat worker pool.
@@ -875,6 +927,11 @@ class SweepRunner:
             if min(pool_size, len(pending)) <= 1:
                 # one process total: run units inline, same order
                 while pending:
+                    if should_stop is not None and should_stop():
+                        raise CampaignCancelled(
+                            f"sweep stopped with {len(pending)} unit(s) "
+                            "pending"
+                        )
                     cell_index, shard_index, config = pending.popleft()
                     report = _run_unit(config)
                     if journal is not None:
@@ -885,13 +942,13 @@ class SweepRunner:
             else:
                 self._steal_loop(
                     pairs, pending, pool_size, journal,
-                    shard_reports, shards, finish_cell,
+                    shard_reports, shards, finish_cell, should_stop,
                 )
         return results, pool_size
 
     def _steal_loop(
         self, pairs, pending, pool_size, journal,
-        shard_reports, shards, finish_cell,
+        shard_reports, shards, finish_cell, should_stop=None,
     ) -> None:
         """The shared-queue scheduler: dispatch units to long-lived
         workers, requeue and respawn on worker death.
@@ -924,7 +981,14 @@ class SweepRunner:
             process = context.Process(
                 target=_steal_worker, args=(worker_id, child_conn)
             )
-            process.start()
+
+            def start() -> None:
+                faults.inject_oserror("sweep.spawn")
+                process.start()
+
+            # fork can fail transiently (EAGAIN under process pressure);
+            # retry with deterministic backoff before failing the sweep
+            self.SPAWN_RETRY.call(start)
             # close the parent's copy so the worker's death is the only
             # thing that can EOF this pipe
             child_conn.close()
@@ -985,6 +1049,14 @@ class SweepRunner:
             for _ in range(min(pool_size, len(pending))):
                 dispatch(spawn())
             while outstanding > 0:
+                if should_stop is not None and should_stop():
+                    # the except-clause terminates workers; journaled
+                    # unit checkpoints persist, so a resume finishes
+                    # exactly the units this stop abandoned
+                    raise CampaignCancelled(
+                        f"sweep stopped with {outstanding} unit(s) "
+                        "outstanding"
+                    )
                 conn_map = {
                     state["conn"]: worker_id
                     for worker_id, state in workers.items()
@@ -1049,6 +1121,7 @@ def run_sweep(
     schedule: str = "static",
     journal_dir: Optional[str] = None,
     resume: bool = False,
+    should_stop=None,
 ) -> SweepReport:
     """Convenience one-call grid sweep."""
     return SweepRunner(
@@ -1058,7 +1131,7 @@ def run_sweep(
         schedule=schedule,
         journal_dir=journal_dir,
         resume=resume,
-    ).run(progress=progress)
+    ).run(progress=progress, should_stop=should_stop)
 
 
 __all__ = [

@@ -53,6 +53,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro import faults
+from repro.faults import RetryPolicy
 from repro.isa.instruction import TestCaseProgram
 from repro.emulator.compiled import program_digest
 from repro.emulator.state import InputData
@@ -118,6 +120,10 @@ class CacheStats:
     disk_hits: int = 0
     #: entries published to the on-disk tier by this process
     disk_writes: int = 0
+    #: publications (or GC passes) that failed with an ``OSError``
+    #: (ENOSPC, EACCES, ...) after retries — each one is a skipped
+    #: memoization, never a fuzzing-loop error
+    disk_write_errors: int = 0
     #: garbage-collection passes this process ran over the disk tier
     gc_runs: int = 0
     #: disk entries evicted by this process's GC passes
@@ -258,6 +264,14 @@ class PersistentTraceCache(ContractTraceCache):
     #: age (seconds) under which an orphaned ``.tmp-`` file is presumed
     #: to belong to an in-flight writer and is left alone by the GC
     TMP_GRACE_SECONDS = 300.0
+    #: consecutive publication failures after which the disk tier stops
+    #: attempting writes for the rest of the process (a full or
+    #: read-only disk is not going to heal mid-campaign; reads and the
+    #: memory tier keep working)
+    DEGRADE_AFTER = 8
+    #: transient-error retry for publications: two quick tries, then
+    #: the failure is counted and the entry simply not persisted
+    WRITE_RETRY = RetryPolicy(attempts=2, base_delay=0.01, max_delay=0.05)
 
     def __init__(
         self,
@@ -265,6 +279,7 @@ class PersistentTraceCache(ContractTraceCache):
         max_entries: int = 65536,
         max_bytes: Optional[int] = None,
         compress: bool = False,
+        write_retry: Optional[RetryPolicy] = None,
     ):
         super().__init__(max_entries)
         if max_bytes is not None and max_bytes <= 0:
@@ -282,7 +297,17 @@ class PersistentTraceCache(ContractTraceCache):
         #: disk footprint as of the last scan plus this process's writes
         #: since; ``None`` until the first scan
         self._disk_bytes: Optional[int] = None
+        self.write_retry = (
+            write_retry if write_retry is not None else self.WRITE_RETRY
+        )
+        self._consecutive_write_failures = 0
         os.makedirs(self.cache_dir, exist_ok=True)
+
+    @property
+    def disk_degraded(self) -> bool:
+        """True once :attr:`DEGRADE_AFTER` consecutive publications
+        failed and the tier gave up writing for this process."""
+        return self._consecutive_write_failures >= self.DEGRADE_AFTER
 
     def _path(self, key: CacheKey) -> str:
         digest = key_digest(key)
@@ -322,14 +347,20 @@ class PersistentTraceCache(ContractTraceCache):
     def _disk_get(self, key: CacheKey) -> Optional[TraceEntry]:
         path = self._path(key)
         try:
+            faults.inject_oserror("trace_cache.read")
             with open(path, "rb") as handle:
                 blob = handle.read()
+        except OSError:
+            # missing or unreadable: a miss. Never discard here — a
+            # transient EIO must not delete an intact entry.
+            return None
+        try:
             if blob.startswith(self.COMPRESSED_MAGIC):
                 blob = zlib.decompress(blob[len(self.COMPRESSED_MAGIC):])
             version, stored_key, entry = pickle.loads(blob)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+        except (pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError, TypeError, ValueError, zlib.error):
-            # missing, torn, or incompatible entry: a miss, not an error
+            # torn or incompatible entry: a miss, not an error
             self._discard(path)
             return None
         if version != self.FORMAT or stored_key != key:
@@ -346,31 +377,53 @@ class PersistentTraceCache(ContractTraceCache):
         return entry
 
     def _disk_put(self, key: CacheKey, entry: TraceEntry) -> None:
+        if self.disk_degraded:
+            return  # tier gave up after repeated ENOSPC/EACCES failures
         path = self._path(key)
         if os.path.exists(path):
             return  # another process already published this entry
+        try:
+            blob = pickle.dumps((self.FORMAT, key, entry),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return  # unpicklable entry: a skipped memoization
+        if self.compress:
+            blob = self.COMPRESSED_MAGIC + zlib.compress(blob)
+        try:
+            size = self.write_retry.call(
+                lambda: self._publish_entry(path, blob)
+            )
+        except OSError:
+            # ENOSPC/EACCES after retries: count it and keep fuzzing —
+            # a failed publication is a skipped memoization, never a
+            # fuzzing-loop error
+            self.stats.disk_write_errors += 1
+            self._consecutive_write_failures += 1
+            return
+        self._consecutive_write_failures = 0
+        self.stats.disk_writes += 1
+        if self.max_bytes is not None:
+            self._account_write(size)
+
+    def _publish_entry(self, path: str, blob: bytes) -> int:
+        """One atomic-publish attempt; raises ``OSError`` on failure."""
+        faults.inject_oserror("trace_cache.write")
+        # a torn-write fault publishes a truncated blob: readers must
+        # treat it as a miss and discard it, never crash on it
+        blob = faults.corrupt("trace_cache.torn", blob)
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
         descriptor, tmp_path = tempfile.mkstemp(
             prefix=".tmp-", dir=directory
         )
         try:
-            blob = pickle.dumps((self.FORMAT, key, entry),
-                                protocol=pickle.HIGHEST_PROTOCOL)
-            if self.compress:
-                blob = self.COMPRESSED_MAGIC + zlib.compress(blob)
             with os.fdopen(descriptor, "wb") as handle:
                 handle.write(blob)
-            size = len(blob)
             os.replace(tmp_path, path)  # atomic publication
-            self.stats.disk_writes += 1
-        except Exception:
-            # a failed publication (disk full, unpicklable entry) is a
-            # skipped memoization, never a fuzzing-loop error
+        except BaseException:
             self._discard(tmp_path)
-            return
-        if self.max_bytes is not None:
-            self._account_write(size)
+            raise
+        return len(blob)
 
     def _account_write(self, size: int) -> None:
         """Track this process's disk footprint; trigger the GC on
@@ -423,7 +476,16 @@ class PersistentTraceCache(ContractTraceCache):
         ``(entries evicted, bytes reclaimed)``.
         """
         limit = self.max_bytes if max_bytes is None else max_bytes
-        entries, total = self._scan_disk()
+        try:
+            faults.inject_oserror("trace_cache.gc")
+            entries, total = self._scan_disk()
+        except OSError:
+            # an unscannable tier (unmounted, EACCES, ...) degrades to a
+            # skipped GC pass, never a mid-campaign crash; the next
+            # write-triggered pass retries
+            self.stats.disk_write_errors += 1
+            self.stats.gc_runs += 1
+            return 0, 0
         evicted = 0
         freed = 0
         if limit is not None and total > limit:

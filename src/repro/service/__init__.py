@@ -1,31 +1,45 @@
 """Job-queue front end: campaigns as requests, not shell sessions.
 
 - :class:`CampaignService` — in-process job queue: ``submit(spec) ->
-  job_id``, ``status(job_id)``, ``results(job_id)`` streaming
-  incremental events (state changes, per-cell completions, violation
-  records, the final report summary).
+  job_id``, ``status(job_id)``, ``cancel(job_id)``,
+  ``results(job_id)`` streaming incremental events (state changes,
+  per-cell completions, violation records, the final report summary).
+  Optional bounded queue (:class:`ServiceBusy` backpressure), per-job
+  deadlines, and a crash-safe ``state_dir`` job table
+  (:class:`ServiceState`).
 - :class:`ServiceServer` / :class:`ServiceClient` — the same API over
   a loopback TCP socket speaking a line-JSON protocol (the ``serve``
-  subcommand); see docs/service.md for the wire format.
+  subcommand), with idle-stream heartbeats and client
+  reconnect-and-resume (:class:`ConnectionLost`); see docs/service.md
+  for the wire format and the robustness contract.
 """
 
 from repro.service.jobs import (
     JOB_KINDS,
+    JOB_STATES,
+    TERMINAL_STATES,
     CampaignService,
     Job,
     JobSpec,
+    ServiceBusy,
     violation_record,
 )
 from repro.service.server import ServiceServer
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import ConnectionLost, ServiceClient, ServiceError
+from repro.service.state import ServiceState
 
 __all__ = [
     "JOB_KINDS",
+    "JOB_STATES",
+    "TERMINAL_STATES",
     "CampaignService",
+    "ConnectionLost",
     "Job",
     "JobSpec",
+    "ServiceBusy",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
+    "ServiceState",
     "violation_record",
 ]

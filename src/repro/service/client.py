@@ -1,44 +1,137 @@
-"""Line-JSON client for the campaign service socket protocol."""
+"""Line-JSON client for the campaign service socket protocol.
+
+Hardened against the failures a long-lived service connection actually
+sees (docs/service.md "Robustness"):
+
+- **Heartbeats.** The server interleaves ``{"ok": true, "heartbeat":
+  true}`` keepalive lines while a ``results`` stream waits on a quiet
+  job; the client swallows them, so a socket timeout shorter than the
+  job no longer kills the wait.
+- **Reconnect-and-resume.** With a :class:`~repro.faults.RetryPolicy`,
+  a connection lost mid-stream (:class:`ConnectionLost`) is retried
+  with capped, deterministically-jittered backoff, and the ``results``
+  stream is re-issued from the offset of the last event actually
+  received — events are neither dropped nor duplicated. Only
+  idempotent operations reconnect; ``submit`` never auto-retries (a
+  retry could double-submit).
+- **Backpressure.** A server whose bounded queue is full answers
+  ``submit`` with a busy line; the client raises
+  :class:`~repro.service.jobs.ServiceBusy` carrying the server's
+  ``retry_after`` hint.
+"""
 
 from __future__ import annotations
 
-import json
 import socket
 from typing import Any, Dict, Iterator, List, Optional
 
-from repro.service.jobs import JobSpec
+import json
+
+from repro.faults import RetryPolicy
+from repro.service.jobs import JobSpec, ServiceBusy
 
 
 class ServiceError(RuntimeError):
     """The server answered ``{"ok": false, ...}``."""
 
 
+class ConnectionLost(ServiceError):
+    """The connection dropped (EOF, reset, timeout) — distinct from a
+    protocol-level error so callers can tell "the server said no" from
+    "the server went away"; only the latter is retried."""
+
+
 class ServiceClient:
-    """Talks the docs/service.md wire protocol to a running ``serve``."""
+    """Talks the docs/service.md wire protocol to a running ``serve``.
+
+    ``retry`` enables reconnect-and-resume: connection attempts and
+    mid-stream drops back off per the policy, bounded by its
+    ``attempts`` count of *consecutive* failures without progress (any
+    received line, heartbeats included, resets the count). Without a
+    policy the client fails fast on the first drop, matching the old
+    behavior.
+    """
 
     def __init__(
         self, host: str = "127.0.0.1", port: int = 0,
         timeout: Optional[float] = 120.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
-        self._socket = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._socket.makefile("rwb")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry
+        self._socket: Optional[socket.socket] = None
+        self._file: Optional[Any] = None
+        self._connect()
 
     # -- plumbing -----------------------------------------------------
 
+    def _connect(self) -> None:
+        if self._socket is not None:
+            return
+
+        def dial() -> socket.socket:
+            return socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+
+        if self.retry is not None:
+            self._socket = self.retry.call(dial, retry_on=(OSError,))
+        else:
+            self._socket = dial()
+        self._file = self._socket.makefile("rwb")
+
+    def _drop(self) -> None:
+        """Tear down the current connection (best effort)."""
+        file, sock = self._file, self._socket
+        self._file = None
+        self._socket = None
+        try:
+            if file is not None:
+                file.close()
+        except OSError:
+            pass
+        try:
+            if sock is not None:
+                sock.close()
+        except OSError:
+            pass
+
+    def _reconnect(self) -> None:
+        self._drop()
+        self._connect()
+
     def _send(self, payload: Dict[str, Any]) -> None:
-        self._file.write(
-            json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
-        )
-        self._file.flush()
+        self._connect()
+        try:
+            self._file.write(
+                json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+            )
+            self._file.flush()
+        except OSError as error:
+            raise ConnectionLost(f"send failed: {error}") from error
 
     def _read(self) -> Dict[str, Any]:
-        line = self._file.readline()
+        try:
+            line = self._file.readline()
+        except socket.timeout as error:
+            raise ConnectionLost(
+                "timed out waiting for the server (no heartbeat within "
+                f"{self.timeout}s)"
+            ) from error
+        except OSError as error:
+            raise ConnectionLost(f"read failed: {error}") from error
         if not line:
-            raise ServiceError("server closed the connection")
+            raise ConnectionLost("server closed the connection")
         response = json.loads(line.decode("utf-8"))
         if not isinstance(response, dict):
             raise ServiceError(f"malformed response: {response!r}")
         if not response.get("ok", False):
+            if response.get("busy"):
+                raise ServiceBusy(
+                    retry_after=float(response.get("retry_after", 1.0))
+                )
             raise ServiceError(response.get("error", "unknown error"))
         return response
 
@@ -52,7 +145,13 @@ class ServiceClient:
         return self._request({"op": "ping"}).get("op") == "ping"
 
     def submit(self, spec: Any) -> str:
-        """Submit a :class:`JobSpec` (or its dict form); returns job id."""
+        """Submit a :class:`JobSpec` (or its dict form); returns job id.
+
+        Never auto-retried: after a drop the client cannot know whether
+        the server queued the job, so a retry could double-submit.
+        Raises :class:`~repro.service.jobs.ServiceBusy` when the
+        server's bounded queue is full.
+        """
         if isinstance(spec, JobSpec):
             spec = spec.to_dict()
         return self._request({"op": "submit", "spec": spec})["job_id"]
@@ -60,27 +159,57 @@ class ServiceClient:
     def status(self, job_id: str) -> Dict[str, Any]:
         return self._request({"op": "status", "job_id": job_id})["status"]
 
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Request cooperative cancellation; returns the job's status
+        at the moment of the request (usually still ``running`` — the
+        engines stop at their next measurement-batch boundary)."""
+        return self._request({"op": "cancel", "job_id": job_id})["status"]
+
     def jobs(self) -> List[Dict[str, Any]]:
         return self._request({"op": "jobs"})["jobs"]
 
     def results(
         self, job_id: str, wait: bool = True, start: int = 0
     ) -> Iterator[Dict[str, Any]]:
-        """Stream the job's events until the server's ``end`` marker."""
-        self._send(
-            {"op": "results", "job_id": job_id, "wait": wait, "start": start}
-        )
+        """Stream the job's events until the server's ``end`` marker.
+
+        Heartbeat keepalives are consumed silently. With a retry
+        policy, a dropped connection re-issues the request from the
+        offset after the last event received, so the merged stream is
+        gap- and duplicate-free; a server that ends the stream while
+        draining (shutdown) ends this iterator too — check ``status``
+        afterwards.
+        """
+        offset = max(0, start)
+        failures = 0
         while True:
-            response = self._read()
-            if response.get("end"):
-                return
-            yield response["event"]
+            try:
+                self._send(
+                    {
+                        "op": "results",
+                        "job_id": job_id,
+                        "wait": wait,
+                        "start": offset,
+                    }
+                )
+                while True:
+                    response = self._read()
+                    failures = 0  # any line is progress
+                    if response.get("heartbeat"):
+                        continue
+                    if response.get("end"):
+                        return
+                    yield response["event"]
+                    offset += 1
+            except ConnectionLost:
+                failures += 1
+                if self.retry is None or failures > self.retry.attempts:
+                    raise
+                self.retry.sleep(self.retry.delay(failures - 1))
+                self._reconnect()
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._socket.close()
+        self._drop()
 
     def __enter__(self) -> "ServiceClient":
         return self

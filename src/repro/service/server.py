@@ -8,26 +8,53 @@ terminator line ``{"ok": true, "end": true, ...}``. Operations:
 - ``{"op": "ping"}``
 - ``{"op": "submit", "spec": {...}}`` -> ``{"ok": true, "job_id": ...}``
 - ``{"op": "status", "job_id": ...}``
+- ``{"op": "cancel", "job_id": ...}``
 - ``{"op": "jobs"}``
 - ``{"op": "results", "job_id": ..., "wait": true, "start": 0}``
 
 Errors come back as ``{"ok": false, "error": "..."}`` on the same
-line slot a success would use. The server binds loopback by default
+line slot a success would use; a full bounded queue answers ``submit``
+with ``{"ok": false, "busy": true, "retry_after": N}``. While a
+``results`` stream waits on a quiet job, the server interleaves
+keepalive lines ``{"ok": true, "heartbeat": true}`` every
+``heartbeat_s`` seconds — heartbeats are not job events and never
+count toward ``start`` offsets. The server binds loopback by default
 and is threaded: a client blocked streaming a long campaign's results
 does not stall the next client's submit.
+
+Shutdown drains: ``close()`` stops accepting, flips a draining flag
+that ends in-flight ``results`` waits (their end line carries
+``"draining": true``), gives handlers a bounded grace period, then
+force-closes whatever lingers — and reports what it did, including the
+jobs still running in the service behind it.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import socketserver
 import threading
-from typing import Any, Dict, Optional, Tuple
+import time
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.service.jobs import CampaignService
+from repro import faults
+from repro.service.jobs import CampaignService, ServiceBusy
 
 
 class _Handler(socketserver.StreamRequestHandler):
+    def setup(self) -> None:
+        super().setup()
+        server: _Server = self.server  # type: ignore[assignment]
+        with server.handlers_lock:
+            server.handlers[threading.current_thread()] = self.connection
+
+    def finish(self) -> None:
+        server: _Server = self.server  # type: ignore[assignment]
+        with server.handlers_lock:
+            server.handlers.pop(threading.current_thread(), None)
+        super().finish()
+
     def handle(self) -> None:
         for raw in self.rfile:
             line = raw.strip()
@@ -43,9 +70,22 @@ class _Handler(socketserver.StreamRequestHandler):
                     request = {"op": None}
                 if not self._dispatch(request):
                     return
+            if self.server.draining:  # type: ignore[attr-defined]
+                # finish the in-flight request, then hang up instead of
+                # blocking on the next line — this is what lets close()
+                # drain voluntarily rather than force-closing sockets
+                return
 
     def _send(self, payload: Dict[str, Any]) -> bool:
         """One response line; False when the client hung up."""
+        if faults.should_fire("server.send"):
+            # injected connection drop: hang up mid-stream so the
+            # client exercises its reconnect-and-resume path
+            try:
+                self.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            return False
         try:
             self.wfile.write(
                 json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
@@ -56,19 +96,35 @@ class _Handler(socketserver.StreamRequestHandler):
             return False
 
     def _dispatch(self, request: Dict[str, Any]) -> bool:
-        service: CampaignService = self.server.service  # type: ignore
+        server: _Server = self.server  # type: ignore[assignment]
+        service: CampaignService = server.service
         op = request.get("op")
         if op == "ping":
             return self._send({"ok": True, "op": "ping"})
         if op == "submit":
             try:
                 job_id = service.submit(request.get("spec") or {})
+            except ServiceBusy as busy:
+                return self._send(
+                    {
+                        "ok": False,
+                        "busy": True,
+                        "retry_after": busy.retry_after,
+                        "error": str(busy),
+                    }
+                )
             except (TypeError, ValueError) as error:
                 return self._send({"ok": False, "error": str(error)})
             return self._send({"ok": True, "job_id": job_id})
         if op == "status":
             try:
                 status = service.status(str(request.get("job_id")))
+            except KeyError as error:
+                return self._send({"ok": False, "error": str(error)})
+            return self._send({"ok": True, "status": status})
+        if op == "cancel":
+            try:
+                status = service.cancel(str(request.get("job_id")))
             except KeyError as error:
                 return self._send({"ok": False, "error": str(error)})
             return self._send({"ok": True, "status": status})
@@ -82,17 +138,34 @@ class _Handler(socketserver.StreamRequestHandler):
             except (TypeError, ValueError):
                 return self._send({"ok": False, "error": "bad start index"})
             try:
-                events = service.results(job_id, start=start, wait=wait)
+                events = service.results(
+                    job_id,
+                    start=start,
+                    wait=wait,
+                    heartbeat_s=server.heartbeat_s,
+                    should_stop=lambda: server.draining,
+                )
                 count = 0
                 for event in events:
+                    if event.get("event") == "heartbeat":
+                        # keepalive, not a job event: no offset impact
+                        if not self._send(
+                            {"ok": True, "heartbeat": True,
+                             "job_id": job_id}
+                        ):
+                            return False
+                        continue
                     if not self._send({"ok": True, "event": event}):
                         return False
                     count += 1
             except KeyError as error:
                 return self._send({"ok": False, "error": str(error)})
-            return self._send(
-                {"ok": True, "end": True, "job_id": job_id, "events": count}
-            )
+            end = {
+                "ok": True, "end": True, "job_id": job_id, "events": count,
+            }
+            if server.draining:
+                end["draining"] = True
+            return self._send(end)
         return self._send({"ok": False, "error": f"unknown op {op!r}"})
 
 
@@ -100,20 +173,38 @@ class _Server(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
     service: CampaignService
+    heartbeat_s: Optional[float] = None
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        #: live handler threads -> their connections, for drain/force
+        self.handlers: Dict[threading.Thread, Any] = {}
+        self.handlers_lock = threading.Lock()
+        #: set by close(): in-flight results waits end promptly with a
+        #: ``"draining": true`` terminator instead of blocking shutdown
+        self.draining = False
 
 
 class ServiceServer:
-    """A listening campaign service; port 0 picks an ephemeral port."""
+    """A listening campaign service; port 0 picks an ephemeral port.
+
+    ``heartbeat_s`` is the keepalive cadence for idle ``results``
+    streams; ``None`` disables heartbeats (a waiting client with a
+    socket timeout shorter than its job may then time out — see
+    docs/service.md).
+    """
 
     def __init__(
         self,
         service: CampaignService,
         host: str = "127.0.0.1",
         port: int = 0,
+        heartbeat_s: Optional[float] = 15.0,
     ) -> None:
         self.service = service
         self._server = _Server((host, port), _Handler)
         self._server.service = service
+        self._server.heartbeat_s = heartbeat_s
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -133,9 +224,61 @@ class ServiceServer:
         self._thread = thread
         return thread
 
-    def close(self) -> None:
-        self._server.shutdown()
-        self._server.server_close()
+    def close(self, drain_s: float = 5.0) -> Dict[str, Any]:
+        """Stop accepting, drain handlers, and report what remained.
+
+        In-flight handlers get up to ``drain_s`` seconds to finish on
+        their own (the draining flag unblocks ``results`` waits);
+        stragglers have their connections force-closed and their
+        threads joined. Returns a shutdown report::
+
+            {"drained": bool,        # everyone left voluntarily
+             "forced_connections": n,
+             "running_jobs": [...]}  # service jobs still executing
+
+        Running jobs are *not* the server's to kill — they belong to
+        the :class:`CampaignService` (which may be persisting state for
+        a later resume); the report surfaces them so the caller can
+        decide.
+        """
+        server = self._server
+        server.draining = True
+        server.shutdown()
+        deadline = time.monotonic() + max(0.0, drain_s)
+        while time.monotonic() < deadline:
+            with server.handlers_lock:
+                if not server.handlers:
+                    break
+            time.sleep(0.05)
+        with server.handlers_lock:
+            lingering = list(server.handlers.items())
+        for _thread, connection in lingering:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for thread, _connection in lingering:
+            thread.join(timeout=1.0)
+        server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
-            self._thread = None
+            if self._thread.is_alive():
+                # keep the reference: a live serve thread is a leak the
+                # caller should see, not one to silently drop
+                pass
+            else:
+                self._thread = None
+        running: List[str] = [
+            job["job_id"]
+            for job in self.service.jobs()
+            if job["state"] in ("pending", "running")
+        ]
+        return {
+            "drained": not lingering,
+            "forced_connections": len(lingering),
+            "running_jobs": running,
+        }

@@ -149,6 +149,14 @@ SECTION_SCHEMAS: Dict[str, Set[str]] = {
         "reports_equal",
         "resume_digest_equal",
     },
+    "service_resilience": {
+        "arch",
+        "kill",
+        "recovered_jobs",
+        "resumed_digest",
+        "baseline_digest",
+        "digest_match",
+    },
 }
 
 
@@ -319,12 +327,41 @@ def _check_workstealing(payload) -> List[str]:
     return errors
 
 
+def _check_service_resilience(payload) -> List[str]:
+    """Value gates of the ``serve --state-dir`` crash-recovery
+    contract: the restarted serve must actually have recovered at least
+    one job, and the resumed campaign must reproduce the uninterrupted
+    run's digest byte for byte — a mismatch is a build failure."""
+    errors = []
+    recovered = payload.get("recovered_jobs")
+    if not isinstance(recovered, int) or recovered < 1:
+        errors.append(
+            f"service_resilience: recovered_jobs must be >= 1 (the "
+            f"restarted serve recovered nothing), got {recovered!r}"
+        )
+    if payload.get("digest_match") is not True:
+        errors.append(
+            "service_resilience: digest_match must be true (the "
+            "recovered job's report digest diverged from the "
+            "uninterrupted baseline)"
+        )
+    resumed = payload.get("resumed_digest")
+    baseline = payload.get("baseline_digest")
+    if not resumed or resumed != baseline:
+        errors.append(
+            f"service_resilience: resumed_digest must equal "
+            f"baseline_digest, got {resumed!r} vs {baseline!r}"
+        )
+    return errors
+
+
 #: per-section value gates, run after the key-presence checks
 SECTION_VALUE_CHECKS = {
     "emulation_throughput": _check_emulation_throughput,
     "prescreen_triage": _check_prescreen_triage,
     "corpus_replay": _check_corpus_replay,
     "workstealing": _check_workstealing,
+    "service_resilience": _check_service_resilience,
 }
 
 #: required keys of one deterministic cell report (sweep ``cells``)
